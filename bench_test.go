@@ -1,0 +1,241 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§V), plus
+// ablations of the design choices DESIGN.md calls out. Each BenchmarkFigN
+// runs the corresponding experiment at reduced op counts and reports the
+// figure's headline metrics via b.ReportMetric; `go run ./cmd/redbud-bench`
+// runs the full-scale versions and prints the complete tables.
+package redbud
+
+import (
+	"testing"
+
+	"redbud/internal/bench"
+	"redbud/internal/workload"
+)
+
+// benchOptions shrinks the cluster so a single figure fits in seconds.
+func benchOptions() bench.Options {
+	o := bench.DefaultOptions()
+	o.Clients = 3
+	o.Scale = 0.005
+	o.SizeFactor = 0.1
+	return o
+}
+
+// BenchmarkFig3_PerformanceComparison regenerates Figure 3: throughput of
+// PVFS2 / NFS3 / Redbud / Redbud+DC on the five workloads, normalized to
+// original Redbud. The headline metric is the xcdn-32K speedup (paper: 2.6x).
+func BenchmarkFig3_PerformanceComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "xcdn-32K" {
+				b.ReportMetric(r.Norm[bench.SysRedbudDCSD], "xcdn32K-speedup")
+				b.ReportMetric(r.Norm[bench.SysNFS3], "xcdn32K-nfs3-norm")
+			}
+			if r.Workload == "varmail" {
+				b.ReportMetric(r.Norm[bench.SysRedbudDCSD], "varmail-speedup")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4_MergeRatio regenerates Figure 4: I/O merge ratio of the
+// three Redbud configurations at 32K/64K/1M (paper: delegation improves the
+// ratio 2.8-5.9x over delayed commit alone).
+func BenchmarkFig4_MergeRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig4(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.FileSize == 32<<10 {
+				b.ReportMetric(r.Ratio[bench.SysRedbudDC], "dc-merge-ratio-32K")
+				b.ReportMetric(r.Ratio[bench.SysRedbudDCSD], "sd-merge-ratio-32K")
+				if dc := r.Ratio[bench.SysRedbudDC]; dc > 0 {
+					b.ReportMetric(r.Ratio[bench.SysRedbudDCSD]/dc, "sd-over-dc-32K")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig5_SeekTraces regenerates Figure 5: blktrace-style disk-seek
+// panels under the three configurations x {32K, 1M}. Reported metric: seek
+// bytes per dispatch for original vs delegation at 32K (panel a vs c).
+func BenchmarkFig5_SeekTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := bench.Fig5(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range panels {
+			if p.FileSize != 32<<10 || p.Summary.Dispatches == 0 {
+				continue
+			}
+			perDisp := float64(p.Summary.SeekBytes) / float64(p.Summary.Dispatches) / 1e6
+			switch p.System {
+			case bench.SysRedbud:
+				b.ReportMetric(perDisp, "orig-seekMB-per-disp")
+			case bench.SysRedbudDCSD:
+				b.ReportMetric(perDisp, "sd-seekMB-per-disp")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6_AdaptiveThreads regenerates Figure 6: the commit-thread
+// count tracking the commit-queue length across the four workloads.
+func BenchmarkFig6_AdaptiveThreads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		traces, err := bench.Fig6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range traces {
+			switch tr.Workload {
+			case "varmail":
+				b.ReportMetric(tr.MeanThr, "varmail-mean-threads")
+			case "xcdn-32K":
+				b.ReportMetric(tr.MaxThr, "xcdn-max-threads")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7_CompoundDegree regenerates Figure 7: per-client throughput
+// for MDS daemons {1,8,16} x compound degree {1,3,6}. Reported metric: the
+// gain of degree 3 over degree 1 on the one-daemon server.
+func BenchmarkFig7_CompoundDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.Fig7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var d1k1, d1k3 float64
+		for _, c := range cells {
+			if c.Daemons == 1 && c.Degree == 1 {
+				d1k1 = c.PerClient
+			}
+			if c.Daemons == 1 && c.Degree == 3 {
+				d1k3 = c.PerClient
+			}
+		}
+		if d1k1 > 0 {
+			b.ReportMetric(d1k3/d1k1, "compound3-gain-1daemon")
+		}
+	}
+}
+
+// runXcdn32 runs the small-file CDN workload on one configuration and
+// returns ops/s — the ablations' common probe.
+func runXcdn32(b *testing.B, sys bench.System, opt bench.Options) float64 {
+	b.Helper()
+	c := bench.Build(sys, opt)
+	defer c.Close()
+	res, err := bench.RunDistributed(c, workload.Xcdn(32<<10, opt.Seed).Scale(opt.SizeFactor))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Throughput()
+}
+
+// BenchmarkAblation_CommitDedup compares the per-file commit-queue dedup
+// against committing on every dequeue.
+func BenchmarkAblation_CommitDedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOptions()
+		with := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		opt.CommitEvenIfClean = true
+		without := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		if without > 0 {
+			b.ReportMetric(with/without, "dedup-gain")
+		}
+	}
+}
+
+// BenchmarkAblation_SinglePool compares the double-space-pool (background
+// standby refill) against a single pool with blocking refills.
+func BenchmarkAblation_SinglePool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOptions()
+		double := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		opt.SpaceNoPrefetch = true
+		single := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		if single > 0 {
+			b.ReportMetric(double/single, "double-pool-gain")
+		}
+	}
+}
+
+// BenchmarkAblation_FixedThreads compares the adaptive commit-thread pool
+// against pools pinned at 1 and at the maximum.
+func BenchmarkAblation_FixedThreads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOptions()
+		adaptive := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		opt.FixedCommitThreads = 1
+		one := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		if one > 0 {
+			b.ReportMetric(adaptive/one, "adaptive-over-1thread")
+		}
+		opt.FixedCommitThreads = 9
+		nine := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		if nine > 0 {
+			b.ReportMetric(adaptive/nine, "adaptive-over-9threads")
+		}
+	}
+}
+
+// BenchmarkAblation_NoMerge disables the device elevator's request merging,
+// isolating how much of delayed commit's win is the merges themselves.
+func BenchmarkAblation_NoMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOptions()
+		with := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		opt.DisableMerge = true
+		without := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		if without > 0 {
+			b.ReportMetric(with/without, "merge-gain")
+		}
+	}
+}
+
+// BenchmarkAblation_DelegationOff isolates space delegation: delayed commit
+// with and without the double-space-pool.
+func BenchmarkAblation_DelegationOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOptions()
+		sd := runXcdn32(b, bench.SysRedbudDCSD, opt)
+		dc := runXcdn32(b, bench.SysRedbudDC, opt)
+		if dc > 0 {
+			b.ReportMetric(sd/dc, "delegation-gain")
+		}
+	}
+}
+
+// BenchmarkAblation_ReadAhead measures the sequential-prefetch extension on
+// the read-heavy webproxy personality.
+func BenchmarkAblation_ReadAhead(b *testing.B) {
+	run := func(opt bench.Options) float64 {
+		c := bench.Build(bench.SysRedbudDCSD, opt)
+		defer c.Close()
+		res, err := bench.RunDistributed(c, workload.Webproxy(opt.Seed).Scale(opt.SizeFactor))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Throughput()
+	}
+	for i := 0; i < b.N; i++ {
+		opt := benchOptions()
+		without := run(opt)
+		opt.ReadAhead = 256 << 10
+		with := run(opt)
+		if without > 0 {
+			b.ReportMetric(with/without, "readahead-gain")
+		}
+	}
+}

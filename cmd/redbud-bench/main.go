@@ -1,0 +1,100 @@
+// Command redbud-bench regenerates the paper's evaluation figures against
+// the simulated cluster and prints them as tables:
+//
+//	redbud-bench -fig 3          # Figure 3: system comparison
+//	redbud-bench -fig all        # every figure
+//	redbud-bench -fig 4 -clients 7 -size 1 -scale 0.02
+//
+// All reported numbers are in virtual time (see internal/clock); -scale only
+// changes how long the run takes on the wall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"redbud/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7 or all")
+		clients = flag.Int("clients", 7, "number of client nodes")
+		scale   = flag.Float64("scale", 0.02, "virtual-time compression in (0, 1]")
+		size    = flag.Float64("size", 0.5, "workload size factor in (0, 1]")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	opt := bench.DefaultOptions()
+	opt.Clients = *clients
+	opt.Scale = *scale
+	opt.SizeFactor = *size
+	opt.Seed = *seed
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("== %s (clients=%d scale=%g size=%g)\n", name, opt.Clients, opt.Scale, opt.SizeFactor)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   [%s wall]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("3") {
+		run("Figure 3", func() error {
+			rows, err := bench.Fig3(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig3(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("4") {
+		run("Figure 4", func() error {
+			rows, err := bench.Fig4(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig4(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("5") {
+		run("Figure 5", func() error {
+			panels, err := bench.Fig5(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig5(os.Stdout, panels)
+			fmt.Println("   (per-panel CSV series: cmd/redbud-trace)")
+			return nil
+		})
+	}
+	if want("6") {
+		run("Figure 6", func() error {
+			traces, err := bench.Fig6(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig6(os.Stdout, traces)
+			return nil
+		})
+	}
+	if want("7") {
+		run("Figure 7", func() error {
+			cells, err := bench.Fig7(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig7(os.Stdout, cells)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,176 @@
+// Command redbud-client mounts a Redbud file system over TCP against a
+// running redbud-mds and one or more redbud-disk servers, then executes one
+// operation:
+//
+//	redbud-client -mds :9000 -disk 0=:9001 put /hello.txt "hi there"
+//	redbud-client -mds :9000 -disk 0=:9001 get /hello.txt
+//	redbud-client -mds :9000 -disk 0=:9001 ls /
+//	redbud-client -mds :9000 -disk 0=:9001 mkdir /docs
+//	redbud-client -mds :9000 -disk 0=:9001 rm /hello.txt
+//	redbud-client -mds :9000 -disk 0=:9001 mv /hello.txt /docs/hello.txt
+//	redbud-client -mds :9000 -disk 0=:9001 stat /hello.txt
+//	redbud-client -mds :9000 -disk 0=:9001 bench 200   # write+read 200 files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"redbud/internal/client"
+	"redbud/internal/clock"
+	"redbud/internal/netsim"
+	"redbud/internal/rpc"
+	"redbud/internal/san"
+)
+
+type diskFlags map[uint32]string
+
+func (d diskFlags) String() string { return fmt.Sprint(map[uint32]string(d)) }
+
+func (d diskFlags) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want ID=ADDR, got %q", v)
+	}
+	n, err := strconv.ParseUint(id, 10, 32)
+	if err != nil {
+		return err
+	}
+	d[uint32(n)] = addr
+	return nil
+}
+
+func main() {
+	disks := diskFlags{}
+	var (
+		mdsAddr = flag.String("mds", ":9000", "MDS address")
+		name    = flag.String("name", "", "client name (default: host:pid)")
+		sync    = flag.Bool("sync", false, "use synchronous commit instead of delayed")
+		deleg   = flag.Int64("delegation", 16<<20, "space delegation chunk (0 disables)")
+	)
+	flag.Var(disks, "disk", "data device as ID=ADDR (repeatable)")
+	flag.Parse()
+	if len(disks) == 0 {
+		log.Fatal("need at least one -disk ID=ADDR")
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: redbud-client [flags] {put|get|ls|mkdir|rm|mv|stat|bench} ...")
+	}
+
+	clk := clock.Real(1)
+	mconn, err := net.Dial("tcp", *mdsAddr)
+	if err != nil {
+		log.Fatalf("dial mds: %v", err)
+	}
+	devs := make(map[uint32]client.BlockDevice, len(disks))
+	for id, addr := range disks {
+		dc, err := net.Dial("tcp", addr)
+		if err != nil {
+			log.Fatalf("dial disk %d: %v", id, err)
+		}
+		devs[id] = san.NewRemoteDevice(netsim.FrameConn(dc), clk)
+	}
+	cname := *name
+	if cname == "" {
+		host, _ := os.Hostname()
+		cname = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	mode := client.DelayedCommit
+	if *sync {
+		mode = client.SyncCommit
+	}
+	c := client.New(client.Config{
+		Name:            cname,
+		MDS:             rpc.NewClient(netsim.FrameConn(mconn), clk),
+		Devices:         devs,
+		Clock:           clk,
+		Mode:            mode,
+		DelegationChunk: *deleg,
+	})
+	defer c.Close()
+
+	switch args[0] {
+	case "put":
+		need(args, 3, "put PATH DATA")
+		f, err := c.Create(args[1])
+		check(err)
+		_, err = f.WriteAt([]byte(args[2]), 0)
+		check(err)
+		check(f.Close())
+		fmt.Printf("wrote %d bytes to %s\n", len(args[2]), args[1])
+	case "get":
+		need(args, 2, "get PATH")
+		f, err := c.Open(args[1])
+		check(err)
+		buf := make([]byte, f.Size())
+		n, err := f.ReadAt(buf, 0)
+		check(err)
+		os.Stdout.Write(buf[:n])
+		fmt.Println()
+		check(f.Close())
+	case "ls":
+		need(args, 2, "ls PATH")
+		ents, err := c.ReadDir(args[1])
+		check(err)
+		for _, e := range ents {
+			kind := "f"
+			if e.Dir {
+				kind = "d"
+			}
+			fmt.Printf("%s %10d %s\n", kind, e.Size, e.Name)
+		}
+	case "mkdir":
+		need(args, 2, "mkdir PATH")
+		check(c.Mkdir(args[1]))
+	case "rm":
+		need(args, 2, "rm PATH")
+		check(c.Remove(args[1]))
+	case "mv":
+		need(args, 3, "mv OLD NEW")
+		check(c.Rename(args[1], args[2]))
+	case "stat":
+		need(args, 2, "stat PATH")
+		info, err := c.Stat(args[1])
+		check(err)
+		fmt.Printf("%s: size=%d dir=%v mtime=%s\n", args[1], info.Size, info.Dir, info.MTime.Format(time.RFC3339))
+	case "bench":
+		need(args, 2, "bench NFILES")
+		n, err := strconv.Atoi(args[1])
+		check(err)
+		payload := make([]byte, 32<<10)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f, err := c.Create(fmt.Sprintf("/bench-%s-%d", cname, i))
+			check(err)
+			_, err = f.WriteAt(payload, 0)
+			check(err)
+			check(f.Close())
+		}
+		check(c.Drain())
+		el := time.Since(start)
+		fmt.Printf("%d x 32KB files in %s (%.1f files/s, %.2f MB/s), %d RPCs\n",
+			n, el.Round(time.Millisecond), float64(n)/el.Seconds(),
+			float64(n*32<<10)/1e6/el.Seconds(), c.Stats().RPCs)
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		log.Fatalf("usage: redbud-client %s", usage)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

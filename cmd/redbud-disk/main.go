@@ -1,0 +1,52 @@
+// Command redbud-disk serves one simulated disk of the shared array over
+// TCP (the SAN protocol of internal/san), standing in for the paper's
+// fiber-channel fabric in the multi-process deployment.
+//
+//	redbud-disk -listen :9001 -dev 0 -size 17179869184
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"redbud/internal/blockdev"
+	"redbud/internal/clock"
+	"redbud/internal/netsim"
+	"redbud/internal/san"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":9001", "TCP listen address")
+		devID   = flag.Int("dev", 0, "device ID (must match the MDS's AG layout)")
+		size    = flag.Int64("size", 16<<30, "device capacity in bytes")
+		fast    = flag.Bool("fast", false, "use the light disk model instead of the 2012-era HDD")
+		daemons = flag.Int("daemons", 16, "RPC daemon threads")
+	)
+	flag.Parse()
+
+	model := blockdev.DefaultHDD()
+	if *fast {
+		model = blockdev.FastHDD()
+	}
+	clk := clock.Real(1)
+	dev := blockdev.New(blockdev.Config{ID: *devID, Size: *size, Model: model, Clock: clk})
+	defer dev.Close()
+	srv := san.NewServer(dev, clk, *daemons)
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("redbud-disk %d listening on %s (%d bytes)\n", *devID, l.Addr(), *size)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.ServeConn(netsim.FrameConn(conn))
+	}
+}

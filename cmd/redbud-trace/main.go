@@ -1,0 +1,76 @@
+// Command redbud-trace regenerates Figure 5's blktrace-style disk-seek
+// panels and writes one CSV per (configuration, file size) panel:
+//
+//	redbud-trace -out /tmp/fig5
+//
+// produces files like /tmp/fig5/seeks-redbud+dc+sd-32KB.csv with rows
+// "t_us,offset,seek", ready for any plotting tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"redbud/internal/bench"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "fig5-traces", "output directory for CSV files")
+		clients = flag.Int("clients", 7, "number of client nodes")
+		scale   = flag.Float64("scale", 0.02, "virtual-time compression in (0, 1]")
+		size    = flag.Float64("size", 0.3, "workload size factor in (0, 1]")
+	)
+	flag.Parse()
+
+	opt := bench.DefaultOptions()
+	opt.Clients = *clients
+	opt.Scale = *scale
+	opt.SizeFactor = *size
+
+	panels, err := bench.Fig5(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig5:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bench.PrintFig5(os.Stdout, panels)
+	for _, p := range panels {
+		name := fmt.Sprintf("seeks-%s-%s.csv", p.System, sizeLabel(p.FileSize))
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := writeCSV(f, p); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("wrote", path)
+	}
+}
+
+func writeCSV(f *os.File, p bench.Fig5Panel) error {
+	var sb strings.Builder
+	sb.WriteString("t_us,offset,seek\n")
+	for _, pt := range p.Series {
+		fmt.Fprintf(&sb, "%d,%d,%d\n", pt.T.Microseconds(), pt.Offset, pt.Seek)
+	}
+	_, err := f.WriteString(sb.String())
+	return err
+}
+
+func sizeLabel(n int64) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%dMB", n>>20)
+	}
+	return fmt.Sprintf("%dKB", n>>10)
+}

@@ -1,0 +1,125 @@
+// Crash recovery: the consistency story behind ordered writes (§I, §III-A).
+// A client writes files through the delayed path and crashes mid-stream; the
+// MDS then "reboots" — its metadata store is rebuilt purely from the
+// journal on the metadata disk — and garbage-collects the orphan space
+// (allocations and delegations whose commits never arrived). The example
+// verifies the paper's invariant afterwards: every committed extent
+// references data that is durable on the array, and no orphan space leaks.
+//
+//	go run ./examples/crashrecovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redbud/internal/alloc"
+	"redbud/internal/blockdev"
+	"redbud/internal/client"
+	"redbud/internal/clock"
+	"redbud/internal/mds"
+	"redbud/internal/meta"
+	"redbud/internal/netsim"
+	"redbud/internal/rpc"
+)
+
+func main() {
+	clk := clock.Real(1)
+
+	// The shared array and the metadata disk survive crashes (they are
+	// "the disks"); everything in DRAM is lost.
+	data := blockdev.New(blockdev.Config{ID: 0, Size: 1 << 30, Model: blockdev.FastHDD(), Clock: clk})
+	defer data.Close()
+	metaDisk := blockdev.New(blockdev.Config{ID: 1000, Size: 256 << 20, Model: blockdev.FastHDD(), Clock: clk})
+	defer metaDisk.Close()
+
+	mkAGs := func() *alloc.AGSet { return alloc.NewUniformAGSet(alloc.RoundRobin, 0, 1<<30, 4) }
+	journal := meta.NewJournal(metaDisk, 0, 128<<20)
+	store := meta.NewStore(meta.Config{AGs: mkAGs(), Journal: journal, Clock: clk})
+	server := mds.New(mds.Config{Store: store, Clock: clk, Daemons: 4})
+
+	net := netsim.NewNetwork(clk)
+	net.AddHost("mds", netsim.Instant())
+	net.AddHost("c1", netsim.Instant())
+	lis, err := net.Listen("mds")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go server.Serve(lis)
+
+	conn, err := net.Dial("c1", "mds")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := client.New(client.Config{
+		Name:            "c1",
+		MDS:             rpc.NewClient(conn, clk),
+		Devices:         map[uint32]client.BlockDevice{0: data},
+		Clock:           clk,
+		Mode:            client.DelayedCommit,
+		DelegationChunk: 1 << 20,
+	})
+
+	// Write ten files; fsync the first five ("the user saved them"),
+	// leave the rest in flight, then pull the plug on the client.
+	payload := make([]byte, 8192)
+	for i := 0; i < 10; i++ {
+		f, err := cl.Create(fmt.Sprintf("/file-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			log.Fatal(err)
+		}
+		if i < 5 {
+			if err := f.Sync(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+	cl.Crash() // no drain, no delegation return
+	fmt.Println("client crashed with 5 fsynced files and 5 files in flight")
+
+	// MDS "reboot": throw the in-memory store away and recover from the
+	// journal alone, against a fresh (fully free) AG set.
+	server.Close()
+	lis.Close()
+	recovered, stats, err := meta.Recover(meta.Config{
+		AGs:     mkAGs(),
+		Journal: meta.NewJournal(metaDisk, 0, 128<<20),
+		Clock:   clk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery replayed %d journal records, reclaimed %d orphan bytes, revoked %d delegations\n",
+		stats.Records, stats.OrphanBytes, stats.Delegations)
+
+	// The ordered-write invariant: every committed extent must reference
+	// durable data on the array.
+	violations := recovered.CheckConsistent(func(dev int, off, n int64) bool {
+		return data.IsDurable(off, n)
+	})
+	fmt.Printf("consistency check: %d violations\n", len(violations))
+
+	// What survived? The fsynced files with their full size; the in-flight
+	// files exist (creates are synchronous metadata ops) but any
+	// uncommitted data is unreachable orphan space that was recycled.
+	survivors := 0
+	for i := 0; i < 10; i++ {
+		attr, err := recovered.Lookup(meta.RootID, fmt.Sprintf("file-%d", i))
+		if err != nil {
+			continue
+		}
+		lay, _ := recovered.GetLayout(attr.ID, 0, 8192, true)
+		if attr.Size == 8192 && len(lay.Extents) > 0 {
+			survivors++
+		}
+	}
+	fmt.Printf("%d of 10 files fully durable (>=5 expected: the fsynced ones, plus any whose background commit won the race)\n", survivors)
+	if len(violations) != 0 {
+		log.Fatal("ordered-write invariant violated")
+	}
+	fmt.Println("file system consistent after crash + recovery ✓")
+}

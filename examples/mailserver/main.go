@@ -1,0 +1,105 @@
+// Mail-server scenario (the varmail personality, §V-B): deliveries append a
+// message and must be durable before acknowledging — the fsync escape hatch
+// the paper prescribes for applications that cannot afford the delayed
+// window — while maildir housekeeping (scans, deletes, folder listing) rides
+// the fast delayed path.
+//
+//	go run ./examples/mailserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"redbud"
+)
+
+func main() {
+	cluster, err := redbud.New(redbud.Config{
+		Clients:         1,
+		Mode:            redbud.DelayedCommit,
+		SpaceDelegation: 16 << 20,
+		TimeScale:       0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fs := cluster.Mount(0)
+
+	for _, dir := range []string{"/mail", "/mail/inbox", "/mail/archive"} {
+		if err := fs.Mkdir(dir); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Phase 1: deliveries. Each message is created, appended and fsynced —
+	// durable at the MDS before the "SMTP 250 OK".
+	const messages = 40
+	body := make([]byte, 16<<10)
+	start := time.Now()
+	for i := 0; i < messages; i++ {
+		f, err := fs.Create(fmt.Sprintf("/mail/inbox/msg-%04d.eml", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := f.Append(body); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Sync(); err != nil { // durability point
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	deliver := time.Since(start)
+
+	// Phase 2: housekeeping — re-file half the messages to the archive.
+	// Pure namespace + data churn: no fsync, so everything rides the
+	// commit queue and the RPC compound.
+	start = time.Now()
+	moved := 0
+	ents, err := fs.ReadDir("/mail/inbox")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range ents {
+		if i%2 != 0 {
+			continue
+		}
+		src, err := fs.Open("/mail/inbox/" + e.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, src.Size())
+		if _, err := src.ReadAt(buf, 0); err != nil {
+			log.Fatal(err)
+		}
+		src.Close()
+		dst, err := fs.Create("/mail/archive/" + e.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dst.WriteAt(buf, 0); err != nil {
+			log.Fatal(err)
+		}
+		dst.Close() // no fsync: delayed commit keeps the order
+		if err := fs.Remove("/mail/inbox/" + e.Name); err != nil {
+			log.Fatal(err)
+		}
+		moved++
+	}
+	cluster.Drain()
+	housekeeping := time.Since(start)
+
+	inbox, _ := fs.ReadDir("/mail/inbox")
+	archive, _ := fs.ReadDir("/mail/archive")
+	st := cluster.Client(0).Stats()
+	fmt.Printf("delivered %d messages (fsync each) in %v\n", messages, deliver.Round(time.Millisecond))
+	fmt.Printf("archived  %d messages (delayed)    in %v\n", moved, housekeeping.Round(time.Millisecond))
+	fmt.Printf("inbox: %d messages, archive: %d messages\n", len(inbox), len(archive))
+	fmt.Printf("client stats: %d fsyncs, %d commits in %d RPC frames, mean close latency %v\n",
+		st.Fsyncs, st.CommitsSent, st.CommitRPCs, st.MeanCloseLatency)
+}

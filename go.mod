@@ -1,0 +1,3 @@
+module redbud
+
+go 1.22

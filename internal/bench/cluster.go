@@ -1,0 +1,476 @@
+// Package bench is the experiment harness: it assembles in-process clusters
+// of the four systems under test (PVFS2-like, NFS3-like, original Redbud,
+// Redbud with delayed commit ± space delegation), runs the paper's
+// workloads on them, and regenerates every table and figure of the
+// evaluation section (Figures 3-7) plus the ablation studies DESIGN.md
+// calls out.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"redbud/internal/alloc"
+	"redbud/internal/blockdev"
+	"redbud/internal/client"
+	"redbud/internal/clock"
+	"redbud/internal/fsapi"
+	"redbud/internal/iotrace"
+	"redbud/internal/mds"
+	"redbud/internal/meta"
+	"redbud/internal/netsim"
+	"redbud/internal/nfs3"
+	"redbud/internal/pvfs2"
+	"redbud/internal/rpc"
+	"redbud/internal/workload"
+)
+
+// System identifies one configuration under test.
+type System int
+
+// Systems of Figure 3 (and the Redbud configurations of Figures 4-7).
+const (
+	SysPVFS2 System = iota
+	SysNFS3
+	SysRedbud     // original Redbud: synchronous commit
+	SysRedbudDC   // + delayed commit
+	SysRedbudDCSD // + delayed commit + space delegation
+)
+
+func (s System) String() string {
+	switch s {
+	case SysPVFS2:
+		return "pvfs2"
+	case SysNFS3:
+		return "nfs3"
+	case SysRedbud:
+		return "redbud"
+	case SysRedbudDC:
+		return "redbud+dc"
+	case SysRedbudDCSD:
+		return "redbud+dc+sd"
+	}
+	return "?"
+}
+
+// Options sets the cluster scale and fidelity knobs shared by all figures.
+type Options struct {
+	// Clients is the number of client nodes (the paper uses 7).
+	Clients int
+	// Scale compresses virtual time for wall-clock speed: 0.02 runs the
+	// cluster 50x faster than real time while keeping every relative
+	// latency intact. Reported numbers are always virtual-time.
+	Scale float64
+	// SizeFactor scales workload op counts in (0, 1]; bench targets use
+	// small factors, `redbud-bench` uses 1.
+	SizeFactor float64
+	// DataDevices is the number of disks in the shared FC array.
+	DataDevices int
+	// DeviceSize is the capacity of each disk.
+	DeviceSize int64
+	// Disk is the service-time model of each disk.
+	Disk blockdev.DiskModel
+	// Net is the metadata-Ethernet link model.
+	Net netsim.LinkConfig
+	// MDSDaemons is the metadata server daemon-thread count.
+	MDSDaemons int
+	// MDSOpCost is the CPU cost of one metadata op at the server.
+	MDSOpCost time.Duration
+	// MDSFrameCost is the per-RPC-frame overhead at the server; the
+	// saving compound RPCs buy (Figure 7).
+	MDSFrameCost time.Duration
+	// CompoundDegree pins the Redbud compound degree (0 = adaptive).
+	CompoundDegree int
+	// DelegationChunk is the space-delegation unit (paper: 16 MiB).
+	DelegationChunk int64
+	// Seed drives all randomness.
+	Seed int64
+	// Trace attaches a blktrace recorder to the data devices.
+	Trace bool
+
+	// ReadAhead enables client sequential prefetch with this window.
+	ReadAhead int64
+
+	// Ablation knobs, applied to Redbud delayed-commit clients.
+	FixedCommitThreads int
+	SpaceNoPrefetch    bool
+	CommitEvenIfClean  bool
+	DisableMerge       bool
+}
+
+// DefaultOptions mirrors the paper's testbed at simulation scale.
+func DefaultOptions() Options {
+	return Options{
+		Clients:         7,
+		Scale:           0.02,
+		SizeFactor:      1,
+		DataDevices:     4,
+		DeviceSize:      16 << 30,
+		Disk:            blockdev.DefaultHDD(),
+		Net:             netsim.GigabitEthernet(),
+		MDSDaemons:      8,
+		MDSOpCost:       15 * time.Microsecond,
+		MDSFrameCost:    35 * time.Microsecond,
+		DelegationChunk: 16 << 20,
+		Seed:            1,
+	}
+}
+
+// TestOptions shrinks everything for fast test/bench runs.
+func TestOptions() Options {
+	o := DefaultOptions()
+	o.Clients = 3
+	o.Scale = 0.002
+	o.SizeFactor = 0.1
+	return o
+}
+
+// Cluster is one assembled system: mounts, devices, metadata authorities.
+type Cluster struct {
+	System  System
+	Clock   clock.Clock
+	Mounts  []fsapi.FileSystem
+	Devices []*blockdev.Device
+	Rec     *iotrace.Recorder
+
+	// Redbud-only handles (nil otherwise).
+	Redbud  []*client.Client
+	MDS     *mds.Server
+	Store   *meta.Store
+	Net     *netsim.Network
+	MetaDev *blockdev.Device
+	AGTotal int64 // capacity the AG set spans (fsck identity)
+
+	closers []func()
+}
+
+// Close tears the cluster down in reverse construction order.
+func (c *Cluster) Close() {
+	for _, m := range c.Mounts {
+		_ = m.Close()
+	}
+	for i := len(c.closers) - 1; i >= 0; i-- {
+		c.closers[i]()
+	}
+}
+
+// Drain flushes pending delayed commits on every Redbud mount.
+func (c *Cluster) Drain() {
+	for _, r := range c.Redbud {
+		_ = r.Drain()
+	}
+}
+
+// DeviceStats aggregates the data-device counters.
+func (c *Cluster) DeviceStats() blockdev.Stats {
+	var total blockdev.Stats
+	for _, d := range c.Devices {
+		s := d.Stats()
+		total.Submitted += s.Submitted
+		total.Dispatched += s.Dispatched
+		total.Merged += s.Merged
+		total.Seeks += s.Seeks
+		total.SeekBytes += s.SeekBytes
+		total.BytesRead += s.BytesRead
+		total.BytesWrite += s.BytesWrite
+		total.BusyTime += s.BusyTime
+	}
+	return total
+}
+
+// ResetDeviceStats zeroes the data-device counters (after prefill).
+func (c *Cluster) ResetDeviceStats() {
+	for _, d := range c.Devices {
+		d.ResetStats()
+	}
+}
+
+// RPCs sums client-side RPC counts (network-traffic metric).
+func (c *Cluster) RPCs() int64 {
+	var total int64
+	for _, m := range c.Mounts {
+		switch fs := m.(type) {
+		case *client.Client:
+			total += fs.Stats().RPCs
+		case *nfs3.Client:
+			total += fs.RPCs()
+		case *pvfs2.Client:
+			total += fs.RPCs()
+		}
+	}
+	return total
+}
+
+// Build assembles a cluster of the given system.
+func Build(sys System, opt Options) *Cluster {
+	switch sys {
+	case SysPVFS2:
+		return buildPVFS2(opt)
+	case SysNFS3:
+		return buildNFS3(opt)
+	default:
+		return buildRedbud(sys, opt)
+	}
+}
+
+// newDevices builds the shared disk array, optionally traced.
+func newDevices(opt Options, clk clock.Clock, rec *iotrace.Recorder) []*blockdev.Device {
+	devs := make([]*blockdev.Device, 0, opt.DataDevices)
+	for i := 0; i < opt.DataDevices; i++ {
+		cfg := blockdev.Config{
+			ID:           i,
+			Size:         opt.DeviceSize,
+			Model:        opt.Disk,
+			Clock:        clk,
+			DisableMerge: opt.DisableMerge,
+		}
+		if rec != nil {
+			cfg.Trace = rec.Record
+		}
+		devs = append(devs, blockdev.New(cfg))
+	}
+	return devs
+}
+
+// buildRedbud assembles MDS + shared array + Redbud clients in the given
+// commit mode.
+func buildRedbud(sys System, opt Options) *Cluster {
+	clk := clock.Real(opt.Scale)
+	c := &Cluster{System: sys, Clock: clk}
+	if opt.Trace {
+		c.Rec = iotrace.NewRecorder()
+	}
+	c.Devices = newDevices(opt, clk, c.Rec)
+	for _, d := range c.Devices {
+		dev := d
+		c.closers = append(c.closers, dev.Close)
+	}
+
+	// One AG set spanning the array: AGs partition each device.
+	var groups []*alloc.Group
+	for _, d := range c.Devices {
+		half := d.Size() / 2
+		groups = append(groups,
+			alloc.NewGroup(d.ID(), 0, half),
+			alloc.NewGroup(d.ID(), half, d.Size()))
+	}
+	ags := alloc.NewAGSet(alloc.RoundRobin, groups...)
+
+	// Metadata device (journal) on its own disk.
+	metaDev := blockdev.New(blockdev.Config{ID: 1000, Size: 4 << 30, Model: opt.Disk, Clock: clk})
+	c.closers = append(c.closers, metaDev.Close)
+	c.MetaDev = metaDev
+	c.AGTotal = meta.TotalSpace(ags)
+	journal := meta.NewJournal(metaDev, 0, 2<<30)
+	c.Store = meta.NewStore(meta.Config{AGs: ags, Journal: journal, Clock: clk})
+
+	c.MDS = mds.New(mds.Config{
+		Store:               c.Store,
+		Clock:               clk,
+		Daemons:             opt.MDSDaemons,
+		OpCost:              opt.MDSOpCost,
+		FrameCost:           opt.MDSFrameCost,
+		ContentionPerDaemon: 0.05,
+	})
+	c.closers = append(c.closers, c.MDS.Close)
+
+	c.Net = netsim.NewNetwork(clk)
+	c.Net.AddHost("mds", opt.Net)
+	lis, err := c.Net.Listen("mds")
+	if err != nil {
+		panic(err)
+	}
+	go c.MDS.Serve(lis)
+	c.closers = append(c.closers, func() { lis.Close() })
+
+	devMap := make(map[uint32]client.BlockDevice, len(c.Devices))
+	for _, d := range c.Devices {
+		devMap[uint32(d.ID())] = d
+	}
+
+	mode := client.SyncCommit
+	if sys != SysRedbud {
+		mode = client.DelayedCommit
+	}
+	deleg := int64(0)
+	if sys == SysRedbudDCSD {
+		deleg = opt.DelegationChunk
+	}
+	for i := 0; i < opt.Clients; i++ {
+		host := fmt.Sprintf("client-%d", i)
+		c.Net.AddHost(host, opt.Net)
+		conn, err := c.Net.Dial(host, "mds")
+		if err != nil {
+			panic(err)
+		}
+		net := c.Net
+		cl := client.New(client.Config{
+			Name:               host,
+			MDS:                rpc.NewClient(conn, clk),
+			Devices:            devMap,
+			Clock:              clk,
+			Mode:               mode,
+			CompoundDegree:     opt.CompoundDegree,
+			DelegationChunk:    deleg,
+			NetCongestion:      func() time.Duration { return net.CongestionWait("mds") },
+			PoolInterval:       2 * time.Millisecond,
+			ReadAhead:          opt.ReadAhead,
+			FixedCommitThreads: opt.FixedCommitThreads,
+			SpaceNoPrefetch:    opt.SpaceNoPrefetch,
+			CommitEvenIfClean:  opt.CommitEvenIfClean,
+		})
+		c.Redbud = append(c.Redbud, cl)
+		c.Mounts = append(c.Mounts, cl)
+	}
+	return c
+}
+
+// buildNFS3 assembles the single-server baseline.
+func buildNFS3(opt Options) *Cluster {
+	clk := clock.Real(opt.Scale)
+	c := &Cluster{System: SysNFS3, Clock: clk}
+	if opt.Trace {
+		c.Rec = iotrace.NewRecorder()
+	}
+	// One server disk: NFS owns its storage.
+	cfg := blockdev.Config{ID: 0, Size: opt.DeviceSize, Model: opt.Disk, Clock: clk, DisableMerge: opt.DisableMerge}
+	if c.Rec != nil {
+		cfg.Trace = c.Rec.Record
+	}
+	disk := blockdev.New(cfg)
+	c.Devices = []*blockdev.Device{disk}
+	c.closers = append(c.closers, disk.Close)
+
+	srv := nfs3.NewServer(nfs3.ServerConfig{Disk: disk, Clock: clk, Daemons: opt.MDSDaemons, OpCost: opt.MDSOpCost})
+	c.closers = append(c.closers, srv.Close)
+
+	n := netsim.NewNetwork(clk)
+	n.AddHost("nfs", opt.Net)
+	lis, err := n.Listen("nfs")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(lis)
+	c.closers = append(c.closers, func() { lis.Close() })
+
+	for i := 0; i < opt.Clients; i++ {
+		host := fmt.Sprintf("client-%d", i)
+		n.AddHost(host, opt.Net)
+		conn, err := n.Dial(host, "nfs")
+		if err != nil {
+			panic(err)
+		}
+		c.Mounts = append(c.Mounts, nfs3.NewClient(conn, clk))
+	}
+	return c
+}
+
+// buildPVFS2 assembles the striped user-level baseline.
+func buildPVFS2(opt Options) *Cluster {
+	clk := clock.Real(opt.Scale)
+	c := &Cluster{System: SysPVFS2, Clock: clk}
+	if opt.Trace {
+		c.Rec = iotrace.NewRecorder()
+	}
+	n := netsim.NewNetwork(clk)
+
+	n.AddHost("meta", opt.Net)
+	ml, err := n.Listen("meta")
+	if err != nil {
+		panic(err)
+	}
+	ms := pvfs2.NewMetaServer(clk, opt.MDSDaemons, opt.MDSOpCost)
+	go ms.Serve(ml)
+	c.closers = append(c.closers, func() { ml.Close() }, ms.Close)
+
+	for i := 0; i < opt.DataDevices; i++ {
+		host := fmt.Sprintf("data-%d", i)
+		n.AddHost(host, opt.Net)
+		cfg := blockdev.Config{ID: i, Size: opt.DeviceSize, Model: opt.Disk, Clock: clk, DisableMerge: opt.DisableMerge}
+		if c.Rec != nil {
+			cfg.Trace = c.Rec.Record
+		}
+		disk := blockdev.New(cfg)
+		c.Devices = append(c.Devices, disk)
+		c.closers = append(c.closers, disk.Close)
+		ds := pvfs2.NewDataServer(disk, clk, opt.MDSDaemons)
+		dl, err := n.Listen(host)
+		if err != nil {
+			panic(err)
+		}
+		go ds.Serve(dl)
+		c.closers = append(c.closers, func() { dl.Close() }, ds.Close)
+	}
+
+	for i := 0; i < opt.Clients; i++ {
+		host := fmt.Sprintf("client-%d", i)
+		n.AddHost(host, opt.Net)
+		mconn, err := n.Dial(host, "meta")
+		if err != nil {
+			panic(err)
+		}
+		var dconns []netsim.Conn
+		for d := 0; d < opt.DataDevices; d++ {
+			dc, err := n.Dial(host, fmt.Sprintf("data-%d", d))
+			if err != nil {
+				panic(err)
+			}
+			dconns = append(dconns, dc)
+		}
+		c.Mounts = append(c.Mounts, pvfs2.NewClient(mconn, dconns, clk))
+	}
+	return c
+}
+
+// RunDistributed runs the spec on every mount concurrently (each client gets
+// a private namespace and seed) and aggregates: ops and bytes summed,
+// duration = the longest client run (the cluster-level completion time).
+func RunDistributed(c *Cluster, spec workload.Spec) (workload.Result, error) {
+	results := make([]workload.Result, len(c.Mounts))
+	errs := make([]error, len(c.Mounts))
+	var wg sync.WaitGroup
+	for i, m := range c.Mounts {
+		wg.Add(1)
+		s := spec
+		s.Name = fmt.Sprintf("%s-c%d", spec.Name, i)
+		s.Seed = spec.Seed + int64(i)*1000003
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = workload.Run(m, c.Clock, s)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return workload.Result{}, err
+		}
+	}
+	// Include the drain in the measured window: delayed commit must not
+	// get credit for work it simply deferred past the finish line.
+	start := c.Clock.Now()
+	c.Drain()
+	drain := c.Clock.Since(start)
+
+	agg := workload.Result{Name: spec.Name}
+	for _, r := range results {
+		agg.Ops += r.Ops
+		agg.Errors += r.Errors
+		agg.BytesWritten += r.BytesWritten
+		agg.BytesRead += r.BytesRead
+		if r.Duration > agg.Duration {
+			agg.Duration = r.Duration
+		}
+		for k := range agg.Latency {
+			agg.Latency[k].Count += r.Latency[k].Count
+			agg.Latency[k].Total += r.Latency[k].Total
+		}
+	}
+	agg.Duration += drain
+	return agg, nil
+}
+
+// RunBTDistributed runs NPB BT-IO across the cluster's mounts.
+func RunBTDistributed(c *Cluster, spec workload.BTSpec) (workload.Result, error) {
+	return workload.RunBT(c.Mounts, c.Clock, spec)
+}

@@ -1,0 +1,50 @@
+package blockdev
+
+import (
+	"testing"
+
+	"redbud/internal/clock"
+)
+
+func BenchmarkSequentialWrite4K(b *testing.B) {
+	d := New(Config{Size: 1 << 34, Model: ZeroLatency(), Clock: clock.Real(1)})
+	defer d.Close()
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Write(int64(i%(1<<20))*4096, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomRead4K(b *testing.B) {
+	d := New(Config{Size: 1 << 30, Model: ZeroLatency(), Clock: clock.Real(1)})
+	defer d.Close()
+	if err := d.Write(0, make([]byte, 1<<20)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Read(int64(i*2654435761%(1<<20-4096)), 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntervalSetAdd(b *testing.B) {
+	var s intervalSet
+	for i := 0; i < b.N; i++ {
+		off := int64(i*2654435761) % (1 << 30)
+		s.add(off, off+4096)
+	}
+}
+
+func BenchmarkServiceTimeModel(b *testing.B) {
+	m := DefaultHDD()
+	for i := 0; i < b.N; i++ {
+		_ = m.ServiceTime(int64(i)*4096, int64(i*7)*4096, 4096)
+	}
+}

@@ -1,0 +1,126 @@
+package blockdev
+
+import (
+	"sort"
+	"sync"
+)
+
+// pageSize is the granularity of the in-memory backing store. It is an
+// implementation detail of the simulator, unrelated to the file-system page
+// size.
+const pageSize = 4096
+
+// pageStore is the byte-addressable backing store of a simulated device.
+// Unwritten bytes read as zero.
+type pageStore struct {
+	mu    sync.RWMutex
+	pages map[int64][]byte // page index -> pageSize bytes
+}
+
+func newPageStore() *pageStore { return &pageStore{pages: make(map[int64][]byte)} }
+
+func (s *pageStore) writeAt(p []byte, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(p) > 0 {
+		idx := off / pageSize
+		in := off - idx*pageSize
+		n := pageSize - in
+		if int64(len(p)) < n {
+			n = int64(len(p))
+		}
+		pg := s.pages[idx]
+		if pg == nil {
+			pg = make([]byte, pageSize)
+			s.pages[idx] = pg
+		}
+		copy(pg[in:in+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+}
+
+func (s *pageStore) readAt(p []byte, off int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for len(p) > 0 {
+		idx := off / pageSize
+		in := off - idx*pageSize
+		n := pageSize - in
+		if int64(len(p)) < n {
+			n = int64(len(p))
+		}
+		if pg := s.pages[idx]; pg != nil {
+			copy(p[:n], pg[in:in+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += n
+	}
+}
+
+// interval is a half-open byte range [start, end).
+type interval struct{ start, end int64 }
+
+// intervalSet is a sorted, coalesced set of non-overlapping intervals. It
+// tracks which byte ranges of a device are durable, so tests and the MDS can
+// assert the ordered-write invariant ("no committed extent without durable
+// data").
+type intervalSet struct {
+	mu sync.RWMutex
+	iv []interval // sorted by start, non-overlapping, non-adjacent
+}
+
+// add inserts [start, end) into the set, coalescing neighbours.
+func (s *intervalSet) add(start, end int64) {
+	if end <= start {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Find the first interval whose end >= start (candidate for merge).
+	i := sort.Search(len(s.iv), func(i int) bool { return s.iv[i].end >= start })
+	j := i
+	for j < len(s.iv) && s.iv[j].start <= end {
+		if s.iv[j].start < start {
+			start = s.iv[j].start
+		}
+		if s.iv[j].end > end {
+			end = s.iv[j].end
+		}
+		j++
+	}
+	out := make([]interval, 0, len(s.iv)-(j-i)+1)
+	out = append(out, s.iv[:i]...)
+	out = append(out, interval{start, end})
+	out = append(out, s.iv[j:]...)
+	s.iv = out
+}
+
+// contains reports whether [start, end) is fully covered.
+func (s *intervalSet) contains(start, end int64) bool {
+	if end <= start {
+		return true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.iv), func(i int) bool { return s.iv[i].end > start })
+	return i < len(s.iv) && s.iv[i].start <= start && s.iv[i].end >= end
+}
+
+// count returns the number of disjoint intervals (for tests).
+func (s *intervalSet) count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.iv)
+}
+
+// clear drops all intervals.
+func (s *intervalSet) clear() {
+	s.mu.Lock()
+	s.iv = nil
+	s.mu.Unlock()
+}

@@ -1,0 +1,165 @@
+package blockdev
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageStoreReadUnwrittenIsZero(t *testing.T) {
+	s := newPageStore()
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	s.readAt(buf, 12345)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestPageStoreRoundTrip(t *testing.T) {
+	s := newPageStore()
+	data := []byte("hello block world")
+	s.writeAt(data, 4090) // crosses a page boundary
+	got := make([]byte, len(data))
+	s.readAt(got, 4090)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+}
+
+func TestPageStoreOverwrite(t *testing.T) {
+	s := newPageStore()
+	s.writeAt(bytes.Repeat([]byte{1}, 8192), 0)
+	s.writeAt(bytes.Repeat([]byte{2}, 100), 4000)
+	got := make([]byte, 8192)
+	s.readAt(got, 0)
+	if got[3999] != 1 || got[4000] != 2 || got[4099] != 2 || got[4100] != 1 {
+		t.Fatalf("overwrite boundary wrong: %v %v %v %v", got[3999], got[4000], got[4099], got[4100])
+	}
+}
+
+func TestPageStoreQuickRoundTrip(t *testing.T) {
+	s := newPageStore()
+	// Reference model: one flat slice.
+	const size = 1 << 16
+	ref := make([]byte, size)
+	f := func(off uint16, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		o := int64(off) % (size / 2)
+		n := len(raw)
+		if int(o)+n > size {
+			n = size - int(o)
+		}
+		s.writeAt(raw[:n], o)
+		copy(ref[o:], raw[:n])
+		got := make([]byte, size)
+		s.readAt(got, 0)
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSetBasics(t *testing.T) {
+	var s intervalSet
+	if !s.contains(5, 5) {
+		t.Fatal("empty range must be contained")
+	}
+	s.add(10, 20)
+	if !s.contains(10, 20) || !s.contains(12, 18) {
+		t.Fatal("added range not contained")
+	}
+	if s.contains(9, 11) || s.contains(19, 21) || s.contains(0, 5) {
+		t.Fatal("uncovered range reported contained")
+	}
+}
+
+func TestIntervalSetCoalesce(t *testing.T) {
+	var s intervalSet
+	s.add(0, 10)
+	s.add(10, 20) // adjacent: coalesce
+	if s.count() != 1 {
+		t.Fatalf("adjacent add left %d intervals, want 1", s.count())
+	}
+	if !s.contains(0, 20) {
+		t.Fatal("coalesced range not contained")
+	}
+	s.add(30, 40)
+	s.add(15, 35) // bridges the two
+	if s.count() != 1 || !s.contains(0, 40) {
+		t.Fatalf("bridging add: count=%d contains=%v", s.count(), s.contains(0, 40))
+	}
+}
+
+func TestIntervalSetSubsumed(t *testing.T) {
+	var s intervalSet
+	s.add(0, 100)
+	s.add(10, 20)
+	if s.count() != 1 {
+		t.Fatalf("subsumed add split interval: count=%d", s.count())
+	}
+}
+
+func TestIntervalSetEmptyAdd(t *testing.T) {
+	var s intervalSet
+	s.add(10, 10)
+	s.add(10, 5)
+	if s.count() != 0 {
+		t.Fatal("empty/inverted add created intervals")
+	}
+}
+
+func TestIntervalSetClear(t *testing.T) {
+	var s intervalSet
+	s.add(0, 10)
+	s.clear()
+	if s.contains(0, 1) || s.count() != 0 {
+		t.Fatal("clear did not empty the set")
+	}
+}
+
+// TestIntervalSetQuickVsBitmap checks the interval set against a bitmap
+// reference model under random insertions.
+func TestIntervalSetQuickVsBitmap(t *testing.T) {
+	const size = 4096
+	var s intervalSet
+	ref := make([]bool, size)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a := int64(rng.Intn(size))
+		b := a + int64(rng.Intn(64))
+		if b > size {
+			b = size
+		}
+		s.add(a, b)
+		for j := a; j < b; j++ {
+			ref[j] = true
+		}
+		// Probe random ranges.
+		for k := 0; k < 10; k++ {
+			x := int64(rng.Intn(size))
+			y := x + int64(rng.Intn(64))
+			if y > size {
+				y = size
+			}
+			want := true
+			for j := x; j < y; j++ {
+				if !ref[j] {
+					want = false
+					break
+				}
+			}
+			if got := s.contains(x, y); got != want {
+				t.Fatalf("iteration %d: contains(%d,%d) = %v, want %v", i, x, y, got, want)
+			}
+		}
+	}
+}

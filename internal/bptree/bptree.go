@@ -1,0 +1,420 @@
+// Package bptree implements the B+ tree the Redbud MDS uses inside each
+// allocation group to track free physical space ("Each AG has its own B+
+// tree to allocate and deallocate physical space", §V-A). Keys and values
+// are int64 — the allocator stores extent start offsets mapped to lengths.
+//
+// The tree is a textbook B+ tree: all values live in leaves, leaves are
+// chained for in-order scans, and internal nodes hold separator keys equal
+// to the minimum key of their right subtree. It is not safe for concurrent
+// use; callers (one per allocation group) hold their own lock.
+package bptree
+
+// maxKeys is the fan-out; nodes split when they exceed it and borrow/merge
+// when they fall below maxKeys/2.
+const maxKeys = 64
+const minKeys = maxKeys / 2
+
+type node struct {
+	leaf     bool
+	keys     []int64
+	vals     []int64 // leaf only, parallel to keys
+	children []*node // internal only, len(keys)+1
+	next     *node   // leaf chain
+}
+
+// Tree is a B+ tree mapping int64 keys to int64 values.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// search returns the index of the first key >= k in keys.
+func search(keys []int64, k int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an internal node covers key k.
+// Separator keys[i] is the minimum key of children[i+1].
+func childIndex(keys []int64, k int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the leaf that would hold k.
+func (t *Tree) findLeaf(k int64) *node {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, k)]
+	}
+	return n
+}
+
+// Get returns the value stored at k.
+func (t *Tree) Get(k int64) (int64, bool) {
+	n := t.findLeaf(k)
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Put inserts or replaces the value at k.
+func (t *Tree) Put(k, v int64) {
+	n := t.root
+	// Pre-emptive split on the way down keeps the insert single-pass.
+	if len(n.keys) > maxKeys {
+		panic("bptree: root overfull")
+	}
+	newChild, sepKey := t.insert(n, k, v)
+	if newChild != nil {
+		t.root = &node{
+			keys:     []int64{sepKey},
+			children: []*node{n, newChild},
+		}
+	}
+}
+
+// insert adds k/v under n. If n splits, it returns the new right sibling and
+// the separator key to push up; otherwise (nil, 0).
+func (t *Tree) insert(n *node, k, v int64) (*node, int64) {
+	if n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			n.vals[i] = v
+			return nil, 0
+		}
+		n.keys = insertAt(n.keys, i, k)
+		n.vals = insertAt(n.vals, i, v)
+		t.size++
+		if len(n.keys) <= maxKeys {
+			return nil, 0
+		}
+		return n.splitLeaf()
+	}
+	ci := childIndex(n.keys, k)
+	newChild, sepKey := t.insert(n.children[ci], k, v)
+	if newChild == nil {
+		return nil, 0
+	}
+	n.keys = insertAt(n.keys, ci, sepKey)
+	n.children = insertAt(n.children, ci+1, newChild)
+	if len(n.keys) <= maxKeys {
+		return nil, 0
+	}
+	return n.splitInternal()
+}
+
+// splitLeaf halves an overfull leaf, returning the right half and its first
+// key (copied up as separator).
+func (n *node) splitLeaf() (*node, int64) {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([]int64(nil), n.keys[mid:]...),
+		vals: append([]int64(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return right, right.keys[0]
+}
+
+// splitInternal halves an overfull internal node; the middle key moves up.
+func (n *node) splitInternal() (*node, int64) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return right, sep
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	s = append(s, v)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree) Delete(k int64) bool {
+	deleted := t.remove(t.root, k)
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+// remove deletes k from the subtree under n, rebalancing children that
+// underflow. Returns whether a key was removed.
+func (t *Tree) remove(n *node, k int64) bool {
+	if n.leaf {
+		i := search(n.keys, k)
+		if i >= len(n.keys) || n.keys[i] != k {
+			return false
+		}
+		n.keys = removeAt(n.keys, i)
+		n.vals = removeAt(n.vals, i)
+		return true
+	}
+	ci := childIndex(n.keys, k)
+	child := n.children[ci]
+	deleted := t.remove(child, k)
+	if len(child.keys) < minKeys {
+		n.rebalance(ci)
+	}
+	return deleted
+}
+
+// rebalance fixes an underflowing child at index ci by borrowing from a
+// sibling or merging with one.
+func (n *node) rebalance(ci int) {
+	child := n.children[ci]
+	// Borrow from left sibling.
+	if ci > 0 {
+		left := n.children[ci-1]
+		if len(left.keys) > minKeys {
+			if child.leaf {
+				last := len(left.keys) - 1
+				child.keys = insertAt(child.keys, 0, left.keys[last])
+				child.vals = insertAt(child.vals, 0, left.vals[last])
+				left.keys = left.keys[:last]
+				left.vals = left.vals[:last]
+				n.keys[ci-1] = child.keys[0]
+			} else {
+				lastK := len(left.keys) - 1
+				child.keys = insertAt(child.keys, 0, n.keys[ci-1])
+				child.children = insertAt(child.children, 0, left.children[lastK+1])
+				n.keys[ci-1] = left.keys[lastK]
+				left.keys = left.keys[:lastK]
+				left.children = left.children[:lastK+1]
+			}
+			return
+		}
+	}
+	// Borrow from right sibling.
+	if ci < len(n.children)-1 {
+		right := n.children[ci+1]
+		if len(right.keys) > minKeys {
+			if child.leaf {
+				child.keys = append(child.keys, right.keys[0])
+				child.vals = append(child.vals, right.vals[0])
+				right.keys = removeAt(right.keys, 0)
+				right.vals = removeAt(right.vals, 0)
+				n.keys[ci] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[ci])
+				child.children = append(child.children, right.children[0])
+				n.keys[ci] = right.keys[0]
+				right.keys = removeAt(right.keys, 0)
+				right.children = removeAt(right.children, 0)
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		ci-- // merge child into its left sibling
+	}
+	left, right := n.children[ci], n.children[ci+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[ci])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = removeAt(n.keys, ci)
+	n.children = removeAt(n.children, ci+1)
+}
+
+// Ceil returns the smallest key >= k and its value.
+func (t *Tree) Ceil(k int64) (key, val int64, ok bool) {
+	n := t.findLeaf(k)
+	i := search(n.keys, k)
+	if i == len(n.keys) {
+		n = n.next
+		i = 0
+	}
+	if n == nil || i >= len(n.keys) {
+		return 0, 0, false
+	}
+	return n.keys[i], n.vals[i], true
+}
+
+// Floor returns the largest key <= k and its value.
+func (t *Tree) Floor(k int64) (key, val int64, ok bool) {
+	// Descend remembering the closest smaller-or-equal candidate.
+	var cand *node
+	candIdx := -1
+	n := t.root
+	for {
+		i := search(n.keys, k)
+		if n.leaf {
+			if i < len(n.keys) && n.keys[i] == k {
+				return n.keys[i], n.vals[i], true
+			}
+			if i > 0 {
+				return n.keys[i-1], n.vals[i-1], true
+			}
+			if cand != nil {
+				return cand.keys[candIdx], cand.vals[candIdx], true
+			}
+			return 0, 0, false
+		}
+		ci := childIndex(n.keys, k)
+		if ci > 0 {
+			// The rightmost leaf of children[ci-1] holds keys < k;
+			// remember nothing — the descent through children[ci]
+			// will find in-leaf predecessors. We only need a
+			// fallback when the target leaf has no smaller key,
+			// which we resolve by walking the left subtree's max.
+			cand, candIdx = maxLeaf(n.children[ci-1])
+		}
+		n = n.children[ci]
+	}
+}
+
+// maxLeaf returns the rightmost leaf under n and its last index.
+func maxLeaf(n *node) (*node, int) {
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) == 0 {
+		return nil, -1
+	}
+	return n, len(n.keys) - 1
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree) Min() (key, val int64, ok bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return 0, 0, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// AscendFrom calls fn for each key >= start in ascending order until fn
+// returns false.
+func (t *Tree) AscendFrom(start int64, fn func(k, v int64) bool) {
+	n := t.findLeaf(start)
+	i := search(n.keys, start)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Ascend calls fn for every key in ascending order until fn returns false.
+func (t *Tree) Ascend(fn func(k, v int64) bool) {
+	var n *node
+	for n = t.root; !n.leaf; n = n.children[0] {
+	}
+	for n != nil {
+		for i := 0; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// check validates structural invariants (test helper): key ordering, leaf
+// chain coverage, separator correctness and minimum fill. It returns the
+// tree depth. Panics on violation.
+func (t *Tree) check() int {
+	depth := -1
+	var walk func(n *node, min, max int64, level int, isRoot bool)
+	walk = func(n *node, min, max int64, level int, isRoot bool) {
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				panic("bptree: leaves at different depths")
+			}
+			if !isRoot && len(n.keys) < minKeys {
+				panic("bptree: leaf underfull")
+			}
+			if len(n.keys) != len(n.vals) {
+				panic("bptree: leaf keys/vals mismatch")
+			}
+			for i, k := range n.keys {
+				if k < min || k >= max {
+					panic("bptree: leaf key out of range")
+				}
+				if i > 0 && n.keys[i-1] >= k {
+					panic("bptree: leaf keys not sorted")
+				}
+			}
+			return
+		}
+		if !isRoot && len(n.keys) < minKeys {
+			panic("bptree: internal underfull")
+		}
+		if len(n.children) != len(n.keys)+1 {
+			panic("bptree: internal children/keys mismatch")
+		}
+		lo := min
+		for i, k := range n.keys {
+			if k < min || k >= max {
+				panic("bptree: separator out of range")
+			}
+			walk(n.children[i], lo, k, level+1, false)
+			lo = k
+		}
+		walk(n.children[len(n.keys)], lo, max, level+1, false)
+	}
+	const inf = int64(1) << 62
+	walk(t.root, -inf, inf, 0, true)
+	return depth
+}

@@ -1,0 +1,309 @@
+package bptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty tree found a key")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := tr.Ceil(0); ok {
+		t.Fatal("Ceil on empty tree")
+	}
+	if _, _, ok := tr.Floor(100); ok {
+		t.Fatal("Floor on empty tree")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree reported success")
+	}
+	tr.check()
+}
+
+func TestPutGetReplace(t *testing.T) {
+	tr := New()
+	tr.Put(10, 100)
+	tr.Put(5, 50)
+	tr.Put(10, 111) // replace
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if v, ok := tr.Get(10); !ok || v != 111 {
+		t.Fatalf("Get(10) = %d,%v", v, ok)
+	}
+	if v, ok := tr.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	tr.check()
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i*2)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	depth := tr.check()
+	if depth < 2 {
+		t.Fatalf("tree depth %d suspiciously small for %d keys", depth, n)
+	}
+	for i := int64(0); i < n; i += 97 {
+		if v, ok := tr.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestReverseInsert(t *testing.T) {
+	tr := New()
+	for i := int64(5000); i > 0; i-- {
+		tr.Put(i, i)
+	}
+	tr.check()
+	k, _, ok := tr.Min()
+	if !ok || k != 1 {
+		t.Fatalf("min = %d,%v", k, ok)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	const n = 3000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		tr.Put(int64(i), int64(i))
+	}
+	tr.check()
+	for _, i := range rand.New(rand.NewSource(8)).Perm(n) {
+		if !tr.Delete(int64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		if tr.Delete(int64(i)) {
+			t.Fatalf("double Delete(%d) succeeded", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len after delete-all = %d", tr.Len())
+	}
+	tr.check()
+}
+
+func TestCeilFloor(t *testing.T) {
+	tr := New()
+	for _, k := range []int64{10, 20, 30, 40} {
+		tr.Put(k, k*10)
+	}
+	cases := []struct {
+		q       int64
+		ceilK   int64
+		ceilOK  bool
+		floorK  int64
+		floorOK bool
+	}{
+		{5, 10, true, 0, false},
+		{10, 10, true, 10, true},
+		{15, 20, true, 10, true},
+		{40, 40, true, 40, true},
+		{45, 0, false, 40, true},
+	}
+	for _, c := range cases {
+		k, v, ok := tr.Ceil(c.q)
+		if ok != c.ceilOK || (ok && k != c.ceilK) {
+			t.Fatalf("Ceil(%d) = %d,%v; want %d,%v", c.q, k, ok, c.ceilK, c.ceilOK)
+		}
+		if ok && v != k*10 {
+			t.Fatalf("Ceil(%d) value = %d", c.q, v)
+		}
+		k, v, ok = tr.Floor(c.q)
+		if ok != c.floorOK || (ok && k != c.floorK) {
+			t.Fatalf("Floor(%d) = %d,%v; want %d,%v", c.q, k, ok, c.floorK, c.floorOK)
+		}
+		if ok && v != k*10 {
+			t.Fatalf("Floor(%d) value = %d", c.q, v)
+		}
+	}
+}
+
+func TestCeilFloorDeep(t *testing.T) {
+	tr := New()
+	// Sparse keys across a deep tree.
+	for i := int64(0); i < 5000; i++ {
+		tr.Put(i*10, i)
+	}
+	for i := int64(0); i < 5000; i += 13 {
+		if k, _, ok := tr.Ceil(i*10 + 1); i < 4999 && (!ok || k != (i+1)*10) {
+			t.Fatalf("Ceil(%d) = %d,%v", i*10+1, k, ok)
+		}
+		if k, _, ok := tr.Floor(i*10 + 9); !ok || k != i*10 {
+			t.Fatalf("Floor(%d) = %d,%v", i*10+9, k, ok)
+		}
+	}
+}
+
+func TestAscend(t *testing.T) {
+	tr := New()
+	keys := []int64{5, 1, 9, 3, 7}
+	for _, k := range keys {
+		tr.Put(k, k)
+	}
+	var got []int64
+	tr.Ascend(func(k, v int64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("ascend visited %d keys", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ascend order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendFromAndEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Put(i, i)
+	}
+	var got []int64
+	tr.AscendFrom(90, func(k, v int64) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	if len(got) != 5 || got[0] != 90 || got[4] != 94 {
+		t.Fatalf("AscendFrom = %v", got)
+	}
+	count := 0
+	tr.Ascend(func(k, v int64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("Ascend early stop visited %d", count)
+	}
+}
+
+func TestAscendFromPastEnd(t *testing.T) {
+	tr := New()
+	tr.Put(1, 1)
+	called := false
+	tr.AscendFrom(100, func(k, v int64) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Fatal("AscendFrom past end visited keys")
+	}
+}
+
+// TestRandomOpsVsReference drives the tree with random operations and
+// compares every answer against a map + sorted-slice reference model,
+// validating structural invariants as it goes.
+func TestRandomOpsVsReference(t *testing.T) {
+	tr := New()
+	ref := map[int64]int64{}
+	rng := rand.New(rand.NewSource(123))
+	const keyspace = 2000
+
+	refSorted := func() []int64 {
+		ks := make([]int64, 0, len(ref))
+		for k := range ref {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		return ks
+	}
+
+	for step := 0; step < 20000; step++ {
+		k := int64(rng.Intn(keyspace))
+		switch rng.Intn(4) {
+		case 0, 1: // put
+			v := int64(rng.Intn(1 << 20))
+			tr.Put(k, v)
+			ref[k] = v
+		case 2: // delete
+			_, want := ref[k]
+			if got := tr.Delete(k); got != want {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, k, got, want)
+			}
+			delete(ref, k)
+		case 3: // queries
+			v, ok := tr.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("step %d: Get(%d) = %d,%v want %d,%v", step, k, v, ok, rv, rok)
+			}
+			ks := refSorted()
+			// Ceil
+			ck, _, cok := tr.Ceil(k)
+			i := sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+			if (i < len(ks)) != cok || (cok && ck != ks[i]) {
+				t.Fatalf("step %d: Ceil(%d) = %d,%v; ref %v", step, k, ck, cok, ks)
+			}
+			// Floor
+			fk, _, fok := tr.Floor(k)
+			j := sort.Search(len(ks), func(i int) bool { return ks[i] > k }) - 1
+			if (j >= 0) != fok || (fok && fk != ks[j]) {
+				t.Fatalf("step %d: Floor(%d) = %d,%v", step, k, fk, fok)
+			}
+		}
+		if step%500 == 0 {
+			tr.check()
+			if tr.Len() != len(ref) {
+				t.Fatalf("step %d: len %d != ref %d", step, tr.Len(), len(ref))
+			}
+		}
+	}
+	tr.check()
+	// Final full-order comparison.
+	ks := refSorted()
+	var got []int64
+	tr.Ascend(func(k, v int64) bool {
+		got = append(got, k)
+		if ref[k] != v {
+			t.Fatalf("Ascend value mismatch at %d", k)
+		}
+		return true
+	})
+	if len(got) != len(ks) {
+		t.Fatalf("final len %d != %d", len(got), len(ks))
+	}
+	for i := range ks {
+		if got[i] != ks[i] {
+			t.Fatalf("final order mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Put(int64(i*2654435761%(1<<30)), int64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(i % 100000))
+	}
+}

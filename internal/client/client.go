@@ -1,0 +1,827 @@
+// Package client implements the Redbud client file system. It speaks the
+// metadata protocol to the MDS over RPC, reads and writes file data directly
+// on the shared (simulated) disk array, and implements both update modes the
+// paper compares:
+//
+//   - SyncCommit (original Redbud): the application thread writes the data,
+//     spins until it is durable, then sends the commit RPC and waits — the
+//     ordered write sits on the critical path (§III-A).
+//   - DelayedCommit: the data write is issued, a commit task is enqueued
+//     (deduplicated per file), and the call returns. Background commit
+//     daemons — an adaptive pool sized ThreadNums = ρ·QueueLen — check out
+//     files whose data writes completed, pack several commits into one
+//     compound RPC, and send them (§III, §IV).
+//
+// Space delegation (double-space-pool) and the adaptive compound-degree
+// controller come from internal/core.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"redbud/internal/alloc"
+	"redbud/internal/clock"
+	"redbud/internal/core"
+	"redbud/internal/fsapi"
+	"redbud/internal/meta"
+	"redbud/internal/proto"
+	"redbud/internal/rpc"
+	"redbud/internal/stats"
+	"redbud/internal/wire"
+)
+
+// Mode selects the update protocol.
+type Mode int
+
+// Update modes.
+const (
+	SyncCommit Mode = iota
+	DelayedCommit
+)
+
+func (m Mode) String() string {
+	if m == SyncCommit {
+		return "sync"
+	}
+	return "delayed"
+}
+
+// PageSize is the client page-cache granularity, matching the paper's
+// "typical 4KB page size data".
+const PageSize = 4096
+
+// BlockDevice is the client's view of one member of the shared disk array:
+// the direct data path the paper routes over fiber channel. Implemented by
+// *blockdev.Device in-process and by san.RemoteDevice over the network.
+type BlockDevice interface {
+	// WriteAsync is writepage: it submits the write and returns a channel
+	// that yields once the data is durable.
+	WriteAsync(off int64, p []byte) <-chan error
+	// Read blocks until n bytes at off have been read.
+	Read(off, n int64) ([]byte, error)
+}
+
+// Config assembles a client.
+type Config struct {
+	// Name identifies the client to the MDS (delegation owner, GC).
+	Name string
+	// MDS is the connected metadata RPC client. The file-system client
+	// owns it and closes it on Close.
+	MDS *rpc.Client
+	// Devices maps device IDs to the shared disk array members.
+	Devices map[uint32]BlockDevice
+	Clock   clock.Clock
+	Mode    Mode
+
+	// MaxCommitThreads is ThreadNumsMax (paper: 9).
+	MaxCommitThreads int
+	// QueueLenMax sets ρ = MaxCommitThreads/QueueLenMax (paper's pool
+	// formula). Default 45, which reproduces the paper's observed range:
+	// ~20-50 queued commits keep 2-5 threads alive, and floods pin the
+	// pool at MaxCommitThreads.
+	QueueLenMax int
+	// PoolInterval is the pool resize period.
+	PoolInterval time.Duration
+	// CommitInterval optionally paces each commit daemon to one batch per
+	// period ("commit requests are handled periodically by background
+	// commit daemons", §III-A). Zero (the default) lets the commit RPC
+	// round-trip act as the natural pacing; a positive value throttles
+	// daemons and grows the queue, useful for studying the adaptive pool.
+	CommitInterval time.Duration
+
+	// CompoundDegree pins the compound degree; 0 selects adaptive.
+	CompoundDegree int
+	// MaxCompoundDegree bounds the adaptive degree (default 6).
+	MaxCompoundDegree int
+	// NetCongestion feeds the adaptive controller (optional).
+	NetCongestion func() time.Duration
+
+	// DelegationChunk enables space delegation with this chunk size
+	// (paper: 16 MiB); 0 disables it.
+	DelegationChunk int64
+
+	// ReadAhead enables sequential read-ahead with this window (bytes);
+	// 0 disables it. The paper's §II motivates "active" file systems by
+	// noting a passive one cannot prefetch on its own — with file-system
+	// daemons in place, it can: a detected sequential read pattern
+	// triggers an asynchronous prefetch of the next window into the page
+	// cache.
+	ReadAhead int64
+
+	// OnPoolResize observes (threads, queueLen) for the Figure 6 traces.
+	OnPoolResize func(threads, queueLen int)
+
+	// Ablation knobs.
+
+	// FixedCommitThreads pins the commit pool size (vs the adaptive
+	// ThreadNums = ρ·QueueLen formula); 0 selects adaptive.
+	FixedCommitThreads int
+	// SpaceNoPrefetch disables the double-space-pool's background refill,
+	// degrading delegation to a single pool with blocking refills.
+	SpaceNoPrefetch bool
+	// CommitEvenIfClean sends a commit RPC for every dequeued entry even
+	// when the file has nothing new — approximating a commit queue
+	// without per-file deduplication.
+	CommitEvenIfClean bool
+}
+
+// Client implements fsapi.FileSystem.
+var _ fsapi.FileSystem = (*Client)(nil)
+
+// Client is a mounted Redbud client.
+type Client struct {
+	cfg  Config
+	clk  clock.Clock
+	mds  *rpc.Client
+	devs map[uint32]BlockDevice
+
+	queue    *core.Queue[meta.FileID]
+	pool     *core.Pool
+	compound *core.Compound
+	space    *core.SpacePool
+
+	mu     sync.Mutex
+	files  map[meta.FileID]*fileState
+	dcache map[string]meta.FileID
+	closed bool
+
+	st clientStats
+	ra raStats
+}
+
+type clientStats struct {
+	creates, opens, removes stats.Counter
+	writes, reads, closes   stats.Counter
+	fsyncs                  stats.Counter
+	bytesWritten, bytesRead stats.Counter
+	commitsSent             stats.Counter // CommitReq sub-ops sent
+	commitRPCs              stats.Counter // network frames carrying commits
+	writeLat, closeLat      stats.DurationSum
+	opLat                   stats.DurationSum
+}
+
+// Stats is a snapshot of client counters.
+type Stats struct {
+	Creates, Opens, Removes   int64
+	Writes, Reads, Closes     int64
+	Fsyncs                    int64
+	BytesWritten, BytesRead   int64
+	CommitsSent, CommitRPCs   int64
+	RPCs                      int64
+	QueueEnqueued, QueueDedup int64
+	LocalAllocs, Delegations  int64
+	WastedDelegationBytes     int64
+	MeanWriteLatency          time.Duration
+	MeanCloseLatency          time.Duration
+	MeanOpLatency             time.Duration
+	CommitThreads             int
+}
+
+// New mounts a client. The MDS connection must be established.
+func New(cfg Config) *Client {
+	if cfg.MDS == nil {
+		panic("client: nil MDS connection")
+	}
+	if len(cfg.Devices) == 0 {
+		panic("client: no data devices")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real(1)
+	}
+	if cfg.MaxCommitThreads <= 0 {
+		cfg.MaxCommitThreads = 9
+	}
+	if cfg.QueueLenMax <= 0 {
+		cfg.QueueLenMax = 45
+	}
+	if cfg.PoolInterval <= 0 {
+		cfg.PoolInterval = 5 * time.Millisecond
+	}
+	if cfg.MaxCompoundDegree <= 0 {
+		cfg.MaxCompoundDegree = 6
+	}
+
+	c := &Client{
+		cfg:    cfg,
+		clk:    cfg.Clock,
+		mds:    cfg.MDS,
+		devs:   cfg.Devices,
+		files:  make(map[meta.FileID]*fileState),
+		dcache: make(map[string]meta.FileID),
+	}
+	c.compound = core.NewCompound(core.CompoundConfig{
+		Fixed:         cfg.CompoundDegree,
+		Max:           cfg.MaxCompoundDegree,
+		NetCongestion: cfg.NetCongestion,
+		ServerLoad:    c.mds.ServerLoad,
+	})
+	if cfg.DelegationChunk > 0 {
+		c.space = core.NewSpacePool(core.SpacePoolConfig{
+			ChunkSize:  cfg.DelegationChunk,
+			Delegate:   c.delegate,
+			NoPrefetch: cfg.SpaceNoPrefetch,
+		})
+	}
+	if cfg.Mode == DelayedCommit {
+		c.queue = core.NewQueue[meta.FileID]()
+		c.pool = core.NewPool(core.PoolConfig{
+			Max:         cfg.MaxCommitThreads,
+			QueueLenMax: cfg.QueueLenMax,
+			QueueLen:    c.queue.Len,
+			Worker:      c.commitDaemon,
+			Interval:    cfg.PoolInterval,
+			OnResize:    cfg.OnPoolResize,
+			Fixed:       cfg.FixedCommitThreads,
+			Clock:       cfg.Clock,
+		})
+		c.pool.Start()
+	}
+	return c
+}
+
+// delegate is the SpacePool's refill function.
+func (c *Client) delegate(size int64) (alloc.Span, error) {
+	var sp proto.SpanMsg
+	if err := c.mds.Call(proto.OpDelegate, &proto.DelegateReq{Owner: c.cfg.Name, Size: size}, &sp); err != nil {
+		return alloc.Span{}, err
+	}
+	return alloc.Span{Dev: int(sp.Dev), Off: sp.Off, Len: sp.Len}, nil
+}
+
+// dev resolves a device ID.
+func (c *Client) dev(id uint32) (BlockDevice, error) {
+	d := c.devs[id]
+	if d == nil {
+		return nil, fmt.Errorf("client: unknown device %d", id)
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+// resolve walks path to a file ID using the dentry cache.
+func (c *Client) resolve(path string) (meta.FileID, error) {
+	parts := fsapi.SplitPath(path)
+	if len(parts) == 0 {
+		return meta.RootID, nil
+	}
+	c.mu.Lock()
+	if id, ok := c.dcache[path]; ok {
+		c.mu.Unlock()
+		return id, nil
+	}
+	c.mu.Unlock()
+
+	cur := meta.RootID
+	for _, name := range parts {
+		var resp proto.AttrResp
+		if err := c.mds.Call(proto.OpLookup, &proto.LookupReq{Parent: cur, Name: name}, &resp); err != nil {
+			return 0, mapRemote(err)
+		}
+		cur = resp.ID
+	}
+	c.mu.Lock()
+	c.dcache[path] = cur
+	c.mu.Unlock()
+	return cur, nil
+}
+
+// resolveParent resolves the directory containing path and the leaf name.
+func (c *Client) resolveParent(path string) (meta.FileID, string, error) {
+	parts := fsapi.SplitPath(path)
+	if len(parts) == 0 {
+		return 0, "", fmt.Errorf("client: invalid path %q", path)
+	}
+	leaf := parts[len(parts)-1]
+	dir := meta.RootID
+	if len(parts) > 1 {
+		sub := "/" + joinPath(parts[:len(parts)-1])
+		id, err := c.resolve(sub)
+		if err != nil {
+			return 0, "", err
+		}
+		dir = id
+	}
+	return dir, leaf, nil
+}
+
+func joinPath(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "/"
+		}
+		out += p
+	}
+	return out
+}
+
+// mapRemote converts MDS error strings to fsapi sentinel errors.
+func mapRemote(err error) error {
+	var re *rpc.RemoteError
+	if errors.As(err, &re) {
+		switch {
+		case contains(re.Message, "not found"):
+			return fmt.Errorf("%w: %s", fsapi.ErrNotExist, re.Message)
+		case contains(re.Message, "already exists"):
+			return fmt.Errorf("%w: %s", fsapi.ErrExist, re.Message)
+		case contains(re.Message, "is a directory"):
+			return fmt.Errorf("%w: %s", fsapi.ErrIsDir, re.Message)
+		}
+	}
+	return err
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Create makes a new regular file and opens it.
+func (c *Client) Create(path string) (fsapi.File, error) {
+	start := c.clk.Now()
+	defer func() { c.st.opLat.Observe(c.clk.Since(start)) }()
+	dir, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	var resp proto.AttrResp
+	if err := c.mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: meta.TypeFile}, &resp); err != nil {
+		return nil, mapRemote(err)
+	}
+	c.st.creates.Inc()
+	c.mu.Lock()
+	c.dcache[path] = resp.ID
+	fs := c.fileStateLocked(resp.ID, 0)
+	fs.refs++
+	c.mu.Unlock()
+	return &File{c: c, fs: fs}, nil
+}
+
+// Open opens an existing regular file.
+func (c *Client) Open(path string) (fsapi.File, error) {
+	start := c.clk.Now()
+	defer func() { c.st.opLat.Observe(c.clk.Since(start)) }()
+	id, err := c.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	var attr proto.AttrResp
+	if err := c.mds.Call(proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
+		return nil, mapRemote(err)
+	}
+	if attr.Type == meta.TypeDir {
+		return nil, fmt.Errorf("%w: %s", fsapi.ErrIsDir, path)
+	}
+	c.st.opens.Inc()
+	c.mu.Lock()
+	fs := c.fileStateLocked(id, attr.Size)
+	fs.refs++
+	c.mu.Unlock()
+	return &File{c: c, fs: fs}, nil
+}
+
+// fileStateLocked finds or creates the shared per-file state. Caller holds
+// c.mu.
+func (c *Client) fileStateLocked(id meta.FileID, size int64) *fileState {
+	fs := c.files[id]
+	if fs == nil {
+		fs = newFileState(id, size)
+		c.files[id] = fs
+	} else if size > fs.size {
+		fs.size = size
+	}
+	return fs
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	dir, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	var resp proto.AttrResp
+	if err := c.mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: meta.TypeDir}, &resp); err != nil {
+		return mapRemote(err)
+	}
+	c.mu.Lock()
+	c.dcache[path] = resp.ID
+	c.mu.Unlock()
+	return nil
+}
+
+// Remove unlinks a file or empty directory.
+func (c *Client) Remove(path string) error {
+	dir, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	// Resolve the inode (dcache or lookup RPC): any pending delayed
+	// commit must land before the extents are freed server-side, and the
+	// local state must be forgotten so later drains don't commit against
+	// a deleted inode.
+	id, resolveErr := c.resolve(path)
+	if resolveErr == nil {
+		c.mu.Lock()
+		fs := c.files[id]
+		c.mu.Unlock()
+		if fs != nil {
+			if err := c.commitFile(fs); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.mds.Call(proto.OpRemove, &proto.RemoveReq{Parent: dir, Name: leaf}, nil); err != nil {
+		return mapRemote(err)
+	}
+	c.st.removes.Inc()
+	c.mu.Lock()
+	if resolveErr == nil {
+		delete(c.files, id)
+	}
+	delete(c.dcache, path)
+	c.mu.Unlock()
+	return nil
+}
+
+// Rename moves a file or directory. Any pending delayed commit of the moved
+// file rides along untouched — commits address inodes, not names.
+func (c *Client) Rename(oldPath, newPath string) error {
+	srcDir, srcLeaf, err := c.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	dstDir, dstLeaf, err := c.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	req := proto.RenameReq{SrcParent: srcDir, SrcName: srcLeaf, DstParent: dstDir, DstName: dstLeaf}
+	if err := c.mds.Call(proto.OpRename, &req, nil); err != nil {
+		return mapRemote(err)
+	}
+	// Path-keyed cache entries under the old name (and, for directories,
+	// the whole subtree) are stale: drop the dentry cache wholesale —
+	// renames are rare, lookups are cheap.
+	c.mu.Lock()
+	c.dcache = make(map[string]meta.FileID)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Client) cachedID(path string) (meta.FileID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, ok := c.dcache[path]
+	return id, ok
+}
+
+// Stat describes a path.
+func (c *Client) Stat(path string) (fsapi.Info, error) {
+	id, err := c.resolve(path)
+	if err != nil {
+		return fsapi.Info{}, err
+	}
+	var attr proto.AttrResp
+	if err := c.mds.Call(proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
+		return fsapi.Info{}, mapRemote(err)
+	}
+	info := fsapi.Info{Name: lastPart(path), Size: attr.Size, Dir: attr.Type == meta.TypeDir, MTime: attr.MTime}
+	// Local uncommitted writes make the file larger than the MDS knows.
+	c.mu.Lock()
+	if fs := c.files[id]; fs != nil {
+		fs.mu.Lock()
+		if fs.size > info.Size {
+			info.Size = fs.size
+		}
+		fs.mu.Unlock()
+	}
+	c.mu.Unlock()
+	return info, nil
+}
+
+func lastPart(path string) string {
+	parts := fsapi.SplitPath(path)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return parts[len(parts)-1]
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) ([]fsapi.Info, error) {
+	id, err := c.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	var resp proto.ReadDirResp
+	if err := c.mds.Call(proto.OpReadDir, &proto.ReadDirReq{ID: id}, &resp); err != nil {
+		return nil, mapRemote(err)
+	}
+	out := make([]fsapi.Info, 0, len(resp.Entries))
+	for _, e := range resp.Entries {
+		out = append(out, fsapi.Info{Name: e.Name, Dir: e.Type == meta.TypeDir, Size: e.Size})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Commit machinery
+
+// enqueueCommit registers a file for background commit (delayed mode) or
+// commits it synchronously (sync mode).
+func (c *Client) enqueueCommit(fs *fileState) error {
+	if c.cfg.Mode == DelayedCommit {
+		c.queue.Enqueue(fs.id)
+		return nil
+	}
+	return c.commitFile(fs)
+}
+
+// commitDaemon is one commit thread: it checks out batches of files whose
+// local writes completed and sends their metadata in one compound RPC.
+func (c *Client) commitDaemon(stop <-chan struct{}) {
+	for {
+		c.compound.Tick()
+		degree := c.compound.Degree()
+		batch := c.queue.Dequeue(degree, stop)
+		if batch == nil {
+			return
+		}
+		c.commitBatch(batch)
+		if c.cfg.CommitInterval > 0 {
+			// Optional periodic processing: one batch per period.
+			select {
+			case <-stop:
+				return
+			case <-c.clk.After(c.cfg.CommitInterval):
+			}
+		}
+	}
+}
+
+// commitBatch waits for the files' data writes, then sends one compound RPC
+// carrying every non-empty commit.
+func (c *Client) commitBatch(ids []meta.FileID) {
+	var reqs []*proto.CommitReq
+	var states []*fileState
+	for _, id := range ids {
+		c.mu.Lock()
+		fs := c.files[id]
+		c.mu.Unlock()
+		if fs == nil {
+			continue
+		}
+		req := c.buildCommit(fs)
+		if req == nil {
+			continue
+		}
+		reqs = append(reqs, req)
+		states = append(states, fs)
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	if len(reqs) == 1 {
+		err := c.sendCommit(reqs[0])
+		c.finishCommit(states[0], reqs[0], err)
+		return
+	}
+	ops := make([]rpc.SubOp, 0, len(reqs))
+	for _, req := range reqs {
+		ops = append(ops, rpc.SubOp{Op: proto.OpCommit, Body: wire.Encode(req)})
+	}
+	c.st.commitRPCs.Inc()
+	results, err := c.mds.Compound(ops)
+	for i, fs := range states {
+		c.st.commitsSent.Inc()
+		e := err
+		if e == nil && results[i].Err != nil {
+			e = results[i].Err
+		}
+		c.finishCommit(fs, reqs[i], e)
+	}
+}
+
+// buildCommit waits for outstanding data writes (the ordered-write rule) and
+// snapshots the file's uncommitted metadata. Returns nil when there is
+// nothing to commit.
+func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
+	fs.mu.Lock()
+	for fs.pendingWrites > 0 {
+		fs.cond.Wait()
+	}
+	if fs.writeErr != nil || (!fs.dirtyMeta && !c.cfg.CommitEvenIfClean) {
+		fs.mu.Unlock()
+		return nil
+	}
+	var exts []meta.Extent
+	for _, e := range fs.extents {
+		if e.State == meta.StateUncommitted {
+			exts = append(exts, e)
+		}
+	}
+	req := &proto.CommitReq{Owner: c.cfg.Name, File: fs.id, Size: fs.size, MTime: fs.mtime, Extents: exts}
+	fs.mu.Unlock()
+	return req
+}
+
+// sendCommit issues a single commit RPC.
+func (c *Client) sendCommit(req *proto.CommitReq) error {
+	c.st.commitRPCs.Inc()
+	c.st.commitsSent.Inc()
+	var resp proto.CommitResp
+	return c.mds.Call(proto.OpCommit, req, &resp)
+}
+
+// finishCommit marks the committed extents and wakes fsync waiters. A
+// "not found" rejection means the file was removed (possibly by another
+// client) while the commit was in flight; there is nothing left to order,
+// so the state is dropped rather than treated as a failure.
+func (c *Client) finishCommit(fs *fileState, req *proto.CommitReq, err error) {
+	if err != nil && errors.Is(mapRemote(err), fsapi.ErrNotExist) {
+		fs.mu.Lock()
+		fs.dirtyMeta = false
+		fs.commitGen++
+		fs.cond.Broadcast()
+		fs.mu.Unlock()
+		return
+	}
+	fs.mu.Lock()
+	if err != nil {
+		fs.commitErr = err
+	} else {
+		committed := make(map[int64]bool, len(req.Extents))
+		for _, e := range req.Extents {
+			committed[e.VolOff] = true
+		}
+		stillDirty := false
+		for i := range fs.extents {
+			if committed[fs.extents[i].VolOff] {
+				fs.extents[i].State = meta.StateCommitted
+			} else if fs.extents[i].State == meta.StateUncommitted {
+				stillDirty = true
+			}
+		}
+		fs.committedSize = req.Size
+		fs.dirtyMeta = stillDirty
+	}
+	fs.commitGen++
+	fs.cond.Broadcast()
+	fs.mu.Unlock()
+}
+
+// commitFile synchronously commits one file (sync mode, fsync, unmount).
+func (c *Client) commitFile(fs *fileState) error {
+	req := c.buildCommit(fs)
+	if req == nil {
+		fs.mu.Lock()
+		err := fs.writeErr
+		fs.mu.Unlock()
+		return err
+	}
+	err := c.sendCommit(req)
+	c.finishCommit(fs, req, err)
+	if err != nil && errors.Is(mapRemote(err), fsapi.ErrNotExist) {
+		return nil // file removed while the commit was in flight
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+// Close unmounts: flushes all dirty files, drains the commit machinery, and
+// returns delegations.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fsapi.ErrClosed
+	}
+	c.closed = true
+	files := make([]*fileState, 0, len(c.files))
+	for _, fs := range c.files {
+		files = append(files, fs)
+	}
+	c.mu.Unlock()
+
+	firstErr := c.drainFiles(files)
+	if c.pool != nil {
+		c.queue.Close()
+		c.pool.Stop()
+	}
+	if c.space != nil {
+		for _, sp := range c.space.Close() {
+			msg := proto.SpanMsg{Dev: uint32(sp.Dev), Off: sp.Off, Len: sp.Len}
+			if err := c.mds.Call(proto.OpDelegReturn, &proto.DelegReturnReq{Owner: c.cfg.Name, Span: msg}, nil); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	c.mds.Close()
+	return firstErr
+}
+
+// Crash abandons the client without committing or returning anything —
+// the client-failure scenario for orphan-GC tests.
+func (c *Client) Crash() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	if c.pool != nil {
+		c.queue.Close()
+		c.pool.Stop()
+	}
+	c.mds.Close()
+}
+
+// Drain blocks until the commit queue is empty and all dirty files are
+// committed; the harness uses it to close a measurement window without
+// tearing the client down. Commits are issued with the same parallelism the
+// background pool would use.
+func (c *Client) Drain() error {
+	c.mu.Lock()
+	files := make([]*fileState, 0, len(c.files))
+	for _, fs := range c.files {
+		files = append(files, fs)
+	}
+	c.mu.Unlock()
+
+	return c.drainFiles(files)
+}
+
+// drainFiles commits the given files with bounded parallelism.
+func (c *Client) drainFiles(files []*fileState) error {
+	sem := make(chan struct{}, c.cfg.MaxCommitThreads)
+	errc := make(chan error, len(files))
+	for _, fs := range files {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			errc <- c.commitFile(fs)
+		}()
+	}
+	var firstErr error
+	for range files {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// QueueLen exposes the commit queue length (Figure 6 sampling).
+func (c *Client) QueueLen() int {
+	if c.queue == nil {
+		return 0
+	}
+	return c.queue.Len()
+}
+
+// CommitThreads exposes the live commit-thread count (Figure 6 sampling).
+func (c *Client) CommitThreads() int {
+	if c.pool == nil {
+		return 0
+	}
+	return c.pool.Size()
+}
+
+// CompoundDegree exposes the current compound degree.
+func (c *Client) CompoundDegree() int { return c.compound.Degree() }
+
+// Stats snapshots the client counters.
+func (c *Client) Stats() Stats {
+	s := Stats{
+		Creates:          c.st.creates.Load(),
+		Opens:            c.st.opens.Load(),
+		Removes:          c.st.removes.Load(),
+		Writes:           c.st.writes.Load(),
+		Reads:            c.st.reads.Load(),
+		Closes:           c.st.closes.Load(),
+		Fsyncs:           c.st.fsyncs.Load(),
+		BytesWritten:     c.st.bytesWritten.Load(),
+		BytesRead:        c.st.bytesRead.Load(),
+		CommitsSent:      c.st.commitsSent.Load(),
+		CommitRPCs:       c.st.commitRPCs.Load(),
+		RPCs:             c.mds.Calls(),
+		MeanWriteLatency: c.st.writeLat.Mean(),
+		MeanCloseLatency: c.st.closeLat.Mean(),
+		MeanOpLatency:    c.st.opLat.Mean(),
+		CommitThreads:    c.CommitThreads(),
+	}
+	if c.queue != nil {
+		s.QueueEnqueued, s.QueueDedup = c.queue.Stats()
+	}
+	if c.space != nil {
+		s.LocalAllocs, s.Delegations, s.WastedDelegationBytes = c.space.Stats()
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"redbud/internal/fsapi"
+)
+
+// TestDifferentialVsMemFS drives Redbud (delayed commit + delegation, the
+// most asynchronous configuration) and the in-memory reference file system
+// with the same random operation stream and requires byte-identical
+// behaviour. This is the strongest functional statement in the suite: no
+// amount of background commit reordering may change what the application
+// observes.
+func TestDifferentialVsMemFS(t *testing.T) {
+	for _, mode := range []Mode{SyncCommit, DelayedCommit} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tc := newCluster(t)
+			real := tc.client(mode, 16<<20)
+			oracle := fsapi.NewMemFS()
+			defer real.Close()
+
+			rng := rand.New(rand.NewSource(0xD1FF))
+			type state struct {
+				path string
+				real fsapi.File
+				orc  fsapi.File
+			}
+			var open []*state
+			var closedPaths []string
+			nextID := 0
+
+			openPair := func(path string, create bool) *state {
+				var rf, of fsapi.File
+				var err1, err2 error
+				if create {
+					rf, err1 = real.Create(path)
+					of, err2 = oracle.Create(path)
+				} else {
+					rf, err1 = real.Open(path)
+					of, err2 = oracle.Open(path)
+				}
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("open(%q, create=%v): real err %v, oracle err %v", path, create, err1, err2)
+				}
+				if err1 != nil {
+					return nil
+				}
+				return &state{path: path, real: rf, orc: of}
+			}
+
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 3: // create
+					path := fmt.Sprintf("/df-%d", nextID)
+					nextID++
+					if st := openPair(path, true); st != nil {
+						open = append(open, st)
+					}
+
+				case op < 6 && len(open) > 0: // write at random offset
+					st := open[rng.Intn(len(open))]
+					data := make([]byte, rng.Intn(20000)+1)
+					for i := range data {
+						data[i] = byte(rng.Intn(256))
+					}
+					off := int64(rng.Intn(50000))
+					_, err1 := st.real.WriteAt(data, off)
+					_, err2 := st.orc.WriteAt(data, off)
+					if (err1 == nil) != (err2 == nil) {
+						t.Fatalf("write: real %v oracle %v", err1, err2)
+					}
+
+				case op < 7 && len(open) > 0: // append
+					st := open[rng.Intn(len(open))]
+					data := bytes.Repeat([]byte{byte(step)}, rng.Intn(5000)+1)
+					o1, err1 := st.real.Append(data)
+					o2, err2 := st.orc.Append(data)
+					if err1 != nil || err2 != nil || o1 != o2 {
+						t.Fatalf("append: off %d/%d err %v/%v", o1, o2, err1, err2)
+					}
+
+				case op < 9 && len(open) > 0: // read and compare
+					st := open[rng.Intn(len(open))]
+					if s1, s2 := st.real.Size(), st.orc.Size(); s1 != s2 {
+						t.Fatalf("size mismatch on %s: %d vs %d", st.path, s1, s2)
+					}
+					n := rng.Intn(30000) + 1
+					off := int64(rng.Intn(60000))
+					b1 := make([]byte, n)
+					b2 := make([]byte, n)
+					n1, err1 := st.real.ReadAt(b1, off)
+					n2, err2 := st.orc.ReadAt(b2, off)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("read err: %v / %v", err1, err2)
+					}
+					if n1 != n2 || !bytes.Equal(b1[:n1], b2[:n2]) {
+						t.Fatalf("read mismatch on %s at %d len %d: n=%d/%d", st.path, off, n, n1, n2)
+					}
+
+				case len(open) > 0: // close (sometimes fsync first)
+					i := rng.Intn(len(open))
+					st := open[i]
+					if rng.Intn(2) == 0 {
+						if err := st.real.Sync(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := st.real.Close(); err != nil {
+						t.Fatal(err)
+					}
+					st.orc.Close()
+					closedPaths = append(closedPaths, st.path)
+					open = append(open[:i], open[i+1:]...)
+
+				default: // rename a closed file, or reopen one
+					if len(closedPaths) == 0 {
+						continue
+					}
+					i := rng.Intn(len(closedPaths))
+					path := closedPaths[i]
+					if rng.Intn(2) == 0 {
+						newPath := fmt.Sprintf("/renamed-%d", step)
+						err1 := real.Rename(path, newPath)
+						err2 := oracle.Rename(path, newPath)
+						if (err1 == nil) != (err2 == nil) {
+							t.Fatalf("rename(%q): real %v oracle %v", path, err1, err2)
+						}
+						if err1 == nil {
+							closedPaths[i] = newPath
+						}
+						continue
+					}
+					if st := openPair(path, false); st != nil {
+						open = append(open, st)
+					}
+				}
+			}
+
+			// Final sweep: every known path byte-identical through
+			// fresh handles.
+			if err := real.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			finalPaths := append([]string(nil), closedPaths...)
+			for _, st := range open {
+				finalPaths = append(finalPaths, st.path)
+			}
+			for _, path := range finalPaths {
+				i1, err1 := real.Stat(path)
+				i2, err2 := oracle.Stat(path)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("stat(%q): %v vs %v", path, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if i1.Size != i2.Size {
+					t.Fatalf("%s size %d vs %d", path, i1.Size, i2.Size)
+				}
+				f1, err := real.Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f2, _ := oracle.Open(path)
+				b1 := make([]byte, i1.Size)
+				b2 := make([]byte, i2.Size)
+				n1, err := f1.ReadAt(b1, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n2, _ := f2.ReadAt(b2, 0)
+				if n1 != n2 || !bytes.Equal(b1[:n1], b2[:n2]) {
+					t.Fatalf("%s final content mismatch (%d vs %d bytes)", path, n1, n2)
+				}
+				f1.Close()
+				f2.Close()
+			}
+		})
+	}
+}

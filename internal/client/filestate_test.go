@@ -1,0 +1,102 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+
+	"redbud/internal/meta"
+)
+
+// TestGapsLockedVsBitmap property-checks the extent-coverage gap computation
+// against a bitmap reference.
+func TestGapsLockedVsBitmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const space = 1 << 16
+	for trial := 0; trial < 200; trial++ {
+		fs := newFileState(1, 0)
+		covered := make([]bool, space)
+		// Insert random non-overlapping extents via the real path.
+		for i := 0; i < 20; i++ {
+			off := int64(rng.Intn(space - 256))
+			ln := int64(rng.Intn(256) + 1)
+			fs.insertExtentLocked(meta.Extent{FileOff: off, Len: ln, VolOff: off})
+		}
+		// Rebuild the bitmap from what actually landed.
+		for _, e := range fs.extents {
+			for j := e.FileOff; j < e.End(); j++ {
+				covered[j] = true
+			}
+		}
+		// Probe random ranges.
+		for probe := 0; probe < 20; probe++ {
+			a := int64(rng.Intn(space - 512))
+			b := a + int64(rng.Intn(512)+1)
+			gaps := fs.gapsLocked(a, b)
+			// Reference: runs of uncovered positions.
+			var ref [][2]int64
+			run := int64(-1)
+			for j := a; j <= b; j++ {
+				if j < b && !covered[j] {
+					if run < 0 {
+						run = j
+					}
+				} else if run >= 0 {
+					ref = append(ref, [2]int64{run, j})
+					run = -1
+				}
+			}
+			if len(gaps) != len(ref) {
+				t.Fatalf("trial %d probe [%d,%d): gaps %v, want %v", trial, a, b, gaps, ref)
+			}
+			for i := range ref {
+				if gaps[i] != ref[i] {
+					t.Fatalf("trial %d probe [%d,%d): gaps %v, want %v", trial, a, b, gaps, ref)
+				}
+			}
+		}
+		// Structural invariant: extents sorted and non-overlapping.
+		for i := 1; i < len(fs.extents); i++ {
+			if fs.extents[i-1].End() > fs.extents[i].FileOff {
+				t.Fatalf("trial %d: extents overlap: %+v", trial, fs.extents)
+			}
+		}
+	}
+}
+
+// TestUncachedRangesVsBitmap property-checks the page-cache hole scan.
+func TestUncachedRangesVsBitmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		fs := newFileState(1, 0)
+		const pages = 32
+		present := make([]bool, pages)
+		for i := 0; i < pages; i++ {
+			if rng.Intn(2) == 0 {
+				fs.pages[int64(i)] = make([]byte, PageSize)
+				present[i] = true
+			}
+		}
+		a := int64(rng.Intn(pages*PageSize - 1))
+		b := a + int64(rng.Intn(pages*PageSize-int(a))+1)
+		got := fs.uncachedRanges(a, b)
+		// Compare coverage: every uncached byte must be inside some
+		// reported range, and no cached byte may be.
+		inGot := func(j int64) bool {
+			for _, g := range got {
+				if j >= g[0] && j < g[1] {
+					return true
+				}
+			}
+			return false
+		}
+		for j := a; j < b; j++ {
+			cached := present[j/PageSize]
+			if !cached && !inGot(j) {
+				t.Fatalf("trial %d: uncached byte %d not reported (a=%d b=%d got=%v)", trial, j, a, b, got)
+			}
+			if cached && inGot(j) {
+				t.Fatalf("trial %d: cached byte %d reported as missing (got=%v)", trial, j, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"redbud/internal/fsapi"
+)
+
+func TestRenameFile(t *testing.T) {
+	tc := newCluster(t)
+	c := tc.client(DelayedCommit, 16<<20)
+	defer c.Close()
+	data := pattern(8192, 4)
+	writeFile(t, c, "/old.bin", data)
+	if err := c.Rename("/old.bin", "/new.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/old.bin"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("old path still visible: %v", err)
+	}
+	got := readFile(t, c, "/new.bin")
+	if !bytes.Equal(got, data) {
+		t.Fatal("content changed across rename")
+	}
+}
+
+func TestRenameAcrossDirectories(t *testing.T) {
+	tc := newCluster(t)
+	c := tc.client(DelayedCommit, 0)
+	defer c.Close()
+	c.Mkdir("/a")
+	c.Mkdir("/b")
+	writeFile(t, c, "/a/f", pattern(100, 1))
+	if err := c.Rename("/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := c.ReadDir("/b")
+	if len(ents) != 1 || ents[0].Name != "g" {
+		t.Fatalf("entries = %+v", ents)
+	}
+	if ents, _ := c.ReadDir("/a"); len(ents) != 0 {
+		t.Fatalf("source dir not empty: %+v", ents)
+	}
+}
+
+func TestRenameDirectorySubtree(t *testing.T) {
+	tc := newCluster(t)
+	c := tc.client(SyncCommit, 0)
+	defer c.Close()
+	c.Mkdir("/proj")
+	c.Mkdir("/proj/src")
+	writeFile(t, c, "/proj/src/main.go", pattern(50, 2))
+	if err := c.Rename("/proj", "/project"); err != nil {
+		t.Fatal(err)
+	}
+	got := readFile(t, c, "/project/src/main.go")
+	if len(got) != 50 {
+		t.Fatalf("subtree content lost: %d bytes", len(got))
+	}
+	// Moving a directory into its own subtree is rejected.
+	if err := c.Rename("/project", "/project/src/inner"); err == nil {
+		t.Fatal("directory moved into own subtree")
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	tc := newCluster(t)
+	c := tc.client(SyncCommit, 0)
+	defer c.Close()
+	writeFile(t, c, "/x", pattern(10, 1))
+	writeFile(t, c, "/y", pattern(10, 2))
+	if err := c.Rename("/ghost", "/z"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("missing src err = %v", err)
+	}
+	if err := c.Rename("/x", "/y"); !errors.Is(err, fsapi.ErrExist) {
+		t.Fatalf("existing dst err = %v", err)
+	}
+	if err := c.Rename("/x", "/nodir/z"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("missing dst parent err = %v", err)
+	}
+}
+
+func TestRenameWithPendingCommit(t *testing.T) {
+	// A file whose delayed commit is still queued can be renamed: commits
+	// address inodes, and the drain afterwards must land on the new name.
+	tc := newCluster(t)
+	c := tc.client(DelayedCommit, 16<<20)
+	defer c.Close()
+	f, err := c.Create("/pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(4096, 9)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := c.Rename("/pending", "/landed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r := tc.client(SyncCommit, 0)
+	defer r.Close()
+	got := readFile(t, r, "/landed")
+	if !bytes.Equal(got, data) {
+		t.Fatal("pending data lost across rename")
+	}
+}

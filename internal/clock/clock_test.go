@@ -1,0 +1,187 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealScaleValidation(t *testing.T) {
+	for _, s := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Real(%v) did not panic", s)
+				}
+			}()
+			Real(s)
+		}()
+	}
+	if c := Real(1); c == nil {
+		t.Fatal("Real(1) returned nil")
+	}
+}
+
+func TestRealSleepScales(t *testing.T) {
+	c := Real(0.01) // 100x compression
+	start := time.Now()
+	c.Sleep(500 * time.Millisecond) // should take ~5ms wall
+	wall := time.Since(start)
+	if wall > 200*time.Millisecond {
+		t.Fatalf("scaled sleep took %v wall, want ~5ms", wall)
+	}
+}
+
+func TestRealNowAdvances(t *testing.T) {
+	c := Real(0.01)
+	t0 := c.Now()
+	time.Sleep(2 * time.Millisecond) // 200ms virtual
+	t1 := c.Now()
+	if d := t1.Sub(t0); d < 50*time.Millisecond {
+		t.Fatalf("virtual time advanced only %v, want >=50ms", d)
+	}
+}
+
+func TestRealSleepNonPositive(t *testing.T) {
+	c := Real(1)
+	start := time.Now()
+	c.Sleep(0)
+	c.Sleep(-time.Hour)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("non-positive sleep blocked")
+	}
+}
+
+func TestRealAfterImmediate(t *testing.T) {
+	c := Real(1)
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestRealSince(t *testing.T) {
+	c := Real(0.01)
+	t0 := c.Now()
+	time.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Fatal("Since returned non-positive for past time")
+	}
+}
+
+func TestManualNowStartsAtEpoch(t *testing.T) {
+	m := NewManual()
+	if !m.Now().Equal(Epoch) {
+		t.Fatalf("manual clock starts at %v, want %v", m.Now(), Epoch)
+	}
+}
+
+func TestManualAdvance(t *testing.T) {
+	m := NewManual()
+	m.Advance(3 * time.Second)
+	if got := m.Since(Epoch); got != 3*time.Second {
+		t.Fatalf("Since(Epoch) = %v, want 3s", got)
+	}
+}
+
+func TestManualSleepWakesAtDeadline(t *testing.T) {
+	m := NewManual()
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(10 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for m.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper did not wake at deadline")
+	}
+}
+
+func TestManualAfterZero(t *testing.T) {
+	m := NewManual()
+	select {
+	case ts := <-m.After(0):
+		if !ts.Equal(Epoch) {
+			t.Fatalf("After(0) delivered %v, want %v", ts, Epoch)
+		}
+	default:
+		t.Fatal("After(0) did not fire synchronously")
+	}
+}
+
+func TestManualManySleepers(t *testing.T) {
+	m := NewManual()
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		d := time.Duration(i+1) * time.Second
+		go func() {
+			defer wg.Done()
+			m.Sleep(d)
+		}()
+	}
+	for m.Waiters() < n {
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(n * time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("sleepers stuck; %d still waiting", m.Waiters())
+	}
+}
+
+func TestManualNextDeadline(t *testing.T) {
+	m := NewManual()
+	if _, ok := m.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a waiter on an idle clock")
+	}
+	go m.Sleep(5 * time.Second)
+	go m.Sleep(2 * time.Second)
+	for m.Waiters() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	dl, ok := m.NextDeadline()
+	if !ok || !dl.Equal(Epoch.Add(2*time.Second)) {
+		t.Fatalf("NextDeadline = %v,%v; want %v,true", dl, ok, Epoch.Add(2*time.Second))
+	}
+	if !m.AdvanceToNext() {
+		t.Fatal("AdvanceToNext found nothing")
+	}
+	if got := m.Now(); !got.Equal(Epoch.Add(2 * time.Second)) {
+		t.Fatalf("after AdvanceToNext now = %v", got)
+	}
+}
+
+func TestManualNegativeAdvancePanics(t *testing.T) {
+	m := NewManual()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	m.Advance(-time.Second)
+}
+
+func TestManualAdvanceToNextEmpty(t *testing.T) {
+	m := NewManual()
+	if m.AdvanceToNext() {
+		t.Fatal("AdvanceToNext returned true on idle clock")
+	}
+}

@@ -1,0 +1,134 @@
+// Package core implements the Delayed Commit Protocol machinery — the
+// paper's primary contribution (§III, §IV):
+//
+//   - Queue: the commit queue. Update operations enqueue a commit task and
+//     return immediately; one entry per file suffices because commit
+//     requests of the same file share the in-memory metadata (§III-A).
+//   - Pool: the adaptive commit-thread pool, sized by
+//     ThreadNums = ρ·QueueLen with ρ = ThreadNumsMax/QueueLenMax (§IV-B).
+//   - Compound: the adaptive compound-degree controller, raising the number
+//     of commits packed per RPC when the network is congested or the MDS is
+//     busy (§IV-B).
+//   - SpacePool: the client-side double-space-pool of space delegation, one
+//     pool active and one standby, swapped on exhaustion (§IV-A).
+//
+// The package is transport- and filesystem-agnostic; internal/client wires
+// it to the RPC layer and the page cache.
+package core
+
+import (
+	"sync"
+
+	"redbud/internal/stats"
+)
+
+// Queue is the commit queue: FIFO of keys with per-key deduplication. A key
+// (file) already queued is not enqueued again — its pending metadata rides
+// along when the earlier entry is processed.
+type Queue[K comparable] struct {
+	mu     sync.Mutex
+	items  []K
+	queued map[K]bool
+	closed bool
+	notify chan struct{}
+
+	enqueued stats.Counter
+	deduped  stats.Counter
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[K comparable]() *Queue[K] {
+	return &Queue[K]{queued: make(map[K]bool), notify: make(chan struct{}, 1)}
+}
+
+// Enqueue adds k unless it is already queued. It reports whether a new entry
+// was added.
+func (q *Queue[K]) Enqueue(k K) bool {
+	q.mu.Lock()
+	if q.closed || q.queued[k] {
+		dup := q.queued[k]
+		q.mu.Unlock()
+		if dup {
+			q.deduped.Inc()
+		}
+		return false
+	}
+	q.queued[k] = true
+	q.items = append(q.items, k)
+	q.enqueued.Inc()
+	// Signal while holding the lock: Close also runs under it, so the
+	// channel cannot be closed mid-send.
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+	q.mu.Unlock()
+	return true
+}
+
+// Dequeue removes and returns up to max keys, blocking until at least one is
+// available, stop is closed, or the queue is closed (nil return for both).
+func (q *Queue[K]) Dequeue(max int, stop <-chan struct{}) []K {
+	if max < 1 {
+		max = 1
+	}
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			n := max
+			if n > len(q.items) {
+				n = len(q.items)
+			}
+			batch := make([]K, n)
+			copy(batch, q.items[:n])
+			q.items = q.items[n:]
+			for _, k := range batch {
+				delete(q.queued, k)
+			}
+			if len(q.items) > 0 && !q.closed {
+				// Re-arm the notifier for other workers.
+				select {
+				case q.notify <- struct{}{}:
+				default:
+				}
+			}
+			q.mu.Unlock()
+			return batch
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return nil
+		}
+		select {
+		case <-q.notify:
+		case <-stop:
+			return nil
+		}
+	}
+}
+
+// Len returns the queue length — the signal driving the adaptive pool and
+// the Figure 6 traces.
+func (q *Queue[K]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Stats returns (enqueued, deduplicated) counts. The dedup count is the
+// saving from sharing one commit per file.
+func (q *Queue[K]) Stats() (enqueued, deduped int64) {
+	return q.enqueued.Load(), q.deduped.Load()
+}
+
+// Close wakes all blocked Dequeues; subsequent Enqueues are dropped.
+// Entries still queued remain dequeueable until drained.
+func (q *Queue[K]) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.notify)
+	}
+	q.mu.Unlock()
+}

@@ -1,0 +1,274 @@
+// Package mds implements the Redbud metadata server: the RPC face over the
+// meta.Store. Clients apply for or commit metadata through network RPCs
+// while reading and writing file data directly on the shared disk array
+// (§V-A). The server's daemon-thread pool (internal/rpc) is the resource
+// Figure 7 sweeps; every reply piggybacks a load byte that clients feed to
+// the adaptive compound controller.
+package mds
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"redbud/internal/alloc"
+	"redbud/internal/clock"
+	"redbud/internal/meta"
+	"redbud/internal/netsim"
+	"redbud/internal/proto"
+	"redbud/internal/rpc"
+	"redbud/internal/wire"
+)
+
+// Config assembles an MDS.
+type Config struct {
+	Store *meta.Store
+	Clock clock.Clock
+	// Daemons is the RPC worker pool size (Figure 7: 1, 8, 16).
+	Daemons int
+	// OpCost is the simulated CPU cost per metadata operation.
+	OpCost time.Duration
+	// FrameCost is the per-RPC-frame overhead, paid once per frame no
+	// matter how many compounded operations it carries.
+	FrameCost time.Duration
+	// ContentionPerDaemon models multi-thread contention (Figure 7's
+	// 16-daemon degradation).
+	ContentionPerDaemon float64
+	// CommitCheck, if set, is invoked with every extent list a commit
+	// carries before it is applied. The test harness installs a
+	// durability oracle here to assert the ordered-write invariant on
+	// every single commit the MDS processes.
+	CommitCheck func([]meta.Extent) error
+	// LeaseTimeout revokes a client's delegations and orphan allocations
+	// after this much inactivity (0 disables lease expiry).
+	LeaseTimeout time.Duration
+}
+
+// Server is the metadata server.
+type Server struct {
+	store *meta.Store
+	rpc   *rpc.Server
+	clk   clock.Clock
+	cfg   Config
+
+	mu       sync.Mutex
+	lastSeen map[string]time.Time
+}
+
+// New builds the MDS and its RPC daemon pool.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("mds: nil store")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real(1)
+	}
+	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg, lastSeen: make(map[string]time.Time)}
+	s.rpc = rpc.NewServer(rpc.ServerConfig{
+		Handler:             s.handle,
+		Daemons:             cfg.Daemons,
+		OpCost:              cfg.OpCost,
+		FrameCost:           cfg.FrameCost,
+		ContentionPerDaemon: cfg.ContentionPerDaemon,
+		Clock:               cfg.Clock,
+	})
+	return s
+}
+
+// Store exposes the underlying metadata store (harness and tests).
+func (s *Server) Store() *meta.Store { return s.store }
+
+// RPC exposes the rpc server (stats).
+func (s *Server) RPC() *rpc.Server { return s.rpc }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l *netsim.Listener) { s.rpc.Serve(l) }
+
+// ServeConn serves a single connection (TCP deployment).
+func (s *Server) ServeConn(c netsim.Conn) { s.rpc.ServeConn(c) }
+
+// Close stops the daemon pool.
+func (s *Server) Close() { s.rpc.Close() }
+
+// touch records client activity for lease tracking.
+func (s *Server) touch(owner string) {
+	if owner == "" || s.cfg.LeaseTimeout <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.lastSeen[owner] = s.clk.Now()
+	s.mu.Unlock()
+}
+
+// ExpireLeases revokes clients idle longer than the lease timeout, returning
+// the orphan bytes reclaimed. The harness calls this periodically; recovery
+// calls the meta layer directly.
+func (s *Server) ExpireLeases() int64 {
+	if s.cfg.LeaseTimeout <= 0 {
+		return 0
+	}
+	now := s.clk.Now()
+	s.mu.Lock()
+	var expired []string
+	for owner, seen := range s.lastSeen {
+		if now.Sub(seen) > s.cfg.LeaseTimeout {
+			expired = append(expired, owner)
+			delete(s.lastSeen, owner)
+		}
+	}
+	s.mu.Unlock()
+	var reclaimed int64
+	for _, owner := range expired {
+		reclaimed += s.store.ClientGone(owner)
+	}
+	return reclaimed
+}
+
+// handle dispatches one decoded RPC operation.
+func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
+	switch op {
+	case proto.OpPing:
+		return nil, nil
+
+	case proto.OpLookup:
+		var req proto.LookupReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		a, err := s.store.Lookup(req.Parent, req.Name)
+		if err != nil {
+			return nil, err
+		}
+		resp := proto.FromAttr(a)
+		return wire.Encode(&resp), nil
+
+	case proto.OpCreate:
+		var req proto.CreateReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		a, err := s.store.Create(req.Parent, req.Name, req.Type)
+		if err != nil {
+			return nil, err
+		}
+		resp := proto.FromAttr(a)
+		return wire.Encode(&resp), nil
+
+	case proto.OpGetAttr:
+		var req proto.GetAttrReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		a, err := s.store.GetAttr(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		resp := proto.FromAttr(a)
+		return wire.Encode(&resp), nil
+
+	case proto.OpReadDir:
+		var req proto.ReadDirReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		ents, err := s.store.ReadDir(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		resp := proto.ReadDirResp{Entries: ents}
+		return wire.Encode(&resp), nil
+
+	case proto.OpRemove:
+		var req proto.RemoveReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.store.Remove(req.Parent, req.Name)
+
+	case proto.OpLayoutGet:
+		var req proto.LayoutGetReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		s.touch(req.Owner)
+		var lay meta.Layout
+		var err error
+		if req.Write {
+			lay, err = s.store.AllocLayout(req.Owner, req.File, req.Off, req.Len)
+		} else {
+			// Readers only see committed extents: the ordered-write
+			// guarantee means uncommitted data may not exist yet.
+			lay, err = s.store.GetLayout(req.File, req.Off, req.Len, true)
+		}
+		if err != nil {
+			return nil, err
+		}
+		attr, err := s.store.GetAttr(req.File)
+		if err != nil {
+			return nil, err
+		}
+		resp := proto.LayoutResp{File: lay.File, Size: attr.Size, Extents: lay.Extents}
+		return wire.Encode(&resp), nil
+
+	case proto.OpCommit:
+		var req proto.CommitReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		s.touch(req.Owner)
+		if s.cfg.CommitCheck != nil {
+			if err := s.cfg.CommitCheck(req.Extents); err != nil {
+				return nil, fmt.Errorf("mds: ordered-write violation: %w", err)
+			}
+		}
+		if err := s.store.Commit(req.Owner, req.File, req.Extents, req.Size, req.MTime); err != nil {
+			return nil, err
+		}
+		a, err := s.store.GetAttr(req.File)
+		if err != nil {
+			return nil, err
+		}
+		resp := proto.CommitResp{Size: a.Size}
+		return wire.Encode(&resp), nil
+
+	case proto.OpDelegate:
+		var req proto.DelegateReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		s.touch(req.Owner)
+		sp, err := s.store.Delegate(req.Owner, req.Size)
+		if err != nil {
+			return nil, err
+		}
+		resp := proto.SpanMsg{Dev: uint32(sp.Dev), Off: sp.Off, Len: sp.Len}
+		return wire.Encode(&resp), nil
+
+	case proto.OpDelegReturn:
+		var req proto.DelegReturnReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		s.touch(req.Owner)
+		sp := alloc.Span{Dev: int(req.Span.Dev), Off: req.Span.Off, Len: req.Span.Len}
+		return nil, s.store.ReturnDelegation(req.Owner, sp)
+
+	case proto.OpRename:
+		var req proto.RenameReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.store.Rename(req.SrcParent, req.SrcName, req.DstParent, req.DstName)
+
+	case proto.OpStat:
+		resp := proto.StatResp{
+			QueueLen:  int64(s.rpc.QueueLen()),
+			Load:      s.rpc.Load(),
+			Processed: s.rpc.Processed(),
+			SubOps:    s.rpc.SubOps(),
+			Files:     int64(s.store.FileCount()),
+		}
+		return wire.Encode(&resp), nil
+	}
+	return nil, fmt.Errorf("mds: unknown op %d", op)
+}

@@ -1,0 +1,299 @@
+package mds
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"redbud/internal/alloc"
+	"redbud/internal/clock"
+	"redbud/internal/meta"
+	"redbud/internal/netsim"
+	"redbud/internal/proto"
+	"redbud/internal/rpc"
+	"redbud/internal/wire"
+)
+
+// env is a live MDS plus a connected RPC client.
+type env struct {
+	srv *Server
+	cli *rpc.Client
+	net *netsim.Network
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	t.Helper()
+	if cfg.Store == nil {
+		ags := alloc.NewUniformAGSet(alloc.RoundRobin, 0, 256<<20, 4)
+		cfg.Store = meta.NewStore(meta.Config{AGs: ags, Clock: clock.Real(1)})
+	}
+	srv := New(cfg)
+	n := netsim.NewNetwork(clock.Real(1))
+	n.AddHost("mds", netsim.Instant())
+	n.AddHost("c1", netsim.Instant())
+	l, err := n.Listen("mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	conn, err := n.Dial("c1", "mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := rpc.NewClient(conn, clock.Real(1))
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+		l.Close()
+	})
+	return &env{srv: srv, cli: cli, net: n}
+}
+
+func (e *env) create(t *testing.T, parent meta.FileID, name string, typ meta.FileType) proto.AttrResp {
+	t.Helper()
+	var resp proto.AttrResp
+	if err := e.cli.Call(proto.OpCreate, &proto.CreateReq{Parent: parent, Name: name, Type: typ}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestPing(t *testing.T) {
+	e := newEnv(t, Config{})
+	if err := e.cli.Call(proto.OpPing, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateLookupGetAttrOverRPC(t *testing.T) {
+	e := newEnv(t, Config{})
+	a := e.create(t, meta.RootID, "f.txt", meta.TypeFile)
+	var look proto.AttrResp
+	if err := e.cli.Call(proto.OpLookup, &proto.LookupReq{Parent: meta.RootID, Name: "f.txt"}, &look); err != nil {
+		t.Fatal(err)
+	}
+	if look.ID != a.ID {
+		t.Fatalf("lookup id %d != create id %d", look.ID, a.ID)
+	}
+	var attr proto.AttrResp
+	if err := e.cli.Call(proto.OpGetAttr, &proto.GetAttrReq{ID: a.ID}, &attr); err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != meta.TypeFile || attr.Size != 0 {
+		t.Fatalf("attr = %+v", attr)
+	}
+}
+
+func TestLookupMissingIsRemoteError(t *testing.T) {
+	e := newEnv(t, Config{})
+	var resp proto.AttrResp
+	err := e.cli.Call(proto.OpLookup, &proto.LookupReq{Parent: meta.RootID, Name: "nope"}, &resp)
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Message, "not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadDirAndRemoveOverRPC(t *testing.T) {
+	e := newEnv(t, Config{})
+	dir := e.create(t, meta.RootID, "d", meta.TypeDir)
+	e.create(t, dir.ID, "x", meta.TypeFile)
+	var rd proto.ReadDirResp
+	if err := e.cli.Call(proto.OpReadDir, &proto.ReadDirReq{ID: dir.ID}, &rd); err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Entries) != 1 || rd.Entries[0].Name != "x" {
+		t.Fatalf("entries = %+v", rd.Entries)
+	}
+	if err := e.cli.Call(proto.OpRemove, &proto.RemoveReq{Parent: dir.ID, Name: "x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.cli.Call(proto.OpReadDir, &proto.ReadDirReq{ID: dir.ID}, &rd); err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Entries) != 0 {
+		t.Fatalf("entries after remove = %+v", rd.Entries)
+	}
+}
+
+func TestLayoutGetWriteAllocates(t *testing.T) {
+	e := newEnv(t, Config{})
+	a := e.create(t, meta.RootID, "f", meta.TypeFile)
+	var lay proto.LayoutResp
+	err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 8192, Write: true}, &lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var covered int64
+	for _, ext := range lay.Extents {
+		covered += ext.Len
+		if ext.State != meta.StateUncommitted {
+			t.Fatalf("fresh extent state = %v", ext.State)
+		}
+	}
+	if covered != 8192 {
+		t.Fatalf("covered %d bytes", covered)
+	}
+	// Read layout hides the uncommitted extents.
+	var rlay proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{File: a.ID, Off: 0, Len: 8192}, &rlay); err != nil {
+		t.Fatal(err)
+	}
+	if len(rlay.Extents) != 0 {
+		t.Fatalf("read layout shows uncommitted extents: %+v", rlay.Extents)
+	}
+}
+
+func TestCommitOverRPC(t *testing.T) {
+	e := newEnv(t, Config{})
+	a := e.create(t, meta.RootID, "f", meta.TypeFile)
+	var lay proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Write: true}, &lay); err != nil {
+		t.Fatal(err)
+	}
+	mt := time.Unix(1000, 0).UTC()
+	var cr proto.CommitResp
+	err := e.cli.Call(proto.OpCommit, &proto.CommitReq{Owner: "c1", File: a.ID, Size: 4096, MTime: mt, Extents: lay.Extents}, &cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Size != 4096 {
+		t.Fatalf("committed size = %d", cr.Size)
+	}
+	var rlay proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{File: a.ID, Off: 0, Len: 4096}, &rlay); err != nil {
+		t.Fatal(err)
+	}
+	if len(rlay.Extents) == 0 || rlay.Size != 4096 {
+		t.Fatalf("post-commit read layout = %+v", rlay)
+	}
+}
+
+func TestCommitCheckHookRejects(t *testing.T) {
+	boom := errors.New("data not durable")
+	e := newEnv(t, Config{CommitCheck: func([]meta.Extent) error { return boom }})
+	a := e.create(t, meta.RootID, "f", meta.TypeFile)
+	var lay proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Write: true}, &lay); err != nil {
+		t.Fatal(err)
+	}
+	err := e.cli.Call(proto.OpCommit, &proto.CommitReq{Owner: "c1", File: a.ID, Size: 4096, MTime: time.Now(), Extents: lay.Extents}, nil)
+	if err == nil || !strings.Contains(err.Error(), "ordered-write violation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDelegateAndReturnOverRPC(t *testing.T) {
+	e := newEnv(t, Config{})
+	var sp proto.SpanMsg
+	if err := e.cli.Call(proto.OpDelegate, &proto.DelegateReq{Owner: "c1", Size: 16 << 20}, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len != 16<<20 {
+		t.Fatalf("span = %+v", sp)
+	}
+	if err := e.cli.Call(proto.OpDelegReturn, &proto.DelegReturnReq{Owner: "c1", Span: sp}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.srv.Store().Delegations("c1") != 0 {
+		t.Fatal("delegation not returned")
+	}
+}
+
+func TestStat(t *testing.T) {
+	e := newEnv(t, Config{Daemons: 4})
+	e.create(t, meta.RootID, "a", meta.TypeFile)
+	var st proto.StatResp
+	if err := e.cli.Call(proto.OpStat, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 1 {
+		t.Fatalf("stat files = %d", st.Files)
+	}
+	if st.Processed < 1 {
+		t.Fatalf("stat processed = %d", st.Processed)
+	}
+}
+
+func TestCompoundCommitsThroughMDS(t *testing.T) {
+	e := newEnv(t, Config{})
+	// Three files, one compound commit frame.
+	var ops []rpc.SubOp
+	for _, name := range []string{"a", "b", "c"} {
+		a := e.create(t, meta.RootID, name, meta.TypeFile)
+		var lay proto.LayoutResp
+		if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Write: true}, &lay); err != nil {
+			t.Fatal(err)
+		}
+		req := proto.CommitReq{Owner: "c1", File: a.ID, Size: 4096, MTime: time.Now().UTC(), Extents: lay.Extents}
+		ops = append(ops, rpc.SubOp{Op: proto.OpCommit, Body: wire.Encode(&req)})
+	}
+	before := e.srv.RPC().Processed()
+	results, err := e.cli.Compound(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("sub-op %d failed: %v", i, res.Err)
+		}
+	}
+	if got := e.srv.RPC().Processed() - before; got != 1 {
+		t.Fatalf("compound consumed %d RPCs, want 1", got)
+	}
+	// All three files committed.
+	for _, name := range []string{"a", "b", "c"} {
+		var look proto.AttrResp
+		if err := e.cli.Call(proto.OpLookup, &proto.LookupReq{Parent: meta.RootID, Name: name}, &look); err != nil {
+			t.Fatal(err)
+		}
+		if look.Size != 4096 {
+			t.Fatalf("%s size = %d", name, look.Size)
+		}
+	}
+}
+
+func TestLeaseExpiryReclaimsOrphans(t *testing.T) {
+	mc := clock.NewManual()
+	ags := alloc.NewUniformAGSet(alloc.RoundRobin, 0, 256<<20, 4)
+	store := meta.NewStore(meta.Config{AGs: ags, Clock: mc})
+	e := newEnv(t, Config{Store: store, Clock: mc, LeaseTimeout: time.Minute})
+	var sp proto.SpanMsg
+	if err := e.cli.Call(proto.OpDelegate, &proto.DelegateReq{Owner: "c1", Size: 1 << 20}, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.srv.ExpireLeases(); got != 0 {
+		t.Fatalf("premature expiry reclaimed %d", got)
+	}
+	mc.Advance(2 * time.Minute)
+	if got := e.srv.ExpireLeases(); got != 1<<20 {
+		t.Fatalf("expiry reclaimed %d, want %d", got, 1<<20)
+	}
+	if store.Delegations("c1") != 0 {
+		t.Fatal("expired delegation survived")
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	e := newEnv(t, Config{})
+	if _, err := e.cli.CallRaw(9999, nil); err == nil {
+		t.Fatal("unknown op succeeded")
+	}
+}
+
+func TestNilStorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with nil store did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestMalformedBodyRejected(t *testing.T) {
+	e := newEnv(t, Config{})
+	if _, err := e.cli.CallRaw(proto.OpCreate, []byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed create accepted")
+	}
+}

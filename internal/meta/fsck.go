@@ -1,0 +1,141 @@
+package meta
+
+import (
+	"fmt"
+	"sort"
+
+	"redbud/internal/alloc"
+)
+
+// FsckReport is the result of a full metadata/allocator cross-check.
+type FsckReport struct {
+	Files      int
+	Extents    int
+	LiveBytes  int64 // bytes referenced by file extents
+	DelegBytes int64 // bytes inside live delegations not covered by extents
+	FreeBytes  int64 // allocator free space
+	Problems   []string
+}
+
+// OK reports whether the check found no inconsistencies.
+func (r FsckReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r FsckReport) String() string {
+	status := "clean"
+	if !r.OK() {
+		status = fmt.Sprintf("%d problems", len(r.Problems))
+	}
+	return fmt.Sprintf("fsck: %s (%d files, %d extents, live=%d deleg=%d free=%d)",
+		status, r.Files, r.Extents, r.LiveBytes, r.DelegBytes, r.FreeBytes)
+}
+
+// Fsck cross-checks the namespace, the extent maps, the delegations and the
+// allocator:
+//
+//  1. every directory entry points at a live inode, and every inode except
+//     the root is reachable from exactly one entry;
+//  2. no two extents overlap physically (across all files);
+//  3. extents within one file do not overlap logically;
+//  4. accounting identity: free + live + unused-delegation = total space;
+//  5. delegation `used` bookkeeping only covers committed extents.
+//
+// totalSpace is the capacity the AG set was built over.
+func (s *Store) Fsck(totalSpace int64) FsckReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var r FsckReport
+
+	// 1. Namespace reachability.
+	reach := map[FileID]int{}
+	for dirID, ents := range s.dirents {
+		if _, ok := s.inodes[dirID]; !ok {
+			r.Problems = append(r.Problems, fmt.Sprintf("dirent table for missing inode %d", dirID))
+			continue
+		}
+		for name, cid := range ents {
+			if _, ok := s.inodes[cid]; !ok {
+				r.Problems = append(r.Problems, fmt.Sprintf("entry %q points at missing inode %d", name, cid))
+				continue
+			}
+			reach[cid]++
+		}
+	}
+	for id, ino := range s.inodes {
+		if id == RootID {
+			continue
+		}
+		if n := reach[id]; n != ino.nlink {
+			r.Problems = append(r.Problems, fmt.Sprintf("inode %d has %d entries but nlink %d", id, n, ino.nlink))
+		}
+		if reach[id] == 0 {
+			r.Problems = append(r.Problems, fmt.Sprintf("inode %d unreachable", id))
+		}
+	}
+	r.Files = len(s.inodes) - 1
+
+	// 2 + 3. Extent overlap checks; collect physical spans.
+	type pspan struct {
+		dev      uint32
+		off, end int64
+		file     FileID
+	}
+	var phys []pspan
+	for id, ino := range s.inodes {
+		sorted := append([]Extent(nil), ino.extents...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].FileOff < sorted[j].FileOff })
+		for i, e := range sorted {
+			r.Extents++
+			r.LiveBytes += e.Len
+			phys = append(phys, pspan{dev: e.Dev, off: e.VolOff, end: e.VolOff + e.Len, file: id})
+			if i > 0 && sorted[i-1].End() > e.FileOff {
+				r.Problems = append(r.Problems, fmt.Sprintf("file %d: logical overlap at %d", id, e.FileOff))
+			}
+		}
+	}
+	sort.Slice(phys, func(i, j int) bool {
+		if phys[i].dev != phys[j].dev {
+			return phys[i].dev < phys[j].dev
+		}
+		return phys[i].off < phys[j].off
+	})
+	for i := 1; i < len(phys); i++ {
+		a, b := phys[i-1], phys[i]
+		if a.dev == b.dev && a.end > b.off {
+			r.Problems = append(r.Problems, fmt.Sprintf("physical overlap dev%d [%d) files %d/%d", a.dev, b.off, a.file, b.file))
+		}
+	}
+
+	// 4 + 5. Delegation bookkeeping and the accounting identity. Extents
+	// inside a delegation are double-counted in LiveBytes and the chunk,
+	// so subtract the covered portion from the delegation contribution.
+	for owner, ds := range s.delegations {
+		for _, d := range ds {
+			var used int64
+			for _, u := range d.used {
+				used += u.end - u.off
+				if u.off < d.span.Off || u.end > d.span.End() {
+					r.Problems = append(r.Problems, fmt.Sprintf("delegation %s/%v used range outside span", owner, d.span))
+				}
+			}
+			r.DelegBytes += d.span.Len - used
+		}
+	}
+	r.FreeBytes = s.cfg.AGs.FreeBytes()
+	if got := r.FreeBytes + r.LiveBytes + r.DelegBytes; got != totalSpace {
+		r.Problems = append(r.Problems, fmt.Sprintf(
+			"accounting: free %d + live %d + deleg %d = %d, want %d",
+			r.FreeBytes, r.LiveBytes, r.DelegBytes, got, totalSpace))
+	}
+	return r
+}
+
+// TotalSpace sums the capacity of an AG set's groups — the totalSpace
+// argument Fsck expects when the set covers whole devices.
+func TotalSpace(ags *alloc.AGSet) int64 {
+	var total int64
+	for _, g := range ags.Groups() {
+		start, end := g.Bounds()
+		total += end - start
+	}
+	return total
+}

@@ -1,0 +1,226 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"redbud/internal/blockdev"
+	"redbud/internal/wire"
+)
+
+// RecType enumerates journal record types.
+type RecType uint8
+
+// Journal record types.
+const (
+	RecCreate RecType = iota + 1
+	RecRemove
+	RecAlloc       // space allocated at layout-get (uncommitted)
+	RecCommit      // extents committed; carries final size and mtime
+	RecDelegate    // chunk delegated to a client
+	RecDelegReturn // delegation returned; unused space freed
+	RecClientGone  // client lease revoked; its orphan space freed
+	RecRename      // directory entry moved
+)
+
+// Record is one journal entry. A single struct covers all record types; the
+// Type field says which fields are meaningful.
+type Record struct {
+	Type    RecType
+	File    FileID
+	Parent  FileID
+	Name    string
+	FType   FileType
+	Owner   string
+	Size    int64
+	MTime   time.Time
+	Extents []Extent
+	// Span fields (delegation records).
+	SpanDev uint32
+	SpanOff int64
+	SpanLen int64
+	// Rename destination (RecRename).
+	DstParent FileID
+	DstName   string
+}
+
+// MarshalWire encodes the record payload.
+func (rec *Record) MarshalWire(b *wire.Buffer) {
+	b.PutU8(uint8(rec.Type))
+	b.PutU64(uint64(rec.File))
+	b.PutU64(uint64(rec.Parent))
+	b.PutString(rec.Name)
+	b.PutU8(uint8(rec.FType))
+	b.PutString(rec.Owner)
+	b.PutI64(rec.Size)
+	b.PutTime(rec.MTime)
+	PutExtents(b, rec.Extents)
+	b.PutU32(rec.SpanDev)
+	b.PutI64(rec.SpanOff)
+	b.PutI64(rec.SpanLen)
+	b.PutU64(uint64(rec.DstParent))
+	b.PutString(rec.DstName)
+}
+
+// UnmarshalWire decodes the record payload.
+func (rec *Record) UnmarshalWire(r *wire.Reader) error {
+	rec.Type = RecType(r.U8())
+	rec.File = FileID(r.U64())
+	rec.Parent = FileID(r.U64())
+	rec.Name = r.String()
+	rec.FType = FileType(r.U8())
+	rec.Owner = r.String()
+	rec.Size = r.I64()
+	rec.MTime = r.Time()
+	rec.Extents = GetExtents(r)
+	rec.SpanDev = r.U32()
+	rec.SpanOff = r.I64()
+	rec.SpanLen = r.I64()
+	rec.DstParent = FileID(r.U64())
+	rec.DstName = r.String()
+	return r.Err()
+}
+
+// Journal errors.
+var (
+	ErrJournalFull    = errors.New("meta: journal full")
+	ErrJournalCorrupt = errors.New("meta: journal corrupt")
+)
+
+const (
+	journalMagic  = 0x52425201 // "RBR\x01"
+	recHeaderSize = 16         // magic u32 + gen u32 + len u32 + crc u32
+)
+
+// Journal is a write-ahead log stored in a region of the metadata device.
+// Appends are asynchronous device writes; because successive records are
+// physically sequential, the device elevator merges them — the journal gets
+// group commit for free once delayed commit batches metadata updates.
+type Journal struct {
+	dev   *blockdev.Device
+	start int64
+	size  int64
+	// gen is the log epoch: every record is stamped with it, and replay
+	// stops at the first record of a different epoch. Checkpointing (see
+	// logset.go) bumps the generation when it switches regions, so stale
+	// records left in a reused region can never be replayed.
+	gen uint32
+
+	mu   sync.Mutex
+	tail int64 // relative offset of the next record
+}
+
+// NewJournal manages [start, start+size) of dev as a generation-0 journal.
+// The region is assumed zeroed (a fresh device reads zeros, which terminates
+// replay).
+func NewJournal(dev *blockdev.Device, start, size int64) *Journal {
+	return NewJournalGen(dev, start, size, 0)
+}
+
+// NewJournalGen is NewJournal with an explicit log epoch (used by LogSet).
+func NewJournalGen(dev *blockdev.Device, start, size int64, gen uint32) *Journal {
+	return &Journal{dev: dev, start: start, size: size, gen: gen}
+}
+
+// Generation returns the journal's log epoch.
+func (j *Journal) Generation() uint32 { return j.gen }
+
+// Tail returns the relative offset one past the last appended record.
+func (j *Journal) Tail() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tail
+}
+
+// Append encodes rec, reserves journal space, and issues the device write.
+// The returned channel yields once the record is durable. Callers must wait
+// on it before acknowledging the operation to a client (write-ahead rule).
+func (j *Journal) Append(rec *Record) <-chan error {
+	payload := wire.Encode(rec)
+	var b wire.Buffer
+	b.PutU32(journalMagic)
+	b.PutU32(j.gen)
+	b.PutU32(uint32(len(payload)))
+	b.PutU32(crc32.ChecksumIEEE(payload))
+	b.PutRaw(payload)
+	frame := b.Bytes()
+
+	j.mu.Lock()
+	off := j.tail
+	if off+int64(len(frame)) > j.size {
+		j.mu.Unlock()
+		ch := make(chan error, 1)
+		ch <- fmt.Errorf("%w: %d of %d bytes used", ErrJournalFull, off, j.size)
+		return ch
+	}
+	j.tail += int64(len(frame))
+	j.mu.Unlock()
+
+	return j.dev.WriteAsync(j.start+off, frame)
+}
+
+// Replay reads the journal from the device, invoking fn for every valid
+// record in order. Replay stops cleanly at the first invalid header or
+// record — an unwritten (zero) header, a foreign magic, an overrunning
+// length, a checksum mismatch, or an undecodable payload. That is the
+// standard write-ahead-log torn-tail rule: a crash can leave at most one
+// partially written record, and it must terminate the log rather than fail
+// recovery (the record's operation was never acknowledged, because Append's
+// caller waits for durability before replying). Torn reports whether replay
+// ended at such a damaged record rather than a clean end-of-log.
+//
+// On return the journal's tail is positioned after the last valid record, so
+// subsequent appends overwrite the torn one and continue the log.
+func (j *Journal) Replay(fn func(*Record) error) (torn bool, err error) {
+	off := int64(0)
+	defer func() {
+		if err == nil {
+			j.mu.Lock()
+			j.tail = off
+			j.mu.Unlock()
+		}
+	}()
+	for {
+		if off+recHeaderSize > j.size {
+			return false, nil
+		}
+		hdr, err := j.dev.Read(j.start+off, recHeaderSize)
+		if err != nil {
+			return false, err
+		}
+		r := wire.NewReader(hdr)
+		magic, gen, plen, crc := r.U32(), r.U32(), r.U32(), r.U32()
+		if magic == 0 {
+			return false, nil // clean end of log
+		}
+		if magic != journalMagic {
+			return true, nil
+		}
+		if gen != j.gen {
+			// A record from an older epoch: this region was reused by
+			// a checkpoint and the current log ends here.
+			return false, nil
+		}
+		if int64(plen) > j.size-off-recHeaderSize {
+			return true, nil
+		}
+		payload, err := j.dev.Read(j.start+off+recHeaderSize, int64(plen))
+		if err != nil {
+			return false, err
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return true, nil
+		}
+		var rec Record
+		if err := wire.Decode(payload, &rec); err != nil {
+			return true, nil
+		}
+		if err := fn(&rec); err != nil {
+			return false, err
+		}
+		off += recHeaderSize + int64(plen)
+	}
+}

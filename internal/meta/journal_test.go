@@ -1,0 +1,200 @@
+package meta
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"redbud/internal/blockdev"
+	"redbud/internal/clock"
+	"redbud/internal/wire"
+)
+
+func newMetaDev(t *testing.T) *blockdev.Device {
+	t.Helper()
+	d := blockdev.New(blockdev.Config{Size: 64 << 20, Model: blockdev.ZeroLatency(), Clock: clock.Real(1)})
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := &Record{
+		Type: RecCommit, File: 42, Parent: 1, Name: "f.dat", FType: TypeFile,
+		Owner: "client-3", Size: 12345, MTime: time.Unix(100, 200).UTC(),
+		Extents: []Extent{
+			{FileOff: 0, Len: 4096, Dev: 2, VolOff: 1 << 20, State: StateCommitted},
+			{FileOff: 4096, Len: 100, Dev: 2, VolOff: 9 << 20, State: StateUncommitted},
+		},
+		SpanDev: 7, SpanOff: 555, SpanLen: 666,
+	}
+	var out Record
+	if err := wire.Decode(wire.Encode(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.File != in.File || out.Name != in.Name ||
+		out.Owner != in.Owner || out.Size != in.Size || !out.MTime.Equal(in.MTime) ||
+		len(out.Extents) != 2 || out.Extents[1].VolOff != 9<<20 ||
+		out.SpanDev != 7 || out.SpanOff != 555 || out.SpanLen != 666 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestExtentListRoundTrip(t *testing.T) {
+	var b wire.Buffer
+	PutExtents(&b, nil)
+	r := wire.NewReader(b.Bytes())
+	if got := GetExtents(r); len(got) != 0 || r.Err() != nil {
+		t.Fatalf("empty list: %v %v", got, r.Err())
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	dev := newMetaDev(t)
+	j := NewJournal(dev, 0, 32<<20)
+	recs := []*Record{
+		{Type: RecCreate, File: 2, Parent: 1, Name: "a", FType: TypeFile},
+		{Type: RecAlloc, File: 2, Owner: "c1", Extents: []Extent{{Len: 4096, VolOff: 0}}},
+		{Type: RecCommit, File: 2, Owner: "c1", Size: 4096},
+	}
+	for _, rec := range recs {
+		if err := <-j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2 := NewJournal(dev, 0, 32<<20)
+	var got []*Record
+	if torn, err := j2.Replay(func(r *Record) error {
+		cp := *r
+		got = append(got, &cp)
+		return nil
+	}); err != nil || torn {
+		t.Fatal(torn, err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	for i := range recs {
+		if got[i].Type != recs[i].Type || got[i].File != recs[i].File {
+			t.Fatalf("record %d mismatch: %+v", i, got[i])
+		}
+	}
+	if j2.Tail() != j.Tail() {
+		t.Fatalf("tail after replay %d != %d", j2.Tail(), j.Tail())
+	}
+	// Appends continue the log.
+	if err := <-j2.Append(&Record{Type: RecRemove, File: 2, Parent: 1, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	j3 := NewJournal(dev, 0, 32<<20)
+	if torn, err := j3.Replay(func(r *Record) error { count++; return nil }); err != nil || torn {
+		t.Fatal(torn, err)
+	}
+	if count != 4 {
+		t.Fatalf("after continuation, %d records", count)
+	}
+}
+
+func TestJournalFull(t *testing.T) {
+	dev := newMetaDev(t)
+	j := NewJournal(dev, 0, 100) // tiny journal
+	if err := <-j.Append(&Record{Type: RecCreate, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	err := <-j.Append(&Record{Type: RecCreate, Name: "b"})
+	if !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalCorruptIsTornTail(t *testing.T) {
+	dev := newMetaDev(t)
+	j := NewJournal(dev, 0, 1<<20)
+	if err := <-j.Append(&Record{Type: RecCreate, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte.
+	buf, _ := dev.Read(recHeaderSize, 1)
+	if err := dev.Write(recHeaderSize, []byte{buf[0] ^ 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := NewJournal(dev, 0, 1<<20).Replay(func(*Record) error { return nil })
+	if err != nil || !torn {
+		t.Fatalf("corrupt journal: torn=%v err=%v, want torn tail", torn, err)
+	}
+}
+
+func TestJournalBadMagic(t *testing.T) {
+	dev := newMetaDev(t)
+	if err := dev.Write(0, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := NewJournal(dev, 0, 1<<20).Replay(func(*Record) error { return nil })
+	if err != nil || !torn {
+		t.Fatalf("bad magic: torn=%v err=%v, want torn tail", torn, err)
+	}
+}
+
+func TestJournalOverrunLength(t *testing.T) {
+	dev := newMetaDev(t)
+	var b wire.Buffer
+	b.PutU32(journalMagic)
+	b.PutU32(0)       // generation
+	b.PutU32(1 << 30) // absurd length
+	b.PutU32(0)       // crc
+	if err := dev.Write(0, b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := NewJournal(dev, 0, 1<<20).Replay(func(*Record) error { return nil })
+	if err != nil || !torn {
+		t.Fatalf("overrun length: torn=%v err=%v, want torn tail", torn, err)
+	}
+}
+
+func TestJournalEmptyReplay(t *testing.T) {
+	dev := newMetaDev(t)
+	j := NewJournal(dev, 0, 1<<20)
+	if torn, err := j.Replay(func(*Record) error { t.Fatal("callback on empty journal"); return nil }); err != nil || torn {
+		t.Fatal(torn, err)
+	}
+	if j.Tail() != 0 {
+		t.Fatalf("tail = %d", j.Tail())
+	}
+}
+
+func TestJournalReplayCallbackError(t *testing.T) {
+	dev := newMetaDev(t)
+	j := NewJournal(dev, 0, 1<<20)
+	<-j.Append(&Record{Type: RecCreate, Name: "a"})
+	sentinel := errors.New("stop")
+	if _, err := NewJournal(dev, 0, 1<<20).Replay(func(*Record) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalSequentialAppendsMergeOnDevice(t *testing.T) {
+	// The whole point of the journal layout: sequential appends merge in
+	// the device elevator when issued back-to-back.
+	d := blockdev.New(blockdev.Config{
+		Size:  64 << 20,
+		Model: blockdev.DiskModel{SeekBase: 20 * time.Millisecond, BandwidthMBps: 200},
+		Clock: clock.Real(0.05),
+	})
+	defer d.Close()
+	// Blocker keeps the head busy while appends queue.
+	blocker := d.WriteAsync(32<<20, make([]byte, 64))
+	j := NewJournal(d, 0, 16<<20)
+	var chans []<-chan error
+	for i := 0; i < 16; i++ {
+		chans = append(chans, j.Append(&Record{Type: RecCommit, File: FileID(i)}))
+	}
+	<-blocker
+	for _, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := d.Stats(); s.Merged == 0 {
+		t.Fatalf("journal appends did not merge: %+v", s)
+	}
+}

@@ -1,0 +1,157 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"redbud/internal/blockdev"
+	"redbud/internal/wire"
+)
+
+// This file implements journal checkpointing — the log-compaction machinery
+// a production MDS needs so the write-ahead journal of store.go does not
+// grow without bound. The metadata device is laid out as a superblock plus
+// two journal regions used alternately:
+//
+//	[superblock 4K][ region 0 ][ region 1 ]
+//
+// A checkpoint serializes the entire store state (Store.Snapshot) into the
+// inactive region under a new log generation, then atomically flips the
+// superblock to point at it. Stale records left in a reused region can never
+// replay: every record is stamped with its generation (journal.go), and
+// replay stops at the first foreign-generation record. A crash at any point
+// is safe — until the superblock write is durable, recovery still uses the
+// old region, which remains intact.
+
+const (
+	sbMagic = 0x52425342 // "RBSB"
+	// SuperblockSize reserves the head of the metadata device.
+	SuperblockSize = 4096
+)
+
+// ErrBadSuperblock is returned when the superblock fails validation; callers
+// usually treat this as "format a fresh log set".
+var ErrBadSuperblock = errors.New("meta: invalid superblock")
+
+// LogSet manages the superblock and two alternating journal regions.
+type LogSet struct {
+	dev        *blockdev.Device
+	regionSize int64
+
+	mu     sync.Mutex
+	gen    uint32
+	active int
+}
+
+// regionOff returns the byte offset of region i.
+func (ls *LogSet) regionOff(i int) int64 {
+	return SuperblockSize + int64(i)*ls.regionSize
+}
+
+// OpenLogSet reads (or initializes) the superblock on dev and returns the
+// log set plus the active journal, ready for replay and appends. Each of
+// the two regions is regionSize bytes.
+func OpenLogSet(dev *blockdev.Device, regionSize int64) (*LogSet, *Journal, error) {
+	if regionSize <= 0 || SuperblockSize+2*regionSize > dev.Size() {
+		return nil, nil, fmt.Errorf("meta: log set (2 x %d + %d) exceeds device size %d",
+			regionSize, SuperblockSize, dev.Size())
+	}
+	ls := &LogSet{dev: dev, regionSize: regionSize}
+	gen, active, err := ls.readSuperblock()
+	if err != nil {
+		if !errors.Is(err, ErrBadSuperblock) {
+			return nil, nil, err
+		}
+		// Fresh device (or damaged superblock): format generation 1,
+		// region 0. Region contents are ignored under the new gen.
+		gen, active = 1, 0
+		ls.gen, ls.active = gen, active
+		if err := ls.writeSuperblock(); err != nil {
+			return nil, nil, err
+		}
+	}
+	ls.gen, ls.active = gen, active
+	return ls, NewJournalGen(dev, ls.regionOff(active), regionSize, gen), nil
+}
+
+// Generation returns the current log generation.
+func (ls *LogSet) Generation() uint32 {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.gen
+}
+
+// ActiveRegion returns the index of the active region.
+func (ls *LogSet) ActiveRegion() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.active
+}
+
+// readSuperblock validates and decodes the superblock.
+func (ls *LogSet) readSuperblock() (gen uint32, active int, err error) {
+	raw, err := ls.dev.Read(0, 16)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := wire.NewReader(raw)
+	magic, g, act, sum := r.U32(), r.U32(), r.U32(), r.U32()
+	if magic != sbMagic || act > 1 {
+		return 0, 0, ErrBadSuperblock
+	}
+	if crc32.ChecksumIEEE(raw[:12]) != sum {
+		return 0, 0, fmt.Errorf("%w: checksum mismatch", ErrBadSuperblock)
+	}
+	if g == 0 {
+		return 0, 0, ErrBadSuperblock
+	}
+	return g, int(act), nil
+}
+
+// writeSuperblock persists the current (gen, active) pair. The 16-byte write
+// is atomic at the device level, which is what makes checkpoint flips safe.
+// Caller holds ls.mu or has exclusive access.
+func (ls *LogSet) writeSuperblock() error {
+	var b wire.Buffer
+	b.PutU32(sbMagic)
+	b.PutU32(ls.gen)
+	b.PutU32(uint32(ls.active))
+	b.PutU32(crc32.ChecksumIEEE(b.Bytes()))
+	return ls.dev.Write(0, b.Bytes())
+}
+
+// Checkpoint writes the snapshot records into the inactive region under a
+// new generation, flips the superblock, and returns the new active journal.
+// On any error the old journal remains the active one and is untouched.
+func (ls *LogSet) Checkpoint(snapshot []*Record) (*Journal, error) {
+	ls.mu.Lock()
+	newGen := ls.gen + 1
+	target := 1 - ls.active
+	ls.mu.Unlock()
+
+	j := NewJournalGen(ls.dev, ls.regionOff(target), ls.regionSize, newGen)
+	waits := make([]<-chan error, 0, len(snapshot))
+	for _, rec := range snapshot {
+		waits = append(waits, j.Append(rec))
+	}
+	for _, ch := range waits {
+		if err := <-ch; err != nil {
+			return nil, fmt.Errorf("meta: checkpoint write failed: %w", err)
+		}
+	}
+
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.gen = newGen
+	ls.active = target
+	if err := ls.writeSuperblock(); err != nil {
+		// Roll back in-memory state; the durable superblock still
+		// points at the old region.
+		ls.gen = newGen - 1
+		ls.active = 1 - target
+		return nil, err
+	}
+	return j, nil
+}

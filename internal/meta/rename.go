@@ -1,0 +1,74 @@
+package meta
+
+import "fmt"
+
+// Rename moves the entry srcName under srcParent to dstName under dstParent.
+// The destination must not exist (no implicit overwrite: a caller that wants
+// POSIX semantics removes the destination first, making the data-freeing
+// explicit). Renaming a directory into its own subtree is rejected.
+func (s *Store) Rename(srcParent FileID, srcName string, dstParent FileID, dstName string) error {
+	if dstName == "" || dstName == "." || dstName == ".." {
+		return fmt.Errorf("meta: invalid name %q", dstName)
+	}
+	s.mu.Lock()
+	src, ok := s.dirents[srcParent]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: parent %d", ErrNotFound, srcParent)
+	}
+	id, ok := src[srcName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, srcName)
+	}
+	dst, ok := s.dirents[dstParent]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: parent %d", ErrNotFound, dstParent)
+	}
+	if _, dup := dst[dstName]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, dstName)
+	}
+	// A directory must not become its own ancestor.
+	if s.inodes[id].typ == TypeDir {
+		for cur := dstParent; cur != RootID; {
+			if cur == id {
+				s.mu.Unlock()
+				return fmt.Errorf("meta: cannot move directory %q into its own subtree", srcName)
+			}
+			parent, ok := s.parentOf(cur)
+			if !ok {
+				break
+			}
+			cur = parent
+		}
+	}
+	s.applyRename(srcParent, srcName, dstParent, dstName, id)
+	wait := s.journalAppend(&Record{
+		Type: RecRename, File: id,
+		Parent: srcParent, Name: srcName,
+		DstParent: dstParent, DstName: dstName,
+	})
+	s.mu.Unlock()
+	return wait()
+}
+
+// applyRename mutates the namespace. Caller holds s.mu.
+func (s *Store) applyRename(srcParent FileID, srcName string, dstParent FileID, dstName string, id FileID) {
+	delete(s.dirents[srcParent], srcName)
+	s.dirents[dstParent][dstName] = id
+}
+
+// parentOf finds the directory containing inode id (linear scan; renames are
+// rare). Caller holds s.mu.
+func (s *Store) parentOf(id FileID) (FileID, bool) {
+	for dir, ents := range s.dirents {
+		for _, cid := range ents {
+			if cid == id {
+				return dir, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,145 @@
+package meta
+
+import "sort"
+
+// SetJournal atomically switches the store to append to j — the final step
+// of a checkpoint (LogSet.Checkpoint returns the new journal).
+func (s *Store) SetJournal(j *Journal) {
+	s.mu.Lock()
+	s.cfg.Journal = j
+	s.mu.Unlock()
+}
+
+// findDelegationAny returns the delegation (any owner) containing extent e.
+// Caller holds s.mu.
+func (s *Store) findDelegationAny(e Extent) *delegation {
+	for _, ds := range s.delegations {
+		for _, d := range ds {
+			if d.span.Dev == int(e.Dev) && e.VolOff >= d.span.Off && e.VolOff+e.Len <= d.span.End() {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot serializes the entire store state as a record stream that, when
+// replayed into a fresh store, reproduces it exactly: namespace creates
+// (parents before children), delegation grants, space reservations, and
+// commits. LogSet.Checkpoint writes this stream as the new compacted log.
+//
+// A snapshot alone is only safe to checkpoint if no mutations race the flip;
+// use CheckpointTo for the atomic end-to-end operation.
+func (s *Store) Snapshot() []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// CheckpointTo atomically compacts the store's log: it snapshots the state,
+// writes it into ls's inactive region, flips the superblock, and switches
+// the store's journal — all while holding the store lock, so no mutation can
+// slip between the snapshot and the flip and be lost.
+func (s *Store) CheckpointTo(ls *LogSet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := ls.Checkpoint(s.snapshotLocked())
+	if err != nil {
+		return err
+	}
+	s.cfg.Journal = j
+	return nil
+}
+
+// snapshotLocked builds the record stream. Caller holds s.mu.
+func (s *Store) snapshotLocked() []*Record {
+	var recs []*Record
+
+	// Namespace, breadth-first with sorted names for determinism.
+	var files []FileID
+	queue := []FileID{RootID}
+	for len(queue) > 0 {
+		dir := queue[0]
+		queue = queue[1:]
+		names := make([]string, 0, len(s.dirents[dir]))
+		for name := range s.dirents[dir] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cid := s.dirents[dir][name]
+			ino := s.inodes[cid]
+			recs = append(recs, &Record{Type: RecCreate, File: cid, Parent: dir, Name: name, FType: ino.typ, MTime: ino.mtime})
+			if ino.typ == TypeDir {
+				queue = append(queue, cid)
+			} else {
+				files = append(files, cid)
+			}
+		}
+	}
+
+	// Delegations, sorted by owner.
+	owners := make([]string, 0, len(s.delegations))
+	for o := range s.delegations {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	for _, o := range owners {
+		for _, d := range s.delegations[o] {
+			recs = append(recs, &Record{
+				Type: RecDelegate, Owner: o,
+				SpanDev: uint32(d.span.Dev), SpanOff: d.span.Off, SpanLen: d.span.Len,
+			})
+		}
+	}
+
+	// Per-file space: reservations (RecAlloc) for extents outside
+	// delegations, then commits. Extents inside a delegation are covered
+	// by its chunk reservation and are re-committed under the delegation
+	// owner so the `used` bookkeeping is rebuilt.
+	for _, fid := range files {
+		ino := s.inodes[fid]
+		allocByOwner := map[string][]Extent{}
+		commitByOwner := map[string][]Extent{}
+		var flip []Extent
+		for _, e := range ino.extents {
+			if d := s.findDelegationAny(e); d != nil {
+				if e.State == StateCommitted {
+					commitByOwner[d.owner] = append(commitByOwner[d.owner], e)
+				}
+				// An uncommitted extent inside a delegation cannot
+				// exist at the MDS (clients allocate those locally;
+				// the MDS first hears of them at commit time).
+				continue
+			}
+			owner := ""
+			if e.State == StateUncommitted {
+				owner = ino.pendingOwner[e.VolOff]
+			}
+			ae := e
+			ae.State = StateUncommitted
+			allocByOwner[owner] = append(allocByOwner[owner], ae)
+			if e.State == StateCommitted {
+				flip = append(flip, e)
+			}
+		}
+		for _, owner := range sortedKeys(allocByOwner) {
+			recs = append(recs, &Record{Type: RecAlloc, File: fid, Owner: owner, Extents: allocByOwner[owner]})
+		}
+		// Size and mtime ride the flip commit (emitted even when empty).
+		recs = append(recs, &Record{Type: RecCommit, File: fid, Size: ino.size, MTime: ino.mtime, Extents: flip})
+		for _, owner := range sortedKeys(commitByOwner) {
+			recs = append(recs, &Record{Type: RecCommit, File: fid, Owner: owner, Size: ino.size, MTime: ino.mtime, Extents: commitByOwner[owner]})
+		}
+	}
+	return recs
+}
+
+func sortedKeys(m map[string][]Extent) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

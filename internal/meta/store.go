@@ -1,0 +1,755 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"redbud/internal/alloc"
+	"redbud/internal/clock"
+)
+
+// Store errors.
+var (
+	ErrNotFound     = errors.New("meta: not found")
+	ErrExists       = errors.New("meta: already exists")
+	ErrNotDir       = errors.New("meta: not a directory")
+	ErrIsDir        = errors.New("meta: is a directory")
+	ErrNotEmpty     = errors.New("meta: directory not empty")
+	ErrBadCommit    = errors.New("meta: commit references unallocated space")
+	ErrNoDelegation = errors.New("meta: no such delegation")
+)
+
+// Config configures a Store.
+type Config struct {
+	AGs *alloc.AGSet
+	// Journal persists mutations; nil runs the store volatile (tests).
+	Journal *Journal
+	Clock   clock.Clock
+	// MaxSpan bounds a single allocated extent (0 = unbounded).
+	MaxSpan int64
+}
+
+// delegation is a chunk of physical space granted to one client, which
+// carves small-file extents from it locally.
+type delegation struct {
+	owner string
+	span  alloc.Span
+	// used records committed sub-ranges (relative to the device, sorted,
+	// coalesced). The complement within span is orphan space on GC.
+	used []ival
+}
+
+type ival struct{ off, end int64 }
+
+// removeIval deletes [off, end) from a sorted coalesced list, splitting
+// intervals as needed.
+func removeIval(list []ival, off, end int64) []ival {
+	if end <= off {
+		return list
+	}
+	out := list[:0:0]
+	for _, u := range list {
+		if u.end <= off || u.off >= end {
+			out = append(out, u)
+			continue
+		}
+		if u.off < off {
+			out = append(out, ival{u.off, off})
+		}
+		if u.end > end {
+			out = append(out, ival{end, u.end})
+		}
+	}
+	return out
+}
+
+// addIval inserts [off, end) into a sorted coalesced list.
+func addIval(list []ival, off, end int64) []ival {
+	i := sort.Search(len(list), func(i int) bool { return list[i].end >= off })
+	j := i
+	for j < len(list) && list[j].off <= end {
+		if list[j].off < off {
+			off = list[j].off
+		}
+		if list[j].end > end {
+			end = list[j].end
+		}
+		j++
+	}
+	out := make([]ival, 0, len(list)-(j-i)+1)
+	out = append(out, list[:i]...)
+	out = append(out, ival{off, end})
+	out = append(out, list[j:]...)
+	return out
+}
+
+// gaps returns the sub-ranges of [off, end) not covered by used.
+func gaps(off, end int64, used []ival) []ival {
+	var out []ival
+	cur := off
+	for _, u := range used {
+		if u.end <= cur {
+			continue
+		}
+		if u.off >= end {
+			break
+		}
+		if u.off > cur {
+			out = append(out, ival{cur, u.off})
+		}
+		if u.end > cur {
+			cur = u.end
+		}
+	}
+	if cur < end {
+		out = append(out, ival{cur, end})
+	}
+	return out
+}
+
+// Store is the MDS metadata state machine. All public mutating methods are
+// journaled; the journal slot is reserved while the in-memory mutation is
+// applied under the store lock, so replay order equals apply order, and the
+// method only returns once the record is durable (write-ahead rule: clients
+// never observe an acknowledgement that a crash can roll back).
+type Store struct {
+	cfg Config
+	clk clock.Clock
+
+	mu          sync.Mutex
+	inodes      map[FileID]*inode
+	dirents     map[FileID]map[string]FileID
+	nextID      FileID
+	delegations map[string][]*delegation
+}
+
+// NewStore returns a fresh store containing only the root directory.
+func NewStore(cfg Config) *Store {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real(1)
+	}
+	s := &Store{
+		cfg:         cfg,
+		clk:         cfg.Clock,
+		inodes:      make(map[FileID]*inode),
+		dirents:     make(map[FileID]map[string]FileID),
+		nextID:      RootID + 1,
+		delegations: make(map[string][]*delegation),
+	}
+	s.inodes[RootID] = &inode{id: RootID, typ: TypeDir, mtime: s.clk.Now(), nlink: 1}
+	s.dirents[RootID] = make(map[string]FileID)
+	return s
+}
+
+// journalAndWait appends rec (if a journal is configured) while the caller
+// holds s.mu, then waits for durability after the caller releases it. It
+// returns a wait function; call it with the lock dropped.
+func (s *Store) journalAppend(rec *Record) func() error {
+	if s.cfg.Journal == nil {
+		return func() error { return nil }
+	}
+	ch := s.cfg.Journal.Append(rec)
+	return func() error { return <-ch }
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+// Create makes a file or directory under parent and returns its attributes.
+func (s *Store) Create(parent FileID, name string, typ FileType) (Attr, error) {
+	if name == "" || name == "." || name == ".." {
+		return Attr{}, fmt.Errorf("meta: invalid name %q", name)
+	}
+	s.mu.Lock()
+	dir, ok := s.dirents[parent]
+	if !ok {
+		s.mu.Unlock()
+		return Attr{}, fmt.Errorf("%w: parent %d", ErrNotFound, parent)
+	}
+	if _, dup := dir[name]; dup {
+		s.mu.Unlock()
+		return Attr{}, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	id := s.nextID
+	s.nextID++
+	s.applyCreate(id, parent, name, typ, s.clk.Now())
+	attr := s.inodes[id].attr()
+	wait := s.journalAppend(&Record{Type: RecCreate, File: id, Parent: parent, Name: name, FType: typ, MTime: attr.MTime})
+	s.mu.Unlock()
+	if err := wait(); err != nil {
+		return Attr{}, err
+	}
+	return attr, nil
+}
+
+// applyCreate mutates state; caller holds s.mu.
+func (s *Store) applyCreate(id, parent FileID, name string, typ FileType, mtime time.Time) {
+	ino := &inode{id: id, typ: typ, mtime: mtime, nlink: 1, pendingOwner: make(map[int64]string)}
+	s.inodes[id] = ino
+	s.dirents[parent][name] = id
+	if typ == TypeDir {
+		s.dirents[id] = make(map[string]FileID)
+	}
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+}
+
+// Lookup resolves name under parent.
+func (s *Store) Lookup(parent FileID, name string) (Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, ok := s.dirents[parent]
+	if !ok {
+		return Attr{}, fmt.Errorf("%w: parent %d", ErrNotFound, parent)
+	}
+	id, ok := dir[name]
+	if !ok {
+		return Attr{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return s.inodes[id].attr(), nil
+}
+
+// GetAttr returns the attributes of an inode.
+func (s *Store) GetAttr(id FileID) (Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, ok := s.inodes[id]
+	if !ok {
+		return Attr{}, fmt.Errorf("%w: inode %d", ErrNotFound, id)
+	}
+	return ino.attr(), nil
+}
+
+// ReadDir lists a directory.
+func (s *Store) ReadDir(id FileID) ([]DirEnt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, ok := s.inodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: inode %d", ErrNotFound, id)
+	}
+	if ino.typ != TypeDir {
+		return nil, fmt.Errorf("%w: inode %d", ErrNotDir, id)
+	}
+	out := make([]DirEnt, 0, len(s.dirents[id]))
+	for name, cid := range s.dirents[id] {
+		child := s.inodes[cid]
+		out = append(out, DirEnt{Name: name, ID: cid, Type: child.typ, Size: child.size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Remove unlinks name under parent, freeing the file's space.
+func (s *Store) Remove(parent FileID, name string) error {
+	s.mu.Lock()
+	dir, ok := s.dirents[parent]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: parent %d", ErrNotFound, parent)
+	}
+	id, ok := dir[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	ino := s.inodes[id]
+	if ino.typ == TypeDir && len(s.dirents[id]) > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotEmpty, name)
+	}
+	freed := s.applyRemove(parent, name, id)
+	wait := s.journalAppend(&Record{Type: RecRemove, File: id, Parent: parent, Name: name})
+	s.mu.Unlock()
+	for _, sp := range freed {
+		_ = s.cfg.AGs.FreeSpan(sp)
+	}
+	return wait()
+}
+
+// applyRemove unlinks and returns the spans to free. Caller holds s.mu.
+func (s *Store) applyRemove(parent FileID, name string, id FileID) []alloc.Span {
+	ino := s.inodes[id]
+	delete(s.dirents[parent], name)
+	ino.nlink--
+	if ino.nlink > 0 {
+		return nil
+	}
+	var freed []alloc.Span
+	for _, e := range ino.extents {
+		if d := s.findDelegationAny(e); d != nil {
+			// The space stays reserved by the delegation chunk (the
+			// client's pool pointer never reuses carved ranges), but
+			// dropping it from `used` lets the delegation return or
+			// lease GC reclaim it. Without this, removed files inside
+			// delegations leak space forever.
+			d.used = removeIval(d.used, e.VolOff, e.VolOff+e.Len)
+			continue
+		}
+		freed = append(freed, alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len})
+	}
+	delete(s.inodes, id)
+	delete(s.dirents, id)
+	return freed
+}
+
+// ---------------------------------------------------------------------------
+// Layouts and commits
+
+// GetLayout returns the extents of file overlapping [off, off+n). When
+// committedOnly is set (reads from other clients), uncommitted extents are
+// hidden — the ordered-write guarantee means their data may not exist.
+func (s *Store) GetLayout(id FileID, off, n int64, committedOnly bool) (Layout, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, ok := s.inodes[id]
+	if !ok {
+		return Layout{}, fmt.Errorf("%w: inode %d", ErrNotFound, id)
+	}
+	if ino.typ != TypeFile {
+		return Layout{}, fmt.Errorf("%w: inode %d", ErrIsDir, id)
+	}
+	return Layout{File: id, Extents: ino.extentsIn(off, n, committedOnly)}, nil
+}
+
+// AllocLayout returns a layout covering [off, off+n) for writing, allocating
+// space for any uncovered gap. New extents start uncommitted and are
+// attributed to owner for orphan GC.
+func (s *Store) AllocLayout(owner string, id FileID, off, n int64) (Layout, error) {
+	s.mu.Lock()
+	ino, ok := s.inodes[id]
+	if !ok {
+		s.mu.Unlock()
+		return Layout{}, fmt.Errorf("%w: inode %d", ErrNotFound, id)
+	}
+	if ino.typ != TypeFile {
+		s.mu.Unlock()
+		return Layout{}, fmt.Errorf("%w: inode %d", ErrIsDir, id)
+	}
+	// Uncovered sub-ranges of [off, off+n).
+	var used []ival
+	for _, e := range ino.extents {
+		used = addIval(used, e.FileOff, e.End())
+	}
+	holes := gaps(off, off+n, used)
+	s.mu.Unlock()
+
+	// Allocate outside the lock (AGs have their own locks).
+	var newExts []Extent
+	for _, h := range holes {
+		spans, err := s.cfg.AGs.AllocExtents(owner, h.end-h.off, s.cfg.MaxSpan)
+		if err != nil {
+			for _, e := range newExts {
+				_ = s.cfg.AGs.FreeSpan(alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len})
+			}
+			return Layout{}, err
+		}
+		fo := h.off
+		for _, sp := range spans {
+			newExts = append(newExts, Extent{FileOff: fo, Len: sp.Len, Dev: uint32(sp.Dev), VolOff: sp.Off, State: StateUncommitted})
+			fo += sp.Len
+		}
+	}
+
+	s.mu.Lock()
+	ino, ok = s.inodes[id]
+	if !ok {
+		s.mu.Unlock()
+		for _, e := range newExts {
+			_ = s.cfg.AGs.FreeSpan(alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len})
+		}
+		return Layout{}, fmt.Errorf("%w: inode %d removed during allocation", ErrNotFound, id)
+	}
+	s.applyAlloc(ino, owner, newExts)
+	lay := Layout{File: id, Extents: ino.extentsIn(off, n, false)}
+	var wait func() error
+	if len(newExts) > 0 {
+		wait = s.journalAppend(&Record{Type: RecAlloc, File: id, Owner: owner, Extents: newExts})
+	} else {
+		wait = func() error { return nil }
+	}
+	s.mu.Unlock()
+	if err := wait(); err != nil {
+		return Layout{}, err
+	}
+	return lay, nil
+}
+
+// applyAlloc inserts uncommitted extents. Caller holds s.mu.
+func (s *Store) applyAlloc(ino *inode, owner string, exts []Extent) {
+	for _, e := range exts {
+		ino.extents = insertExtent(ino.extents, e)
+		if ino.pendingOwner == nil {
+			ino.pendingOwner = make(map[int64]string)
+		}
+		ino.pendingOwner[e.VolOff] = owner
+	}
+}
+
+// insertExtent inserts e keeping the list sorted by FileOff.
+func insertExtent(list []Extent, e Extent) []Extent {
+	i := sort.Search(len(list), func(i int) bool { return list[i].FileOff >= e.FileOff })
+	list = append(list, Extent{})
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	return list
+}
+
+// Commit marks extents committed, updating size and mtime — the metadata
+// half of an ordered write. Each extent must either match an uncommitted
+// extent previously returned by AllocLayout, or lie inside one of owner's
+// delegations (client-side allocation). Anything else is rejected: metadata
+// must never point at space the MDS didn't account.
+func (s *Store) Commit(owner string, id FileID, exts []Extent, size int64, mtime time.Time) error {
+	s.mu.Lock()
+	ino, ok := s.inodes[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: inode %d", ErrNotFound, id)
+	}
+	if ino.typ != TypeFile {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: inode %d", ErrIsDir, id)
+	}
+	if err := s.applyCommit(ino, owner, exts, size, mtime, true); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	rec := &Record{Type: RecCommit, File: id, Owner: owner, Size: size, MTime: mtime, Extents: exts}
+	wait := s.journalAppend(rec)
+	s.mu.Unlock()
+	return wait()
+}
+
+// applyCommit flips or inserts committed extents. Caller holds s.mu. When
+// strict is set, unknown extents outside delegations are rejected (runtime
+// behaviour); replay runs non-strict only for records already validated.
+func (s *Store) applyCommit(ino *inode, owner string, exts []Extent, size int64, mtime time.Time, strict bool) error {
+	// Validate first, then mutate, so a rejected commit changes nothing.
+	type action struct {
+		idx int // >= 0: flip existing extent
+		ext Extent
+		d   *delegation
+	}
+	var acts []action
+	for _, e := range exts {
+		idx := -1
+		for i, have := range ino.extents {
+			if have.VolOff == e.VolOff && have.Dev == e.Dev && have.FileOff == e.FileOff && have.Len == e.Len {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			acts = append(acts, action{idx: idx, ext: e})
+			continue
+		}
+		d := s.findDelegation(owner, e)
+		if d == nil && strict {
+			return fmt.Errorf("%w: extent dev%d[%d+%d) of file %d", ErrBadCommit, e.Dev, e.VolOff, e.Len, ino.id)
+		}
+		// Overlap with a different existing extent is a client bug.
+		for _, have := range ino.extents {
+			if e.FileOff < have.End() && have.FileOff < e.FileOff+e.Len {
+				return fmt.Errorf("%w: extent overlaps existing file range [%d+%d)", ErrBadCommit, have.FileOff, have.Len)
+			}
+		}
+		acts = append(acts, action{idx: -1, ext: e, d: d})
+	}
+	for _, a := range acts {
+		if a.idx >= 0 {
+			ino.extents[a.idx].State = StateCommitted
+			delete(ino.pendingOwner, a.ext.VolOff)
+		} else {
+			e := a.ext
+			e.State = StateCommitted
+			ino.extents = insertExtent(ino.extents, e)
+		}
+		if d := s.findDelegation(owner, a.ext); d != nil {
+			d.used = addIval(d.used, a.ext.VolOff, a.ext.VolOff+a.ext.Len)
+		}
+	}
+	if size > ino.size {
+		ino.size = size
+	}
+	if mtime.After(ino.mtime) {
+		ino.mtime = mtime
+	}
+	return nil
+}
+
+// findDelegation returns owner's delegation containing extent e, if any.
+// Caller holds s.mu.
+func (s *Store) findDelegation(owner string, e Extent) *delegation {
+	for _, d := range s.delegations[owner] {
+		if d.span.Dev == int(e.Dev) && e.VolOff >= d.span.Off && e.VolOff+e.Len <= d.span.End() {
+			return d
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Space delegation
+
+// Delegate grants owner a contiguous chunk of physical space for local
+// small-file allocation (§IV-A).
+func (s *Store) Delegate(owner string, size int64) (alloc.Span, error) {
+	sp, err := s.cfg.AGs.Alloc(owner, size)
+	if err != nil {
+		return alloc.Span{}, err
+	}
+	s.mu.Lock()
+	s.delegations[owner] = append(s.delegations[owner], &delegation{owner: owner, span: sp})
+	wait := s.journalAppend(&Record{Type: RecDelegate, Owner: owner, SpanDev: uint32(sp.Dev), SpanOff: sp.Off, SpanLen: sp.Len})
+	s.mu.Unlock()
+	if err := wait(); err != nil {
+		return alloc.Span{}, err
+	}
+	return sp, nil
+}
+
+// ReturnDelegation gives back a delegation; sub-ranges never committed are
+// freed.
+func (s *Store) ReturnDelegation(owner string, sp alloc.Span) error {
+	s.mu.Lock()
+	ds := s.delegations[owner]
+	idx := -1
+	for i, d := range ds {
+		if d.span == sp {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s %v", ErrNoDelegation, owner, sp)
+	}
+	d := ds[idx]
+	s.delegations[owner] = append(ds[:idx], ds[idx+1:]...)
+	holes := gaps(d.span.Off, d.span.End(), d.used)
+	wait := s.journalAppend(&Record{Type: RecDelegReturn, Owner: owner, SpanDev: uint32(sp.Dev), SpanOff: sp.Off, SpanLen: sp.Len})
+	s.mu.Unlock()
+	for _, h := range holes {
+		_ = s.cfg.AGs.FreeSpan(alloc.Span{Dev: sp.Dev, Off: h.off, Len: h.end - h.off})
+	}
+	return wait()
+}
+
+// ClientGone revokes everything owner holds: delegations (their never-
+// committed sub-ranges are freed) and uncommitted layout-get extents (orphan
+// space, removed from files and freed). This is the paper's orphan garbage
+// collection, triggered by lease expiry or recovery.
+func (s *Store) ClientGone(owner string) (orphanBytes int64) {
+	s.mu.Lock()
+	freed := s.applyClientGone(owner)
+	wait := s.journalAppend(&Record{Type: RecClientGone, Owner: owner})
+	s.mu.Unlock()
+	for _, sp := range freed {
+		orphanBytes += sp.Len
+		_ = s.cfg.AGs.FreeSpan(sp)
+	}
+	_ = wait()
+	return orphanBytes
+}
+
+// applyClientGone collects the spans to free. Caller holds s.mu.
+func (s *Store) applyClientGone(owner string) []alloc.Span {
+	var freed []alloc.Span
+	for _, d := range s.delegations[owner] {
+		for _, h := range gaps(d.span.Off, d.span.End(), d.used) {
+			freed = append(freed, alloc.Span{Dev: d.span.Dev, Off: h.off, Len: h.end - h.off})
+		}
+	}
+	delete(s.delegations, owner)
+	for _, ino := range s.inodes {
+		if len(ino.pendingOwner) == 0 {
+			continue
+		}
+		kept := ino.extents[:0]
+		for _, e := range ino.extents {
+			if e.State == StateUncommitted && ino.pendingOwner[e.VolOff] == owner {
+				freed = append(freed, alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len})
+				delete(ino.pendingOwner, e.VolOff)
+				continue
+			}
+			kept = append(kept, e)
+		}
+		ino.extents = kept
+	}
+	return freed
+}
+
+// Delegations returns the number of live delegations for owner (tests).
+func (s *Store) Delegations(owner string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.delegations[owner])
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+// RecoveryStats summarizes a journal replay.
+type RecoveryStats struct {
+	Records     int
+	Files       int
+	OrphanBytes int64 // space reclaimed from uncommitted allocations
+	Delegations int   // delegations revoked during GC
+	Torn        bool  // replay ended at a torn (partially written) record
+}
+
+// Recover rebuilds a store from cfg.Journal, then garbage-collects orphan
+// space: every client is presumed gone after a crash, so all uncommitted
+// allocations and all never-committed delegation sub-ranges return to the
+// free pool. The AG set in cfg must be fresh (fully free).
+func Recover(cfg Config) (*Store, RecoveryStats, error) {
+	if cfg.Journal == nil {
+		return nil, RecoveryStats{}, errors.New("meta: recovery requires a journal")
+	}
+	j := cfg.Journal
+	cfgNoJournal := cfg
+	cfgNoJournal.Journal = nil // replay must not re-journal
+	s := NewStore(cfgNoJournal)
+
+	var st RecoveryStats
+	torn, err := j.Replay(func(rec *Record) error {
+		st.Records++
+		return s.applyRecord(rec)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	st.Torn = torn
+
+	// GC pass: all owners are gone.
+	s.mu.Lock()
+	owners := make([]string, 0, len(s.delegations))
+	for o := range s.delegations {
+		owners = append(owners, o)
+		st.Delegations += len(s.delegations[o])
+	}
+	ownerSet := map[string]bool{}
+	for _, o := range owners {
+		ownerSet[o] = true
+	}
+	for _, ino := range s.inodes {
+		for _, o := range ino.pendingOwner {
+			ownerSet[o] = true
+		}
+	}
+	s.mu.Unlock()
+
+	s.cfg.Journal = cfg.Journal // journal GC records and future mutations
+	for o := range ownerSet {
+		st.OrphanBytes += s.ClientGone(o)
+	}
+	s.mu.Lock()
+	st.Files = len(s.inodes) - 1 // exclude root
+	s.mu.Unlock()
+	return s, st, nil
+}
+
+// applyRecord replays one journal record. Caller does NOT hold s.mu.
+func (s *Store) applyRecord(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch rec.Type {
+	case RecCreate:
+		if _, ok := s.dirents[rec.Parent]; !ok {
+			return fmt.Errorf("%w: replay create under missing dir %d", ErrNotFound, rec.Parent)
+		}
+		s.applyCreate(rec.File, rec.Parent, rec.Name, rec.FType, rec.MTime)
+	case RecRemove:
+		if dir, ok := s.dirents[rec.Parent]; ok {
+			if id, ok := dir[rec.Name]; ok {
+				freed := s.applyRemove(rec.Parent, rec.Name, id)
+				for _, sp := range freed {
+					_ = s.cfg.AGs.FreeSpan(sp)
+				}
+			}
+		}
+	case RecAlloc:
+		ino, ok := s.inodes[rec.File]
+		if !ok {
+			return fmt.Errorf("%w: replay alloc for missing file %d", ErrNotFound, rec.File)
+		}
+		for _, e := range rec.Extents {
+			if err := s.cfg.AGs.ReserveSpan(alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len}); err != nil {
+				return err
+			}
+		}
+		s.applyAlloc(ino, rec.Owner, rec.Extents)
+	case RecCommit:
+		ino, ok := s.inodes[rec.File]
+		if !ok {
+			// The file was later removed; nothing to do.
+			return nil
+		}
+		// Delegation-carved extents were never individually reserved;
+		// their space is covered by the RecDelegate reservation.
+		return s.applyCommit(ino, rec.Owner, rec.Extents, rec.Size, rec.MTime, false)
+	case RecDelegate:
+		sp := alloc.Span{Dev: int(rec.SpanDev), Off: rec.SpanOff, Len: rec.SpanLen}
+		if err := s.cfg.AGs.ReserveSpan(sp); err != nil {
+			return err
+		}
+		s.delegations[rec.Owner] = append(s.delegations[rec.Owner], &delegation{owner: rec.Owner, span: sp})
+	case RecDelegReturn:
+		sp := alloc.Span{Dev: int(rec.SpanDev), Off: rec.SpanOff, Len: rec.SpanLen}
+		ds := s.delegations[rec.Owner]
+		for i, d := range ds {
+			if d.span == sp {
+				s.delegations[rec.Owner] = append(ds[:i], ds[i+1:]...)
+				for _, h := range gaps(sp.Off, sp.End(), d.used) {
+					_ = s.cfg.AGs.FreeSpan(alloc.Span{Dev: sp.Dev, Off: h.off, Len: h.end - h.off})
+				}
+				break
+			}
+		}
+	case RecClientGone:
+		freed := s.applyClientGone(rec.Owner)
+		for _, sp := range freed {
+			_ = s.cfg.AGs.FreeSpan(sp)
+		}
+	case RecRename:
+		if dir, ok := s.dirents[rec.Parent]; ok {
+			if id, ok := dir[rec.Name]; ok && id == rec.File {
+				if _, ok := s.dirents[rec.DstParent]; ok {
+					s.applyRename(rec.Parent, rec.Name, rec.DstParent, rec.DstName, rec.File)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown record type %d", ErrJournalCorrupt, rec.Type)
+	}
+	return nil
+}
+
+// FileCount returns the number of inodes excluding the root.
+func (s *Store) FileCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inodes) - 1
+}
+
+// CheckConsistent verifies the global invariant behind ordered writes, via
+// the supplied durability oracle (usually blockdev.Device.IsDurable): every
+// committed extent's data must be durable. It returns the violations found.
+func (s *Store) CheckConsistent(durable func(dev int, off, n int64) bool) []Extent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bad []Extent
+	for _, ino := range s.inodes {
+		for _, e := range ino.extents {
+			if e.State == StateCommitted && !durable(int(e.Dev), e.VolOff, e.Len) {
+				bad = append(bad, e)
+			}
+		}
+	}
+	return bad
+}

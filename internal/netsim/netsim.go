@@ -1,0 +1,354 @@
+// Package netsim models the cluster's metadata Ethernet. Each host owns an
+// ingress link with finite bandwidth, a fixed per-message overhead and a
+// propagation delay; senders queue on the destination's ingress link, which
+// is what makes a flood of small RPCs congest the MDS — the effect the
+// paper's adaptive RPC compound technique attacks (k requests in one RPC pay
+// the per-message overhead once).
+//
+// The same frame-oriented Conn interface is implemented over real TCP by
+// FrameConn, so the RPC layer and everything above it run unchanged in the
+// real cmd/redbud-mds deployment.
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"redbud/internal/clock"
+	"redbud/internal/stats"
+)
+
+// Errors returned by connections and the fabric.
+var (
+	ErrClosed      = errors.New("netsim: connection closed")
+	ErrUnknownHost = errors.New("netsim: unknown host")
+	ErrFrameSize   = errors.New("netsim: frame exceeds limit")
+)
+
+// maxFrame caps a single frame (64 MiB), shared by simulated and TCP conns.
+const maxFrame = 64 << 20
+
+// Conn is a frame-oriented, bidirectional, message-preserving connection.
+// Send and Recv are each safe for concurrent use.
+type Conn interface {
+	// Send transmits one frame, blocking for its simulated transmission
+	// time (plus any queueing on the destination's ingress link).
+	Send(frame []byte) error
+	// Recv blocks for the next frame. Returns io.EOF after Close.
+	Recv() ([]byte, error)
+	// Close tears down both directions.
+	Close() error
+}
+
+// LinkConfig describes one host's ingress link.
+type LinkConfig struct {
+	// BandwidthMbps is the link rate in megabits per second.
+	BandwidthMbps float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// PerMessage is the fixed protocol/interrupt overhead per frame —
+	// the term that RPC compounding amortizes.
+	PerMessage time.Duration
+}
+
+// GigabitEthernet matches the paper's 1000 Mbps metadata network.
+func GigabitEthernet() LinkConfig {
+	return LinkConfig{BandwidthMbps: 1000, Latency: 50 * time.Microsecond, PerMessage: 30 * time.Microsecond}
+}
+
+// Instant is a free network for functional tests.
+func Instant() LinkConfig { return LinkConfig{} }
+
+// transmitTime returns the serialization time of n bytes on the link.
+func (c LinkConfig) transmitTime(n int) time.Duration {
+	if c.BandwidthMbps <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) * 8 / (c.BandwidthMbps * 1e6) * float64(time.Second))
+}
+
+// link is one host's ingress queue, with virtual-time accounting.
+type link struct {
+	cfg clock.Clock
+	lc  LinkConfig
+
+	mu       sync.Mutex
+	nextFree time.Time
+	waitEWMA time.Duration // recent queueing delay, the congestion signal
+
+	bytes stats.Counter
+	msgs  stats.Counter
+}
+
+// transmit blocks the caller for the queueing + serialization + propagation
+// time of an n-byte frame and returns the queueing delay experienced.
+func (l *link) transmit(n int) time.Duration {
+	if l.lc == (LinkConfig{}) {
+		l.msgs.Inc()
+		l.bytes.Add(int64(n))
+		return 0
+	}
+	now := l.cfg.Now()
+	dur := l.lc.PerMessage + l.lc.transmitTime(n)
+
+	l.mu.Lock()
+	start := now
+	if l.nextFree.After(start) {
+		start = l.nextFree
+	}
+	wait := start.Sub(now)
+	l.nextFree = start.Add(dur)
+	end := l.nextFree
+	// EWMA with alpha = 1/8.
+	l.waitEWMA += (wait - l.waitEWMA) / 8
+	l.mu.Unlock()
+
+	l.msgs.Inc()
+	l.bytes.Add(int64(n))
+	l.cfg.Sleep(end.Sub(now) + l.lc.Latency)
+	return wait
+}
+
+// meanWait returns the smoothed recent queueing delay.
+func (l *link) meanWait() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waitEWMA
+}
+
+// LinkStats is a snapshot of one host's ingress counters.
+type LinkStats struct {
+	Messages int64
+	Bytes    int64
+	MeanWait time.Duration
+}
+
+// Network is the simulated fabric connecting named hosts.
+type Network struct {
+	clk clock.Clock
+
+	mu        sync.Mutex
+	links     map[string]*link
+	listeners map[string]*Listener
+}
+
+// NewNetwork returns an empty fabric using clk.
+func NewNetwork(clk clock.Clock) *Network {
+	if clk == nil {
+		clk = clock.Real(1)
+	}
+	return &Network{clk: clk, links: make(map[string]*link), listeners: make(map[string]*Listener)}
+}
+
+// AddHost registers a host with the given ingress link.
+func (n *Network) AddHost(name string, lc LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[name] = &link{cfg: n.clk, lc: lc}
+}
+
+// HostStats returns the ingress counters for a host.
+func (n *Network) HostStats(name string) (LinkStats, error) {
+	n.mu.Lock()
+	l := n.links[name]
+	n.mu.Unlock()
+	if l == nil {
+		return LinkStats{}, fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	return LinkStats{Messages: l.msgs.Load(), Bytes: l.bytes.Load(), MeanWait: l.meanWait()}, nil
+}
+
+// CongestionWait returns the smoothed ingress queueing delay at a host — the
+// signal the adaptive compound controller reads.
+func (n *Network) CongestionWait(name string) time.Duration {
+	n.mu.Lock()
+	l := n.links[name]
+	n.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	return l.meanWait()
+}
+
+// Listener accepts inbound connections for one host.
+type Listener struct {
+	host   string
+	accept chan Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Listen registers (or replaces) the listener for host name. The host must
+// have been added first.
+func (n *Network) Listen(name string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.links[name] == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	l := &Listener{host: name, accept: make(chan Conn, 64), done: make(chan struct{})}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Accept blocks for the next inbound connection, or returns io.EOF after
+// Close.
+func (l *Listener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, io.EOF
+	}
+}
+
+// Close stops the listener. Established connections are unaffected.
+func (l *Listener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Dial connects from one host to another's listener, returning the
+// client-side connection half.
+func (n *Network) Dial(from, to string) (Conn, error) {
+	n.mu.Lock()
+	src, dst := n.links[from], n.links[to]
+	lis := n.listeners[to]
+	n.mu.Unlock()
+	if src == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, from)
+	}
+	if dst == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, to)
+	}
+	if lis == nil {
+		return nil, fmt.Errorf("netsim: host %q is not listening", to)
+	}
+	client, server := newPair(src, dst)
+	// Check done first: the accept channel is buffered, so a plain select
+	// could enqueue into a closed listener.
+	select {
+	case <-lis.done:
+		return nil, io.EOF
+	default:
+	}
+	select {
+	case lis.accept <- server:
+		return client, nil
+	case <-lis.done:
+		return nil, io.EOF
+	}
+}
+
+// simConn is one half of a simulated connection.
+type simConn struct {
+	ingress *link // destination's ingress link; Send pays its cost
+	in      chan []byte
+	peer    *simConn
+	done    chan struct{}
+	once    *sync.Once
+}
+
+// newPair builds the two halves of a connection between hosts with ingress
+// links src (client host) and dst (server host).
+func newPair(src, dst *link) (client, server *simConn) {
+	done := make(chan struct{})
+	once := &sync.Once{}
+	client = &simConn{ingress: dst, in: make(chan []byte, 1024), done: done, once: once}
+	server = &simConn{ingress: src, in: make(chan []byte, 1024), done: done, once: once}
+	client.peer = server
+	server.peer = client
+	return client, server
+}
+
+func (c *simConn) Send(frame []byte) error {
+	if len(frame) > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, len(frame))
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	// Copy: the caller may reuse the buffer after Send returns.
+	f := make([]byte, len(frame))
+	copy(f, frame)
+	c.ingress.transmit(len(f))
+	select {
+	case c.peer.in <- f:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *simConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-c.done:
+		// Drain anything already delivered before reporting EOF.
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (c *simConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// tcpConn adapts a net.Conn (or net.Pipe end) to the frame interface with a
+// u32 length prefix.
+type tcpConn struct {
+	c   net.Conn
+	rmu sync.Mutex
+	wmu sync.Mutex
+}
+
+// FrameConn wraps a stream connection in the frame-oriented Conn interface.
+func FrameConn(c net.Conn) Conn { return &tcpConn{c: c} }
+
+func (t *tcpConn) Send(frame []byte) error {
+	if len(frame) > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, len(frame))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(frame)
+	return err
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	f := make([]byte, n)
+	if _, err := io.ReadFull(t.c, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }

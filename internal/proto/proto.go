@@ -1,0 +1,362 @@
+// Package proto defines the metadata RPC protocol spoken between Redbud
+// clients and the MDS: operation codes and the wire encoding of every
+// request and reply. Both sides marshal with internal/wire; the RPC layer
+// (internal/rpc) carries the frames and, for delayed commit, batches several
+// OpCommit bodies into one compound frame.
+package proto
+
+import (
+	"time"
+
+	"redbud/internal/meta"
+	"redbud/internal/wire"
+)
+
+// Operation codes.
+const (
+	OpPing uint16 = iota + 1
+	OpLookup
+	OpCreate
+	OpGetAttr
+	OpReadDir
+	OpRemove
+	OpLayoutGet
+	OpCommit
+	OpDelegate
+	OpDelegReturn
+	OpStat
+	OpRename
+)
+
+// PingReq is an empty liveness probe.
+type PingReq struct{}
+
+// MarshalWire implements wire.Marshaler.
+func (*PingReq) MarshalWire(*wire.Buffer) {}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (*PingReq) UnmarshalWire(*wire.Reader) error { return nil }
+
+// LookupReq resolves Name under Parent.
+type LookupReq struct {
+	Parent meta.FileID
+	Name   string
+}
+
+func (m *LookupReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.Parent))
+	b.PutString(m.Name)
+}
+
+func (m *LookupReq) UnmarshalWire(r *wire.Reader) error {
+	m.Parent = meta.FileID(r.U64())
+	m.Name = r.String()
+	return r.Err()
+}
+
+// AttrResp carries inode attributes.
+type AttrResp struct {
+	ID    meta.FileID
+	Type  meta.FileType
+	Size  int64
+	MTime time.Time
+}
+
+func (m *AttrResp) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.ID))
+	b.PutU8(uint8(m.Type))
+	b.PutI64(m.Size)
+	b.PutTime(m.MTime)
+}
+
+func (m *AttrResp) UnmarshalWire(r *wire.Reader) error {
+	m.ID = meta.FileID(r.U64())
+	m.Type = meta.FileType(r.U8())
+	m.Size = r.I64()
+	m.MTime = r.Time()
+	return r.Err()
+}
+
+// FromAttr converts a meta.Attr.
+func FromAttr(a meta.Attr) AttrResp {
+	return AttrResp{ID: a.ID, Type: a.Type, Size: a.Size, MTime: a.MTime}
+}
+
+// Attr converts back to a meta.Attr.
+func (m *AttrResp) Attr() meta.Attr {
+	return meta.Attr{ID: m.ID, Type: m.Type, Size: m.Size, MTime: m.MTime}
+}
+
+// CreateReq creates a file or directory.
+type CreateReq struct {
+	Parent meta.FileID
+	Name   string
+	Type   meta.FileType
+}
+
+func (m *CreateReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.Parent))
+	b.PutString(m.Name)
+	b.PutU8(uint8(m.Type))
+}
+
+func (m *CreateReq) UnmarshalWire(r *wire.Reader) error {
+	m.Parent = meta.FileID(r.U64())
+	m.Name = r.String()
+	m.Type = meta.FileType(r.U8())
+	return r.Err()
+}
+
+// GetAttrReq fetches attributes by inode.
+type GetAttrReq struct{ ID meta.FileID }
+
+func (m *GetAttrReq) MarshalWire(b *wire.Buffer) { b.PutU64(uint64(m.ID)) }
+
+func (m *GetAttrReq) UnmarshalWire(r *wire.Reader) error {
+	m.ID = meta.FileID(r.U64())
+	return r.Err()
+}
+
+// ReadDirReq lists a directory.
+type ReadDirReq struct{ ID meta.FileID }
+
+func (m *ReadDirReq) MarshalWire(b *wire.Buffer) { b.PutU64(uint64(m.ID)) }
+
+func (m *ReadDirReq) UnmarshalWire(r *wire.Reader) error {
+	m.ID = meta.FileID(r.U64())
+	return r.Err()
+}
+
+// ReadDirResp carries directory entries.
+type ReadDirResp struct{ Entries []meta.DirEnt }
+
+func (m *ReadDirResp) MarshalWire(b *wire.Buffer) {
+	b.PutU32(uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		b.PutString(e.Name)
+		b.PutU64(uint64(e.ID))
+		b.PutU8(uint8(e.Type))
+		b.PutI64(e.Size)
+	}
+}
+
+func (m *ReadDirResp) UnmarshalWire(r *wire.Reader) error {
+	n := int(r.U32())
+	if r.Err() != nil || n > 1<<24 {
+		return r.Err()
+	}
+	m.Entries = make([]meta.DirEnt, 0, n)
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, meta.DirEnt{
+			Name: r.String(),
+			ID:   meta.FileID(r.U64()),
+			Type: meta.FileType(r.U8()),
+			Size: r.I64(),
+		})
+	}
+	return r.Err()
+}
+
+// RemoveReq unlinks Name under Parent.
+type RemoveReq struct {
+	Parent meta.FileID
+	Name   string
+}
+
+func (m *RemoveReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.Parent))
+	b.PutString(m.Name)
+}
+
+func (m *RemoveReq) UnmarshalWire(r *wire.Reader) error {
+	m.Parent = meta.FileID(r.U64())
+	m.Name = r.String()
+	return r.Err()
+}
+
+// RenameReq moves a directory entry.
+type RenameReq struct {
+	SrcParent meta.FileID
+	SrcName   string
+	DstParent meta.FileID
+	DstName   string
+}
+
+func (m *RenameReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.SrcParent))
+	b.PutString(m.SrcName)
+	b.PutU64(uint64(m.DstParent))
+	b.PutString(m.DstName)
+}
+
+func (m *RenameReq) UnmarshalWire(r *wire.Reader) error {
+	m.SrcParent = meta.FileID(r.U64())
+	m.SrcName = r.String()
+	m.DstParent = meta.FileID(r.U64())
+	m.DstName = r.String()
+	return r.Err()
+}
+
+// LayoutGetReq fetches (and for writes, allocates) the extent layout of a
+// file range.
+type LayoutGetReq struct {
+	Owner string
+	File  meta.FileID
+	Off   int64
+	Len   int64
+	Write bool // allocate missing extents
+}
+
+func (m *LayoutGetReq) MarshalWire(b *wire.Buffer) {
+	b.PutString(m.Owner)
+	b.PutU64(uint64(m.File))
+	b.PutI64(m.Off)
+	b.PutI64(m.Len)
+	b.PutBool(m.Write)
+}
+
+func (m *LayoutGetReq) UnmarshalWire(r *wire.Reader) error {
+	m.Owner = r.String()
+	m.File = meta.FileID(r.U64())
+	m.Off = r.I64()
+	m.Len = r.I64()
+	m.Write = r.Bool()
+	return r.Err()
+}
+
+// LayoutResp carries the extents covering the requested range.
+type LayoutResp struct {
+	File    meta.FileID
+	Size    int64
+	Extents []meta.Extent
+}
+
+func (m *LayoutResp) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.File))
+	b.PutI64(m.Size)
+	meta.PutExtents(b, m.Extents)
+}
+
+func (m *LayoutResp) UnmarshalWire(r *wire.Reader) error {
+	m.File = meta.FileID(r.U64())
+	m.Size = r.I64()
+	m.Extents = meta.GetExtents(r)
+	return r.Err()
+}
+
+// CommitReq commits extents of one file: the metadata half of an ordered
+// write. Several CommitReqs are what delayed commit packs into one compound
+// RPC.
+type CommitReq struct {
+	Owner   string
+	File    meta.FileID
+	Size    int64
+	MTime   time.Time
+	Extents []meta.Extent
+}
+
+func (m *CommitReq) MarshalWire(b *wire.Buffer) {
+	b.PutString(m.Owner)
+	b.PutU64(uint64(m.File))
+	b.PutI64(m.Size)
+	b.PutTime(m.MTime)
+	meta.PutExtents(b, m.Extents)
+}
+
+func (m *CommitReq) UnmarshalWire(r *wire.Reader) error {
+	m.Owner = r.String()
+	m.File = meta.FileID(r.U64())
+	m.Size = r.I64()
+	m.MTime = r.Time()
+	m.Extents = meta.GetExtents(r)
+	return r.Err()
+}
+
+// CommitResp acknowledges a commit.
+type CommitResp struct{ Size int64 }
+
+func (m *CommitResp) MarshalWire(b *wire.Buffer) { b.PutI64(m.Size) }
+
+func (m *CommitResp) UnmarshalWire(r *wire.Reader) error {
+	m.Size = r.I64()
+	return r.Err()
+}
+
+// DelegateReq asks for a contiguous chunk of physical space.
+type DelegateReq struct {
+	Owner string
+	Size  int64
+}
+
+func (m *DelegateReq) MarshalWire(b *wire.Buffer) {
+	b.PutString(m.Owner)
+	b.PutI64(m.Size)
+}
+
+func (m *DelegateReq) UnmarshalWire(r *wire.Reader) error {
+	m.Owner = r.String()
+	m.Size = r.I64()
+	return r.Err()
+}
+
+// SpanMsg is a physical span on the wire.
+type SpanMsg struct {
+	Dev uint32
+	Off int64
+	Len int64
+}
+
+func (m *SpanMsg) MarshalWire(b *wire.Buffer) {
+	b.PutU32(m.Dev)
+	b.PutI64(m.Off)
+	b.PutI64(m.Len)
+}
+
+func (m *SpanMsg) UnmarshalWire(r *wire.Reader) error {
+	m.Dev = r.U32()
+	m.Off = r.I64()
+	m.Len = r.I64()
+	return r.Err()
+}
+
+// DelegReturnReq gives a delegation back.
+type DelegReturnReq struct {
+	Owner string
+	Span  SpanMsg
+}
+
+func (m *DelegReturnReq) MarshalWire(b *wire.Buffer) {
+	b.PutString(m.Owner)
+	m.Span.MarshalWire(b)
+}
+
+func (m *DelegReturnReq) UnmarshalWire(r *wire.Reader) error {
+	m.Owner = r.String()
+	return m.Span.UnmarshalWire(r)
+}
+
+// StatResp reports MDS status for the adaptive compound controller.
+type StatResp struct {
+	QueueLen  int64
+	Load      uint8
+	Processed int64
+	SubOps    int64
+	Files     int64
+}
+
+func (m *StatResp) MarshalWire(b *wire.Buffer) {
+	b.PutI64(m.QueueLen)
+	b.PutU8(m.Load)
+	b.PutI64(m.Processed)
+	b.PutI64(m.SubOps)
+	b.PutI64(m.Files)
+}
+
+func (m *StatResp) UnmarshalWire(r *wire.Reader) error {
+	m.QueueLen = r.I64()
+	m.Load = r.U8()
+	m.Processed = r.I64()
+	m.SubOps = r.I64()
+	m.Files = r.I64()
+	return r.Err()
+}

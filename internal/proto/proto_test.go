@@ -1,0 +1,176 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"redbud/internal/meta"
+	"redbud/internal/wire"
+)
+
+func roundTrip(t *testing.T, in wire.Marshaler, out wire.Unmarshaler) {
+	t.Helper()
+	if err := wire.Decode(wire.Encode(in), out); err != nil {
+		t.Fatalf("%T round trip: %v", in, err)
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	roundTrip(t, &PingReq{}, &PingReq{})
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	in := &LookupReq{Parent: 7, Name: "dir entry"}
+	var out LookupReq
+	roundTrip(t, in, &out)
+	if out != *in {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestAttrRoundTripAndConversion(t *testing.T) {
+	a := meta.Attr{ID: 9, Type: meta.TypeDir, Size: 123, MTime: time.Unix(5, 6).UTC()}
+	msg := FromAttr(a)
+	var out AttrResp
+	roundTrip(t, &msg, &out)
+	back := out.Attr()
+	if back.ID != a.ID || back.Type != a.Type || back.Size != a.Size || !back.MTime.Equal(a.MTime) {
+		t.Fatalf("got %+v, want %+v", back, a)
+	}
+}
+
+func TestCreateRoundTrip(t *testing.T) {
+	in := &CreateReq{Parent: 1, Name: "f", Type: meta.TypeFile}
+	var out CreateReq
+	roundTrip(t, in, &out)
+	if out != *in {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestReadDirRoundTrip(t *testing.T) {
+	in := &ReadDirResp{Entries: []meta.DirEnt{
+		{Name: "a", ID: 2, Type: meta.TypeFile, Size: 42},
+		{Name: "b", ID: 3, Type: meta.TypeDir},
+	}}
+	var out ReadDirResp
+	roundTrip(t, in, &out)
+	if len(out.Entries) != 2 || out.Entries[0] != in.Entries[0] || out.Entries[1] != in.Entries[1] {
+		t.Fatalf("got %+v", out.Entries)
+	}
+	// Empty list.
+	var empty ReadDirResp
+	roundTrip(t, &ReadDirResp{}, &empty)
+	if len(empty.Entries) != 0 {
+		t.Fatalf("empty round trip: %+v", empty.Entries)
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	in := &LayoutResp{File: 4, Size: 9999, Extents: []meta.Extent{
+		{FileOff: 0, Len: 4096, Dev: 1, VolOff: 1 << 20, State: meta.StateCommitted},
+		{FileOff: 4096, Len: 512, Dev: 2, VolOff: 7, State: meta.StateUncommitted},
+	}}
+	var out LayoutResp
+	roundTrip(t, in, &out)
+	if out.File != 4 || out.Size != 9999 || len(out.Extents) != 2 || out.Extents[1] != in.Extents[1] {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestLayoutGetReqRoundTrip(t *testing.T) {
+	in := &LayoutGetReq{Owner: "c9", File: 11, Off: 100, Len: 200, Write: true}
+	var out LayoutGetReq
+	roundTrip(t, in, &out)
+	if out != *in {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	in := &CommitReq{Owner: "c1", File: 5, Size: 777, MTime: time.Unix(9, 0).UTC(),
+		Extents: []meta.Extent{{FileOff: 0, Len: 777, Dev: 0, VolOff: 4096}}}
+	var out CommitReq
+	roundTrip(t, in, &out)
+	if out.Owner != in.Owner || out.File != in.File || out.Size != in.Size ||
+		!out.MTime.Equal(in.MTime) || len(out.Extents) != 1 || out.Extents[0] != in.Extents[0] {
+		t.Fatalf("got %+v", out)
+	}
+	var cr CommitResp
+	roundTrip(t, &CommitResp{Size: 31}, &cr)
+	if cr.Size != 31 {
+		t.Fatalf("resp = %+v", cr)
+	}
+}
+
+func TestDelegationRoundTrips(t *testing.T) {
+	var dr DelegateReq
+	roundTrip(t, &DelegateReq{Owner: "x", Size: 16 << 20}, &dr)
+	if dr.Owner != "x" || dr.Size != 16<<20 {
+		t.Fatalf("got %+v", dr)
+	}
+	var sp SpanMsg
+	roundTrip(t, &SpanMsg{Dev: 3, Off: 9, Len: 10}, &sp)
+	if sp != (SpanMsg{Dev: 3, Off: 9, Len: 10}) {
+		t.Fatalf("got %+v", sp)
+	}
+	var ret DelegReturnReq
+	roundTrip(t, &DelegReturnReq{Owner: "y", Span: SpanMsg{Dev: 1, Off: 2, Len: 3}}, &ret)
+	if ret.Owner != "y" || ret.Span != (SpanMsg{Dev: 1, Off: 2, Len: 3}) {
+		t.Fatalf("got %+v", ret)
+	}
+}
+
+func TestStatRoundTrip(t *testing.T) {
+	in := &StatResp{QueueLen: 5, Load: 200, Processed: 6, SubOps: 7, Files: 8}
+	var out StatResp
+	roundTrip(t, in, &out)
+	if out != *in {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+// Property tests: random messages survive the codec, and random bytes never
+// panic the decoders.
+func TestQuickCommitReq(t *testing.T) {
+	f := func(owner string, file uint64, size int64, fo, l, vo int64, dev uint32, committed bool) bool {
+		st := meta.StateUncommitted
+		if committed {
+			st = meta.StateCommitted
+		}
+		in := &CommitReq{Owner: owner, File: meta.FileID(file), Size: size, MTime: time.Unix(0, 0).UTC(),
+			Extents: []meta.Extent{{FileOff: fo, Len: l, Dev: dev, VolOff: vo, State: st}}}
+		var out CommitReq
+		if err := wire.Decode(wire.Encode(in), &out); err != nil {
+			return false
+		}
+		return out.Owner == owner && out.File == meta.FileID(file) && out.Size == size &&
+			len(out.Extents) == 1 && out.Extents[0] == in.Extents[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	targets := []func() wire.Unmarshaler{
+		func() wire.Unmarshaler { return &LookupReq{} },
+		func() wire.Unmarshaler { return &AttrResp{} },
+		func() wire.Unmarshaler { return &CreateReq{} },
+		func() wire.Unmarshaler { return &ReadDirResp{} },
+		func() wire.Unmarshaler { return &LayoutGetReq{} },
+		func() wire.Unmarshaler { return &LayoutResp{} },
+		func() wire.Unmarshaler { return &CommitReq{} },
+		func() wire.Unmarshaler { return &DelegateReq{} },
+		func() wire.Unmarshaler { return &DelegReturnReq{} },
+		func() wire.Unmarshaler { return &StatResp{} },
+	}
+	f := func(raw []byte, pick uint8) bool {
+		_ = wire.Decode(raw, targets[int(pick)%len(targets)]())
+		return true // no panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package rpc
+
+import (
+	"testing"
+
+	"redbud/internal/clock"
+	"redbud/internal/netsim"
+)
+
+func benchPair(b *testing.B, daemons int) *Client {
+	b.Helper()
+	n := netsim.NewNetwork(clock.Real(1))
+	n.AddHost("c", netsim.Instant())
+	n.AddHost("s", netsim.Instant())
+	l, err := n.Listen("s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{Handler: testHandler, Daemons: daemons})
+	go srv.Serve(l)
+	conn, err := n.Dial("c", "s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := NewClient(conn, clock.Real(1))
+	b.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+		l.Close()
+	})
+	return cli
+}
+
+func BenchmarkCallEcho(b *testing.B) {
+	cli := benchPair(b, 4)
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.CallRaw(opEcho, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallParallel(b *testing.B) {
+	cli := benchPair(b, 8)
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cli.CallRaw(opEcho, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkCompoundDegree6(b *testing.B) {
+	cli := benchPair(b, 4)
+	ops := make([]SubOp, 6)
+	for i := range ops {
+		ops[i] = SubOp{Op: opEcho, Body: make([]byte, 64)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Compound(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

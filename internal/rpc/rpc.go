@@ -1,0 +1,532 @@
+// Package rpc implements the metadata RPC protocol of the simulated cluster:
+// length-framed binary messages (via internal/wire) over a netsim.Conn,
+// concurrent client calls with a pending table, a server daemon-thread pool
+// of configurable size (the "server daemon threads" axis of Figure 7), and
+// first-class compound requests that carry several operations in one network
+// frame (the "compound degree" axis).
+//
+// Every response piggybacks a one-byte server-load estimate, which the
+// client's adaptive compound controller reads to decide how aggressively to
+// batch.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redbud/internal/clock"
+	"redbud/internal/netsim"
+	"redbud/internal/stats"
+	"redbud/internal/wire"
+)
+
+// Frame kinds.
+const (
+	kindRequest  = 0
+	kindResponse = 1
+)
+
+// OpCompound is the reserved operation code for compound requests.
+const OpCompound uint16 = 0xffff
+
+// Errors.
+var (
+	ErrClientClosed = errors.New("rpc: client closed")
+	ErrServerClosed = errors.New("rpc: server closed")
+	ErrBadFrame     = errors.New("rpc: malformed frame")
+)
+
+// RemoteError is an application-level error returned by a handler.
+type RemoteError struct {
+	Op      uint16
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error on op %d: %s", e.Op, e.Message)
+}
+
+// Handler processes one operation and returns the reply payload. Handlers
+// run on server daemon threads and may block (e.g. on the metadata disk).
+type Handler func(op uint16, body []byte) ([]byte, error)
+
+// ---------------------------------------------------------------------------
+// Compound encoding
+
+// SubOp is one operation inside a compound request.
+type SubOp struct {
+	Op   uint16
+	Body []byte
+}
+
+// SubResult is one operation's outcome inside a compound reply.
+type SubResult struct {
+	Err  error
+	Body []byte
+}
+
+// encodeCompound packs sub-operations into one payload.
+func encodeCompound(ops []SubOp) []byte {
+	var b wire.Buffer
+	b.PutU16(uint16(len(ops)))
+	for _, o := range ops {
+		b.PutU16(o.Op)
+		b.PutBytes(o.Body)
+	}
+	return b.Bytes()
+}
+
+// decodeCompound unpacks a compound request payload.
+func decodeCompound(p []byte) ([]SubOp, error) {
+	r := wire.NewReader(p)
+	n := int(r.U16())
+	ops := make([]SubOp, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, SubOp{Op: r.U16(), Body: r.Bytes()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// encodeCompoundReply packs per-sub-op results.
+func encodeCompoundReply(results []SubResult) []byte {
+	var b wire.Buffer
+	b.PutU16(uint16(len(results)))
+	for _, res := range results {
+		if res.Err != nil {
+			b.PutU16(1)
+			b.PutString(res.Err.Error())
+		} else {
+			b.PutU16(0)
+			b.PutBytes(res.Body)
+		}
+	}
+	return b.Bytes()
+}
+
+// decodeCompoundReply unpacks per-sub-op results, attributing remote errors
+// to their sub-operation codes.
+func decodeCompoundReply(p []byte, ops []SubOp) ([]SubResult, error) {
+	r := wire.NewReader(p)
+	n := int(r.U16())
+	if n != len(ops) {
+		return nil, fmt.Errorf("%w: compound reply has %d results for %d ops", ErrBadFrame, n, len(ops))
+	}
+	out := make([]SubResult, 0, n)
+	for i := 0; i < n; i++ {
+		if status := r.U16(); status != 0 {
+			out = append(out, SubResult{Err: &RemoteError{Op: ops[i].Op, Message: r.String()}})
+		} else {
+			out = append(out, SubResult{Body: r.Bytes()})
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	Handler Handler
+	// Daemons is the worker pool size; Figure 7 sweeps 1, 8, 16.
+	Daemons int
+	// QueueCap bounds the incoming request queue (default 1024).
+	QueueCap int
+	// OpCost is the simulated CPU time one daemon spends per operation
+	// (per sub-operation for compounds).
+	OpCost time.Duration
+	// FrameCost is the per-RPC-frame overhead (request wakeup, decode,
+	// reply construction) paid once regardless of how many sub-operations
+	// the frame carries — the server-side saving that RPC compounding
+	// buys.
+	FrameCost time.Duration
+	// ContentionPerDaemon inflates OpCost by this fraction for every
+	// daemon beyond the first, modelling the multi-thread contention the
+	// paper sees going from 8 to 16 daemons.
+	ContentionPerDaemon float64
+	Clock               clock.Clock
+}
+
+// call is one queued request.
+type call struct {
+	conn  netsim.Conn
+	msgID uint64
+	op    uint16
+	body  []byte
+}
+
+// Server dispatches decoded requests to a fixed pool of daemon goroutines.
+type Server struct {
+	cfg    ServerConfig
+	clk    clock.Clock
+	queue  chan call
+	done   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+	connWG sync.WaitGroup
+
+	inflight  stats.Gauge
+	processed stats.Counter
+	subOps    stats.Counter
+}
+
+// NewServer starts the daemon pool and returns the server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Handler == nil {
+		panic("rpc: nil handler")
+	}
+	if cfg.Daemons <= 0 {
+		cfg.Daemons = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real(1)
+	}
+	s := &Server{cfg: cfg, clk: cfg.Clock, queue: make(chan call, cfg.QueueCap), done: make(chan struct{})}
+	for i := 0; i < cfg.Daemons; i++ {
+		s.wg.Add(1)
+		go s.daemon()
+	}
+	return s
+}
+
+// opCost returns the effective per-operation CPU time including the
+// contention penalty of a wide pool.
+func (s *Server) opCost() time.Duration {
+	c := float64(s.cfg.OpCost)
+	c *= 1 + s.cfg.ContentionPerDaemon*float64(s.cfg.Daemons-1)
+	return time.Duration(c)
+}
+
+// Load returns the current server load estimate in [0, 255]: 0 when idle,
+// saturating as queued+running work exceeds the daemon pool severalfold.
+func (s *Server) Load() uint8 {
+	outstanding := int(s.inflight.Load()) + len(s.queue)
+	load := outstanding * 64 / s.cfg.Daemons
+	if load > 255 {
+		load = 255
+	}
+	return uint8(load)
+}
+
+// Processed returns the number of RPCs completed (compound counts once).
+func (s *Server) Processed() int64 { return s.processed.Load() }
+
+// SubOps returns the number of operations executed, counting each
+// sub-operation of a compound.
+func (s *Server) SubOps() int64 { return s.subOps.Load() }
+
+// QueueLen returns the instantaneous request queue length.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Serve accepts connections from l until the listener or server closes.
+func (s *Server) Serve(l *netsim.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn reads frames from one connection until it fails or the server
+// closes.
+func (s *Server) ServeConn(conn netsim.Conn) {
+	defer conn.Close()
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(frame)
+		msgID := r.U64()
+		kind := r.U8()
+		op := r.U16()
+		if r.Err() != nil || kind != kindRequest {
+			continue // drop malformed frame
+		}
+		body := frame[len(frame)-r.Remaining():]
+		select {
+		case s.queue <- call{conn: conn, msgID: msgID, op: op, body: body}:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// daemon is one worker of the pool.
+func (s *Server) daemon() {
+	defer s.wg.Done()
+	for {
+		select {
+		case c := <-s.queue:
+			s.inflight.Add(1)
+			s.process(c)
+			s.inflight.Add(-1)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// process executes one call and sends the response.
+func (s *Server) process(c call) {
+	var payload []byte
+	var status uint16
+	var errMsg string
+
+	if s.cfg.FrameCost > 0 {
+		s.clk.Sleep(s.cfg.FrameCost)
+	}
+
+	if c.op == OpCompound {
+		ops, err := decodeCompound(c.body)
+		if err != nil {
+			status, errMsg = 1, err.Error()
+		} else {
+			results := make([]SubResult, 0, len(ops))
+			for _, o := range ops {
+				s.execCost()
+				body, err := s.cfg.Handler(o.Op, o.Body)
+				s.subOps.Inc()
+				results = append(results, SubResult{Body: body, Err: err})
+			}
+			payload = encodeCompoundReply(results)
+		}
+	} else {
+		s.execCost()
+		body, err := s.cfg.Handler(c.op, c.body)
+		s.subOps.Inc()
+		if err != nil {
+			status, errMsg = 1, err.Error()
+		} else {
+			payload = body
+		}
+	}
+	s.processed.Inc()
+
+	var b wire.Buffer
+	b.PutU64(c.msgID)
+	b.PutU8(kindResponse)
+	b.PutU16(status)
+	b.PutU8(s.Load())
+	if status != 0 {
+		b.PutString(errMsg)
+	} else {
+		b.PutBytes(payload)
+	}
+	// A failed send means the connection died; the client will see its
+	// own error. Nothing to do here.
+	_ = c.conn.Send(b.Bytes())
+}
+
+// execCost burns the simulated CPU time of one operation.
+func (s *Server) execCost() {
+	if c := s.opCost(); c > 0 {
+		s.clk.Sleep(c)
+	}
+}
+
+// Close stops the daemon pool. In-flight operations finish; queued ones are
+// dropped.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// pendingCall tracks one outstanding request.
+type pendingCall struct {
+	ch chan response
+}
+
+type response struct {
+	status  uint16
+	busy    uint8
+	payload []byte
+	err     error
+}
+
+// Client issues concurrent RPCs over one connection.
+type Client struct {
+	conn netsim.Conn
+	clk  clock.Clock
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	closed  bool
+
+	nextID atomic.Uint64
+	busy   atomic.Uint32 // last piggybacked server load
+	rttNs  atomic.Int64  // EWMA of call round-trip, nanoseconds
+
+	calls stats.Counter
+}
+
+// NewClient wraps conn and starts the response reader.
+func NewClient(conn netsim.Conn, clk clock.Clock) *Client {
+	if clk == nil {
+		clk = clock.Real(1)
+	}
+	c := &Client{conn: conn, clk: clk, pending: make(map[uint64]*pendingCall)}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		frame, err := c.conn.Recv()
+		if err != nil {
+			c.failAll(fmt.Errorf("%w: %v", ErrClientClosed, err))
+			return
+		}
+		r := wire.NewReader(frame)
+		msgID := r.U64()
+		kind := r.U8()
+		status := r.U16()
+		busy := r.U8()
+		if r.Err() != nil || kind != kindResponse {
+			continue
+		}
+		c.busy.Store(uint32(busy))
+		var resp response
+		resp.status = status
+		resp.busy = busy
+		if status != 0 {
+			resp.err = &RemoteError{Message: r.String()}
+		} else {
+			resp.payload = r.Bytes()
+		}
+		if err := r.Err(); err != nil {
+			resp.err = err
+		}
+		c.mu.Lock()
+		p := c.pending[msgID]
+		delete(c.pending, msgID)
+		c.mu.Unlock()
+		if p != nil {
+			p.ch <- resp
+		}
+	}
+}
+
+// failAll aborts every pending call with err and marks the client closed.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.closed = true
+	pend := c.pending
+	c.pending = make(map[uint64]*pendingCall)
+	c.mu.Unlock()
+	for _, p := range pend {
+		p.ch <- response{err: err}
+	}
+}
+
+// CallRaw issues op with an already-encoded body and returns the raw reply.
+func (c *Client) CallRaw(op uint16, body []byte) ([]byte, error) {
+	id := c.nextID.Add(1)
+	p := &pendingCall{ch: make(chan response, 1)}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.pending[id] = p
+	c.mu.Unlock()
+
+	var b wire.Buffer
+	b.PutU64(id)
+	b.PutU8(kindRequest)
+	b.PutU16(op)
+	b.PutRaw(body)
+
+	start := c.clk.Now()
+	if err := c.conn.Send(b.Bytes()); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp := <-p.ch
+	c.observeRTT(c.clk.Since(start))
+	c.calls.Inc()
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	return resp.payload, nil
+}
+
+// Call issues op, encoding req and decoding the reply into resp. Either may
+// be nil for empty bodies.
+func (c *Client) Call(op uint16, req wire.Marshaler, resp wire.Unmarshaler) error {
+	var body []byte
+	if req != nil {
+		body = wire.Encode(req)
+	}
+	payload, err := c.CallRaw(op, body)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return wire.Decode(payload, resp)
+}
+
+// Compound sends the sub-operations as a single network frame and returns
+// per-operation results in order.
+func (c *Client) Compound(ops []SubOp) ([]SubResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	payload, err := c.CallRaw(OpCompound, encodeCompound(ops))
+	if err != nil {
+		return nil, err
+	}
+	return decodeCompoundReply(payload, ops)
+}
+
+// observeRTT folds one sample into the RTT EWMA (alpha = 1/8).
+func (c *Client) observeRTT(d time.Duration) {
+	for {
+		old := c.rttNs.Load()
+		nw := old + (int64(d)-old)/8
+		if old == 0 {
+			nw = int64(d)
+		}
+		if c.rttNs.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// MeanRTT returns the smoothed round-trip time of recent calls.
+func (c *Client) MeanRTT() time.Duration { return time.Duration(c.rttNs.Load()) }
+
+// ServerLoad returns the most recent piggybacked server-load byte.
+func (c *Client) ServerLoad() uint8 { return uint8(c.busy.Load()) }
+
+// Calls returns the number of completed RPCs.
+func (c *Client) Calls() int64 { return c.calls.Load() }
+
+// Close tears down the connection, failing outstanding calls.
+func (c *Client) Close() error { return c.conn.Close() }

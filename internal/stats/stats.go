@@ -1,0 +1,277 @@
+// Package stats provides the lightweight metric primitives used by the
+// simulator: atomic counters and gauges, fixed-bucket latency histograms, and
+// time-series samplers. These back every number the experiment harness
+// reports (throughput, latency percentiles, merge ratios, the commit-queue /
+// commit-thread traces of Figure 6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta (may be negative) and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// DurationSum accumulates a total duration and a count, giving a cheap mean.
+type DurationSum struct {
+	sum   atomic.Int64 // nanoseconds
+	count atomic.Int64
+}
+
+// Observe records one duration.
+func (d *DurationSum) Observe(dur time.Duration) {
+	d.sum.Add(int64(dur))
+	d.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (d *DurationSum) Count() int64 { return d.count.Load() }
+
+// Total returns the accumulated duration.
+func (d *DurationSum) Total() time.Duration { return time.Duration(d.sum.Load()) }
+
+// Mean returns the average duration, or zero with no observations.
+func (d *DurationSum) Mean() time.Duration {
+	n := d.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(d.sum.Load() / n)
+}
+
+// Histogram is a concurrency-safe histogram with exponential bucket bounds,
+// intended for latency distributions. The zero value is unusable; construct
+// with NewHistogram.
+type Histogram struct {
+	bounds []float64 // upper bounds, strictly increasing
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last bucket is overflow
+	sum    float64
+	min    float64
+	max    float64
+	n      int64
+}
+
+// NewHistogram builds a histogram with nbuckets exponential buckets spanning
+// [lo, hi]. Panics on invalid arguments.
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if lo <= 0 || hi <= lo || nbuckets < 1 {
+		panic("stats: invalid histogram bounds")
+	}
+	bounds := make([]float64, nbuckets)
+	ratio := math.Pow(hi/lo, 1/float64(nbuckets-1))
+	b := lo
+	for i := range bounds {
+		bounds[i] = b
+		b *= ratio
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, nbuckets+1), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// NewLatencyHistogram builds a histogram suited to I/O latencies:
+// 1 µs .. 100 s over 64 buckets. Observations are in seconds.
+func NewLatencyHistogram() *Histogram { return NewHistogram(1e-6, 100, 64) }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) using the
+// bucket upper bounds. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// String summarizes the histogram for reports.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g p50=%.6g p99=%.6g max=%.6g",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Sample is one (time, value) point of a time series.
+type Sample struct {
+	T time.Time
+	V float64
+}
+
+// Series is an append-only concurrency-safe time series, used to record the
+// commit-queue length and commit-thread count traces of Figure 6.
+type Series struct {
+	mu   sync.Mutex
+	name string
+	data []Sample
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Record appends one sample.
+func (s *Series) Record(t time.Time, v float64) {
+	s.mu.Lock()
+	s.data = append(s.data, Sample{t, v})
+	s.mu.Unlock()
+}
+
+// Samples returns a copy of all recorded samples.
+func (s *Series) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.data))
+	copy(out, s.data)
+	return out
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Max returns the maximum sample value (0 when empty).
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := 0.0
+	for _, p := range s.data {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// Mean returns the mean sample value (0 when empty).
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.data) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.data {
+		sum += p.V
+	}
+	return sum / float64(len(s.data))
+}
+
+// Downsample returns at most n samples evenly spaced across the series,
+// always including the first and last point.
+func (s *Series) Downsample(n int) []Sample {
+	all := s.Samples()
+	if n <= 0 || len(all) <= n {
+		return all
+	}
+	out := make([]Sample, 0, n)
+	step := float64(len(all)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, all[int(math.Round(float64(i)*step))])
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if got := c.Load(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	if n := g.Add(-2); n != 3 {
+		t.Fatalf("Add returned %d, want 3", n)
+	}
+	if g.Load() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Load())
+	}
+}
+
+func TestDurationSum(t *testing.T) {
+	var d DurationSum
+	if d.Mean() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	d.Observe(2 * time.Millisecond)
+	d.Observe(4 * time.Millisecond)
+	if d.Count() != 2 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if d.Total() != 6*time.Millisecond {
+		t.Fatalf("total = %v", d.Total())
+	}
+	if d.Mean() != 3*time.Millisecond {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+}
+
+func TestHistogramInvalidArgs(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 1, 4}, {1, 1, 4}, {1, 10, 0}, {-1, 10, 4},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", c.lo, c.hi, c.n)
+				}
+			}()
+			NewHistogram(c.lo, c.hi, c.n)
+		}()
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, v := range []float64{0.001, 0.002, 0.003} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-0.002) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if h.Min() != 0.001 || h.Max() != 0.003 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not zero")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001) // 1ms
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1.0) // rare 1s outliers
+	}
+	p50 := h.Quantile(0.5)
+	p999 := h.Quantile(0.9999)
+	if p50 > 0.01 {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	if p999 < 0.5 {
+		t.Fatalf("p99.99 = %v, want ~1s", p999)
+	}
+	// Quantile clamps out-of-range q.
+	if h.Quantile(-1) <= 0 || h.Quantile(2) <= 0 {
+		t.Fatal("clamped quantiles invalid")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewLatencyHistogram()
+	f := func(vs []float64) bool {
+		for _, v := range vs {
+			h.Observe(math.Abs(v) + 1e-6)
+		}
+		last := 0.0
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.ObserveDuration(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0.5)
+	if s := h.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("queue")
+	if s.Name() != "queue" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	base := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		s.Record(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Max() != 9 {
+		t.Fatalf("max = %v", s.Max())
+	}
+	if s.Mean() != 4.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	got := s.Samples()
+	if len(got) != 10 || got[3].V != 3 {
+		t.Fatalf("samples = %v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("x")
+	if s.Max() != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Fatal("empty series stats nonzero")
+	}
+	if ds := s.Downsample(5); len(ds) != 0 {
+		t.Fatalf("downsample of empty = %v", ds)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("x")
+	base := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		s.Record(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	ds := s.Downsample(11)
+	if len(ds) != 11 {
+		t.Fatalf("downsample len = %d, want 11", len(ds))
+	}
+	if ds[0].V != 0 || ds[10].V != 99 {
+		t.Fatalf("endpoints = %v, %v; want 0, 99", ds[0].V, ds[10].V)
+	}
+	// Shorter-than-n series returned as-is.
+	if got := s.Downsample(1000); len(got) != 100 {
+		t.Fatalf("oversized downsample len = %d", len(got))
+	}
+}
+
+func TestSeriesSamplesIsCopy(t *testing.T) {
+	s := NewSeries("x")
+	s.Record(time.Unix(0, 0), 1)
+	got := s.Samples()
+	got[0].V = 42
+	if s.Samples()[0].V != 1 {
+		t.Fatal("Samples returned a view, not a copy")
+	}
+}

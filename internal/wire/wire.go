@@ -1,0 +1,235 @@
+// Package wire is the hand-rolled binary codec used by the RPC layer and the
+// MDS journal. It favours predictable, allocation-light encoding over
+// generality: fixed-width little-endian integers, length-prefixed byte
+// strings, and sticky-error readers so call sites can decode a whole message
+// and check the error once.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrTruncated is reported when a reader runs past the end of its buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLong is reported when a length prefix exceeds the sanity cap.
+var ErrTooLong = errors.New("wire: length prefix too large")
+
+// maxLen caps byte-string lengths to defend against corrupt frames.
+const maxLen = 64 << 20
+
+// Marshaler is implemented by every wire message.
+type Marshaler interface{ MarshalWire(*Buffer) }
+
+// Unmarshaler is implemented by every wire message.
+type Unmarshaler interface{ UnmarshalWire(*Reader) error }
+
+// Buffer is an append-only encoder.
+type Buffer struct{ b []byte }
+
+// NewBuffer returns a buffer with the given capacity hint.
+func NewBuffer(capacity int) *Buffer { return &Buffer{b: make([]byte, 0, capacity)} }
+
+// Bytes returns the encoded bytes. The slice aliases the buffer.
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Len returns the number of encoded bytes.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// Reset truncates the buffer for reuse.
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
+// PutU8 appends one byte.
+func (w *Buffer) PutU8(v uint8) { w.b = append(w.b, v) }
+
+// PutBool appends a boolean as one byte.
+func (w *Buffer) PutBool(v bool) {
+	if v {
+		w.PutU8(1)
+	} else {
+		w.PutU8(0)
+	}
+}
+
+// PutU16 appends a little-endian uint16.
+func (w *Buffer) PutU16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+
+// PutU32 appends a little-endian uint32.
+func (w *Buffer) PutU32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+
+// PutU64 appends a little-endian uint64.
+func (w *Buffer) PutU64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+
+// PutI64 appends a little-endian int64.
+func (w *Buffer) PutI64(v int64) { w.PutU64(uint64(v)) }
+
+// PutF64 appends an IEEE-754 float64.
+func (w *Buffer) PutF64(v float64) { w.PutU64(math.Float64bits(v)) }
+
+// PutDuration appends a duration as nanoseconds.
+func (w *Buffer) PutDuration(d time.Duration) { w.PutI64(int64(d)) }
+
+// PutTime appends a time as Unix nanoseconds.
+func (w *Buffer) PutTime(t time.Time) { w.PutI64(t.UnixNano()) }
+
+// PutRaw appends p verbatim, with no length prefix. Used for frame payloads
+// whose length is delimited by the frame itself.
+func (w *Buffer) PutRaw(p []byte) { w.b = append(w.b, p...) }
+
+// PutBytes appends a u32 length prefix followed by the bytes.
+func (w *Buffer) PutBytes(p []byte) {
+	w.PutU32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// PutString appends a length-prefixed string.
+func (w *Buffer) PutString(s string) {
+	w.PutU32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Reader is a sticky-error decoder over a byte slice.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps p for decoding. The reader does not copy p.
+func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.fail(fmt.Errorf("%w: need %d bytes, have %d", ErrTruncated, n, r.Remaining()))
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U8 decodes one byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// Bool decodes a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U16 decodes a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+// U32 decodes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 decodes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// I64 decodes a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 decodes an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Duration decodes a nanosecond duration.
+func (r *Reader) Duration() time.Duration { return time.Duration(r.I64()) }
+
+// Time decodes a Unix-nanosecond time in UTC.
+func (r *Reader) Time() time.Time { return time.Unix(0, r.I64()).UTC() }
+
+// Bytes decodes a length-prefixed byte string. The result is a copy.
+func (r *Reader) Bytes() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		r.fail(fmt.Errorf("%w: %d", ErrTooLong, n))
+		return nil
+	}
+	p := r.take(int(n))
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, p)
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxLen {
+		r.fail(fmt.Errorf("%w: %d", ErrTooLong, n))
+		return ""
+	}
+	p := r.take(int(n))
+	return string(p)
+}
+
+// Encode marshals m into a fresh byte slice.
+func Encode(m Marshaler) []byte {
+	var b Buffer
+	m.MarshalWire(&b)
+	return b.Bytes()
+}
+
+// Decode unmarshals p into m, requiring the whole buffer to be consumed.
+func Decode(p []byte, m Unmarshaler) error {
+	r := NewReader(p)
+	if err := m.UnmarshalWire(r); err != nil {
+		return err
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after decode", r.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	var b Buffer
+	b.PutU8(0xab)
+	b.PutBool(true)
+	b.PutBool(false)
+	b.PutU16(0xbeef)
+	b.PutU32(0xdeadbeef)
+	b.PutU64(0x0123456789abcdef)
+	b.PutI64(-42)
+	b.PutF64(3.5)
+	b.PutDuration(1500 * time.Millisecond)
+	ts := time.Unix(123, 456).UTC()
+	b.PutTime(ts)
+
+	r := NewReader(b.Bytes())
+	if got := r.U8(); got != 0xab {
+		t.Fatalf("u8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Fatalf("u16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("u32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Fatalf("u64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("i64 = %d", got)
+	}
+	if got := r.F64(); got != 3.5 {
+		t.Fatalf("f64 = %v", got)
+	}
+	if got := r.Duration(); got != 1500*time.Millisecond {
+		t.Fatalf("duration = %v", got)
+	}
+	if got := r.Time(); !got.Equal(ts) {
+		t.Fatalf("time = %v, want %v", got, ts)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestBytesAndString(t *testing.T) {
+	var b Buffer
+	b.PutBytes([]byte("abc"))
+	b.PutString("héllo")
+	b.PutBytes(nil)
+	r := NewReader(b.Bytes())
+	if got := r.Bytes(); string(got) != "abc" {
+		t.Fatalf("bytes = %q", got)
+	}
+	if got := r.String(); got != "héllo" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Fatalf("empty bytes = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestBytesIsCopy(t *testing.T) {
+	var b Buffer
+	b.PutBytes([]byte("abc"))
+	raw := b.Bytes()
+	r := NewReader(raw)
+	got := r.Bytes()
+	raw[4] = 'X' // mutate underlying buffer after decode
+	if string(got) != "abc" {
+		t.Fatalf("Bytes aliases input: %q", got)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.U32()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// Sticky: further reads keep the first error and return zero values.
+	if r.U64() != 0 || !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestTruncatedString(t *testing.T) {
+	var b Buffer
+	b.PutU32(100) // claims 100 bytes, provides none
+	r := NewReader(b.Bytes())
+	if got := r.String(); got != "" || !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("got %q err %v", got, r.Err())
+	}
+}
+
+func TestTooLong(t *testing.T) {
+	var b Buffer
+	b.PutU32(1 << 30)
+	r := NewReader(b.Bytes())
+	if r.Bytes() != nil || !errors.Is(r.Err(), ErrTooLong) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	r2 := NewReader(b.Bytes())
+	if r2.String() != "" || !errors.Is(r2.Err(), ErrTooLong) {
+		t.Fatalf("err = %v", r2.Err())
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(16)
+	b.PutU64(1)
+	if b.Len() != 8 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+type testMsg struct {
+	A uint32
+	B string
+	C []byte
+	D int64
+}
+
+func (m *testMsg) MarshalWire(b *Buffer) {
+	b.PutU32(m.A)
+	b.PutString(m.B)
+	b.PutBytes(m.C)
+	b.PutI64(m.D)
+}
+
+func (m *testMsg) UnmarshalWire(r *Reader) error {
+	m.A = r.U32()
+	m.B = r.String()
+	m.C = r.Bytes()
+	m.D = r.I64()
+	return nil
+}
+
+func TestEncodeDecode(t *testing.T) {
+	in := &testMsg{A: 7, B: "x", C: []byte{1, 2}, D: -9}
+	p := Encode(in)
+	var out testMsg
+	if err := Decode(p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A || out.B != in.B || string(out.C) != string(in.C) || out.D != in.D {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	p := append(Encode(&testMsg{}), 0xff)
+	var out testMsg
+	if err := Decode(p, &out); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDecodeTruncatedMessage(t *testing.T) {
+	p := Encode(&testMsg{A: 7, B: "hello"})
+	var out testMsg
+	if err := Decode(p[:3], &out); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestQuickRoundTrip property-checks the codec over random messages.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a uint32, s string, c []byte, d int64) bool {
+		in := &testMsg{A: a, B: s, C: c, D: d}
+		var out testMsg
+		if err := Decode(Encode(in), &out); err != nil {
+			return false
+		}
+		return out.A == a && out.B == s && string(out.C) == string(c) && out.D == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScalarStream property-checks interleaved scalars.
+func TestQuickScalarStream(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var b Buffer
+		for _, v := range vals {
+			b.PutU64(v)
+		}
+		r := NewReader(b.Bytes())
+		for _, v := range vals {
+			if r.U64() != v {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics feeds random garbage to the decoder.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(p []byte) bool {
+		var out testMsg
+		_ = Decode(p, &out) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"redbud/internal/clock"
+	"redbud/internal/fsapi"
+)
+
+// BTSpec parameterizes the NPB BT-IO-like benchmark: R ranks — spread over
+// the cluster's client mounts — write interleaved blocks of one shared file
+// over several steps, then the file is read back and verified. The
+// read-back hits data whose commits may still be in flight — the paper's
+// "conflict operations" (§V-C).
+type BTSpec struct {
+	Ranks     int
+	Steps     int
+	BlockSize int64 // one rank's block per step
+	Seed      int64
+}
+
+// DefaultBT matches the scale used by the harness.
+func DefaultBT(seed int64) BTSpec {
+	return BTSpec{Ranks: 4, Steps: 48, BlockSize: 64 << 10, Seed: seed}
+}
+
+// FileSize returns the total bytes written.
+func (s BTSpec) FileSize() int64 {
+	return int64(s.Ranks) * int64(s.Steps) * s.BlockSize
+}
+
+// blockOff returns the file offset of rank r's block in step st: blocks are
+// interleaved rank-major within each step, as BT's diagonal decomposition
+// produces.
+func (s BTSpec) blockOff(st, r int) int64 {
+	return (int64(st)*int64(s.Ranks) + int64(r)) * s.BlockSize
+}
+
+// marker gives each block a verifiable content byte.
+func (s BTSpec) marker(st, r int) byte {
+	return byte(st*31 + r*7 + int(s.Seed) + 1)
+}
+
+// drainer lets the benchmark flush pending delayed commits before the
+// verification read — the MPI_File_sync equivalent at the end of the write
+// phase. Redbud clients implement it.
+type drainer interface{ Drain() error }
+
+// RunBT runs the benchmark with rank r mounted on fss[r%len(fss)]. The
+// result's BytesRead covers the verification pass.
+func RunBT(fss []fsapi.FileSystem, clk clock.Clock, spec BTSpec) (Result, error) {
+	if clk == nil {
+		clk = clock.Real(1)
+	}
+	if len(fss) == 0 {
+		return Result{}, fmt.Errorf("workload: BT needs at least one mount")
+	}
+	if spec.Ranks <= 0 || spec.Steps <= 0 || spec.BlockSize <= 0 {
+		return Result{}, fmt.Errorf("workload: bad BT spec %+v", spec)
+	}
+	if err := fss[0].Mkdir("/npb"); err != nil {
+		return Result{}, err
+	}
+	const path = "/npb/btio.out"
+	f0, err := fss[0].Create(path)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Each rank opens its own handle on its mount.
+	handles := make([]fsapi.File, spec.Ranks)
+	handles[0] = f0
+	for r := 1; r < spec.Ranks; r++ {
+		if fss[r%len(fss)] == fss[0] {
+			handles[r] = f0
+			continue
+		}
+		h, err := fss[r%len(fss)].Open(path)
+		if err != nil {
+			return Result{}, err
+		}
+		handles[r] = h
+	}
+
+	start := clk.Now()
+	var ops int64
+
+	if cw, ok := f0.(fsapi.CollectiveWriter); ok {
+		// Two-phase collective I/O: the ranks' blocks of each step are
+		// aggregated and issued as one collective write.
+		for st := 0; st < spec.Steps; st++ {
+			blocks := make([]fsapi.CollectiveBlock, 0, spec.Ranks)
+			for r := 0; r < spec.Ranks; r++ {
+				blocks = append(blocks, fsapi.CollectiveBlock{
+					Off:  spec.blockOff(st, r),
+					Data: fill(spec.BlockSize, spec.marker(st, r)),
+				})
+			}
+			if err := cw.WriteCollective(blocks); err != nil {
+				return Result{}, err
+			}
+			ops++
+		}
+	} else {
+		// Independent I/O: every rank writes its own blocks.
+		for st := 0; st < spec.Steps; st++ {
+			var wg sync.WaitGroup
+			errs := make(chan error, spec.Ranks)
+			for r := 0; r < spec.Ranks; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					data := fill(spec.BlockSize, spec.marker(st, r))
+					_, err := handles[r].WriteAt(data, spec.blockOff(st, r))
+					errs <- err
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					return Result{}, err
+				}
+			}
+			ops += int64(spec.Ranks)
+		}
+	}
+
+	// End of write phase: close rank handles and drain pending commits
+	// (MPI barrier + file sync before verification).
+	closed := map[fsapi.File]bool{}
+	for _, h := range handles {
+		if !closed[h] {
+			closed[h] = true
+			if err := h.Close(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	for _, fs := range fss {
+		if d, ok := fs.(drainer); ok {
+			if err := d.Drain(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	// Verification read-back: "written data is read out into memory to
+	// verify the correctness at the end of the program" (§V-C).
+	vf, err := fss[0].Open(path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer vf.Close()
+	total := spec.FileSize()
+	buf := make([]byte, total)
+	n, err := vf.ReadAt(buf, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	if int64(n) != total {
+		return Result{}, fmt.Errorf("workload: BT read back %d of %d bytes", n, total)
+	}
+	for st := 0; st < spec.Steps; st++ {
+		for r := 0; r < spec.Ranks; r++ {
+			off := spec.blockOff(st, r)
+			want := spec.marker(st, r)
+			blk := buf[off : off+spec.BlockSize]
+			// Spot-check the fill pattern at both ends.
+			if blk[0] != want || blk[spec.BlockSize-1] != byte(spec.BlockSize-1)*13+want {
+				return Result{}, fmt.Errorf("workload: BT verify failed at step %d rank %d", st, r)
+			}
+		}
+	}
+	dur := clk.Since(start)
+	return Result{
+		Name:         "npb-bt",
+		Duration:     dur,
+		Ops:          ops,
+		BytesWritten: total,
+		BytesRead:    total,
+	}, nil
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scale shrinks a spec's op counts for fast test runs (factor in (0, 1]).
+func (s Spec) Scale(factor float64) Spec {
+	if factor <= 0 || factor > 1 {
+		return s
+	}
+	scale := func(n int) int {
+		v := int(float64(n) * factor)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	s.OpsPerThread = scale(s.OpsPerThread)
+	s.PrefillPerThread = scale(s.PrefillPerThread)
+	return s
+}
+
+// Fileserver emulates Filebench's fileserver personality: a host serving
+// whole files — creates, whole-file reads, appends, deletes and stats over a
+// ~128 KiB mean file size.
+func Fileserver(seed int64) Spec {
+	return Spec{
+		Name:             "fileserver",
+		Threads:          8,
+		OpsPerThread:     120,
+		PrefillPerThread: 20,
+		FileSize:         SizeDist{Mean: 128 << 10},
+		AppendSize:       16 << 10,
+		Mix: []OpWeight{
+			{OpCreateWrite, 30},
+			{OpRead, 30},
+			{OpAppend, 20},
+			{OpDelete, 10},
+			{OpStat, 10},
+		},
+		Think: 200 * time.Microsecond,
+		Dirs:  8,
+		Seed:  seed,
+	}
+}
+
+// Varmail emulates Filebench's varmail personality: a mail server with
+// 16 KiB messages, fsync after every delivery (create/append), balanced
+// with whole-file reads and deletes.
+func Varmail(seed int64) Spec {
+	return Spec{
+		Name:             "varmail",
+		Threads:          8,
+		OpsPerThread:     150,
+		PrefillPerThread: 30,
+		FileSize:         SizeDist{Mean: 16 << 10},
+		AppendSize:       16 << 10,
+		Mix: []OpWeight{
+			{OpCreateWrite, 25},
+			{OpRead, 25},
+			{OpAppend, 25},
+			{OpDelete, 25},
+		},
+		FsyncWrites: true,
+		Think:       200 * time.Microsecond,
+		Dirs:        4,
+		Seed:        seed,
+	}
+}
+
+// Webproxy emulates Filebench's webproxy personality: a caching proxy —
+// create-once, read-many small files with occasional eviction deletes.
+func Webproxy(seed int64) Spec {
+	return Spec{
+		Name:             "webproxy",
+		Threads:          8,
+		OpsPerThread:     150,
+		PrefillPerThread: 30,
+		FileSize:         SizeDist{Mean: 16 << 10},
+		AppendSize:       16 << 10,
+		Mix: []OpWeight{
+			{OpCreateWrite, 15},
+			{OpRead, 75},
+			{OpDelete, 5},
+			{OpStat, 5},
+		},
+		Think: 200 * time.Microsecond,
+		Dirs:  8,
+		Seed:  seed,
+	}
+}
+
+// Xcdn emulates the paper's CDN benchmark: edge servers ingesting objects of
+// one fixed size, scattered over a wide namespace, with occasional reads —
+// the workload where delayed commit shines (2.6x on 32 KiB objects).
+func Xcdn(fileSize int64, seed int64) Spec {
+	ops := 200
+	if fileSize >= 1<<20 {
+		ops = 40 // keep total bytes comparable across the size sweep
+	}
+	return Spec{
+		Name:             fmt.Sprintf("xcdn-%s", sizeName(fileSize)),
+		Threads:          8,
+		OpsPerThread:     ops,
+		PrefillPerThread: 10,
+		FileSize:         SizeDist{Mean: fileSize, Fixed: true},
+		Mix: []OpWeight{
+			{OpCreateWrite, 80},
+			{OpRead, 20},
+		},
+		Think: 100 * time.Microsecond,
+		Dirs:  32, // "randomly scattered over the whole namespace"
+		Seed:  seed,
+	}
+}
+
+func sizeName(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

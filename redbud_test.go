@@ -1,0 +1,103 @@
+package redbud
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func fastCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	cfg.FastDevices = true
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	c := fastCluster(t, Config{Clients: 2, Mode: DelayedCommit, SpaceDelegation: 16 << 20})
+	fs := c.Mount(0)
+	f, err := fs.Create("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, redbud")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Drain()
+	// The second client sees the committed file.
+	g, err := c.Mount(1).Open("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if n, err := g.ReadAt(got, 0); err != nil || n != len(msg) {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("cross-mount mismatch")
+	}
+	st := c.Stats()
+	if st.BytesWritten == 0 || st.RPCs == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSyncCommitMode(t *testing.T) {
+	c := fastCluster(t, Config{Mode: SyncCommit})
+	fs := c.Mount(0)
+	f, err := fs.Create("/sync.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Sync mode: committed without any drain.
+	info, err := fs.Stat("/sync.dat")
+	if err != nil || info.Size != 7 {
+		t.Fatalf("stat = %+v, %v", info, err)
+	}
+}
+
+func TestErrorsExported(t *testing.T) {
+	c := fastCluster(t, Config{})
+	if _, err := c.Mount(0).Open("/none"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadTimeScaleRejected(t *testing.T) {
+	if _, err := New(Config{TimeScale: 2}); err == nil {
+		t.Fatal("TimeScale 2 accepted")
+	}
+}
+
+func TestClientStatsAccessible(t *testing.T) {
+	c := fastCluster(t, Config{Mode: DelayedCommit, SpaceDelegation: 1 << 20})
+	fs := c.Mount(0)
+	for i := 0; i < 5; i++ {
+		f, err := fs.Create(fmt.Sprintf("/f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt([]byte("x"), 0)
+		f.Close()
+	}
+	c.Drain()
+	st := c.Client(0).Stats()
+	if st.Creates != 5 || st.CommitsSent == 0 || st.LocalAllocs != 5 {
+		t.Fatalf("client stats = %+v", st)
+	}
+}
