@@ -25,6 +25,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.02, "virtual-time compression in (0, 1]")
 		size    = flag.Float64("size", 0.5, "workload size factor in (0, 1]")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		mdsJSON = flag.String("json", "BENCH_mds.json", "path for the machine-readable Figure 7 report (empty disables)")
 	)
 	flag.Parse()
 
@@ -94,6 +95,12 @@ func main() {
 				return err
 			}
 			bench.PrintFig7(os.Stdout, cells)
+			if *mdsJSON != "" {
+				if err := bench.WriteMDSJSON(*mdsJSON, opt, cells); err != nil {
+					return err
+				}
+				fmt.Printf("   wrote %s\n", *mdsJSON)
+			}
 			return nil
 		})
 	}

@@ -335,9 +335,10 @@ func sparkline(s *stats.Series, width int) string {
 
 // Fig7Cell is one (daemons, degree) measurement.
 type Fig7Cell struct {
-	Daemons   int
-	Degree    int
-	PerClient float64 // MB/s of data moved per client
+	Daemons   int     `json:"daemons"`
+	Degree    int     `json:"degree"`
+	PerClient float64 `json:"per_client_mbps"` // MB/s of data moved per client
+	OpsPerSec float64 `json:"ops_per_sec"`     // workload operations per virtual second, all clients
 }
 
 // Fig7 sweeps server daemon threads {1, 8, 16} against compound degree
@@ -363,6 +364,7 @@ func Fig7(opt Options) ([]Fig7Cell, error) {
 				Daemons:   daemons,
 				Degree:    degree,
 				PerClient: res.MBps() / float64(opt.Clients),
+				OpsPerSec: res.Throughput(),
 			})
 		}
 	}

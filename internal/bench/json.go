@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// MDSReport is the machine-readable form of the Figure 7 sweep, written by
+// cmd/redbud-bench for CI and regression tracking.
+type MDSReport struct {
+	Figure  string     `json:"figure"`
+	Clients int        `json:"clients"`
+	Scale   float64    `json:"scale"`
+	Size    float64    `json:"size_factor"`
+	Cells   []Fig7Cell `json:"cells"`
+}
+
+// WriteMDSJSON serializes the Figure 7 cells (ops/sec and per-client MB/s per
+// daemon-count/compound-degree pair) to path as indented JSON.
+func WriteMDSJSON(path string, opt Options, cells []Fig7Cell) error {
+	rep := MDSReport{
+		Figure:  "7",
+		Clients: opt.Clients,
+		Scale:   opt.Scale,
+		Size:    opt.SizeFactor,
+		Cells:   cells,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -9,6 +9,7 @@ package mds
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redbud/internal/alloc"
@@ -51,8 +52,11 @@ type Server struct {
 	clk   clock.Clock
 	cfg   Config
 
-	mu       sync.Mutex
-	lastSeen map[string]time.Time
+	// lastSeen maps owner -> *atomic.Int64 (UnixNano of last activity).
+	// touch runs on every RPC across all daemon threads; after the first
+	// request from an owner it is a lock-free load + atomic store, rather
+	// than every daemon serializing on one mutex.
+	lastSeen sync.Map
 }
 
 // New builds the MDS and its RPC daemon pool.
@@ -63,7 +67,7 @@ func New(cfg Config) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real(1)
 	}
-	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg, lastSeen: make(map[string]time.Time)}
+	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg}
 	s.rpc = rpc.NewServer(rpc.ServerConfig{
 		Handler:             s.handle,
 		Daemons:             cfg.Daemons,
@@ -95,9 +99,13 @@ func (s *Server) touch(owner string) {
 	if owner == "" || s.cfg.LeaseTimeout <= 0 {
 		return
 	}
-	s.mu.Lock()
-	s.lastSeen[owner] = s.clk.Now()
-	s.mu.Unlock()
+	now := s.clk.Now().UnixNano()
+	if v, ok := s.lastSeen.Load(owner); ok {
+		v.(*atomic.Int64).Store(now)
+		return
+	}
+	v, _ := s.lastSeen.LoadOrStore(owner, new(atomic.Int64))
+	v.(*atomic.Int64).Store(now)
 }
 
 // ExpireLeases revokes clients idle longer than the lease timeout, returning
@@ -108,17 +116,17 @@ func (s *Server) ExpireLeases() int64 {
 		return 0
 	}
 	now := s.clk.Now()
-	s.mu.Lock()
 	var expired []string
-	for owner, seen := range s.lastSeen {
+	s.lastSeen.Range(func(key, value any) bool {
+		seen := time.Unix(0, value.(*atomic.Int64).Load())
 		if now.Sub(seen) > s.cfg.LeaseTimeout {
-			expired = append(expired, owner)
-			delete(s.lastSeen, owner)
+			expired = append(expired, key.(string))
 		}
-	}
-	s.mu.Unlock()
+		return true
+	})
 	var reclaimed int64
 	for _, owner := range expired {
+		s.lastSeen.Delete(owner)
 		reclaimed += s.store.ClientGone(owner)
 	}
 	return reclaimed

@@ -41,8 +41,8 @@ func (r FsckReport) String() string {
 //
 // totalSpace is the capacity the AG set was built over.
 func (s *Store) Fsck(totalSpace int64) FsckReport {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.Lock()
+	defer s.ns.Unlock()
 	var r FsckReport
 
 	// 1. Namespace reachability.

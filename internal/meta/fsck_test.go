@@ -116,11 +116,11 @@ func TestFsckDetectsCorruptExtents(t *testing.T) {
 	// Corrupt in-memory state directly: duplicate a physical extent under
 	// another file.
 	b, _ := s.Create(RootID, "g", TypeFile)
-	s.mu.Lock()
+	s.ns.Lock()
 	src := s.inodes[a.ID].extents[0]
 	dup := src
 	s.inodes[b.ID].extents = append(s.inodes[b.ID].extents, dup)
-	s.mu.Unlock()
+	s.ns.Unlock()
 	r := s.Fsck(total)
 	if r.OK() {
 		t.Fatal("fsck missed physical double-reference")
@@ -139,9 +139,9 @@ func TestFsckDetectsCorruptExtents(t *testing.T) {
 func TestFsckDetectsDanglingEntry(t *testing.T) {
 	s, total := fsckStore(t)
 	a, _ := s.Create(RootID, "f", TypeFile)
-	s.mu.Lock()
+	s.ns.Lock()
 	delete(s.inodes, a.ID) // corrupt: entry without inode
-	s.mu.Unlock()
+	s.ns.Unlock()
 	if r := s.Fsck(total); r.OK() {
 		t.Fatal("fsck missed dangling entry")
 	}

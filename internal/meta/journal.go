@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -95,10 +96,15 @@ const (
 	recHeaderSize = 16         // magic u32 + gen u32 + len u32 + crc u32
 )
 
-// Journal is a write-ahead log stored in a region of the metadata device.
-// Appends are asynchronous device writes; because successive records are
-// physically sequential, the device elevator merges them — the journal gets
-// group commit for free once delayed commit batches metadata updates.
+// Journal is a write-ahead log stored in a region of the metadata device,
+// with group commit: concurrent Append calls coalesce into a single device
+// write. The first appender to find no flush in progress becomes the batch
+// leader and drains the accumulation buffer to the device; records appended
+// while a flush is in flight pile into the next batch and ride the next
+// write. Batches are flushed strictly in log order by a single flusher at a
+// time, and every waiter is signalled only after its batch is durable, so the
+// write-ahead rule is untouched — the log can never contain an acknowledged
+// record with a hole before it.
 type Journal struct {
 	dev   *blockdev.Device
 	start int64
@@ -109,8 +115,16 @@ type Journal struct {
 	// records left in a reused region can never be replayed.
 	gen uint32
 
-	mu   sync.Mutex
-	tail int64 // relative offset of the next record
+	mu       sync.Mutex
+	tail     int64          // relative offset of the next record
+	flushOff int64          // relative offset of the first unflushed byte
+	pending  []byte         // framed records awaiting the next device write
+	waiters  []chan<- error // one per pending record, in log order
+	flushing bool           // a leader is draining batches
+	spare    []byte         // recycled accumulation buffer
+
+	appends int64 // records appended (stats)
+	batches int64 // device writes issued (stats)
 }
 
 // NewJournal manages [start, start+size) of dev as a generation-0 journal.
@@ -135,31 +149,97 @@ func (j *Journal) Tail() int64 {
 	return j.tail
 }
 
-// Append encodes rec, reserves journal space, and issues the device write.
-// The returned channel yields once the record is durable. Callers must wait
-// on it before acknowledging the operation to a client (write-ahead rule).
+// Append encodes rec, reserves journal space, and schedules the record for
+// the next group-commit batch. The returned channel yields once the record is
+// durable. Callers must wait on it before acknowledging the operation to a
+// client (write-ahead rule). The journal-slot reservation order (the order
+// concurrent Appends pass through the internal lock) is the replay order;
+// store methods reserve their slot while holding the lock that ordered the
+// mutation, so replay order equals apply order.
 func (j *Journal) Append(rec *Record) <-chan error {
-	payload := wire.Encode(rec)
-	var b wire.Buffer
-	b.PutU32(journalMagic)
-	b.PutU32(j.gen)
-	b.PutU32(uint32(len(payload)))
-	b.PutU32(crc32.ChecksumIEEE(payload))
-	b.PutRaw(payload)
-	frame := b.Bytes()
+	ch := make(chan error, 1)
+	pb := wire.GetBuffer()
+	rec.MarshalWire(pb)
+	payload := pb.Bytes()
+	crc := crc32.ChecksumIEEE(payload)
+	need := int64(recHeaderSize + len(payload))
 
 	j.mu.Lock()
-	off := j.tail
-	if off+int64(len(frame)) > j.size {
+	if j.tail+need > j.size {
+		used := j.tail
 		j.mu.Unlock()
-		ch := make(chan error, 1)
-		ch <- fmt.Errorf("%w: %d of %d bytes used", ErrJournalFull, off, j.size)
+		wire.PutBuffer(pb)
+		ch <- fmt.Errorf("%w: %d of %d bytes used", ErrJournalFull, used, j.size)
 		return ch
 	}
-	j.tail += int64(len(frame))
+	if j.pending == nil && j.spare != nil {
+		j.pending, j.spare = j.spare[:0], nil
+	}
+	j.pending = binary.LittleEndian.AppendUint32(j.pending, journalMagic)
+	j.pending = binary.LittleEndian.AppendUint32(j.pending, j.gen)
+	j.pending = binary.LittleEndian.AppendUint32(j.pending, uint32(len(payload)))
+	j.pending = binary.LittleEndian.AppendUint32(j.pending, crc)
+	j.pending = append(j.pending, payload...)
+	j.waiters = append(j.waiters, ch)
+	j.tail += need
+	j.appends++
+	lead := !j.flushing
+	if lead {
+		j.flushing = true
+	}
 	j.mu.Unlock()
+	wire.PutBuffer(pb)
 
-	return j.dev.WriteAsync(j.start+off, frame)
+	if lead {
+		go j.flushBatches()
+	}
+	return ch
+}
+
+// flushBatches is the group-commit leader loop: it repeatedly swaps out the
+// accumulation buffer, issues one device write for the whole batch, and
+// signals the batch's waiters once it is durable. Records appended while a
+// write is in flight accumulate into the next batch, so under concurrency the
+// per-request device overhead is paid once per batch, not once per record.
+func (j *Journal) flushBatches() {
+	for {
+		j.mu.Lock()
+		if len(j.pending) == 0 {
+			j.flushing = false
+			j.mu.Unlock()
+			return
+		}
+		buf := j.pending
+		waiters := j.waiters
+		off := j.flushOff
+		j.pending = nil
+		j.waiters = nil
+		j.flushOff = off + int64(len(buf))
+		j.batches++
+		j.mu.Unlock()
+
+		// WriteAsync copies buf before returning its channel, so the
+		// buffer can be recycled as soon as the write is submitted.
+		done := j.dev.WriteAsync(j.start+off, buf)
+		j.mu.Lock()
+		if j.pending == nil && j.spare == nil {
+			j.spare = buf[:0]
+		}
+		j.mu.Unlock()
+
+		err := <-done
+		for _, ch := range waiters {
+			ch <- err
+		}
+	}
+}
+
+// GroupCommitStats returns the number of records appended and the number of
+// device writes issued for them; appends/batches is the amortization factor.
+func (j *Journal) GroupCommitStats() (appends, batches int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends, j.batches
 }
 
 // Replay reads the journal from the device, invoking fn for every valid
@@ -180,6 +260,7 @@ func (j *Journal) Replay(fn func(*Record) error) (torn bool, err error) {
 		if err == nil {
 			j.mu.Lock()
 			j.tail = off
+			j.flushOff = off
 			j.mu.Unlock()
 		}
 	}()

@@ -172,16 +172,18 @@ func TestJournalReplayCallbackError(t *testing.T) {
 	}
 }
 
-func TestJournalSequentialAppendsMergeOnDevice(t *testing.T) {
-	// The whole point of the journal layout: sequential appends merge in
-	// the device elevator when issued back-to-back.
+func TestJournalGroupCommitBatches(t *testing.T) {
+	// Appends issued while a flush is in flight must coalesce into one
+	// device write — even with the elevator's merging disabled, so the
+	// amortization is the journal's own, not the device's.
 	d := blockdev.New(blockdev.Config{
-		Size:  64 << 20,
-		Model: blockdev.DiskModel{SeekBase: 20 * time.Millisecond, BandwidthMBps: 200},
-		Clock: clock.Real(0.05),
+		Size:         64 << 20,
+		Model:        blockdev.DiskModel{SeekBase: 20 * time.Millisecond, BandwidthMBps: 200},
+		DisableMerge: true,
+		Clock:        clock.Real(0.05),
 	})
 	defer d.Close()
-	// Blocker keeps the head busy while appends queue.
+	// Blocker keeps the head busy while appends accumulate.
 	blocker := d.WriteAsync(32<<20, make([]byte, 64))
 	j := NewJournal(d, 0, 16<<20)
 	var chans []<-chan error
@@ -194,7 +196,19 @@ func TestJournalSequentialAppendsMergeOnDevice(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if s := d.Stats(); s.Merged == 0 {
-		t.Fatalf("journal appends did not merge: %+v", s)
+	appends, batches := j.GroupCommitStats()
+	if appends != 16 {
+		t.Fatalf("appends = %d, want 16", appends)
+	}
+	if batches >= appends {
+		t.Fatalf("no group commit: %d batches for %d appends", batches, appends)
+	}
+	// The batched log must replay exactly like a record-at-a-time one.
+	count := 0
+	if torn, err := NewJournal(d, 0, 16<<20).Replay(func(*Record) error { count++; return nil }); err != nil || torn {
+		t.Fatal(torn, err)
+	}
+	if count != 16 {
+		t.Fatalf("replayed %d records, want 16", count)
 	}
 }

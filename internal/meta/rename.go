@@ -10,31 +10,31 @@ func (s *Store) Rename(srcParent FileID, srcName string, dstParent FileID, dstNa
 	if dstName == "" || dstName == "." || dstName == ".." {
 		return fmt.Errorf("meta: invalid name %q", dstName)
 	}
-	s.mu.Lock()
+	s.ns.Lock()
 	src, ok := s.dirents[srcParent]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return fmt.Errorf("%w: parent %d", ErrNotFound, srcParent)
 	}
 	id, ok := src[srcName]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, srcName)
 	}
 	dst, ok := s.dirents[dstParent]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return fmt.Errorf("%w: parent %d", ErrNotFound, dstParent)
 	}
 	if _, dup := dst[dstName]; dup {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return fmt.Errorf("%w: %q", ErrExists, dstName)
 	}
 	// A directory must not become its own ancestor.
 	if s.inodes[id].typ == TypeDir {
 		for cur := dstParent; cur != RootID; {
 			if cur == id {
-				s.mu.Unlock()
+				s.ns.Unlock()
 				return fmt.Errorf("meta: cannot move directory %q into its own subtree", srcName)
 			}
 			parent, ok := s.parentOf(cur)
@@ -50,18 +50,18 @@ func (s *Store) Rename(srcParent FileID, srcName string, dstParent FileID, dstNa
 		Parent: srcParent, Name: srcName,
 		DstParent: dstParent, DstName: dstName,
 	})
-	s.mu.Unlock()
+	s.ns.Unlock()
 	return wait()
 }
 
-// applyRename mutates the namespace. Caller holds s.mu.
+// applyRename mutates the namespace. Caller holds ns exclusively.
 func (s *Store) applyRename(srcParent FileID, srcName string, dstParent FileID, dstName string, id FileID) {
 	delete(s.dirents[srcParent], srcName)
 	s.dirents[dstParent][dstName] = id
 }
 
 // parentOf finds the directory containing inode id (linear scan; renames are
-// rare). Caller holds s.mu.
+// rare). Caller holds ns exclusively.
 func (s *Store) parentOf(id FileID) (FileID, bool) {
 	for dir, ents := range s.dirents {
 		for _, cid := range ents {

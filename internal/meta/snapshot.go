@@ -5,13 +5,13 @@ import "sort"
 // SetJournal atomically switches the store to append to j — the final step
 // of a checkpoint (LogSet.Checkpoint returns the new journal).
 func (s *Store) SetJournal(j *Journal) {
-	s.mu.Lock()
+	s.ns.Lock()
 	s.cfg.Journal = j
-	s.mu.Unlock()
+	s.ns.Unlock()
 }
 
 // findDelegationAny returns the delegation (any owner) containing extent e.
-// Caller holds s.mu.
+// Caller holds ns exclusively.
 func (s *Store) findDelegationAny(e Extent) *delegation {
 	for _, ds := range s.delegations {
 		for _, d := range ds {
@@ -31,8 +31,8 @@ func (s *Store) findDelegationAny(e Extent) *delegation {
 // A snapshot alone is only safe to checkpoint if no mutations race the flip;
 // use CheckpointTo for the atomic end-to-end operation.
 func (s *Store) Snapshot() []*Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.Lock()
+	defer s.ns.Unlock()
 	return s.snapshotLocked()
 }
 
@@ -41,8 +41,8 @@ func (s *Store) Snapshot() []*Record {
 // the store's journal — all while holding the store lock, so no mutation can
 // slip between the snapshot and the flip and be lost.
 func (s *Store) CheckpointTo(ls *LogSet) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.Lock()
+	defer s.ns.Unlock()
 	j, err := ls.Checkpoint(s.snapshotLocked())
 	if err != nil {
 		return err
@@ -51,7 +51,7 @@ func (s *Store) CheckpointTo(ls *LogSet) error {
 	return nil
 }
 
-// snapshotLocked builds the record stream. Caller holds s.mu.
+// snapshotLocked builds the record stream. Caller holds ns exclusively.
 func (s *Store) snapshotLocked() []*Record {
 	var recs []*Record
 

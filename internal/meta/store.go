@@ -37,6 +37,11 @@ type Config struct {
 type delegation struct {
 	owner string
 	span  alloc.Span
+	// mu guards used against concurrent commits, which run under the
+	// shared namespace lock. Holders of the exclusive namespace lock may
+	// access used directly: every mutator holds at least the shared lock,
+	// so exclusive acquisition quiesces them all.
+	mu sync.Mutex
 	// used records committed sub-ranges (relative to the device, sorted,
 	// coalesced). The complement within span is orphan space on GC.
 	used []ival
@@ -110,20 +115,55 @@ func gaps(off, end int64, used []ival) []ival {
 	return out
 }
 
+// inodeStripes is the size of the per-inode lock stripe array. FileIDs are
+// assigned sequentially, so a burst of commits to recently created files
+// lands on distinct stripes.
+const inodeStripes = 64
+
 // Store is the MDS metadata state machine. All public mutating methods are
 // journaled; the journal slot is reserved while the in-memory mutation is
-// applied under the store lock, so replay order equals apply order, and the
-// method only returns once the record is durable (write-ahead rule: clients
-// never observe an acknowledgement that a crash can roll back).
+// applied under the lock that ordered it, so replay order equals apply order,
+// and the method only returns once the record is durable (write-ahead rule:
+// clients never observe an acknowledgement that a crash can roll back).
+//
+// Concurrency model (lock order: namespace -> inode stripe -> delegation ->
+// journal reservation):
+//
+//   - ns guards the map structure (inodes, dirents, nextID, delegations) and
+//     is the operation-ordering lock. Namespace mutations (Create, Remove,
+//     Rename), delegation grant/return/revoke, and whole-store passes
+//     (snapshot, checkpoint, replay, fsck) take it exclusively. Per-inode
+//     operations — the commit hot path — take it shared, so commits to
+//     different files never queue behind one another on it.
+//   - stripes[id%inodeStripes] guards one inode's mutable content (extents,
+//     pendingOwner, size, mtime). It is only acquired while holding ns;
+//     because every content mutator holds at least ns.RLock, an exclusive
+//     ns holder owns all inode content and skips stripe locks entirely.
+//   - delegation.mu guards the delegation's used list against concurrent
+//     commits (see the field comment).
+//
+// Operations on the same inode serialize on its stripe and reserve their
+// journal slots in that order; operations on different inodes commute, so
+// their relative journal order is irrelevant to replay. Cross-inode ordering
+// that does matter (create before first commit, every per-file record before
+// its remove, delegate before commits into the chunk) is inherited from the
+// namespace lock: the exclusive holder reserves its slot before releasing,
+// and shared holders can only observe its effects afterwards.
 type Store struct {
 	cfg Config
 	clk clock.Clock
 
-	mu          sync.Mutex
+	ns          sync.RWMutex
+	stripes     [inodeStripes]sync.RWMutex
 	inodes      map[FileID]*inode
 	dirents     map[FileID]map[string]FileID
 	nextID      FileID
 	delegations map[string][]*delegation
+}
+
+// stripe returns the content lock of inode id.
+func (s *Store) stripe(id FileID) *sync.RWMutex {
+	return &s.stripes[uint64(id)%inodeStripes]
 }
 
 // NewStore returns a fresh store containing only the root directory.
@@ -144,9 +184,10 @@ func NewStore(cfg Config) *Store {
 	return s
 }
 
-// journalAndWait appends rec (if a journal is configured) while the caller
-// holds s.mu, then waits for durability after the caller releases it. It
-// returns a wait function; call it with the lock dropped.
+// journalAppend appends rec (if a journal is configured) while the caller
+// holds the lock that ordered the mutation, then waits for durability after
+// the caller releases it. It returns a wait function; call it with the lock
+// dropped.
 func (s *Store) journalAppend(rec *Record) func() error {
 	if s.cfg.Journal == nil {
 		return func() error { return nil }
@@ -163,14 +204,14 @@ func (s *Store) Create(parent FileID, name string, typ FileType) (Attr, error) {
 	if name == "" || name == "." || name == ".." {
 		return Attr{}, fmt.Errorf("meta: invalid name %q", name)
 	}
-	s.mu.Lock()
+	s.ns.Lock()
 	dir, ok := s.dirents[parent]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return Attr{}, fmt.Errorf("%w: parent %d", ErrNotFound, parent)
 	}
 	if _, dup := dir[name]; dup {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return Attr{}, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	id := s.nextID
@@ -178,14 +219,14 @@ func (s *Store) Create(parent FileID, name string, typ FileType) (Attr, error) {
 	s.applyCreate(id, parent, name, typ, s.clk.Now())
 	attr := s.inodes[id].attr()
 	wait := s.journalAppend(&Record{Type: RecCreate, File: id, Parent: parent, Name: name, FType: typ, MTime: attr.MTime})
-	s.mu.Unlock()
+	s.ns.Unlock()
 	if err := wait(); err != nil {
 		return Attr{}, err
 	}
 	return attr, nil
 }
 
-// applyCreate mutates state; caller holds s.mu.
+// applyCreate mutates state; caller holds ns exclusively.
 func (s *Store) applyCreate(id, parent FileID, name string, typ FileType, mtime time.Time) {
 	ino := &inode{id: id, typ: typ, mtime: mtime, nlink: 1, pendingOwner: make(map[int64]string)}
 	s.inodes[id] = ino
@@ -200,8 +241,8 @@ func (s *Store) applyCreate(id, parent FileID, name string, typ FileType, mtime 
 
 // Lookup resolves name under parent.
 func (s *Store) Lookup(parent FileID, name string) (Attr, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.RLock()
+	defer s.ns.RUnlock()
 	dir, ok := s.dirents[parent]
 	if !ok {
 		return Attr{}, fmt.Errorf("%w: parent %d", ErrNotFound, parent)
@@ -210,24 +251,32 @@ func (s *Store) Lookup(parent FileID, name string) (Attr, error) {
 	if !ok {
 		return Attr{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return s.inodes[id].attr(), nil
+	st := s.stripe(id)
+	st.RLock()
+	attr := s.inodes[id].attr()
+	st.RUnlock()
+	return attr, nil
 }
 
 // GetAttr returns the attributes of an inode.
 func (s *Store) GetAttr(id FileID) (Attr, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.RLock()
+	defer s.ns.RUnlock()
 	ino, ok := s.inodes[id]
 	if !ok {
 		return Attr{}, fmt.Errorf("%w: inode %d", ErrNotFound, id)
 	}
-	return ino.attr(), nil
+	st := s.stripe(id)
+	st.RLock()
+	attr := ino.attr()
+	st.RUnlock()
+	return attr, nil
 }
 
 // ReadDir lists a directory.
 func (s *Store) ReadDir(id FileID) ([]DirEnt, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.RLock()
+	defer s.ns.RUnlock()
 	ino, ok := s.inodes[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: inode %d", ErrNotFound, id)
@@ -238,7 +287,11 @@ func (s *Store) ReadDir(id FileID) ([]DirEnt, error) {
 	out := make([]DirEnt, 0, len(s.dirents[id]))
 	for name, cid := range s.dirents[id] {
 		child := s.inodes[cid]
-		out = append(out, DirEnt{Name: name, ID: cid, Type: child.typ, Size: child.size})
+		st := s.stripe(cid)
+		st.RLock()
+		size := child.size
+		st.RUnlock()
+		out = append(out, DirEnt{Name: name, ID: cid, Type: child.typ, Size: size})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
@@ -246,32 +299,33 @@ func (s *Store) ReadDir(id FileID) ([]DirEnt, error) {
 
 // Remove unlinks name under parent, freeing the file's space.
 func (s *Store) Remove(parent FileID, name string) error {
-	s.mu.Lock()
+	s.ns.Lock()
 	dir, ok := s.dirents[parent]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return fmt.Errorf("%w: parent %d", ErrNotFound, parent)
 	}
 	id, ok := dir[name]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	ino := s.inodes[id]
 	if ino.typ == TypeDir && len(s.dirents[id]) > 0 {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotEmpty, name)
 	}
 	freed := s.applyRemove(parent, name, id)
 	wait := s.journalAppend(&Record{Type: RecRemove, File: id, Parent: parent, Name: name})
-	s.mu.Unlock()
+	s.ns.Unlock()
 	for _, sp := range freed {
 		_ = s.cfg.AGs.FreeSpan(sp)
 	}
 	return wait()
 }
 
-// applyRemove unlinks and returns the spans to free. Caller holds s.mu.
+// applyRemove unlinks and returns the spans to free. Caller holds ns
+// exclusively.
 func (s *Store) applyRemove(parent FileID, name string, id FileID) []alloc.Span {
 	ino := s.inodes[id]
 	delete(s.dirents[parent], name)
@@ -304,8 +358,8 @@ func (s *Store) applyRemove(parent FileID, name string, id FileID) []alloc.Span 
 // committedOnly is set (reads from other clients), uncommitted extents are
 // hidden — the ordered-write guarantee means their data may not exist.
 func (s *Store) GetLayout(id FileID, off, n int64, committedOnly bool) (Layout, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.RLock()
+	defer s.ns.RUnlock()
 	ino, ok := s.inodes[id]
 	if !ok {
 		return Layout{}, fmt.Errorf("%w: inode %d", ErrNotFound, id)
@@ -313,32 +367,39 @@ func (s *Store) GetLayout(id FileID, off, n int64, committedOnly bool) (Layout, 
 	if ino.typ != TypeFile {
 		return Layout{}, fmt.Errorf("%w: inode %d", ErrIsDir, id)
 	}
-	return Layout{File: id, Extents: ino.extentsIn(off, n, committedOnly)}, nil
+	st := s.stripe(id)
+	st.RLock()
+	lay := Layout{File: id, Extents: ino.extentsIn(off, n, committedOnly)}
+	st.RUnlock()
+	return lay, nil
 }
 
 // AllocLayout returns a layout covering [off, off+n) for writing, allocating
 // space for any uncovered gap. New extents start uncommitted and are
 // attributed to owner for orphan GC.
 func (s *Store) AllocLayout(owner string, id FileID, off, n int64) (Layout, error) {
-	s.mu.Lock()
+	s.ns.RLock()
 	ino, ok := s.inodes[id]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.RUnlock()
 		return Layout{}, fmt.Errorf("%w: inode %d", ErrNotFound, id)
 	}
 	if ino.typ != TypeFile {
-		s.mu.Unlock()
+		s.ns.RUnlock()
 		return Layout{}, fmt.Errorf("%w: inode %d", ErrIsDir, id)
 	}
 	// Uncovered sub-ranges of [off, off+n).
+	st := s.stripe(id)
+	st.RLock()
 	var used []ival
 	for _, e := range ino.extents {
 		used = addIval(used, e.FileOff, e.End())
 	}
+	st.RUnlock()
+	s.ns.RUnlock()
 	holes := gaps(off, off+n, used)
-	s.mu.Unlock()
 
-	// Allocate outside the lock (AGs have their own locks).
+	// Allocate outside the locks (AGs have their own locks).
 	var newExts []Extent
 	for _, h := range holes {
 		spans, err := s.cfg.AGs.AllocExtents(owner, h.end-h.off, s.cfg.MaxSpan)
@@ -355,15 +416,16 @@ func (s *Store) AllocLayout(owner string, id FileID, off, n int64) (Layout, erro
 		}
 	}
 
-	s.mu.Lock()
+	s.ns.RLock()
 	ino, ok = s.inodes[id]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.RUnlock()
 		for _, e := range newExts {
 			_ = s.cfg.AGs.FreeSpan(alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len})
 		}
 		return Layout{}, fmt.Errorf("%w: inode %d removed during allocation", ErrNotFound, id)
 	}
+	st.Lock()
 	s.applyAlloc(ino, owner, newExts)
 	lay := Layout{File: id, Extents: ino.extentsIn(off, n, false)}
 	var wait func() error
@@ -372,14 +434,16 @@ func (s *Store) AllocLayout(owner string, id FileID, off, n int64) (Layout, erro
 	} else {
 		wait = func() error { return nil }
 	}
-	s.mu.Unlock()
+	st.Unlock()
+	s.ns.RUnlock()
 	if err := wait(); err != nil {
 		return Layout{}, err
 	}
 	return lay, nil
 }
 
-// applyAlloc inserts uncommitted extents. Caller holds s.mu.
+// applyAlloc inserts uncommitted extents. Caller holds the inode's stripe
+// lock or ns exclusively.
 func (s *Store) applyAlloc(ino *inode, owner string, exts []Extent) {
 	for _, e := range exts {
 		ino.extents = insertExtent(ino.extents, e)
@@ -404,30 +468,39 @@ func insertExtent(list []Extent, e Extent) []Extent {
 // extent previously returned by AllocLayout, or lie inside one of owner's
 // delegations (client-side allocation). Anything else is rejected: metadata
 // must never point at space the MDS didn't account.
+//
+// Commits run under the shared namespace lock plus the file's stripe lock,
+// so commits to different files proceed in parallel and their journal
+// records coalesce in the group-commit batcher.
 func (s *Store) Commit(owner string, id FileID, exts []Extent, size int64, mtime time.Time) error {
-	s.mu.Lock()
+	s.ns.RLock()
 	ino, ok := s.inodes[id]
 	if !ok {
-		s.mu.Unlock()
+		s.ns.RUnlock()
 		return fmt.Errorf("%w: inode %d", ErrNotFound, id)
 	}
 	if ino.typ != TypeFile {
-		s.mu.Unlock()
+		s.ns.RUnlock()
 		return fmt.Errorf("%w: inode %d", ErrIsDir, id)
 	}
+	st := s.stripe(id)
+	st.Lock()
 	if err := s.applyCommit(ino, owner, exts, size, mtime, true); err != nil {
-		s.mu.Unlock()
+		st.Unlock()
+		s.ns.RUnlock()
 		return err
 	}
 	rec := &Record{Type: RecCommit, File: id, Owner: owner, Size: size, MTime: mtime, Extents: exts}
 	wait := s.journalAppend(rec)
-	s.mu.Unlock()
+	st.Unlock()
+	s.ns.RUnlock()
 	return wait()
 }
 
-// applyCommit flips or inserts committed extents. Caller holds s.mu. When
-// strict is set, unknown extents outside delegations are rejected (runtime
-// behaviour); replay runs non-strict only for records already validated.
+// applyCommit flips or inserts committed extents. Caller holds the inode's
+// stripe lock (runtime) or ns exclusively (replay). When strict is set,
+// unknown extents outside delegations are rejected (runtime behaviour);
+// replay runs non-strict only for records already validated.
 func (s *Store) applyCommit(ino *inode, owner string, exts []Extent, size int64, mtime time.Time, strict bool) error {
 	// Validate first, then mutate, so a rejected commit changes nothing.
 	type action struct {
@@ -470,7 +543,9 @@ func (s *Store) applyCommit(ino *inode, owner string, exts []Extent, size int64,
 			ino.extents = insertExtent(ino.extents, e)
 		}
 		if d := s.findDelegation(owner, a.ext); d != nil {
+			d.mu.Lock()
 			d.used = addIval(d.used, a.ext.VolOff, a.ext.VolOff+a.ext.Len)
+			d.mu.Unlock()
 		}
 	}
 	if size > ino.size {
@@ -483,7 +558,7 @@ func (s *Store) applyCommit(ino *inode, owner string, exts []Extent, size int64,
 }
 
 // findDelegation returns owner's delegation containing extent e, if any.
-// Caller holds s.mu.
+// Caller holds ns (shared or exclusive); span is immutable after grant.
 func (s *Store) findDelegation(owner string, e Extent) *delegation {
 	for _, d := range s.delegations[owner] {
 		if d.span.Dev == int(e.Dev) && e.VolOff >= d.span.Off && e.VolOff+e.Len <= d.span.End() {
@@ -503,10 +578,10 @@ func (s *Store) Delegate(owner string, size int64) (alloc.Span, error) {
 	if err != nil {
 		return alloc.Span{}, err
 	}
-	s.mu.Lock()
+	s.ns.Lock()
 	s.delegations[owner] = append(s.delegations[owner], &delegation{owner: owner, span: sp})
 	wait := s.journalAppend(&Record{Type: RecDelegate, Owner: owner, SpanDev: uint32(sp.Dev), SpanOff: sp.Off, SpanLen: sp.Len})
-	s.mu.Unlock()
+	s.ns.Unlock()
 	if err := wait(); err != nil {
 		return alloc.Span{}, err
 	}
@@ -516,7 +591,7 @@ func (s *Store) Delegate(owner string, size int64) (alloc.Span, error) {
 // ReturnDelegation gives back a delegation; sub-ranges never committed are
 // freed.
 func (s *Store) ReturnDelegation(owner string, sp alloc.Span) error {
-	s.mu.Lock()
+	s.ns.Lock()
 	ds := s.delegations[owner]
 	idx := -1
 	for i, d := range ds {
@@ -526,14 +601,14 @@ func (s *Store) ReturnDelegation(owner string, sp alloc.Span) error {
 		}
 	}
 	if idx < 0 {
-		s.mu.Unlock()
+		s.ns.Unlock()
 		return fmt.Errorf("%w: %s %v", ErrNoDelegation, owner, sp)
 	}
 	d := ds[idx]
 	s.delegations[owner] = append(ds[:idx], ds[idx+1:]...)
 	holes := gaps(d.span.Off, d.span.End(), d.used)
 	wait := s.journalAppend(&Record{Type: RecDelegReturn, Owner: owner, SpanDev: uint32(sp.Dev), SpanOff: sp.Off, SpanLen: sp.Len})
-	s.mu.Unlock()
+	s.ns.Unlock()
 	for _, h := range holes {
 		_ = s.cfg.AGs.FreeSpan(alloc.Span{Dev: sp.Dev, Off: h.off, Len: h.end - h.off})
 	}
@@ -545,10 +620,10 @@ func (s *Store) ReturnDelegation(owner string, sp alloc.Span) error {
 // space, removed from files and freed). This is the paper's orphan garbage
 // collection, triggered by lease expiry or recovery.
 func (s *Store) ClientGone(owner string) (orphanBytes int64) {
-	s.mu.Lock()
+	s.ns.Lock()
 	freed := s.applyClientGone(owner)
 	wait := s.journalAppend(&Record{Type: RecClientGone, Owner: owner})
-	s.mu.Unlock()
+	s.ns.Unlock()
 	for _, sp := range freed {
 		orphanBytes += sp.Len
 		_ = s.cfg.AGs.FreeSpan(sp)
@@ -557,7 +632,7 @@ func (s *Store) ClientGone(owner string) (orphanBytes int64) {
 	return orphanBytes
 }
 
-// applyClientGone collects the spans to free. Caller holds s.mu.
+// applyClientGone collects the spans to free. Caller holds ns exclusively.
 func (s *Store) applyClientGone(owner string) []alloc.Span {
 	var freed []alloc.Span
 	for _, d := range s.delegations[owner] {
@@ -586,8 +661,8 @@ func (s *Store) applyClientGone(owner string) []alloc.Span {
 
 // Delegations returns the number of live delegations for owner (tests).
 func (s *Store) Delegations(owner string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.RLock()
+	defer s.ns.RUnlock()
 	return len(s.delegations[owner])
 }
 
@@ -627,7 +702,7 @@ func Recover(cfg Config) (*Store, RecoveryStats, error) {
 	st.Torn = torn
 
 	// GC pass: all owners are gone.
-	s.mu.Lock()
+	s.ns.Lock()
 	owners := make([]string, 0, len(s.delegations))
 	for o := range s.delegations {
 		owners = append(owners, o)
@@ -642,22 +717,23 @@ func Recover(cfg Config) (*Store, RecoveryStats, error) {
 			ownerSet[o] = true
 		}
 	}
-	s.mu.Unlock()
+	s.ns.Unlock()
 
-	s.cfg.Journal = cfg.Journal // journal GC records and future mutations
+	s.SetJournal(cfg.Journal) // journal GC records and future mutations
 	for o := range ownerSet {
 		st.OrphanBytes += s.ClientGone(o)
 	}
-	s.mu.Lock()
+	s.ns.RLock()
 	st.Files = len(s.inodes) - 1 // exclude root
-	s.mu.Unlock()
+	s.ns.RUnlock()
 	return s, st, nil
 }
 
-// applyRecord replays one journal record. Caller does NOT hold s.mu.
+// applyRecord replays one journal record. Caller does NOT hold any store
+// lock; replay takes ns exclusively per record.
 func (s *Store) applyRecord(rec *Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.Lock()
+	defer s.ns.Unlock()
 	switch rec.Type {
 	case RecCreate:
 		if _, ok := s.dirents[rec.Parent]; !ok {
@@ -732,8 +808,8 @@ func (s *Store) applyRecord(rec *Record) error {
 
 // FileCount returns the number of inodes excluding the root.
 func (s *Store) FileCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.RLock()
+	defer s.ns.RUnlock()
 	return len(s.inodes) - 1
 }
 
@@ -741,8 +817,8 @@ func (s *Store) FileCount() int {
 // the supplied durability oracle (usually blockdev.Device.IsDurable): every
 // committed extent's data must be durable. It returns the violations found.
 func (s *Store) CheckConsistent(durable func(dev int, off, n int64) bool) []Extent {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ns.Lock()
+	defer s.ns.Unlock()
 	var bad []Extent
 	for _, ino := range s.inodes {
 		for _, e := range ino.extents {

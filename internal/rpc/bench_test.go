@@ -55,6 +55,20 @@ func BenchmarkCallParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkRPCAlloc tracks allocations per call on the framing hot path:
+// request encode, server decode + response encode, client response dispatch.
+func BenchmarkRPCAlloc(b *testing.B) {
+	cli := benchPair(b, 4)
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.CallRaw(opEcho, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCompoundDegree6(b *testing.B) {
 	cli := benchPair(b, 4)
 	ops := make([]SubOp, 6)

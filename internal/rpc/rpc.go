@@ -254,7 +254,8 @@ func (s *Server) ServeConn(conn netsim.Conn) {
 		if err != nil {
 			return
 		}
-		r := wire.NewReader(frame)
+		var r wire.Reader
+		r.Reset(frame)
 		msgID := r.U64()
 		kind := r.U8()
 		op := r.U16()
@@ -321,7 +322,7 @@ func (s *Server) process(c call) {
 	}
 	s.processed.Inc()
 
-	var b wire.Buffer
+	b := wire.GetBuffer()
 	b.PutU64(c.msgID)
 	b.PutU8(kindResponse)
 	b.PutU16(status)
@@ -332,8 +333,10 @@ func (s *Server) process(c call) {
 		b.PutBytes(payload)
 	}
 	// A failed send means the connection died; the client will see its
-	// own error. Nothing to do here.
+	// own error. Nothing to do here. Send copies the frame before
+	// returning, so the buffer goes straight back to the pool.
 	_ = c.conn.Send(b.Bytes())
+	wire.PutBuffer(b)
 }
 
 // execCost burns the simulated CPU time of one operation.
@@ -353,10 +356,14 @@ func (s *Server) Close() {
 // ---------------------------------------------------------------------------
 // Client
 
-// pendingCall tracks one outstanding request.
+// pendingCall tracks one outstanding request. Instances are pooled: a call
+// is owned either by exactly one shard map entry or by the goroutine that
+// removed it, so each use sees at most one channel send.
 type pendingCall struct {
 	ch chan response
 }
+
+var callPool = sync.Pool{New: func() any { return &pendingCall{ch: make(chan response, 1)} }}
 
 type response struct {
 	status  uint16
@@ -365,18 +372,34 @@ type response struct {
 	err     error
 }
 
-// Client issues concurrent RPCs over one connection.
+// pendingShards is the number of pending-table shards. Message IDs are
+// sequential, so concurrent calls spread evenly.
+const pendingShards = 16
+
+type pendingShard struct {
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	_       [32]byte // avoid false sharing between adjacent shards
+}
+
+// Client issues concurrent RPCs over one connection. The pending table is
+// sharded by message ID so concurrent callers don't serialize on one mutex,
+// and frame buffers and call handles are pooled, keeping the per-call
+// allocation count flat under load.
 type Client struct {
 	conn netsim.Conn
 	clk  clock.Clock
 
-	mu      sync.Mutex
-	pending map[uint64]*pendingCall
-	closed  bool
+	shards [pendingShards]pendingShard
+	closed atomic.Bool
+	// closeErr is set (under every shard lock) before closed, so readers
+	// that observe closed see the cause.
+	closeErr error
 
-	nextID atomic.Uint64
-	busy   atomic.Uint32 // last piggybacked server load
-	rttNs  atomic.Int64  // EWMA of call round-trip, nanoseconds
+	nextID    atomic.Uint64
+	busy      atomic.Uint32 // last piggybacked server load
+	rttNs     atomic.Int64  // EWMA of call round-trip, nanoseconds
+	badFrames atomic.Int64  // malformed response frames received
 
 	calls stats.Counter
 }
@@ -386,24 +409,63 @@ func NewClient(conn netsim.Conn, clk clock.Clock) *Client {
 	if clk == nil {
 		clk = clock.Real(1)
 	}
-	c := &Client{conn: conn, clk: clk, pending: make(map[uint64]*pendingCall)}
+	c := &Client{conn: conn, clk: clk}
+	for i := range c.shards {
+		c.shards[i].pending = make(map[uint64]*pendingCall)
+	}
 	go c.readLoop()
 	return c
 }
 
+func (c *Client) shard(id uint64) *pendingShard { return &c.shards[id%pendingShards] }
+
+// register installs p in the pending table, refusing if the client closed.
+func (c *Client) register(id uint64, p *pendingCall) error {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if c.closed.Load() {
+		sh.mu.Unlock()
+		return ErrClientClosed
+	}
+	sh.pending[id] = p
+	sh.mu.Unlock()
+	return nil
+}
+
+// take removes and returns the pending call for id, or nil if another
+// goroutine (a response or failAll) already owns it.
+func (c *Client) take(id uint64) *pendingCall {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	p := sh.pending[id]
+	delete(sh.pending, id)
+	sh.mu.Unlock()
+	return p
+}
+
 func (c *Client) readLoop() {
+	var r wire.Reader
 	for {
 		frame, err := c.conn.Recv()
 		if err != nil {
 			c.failAll(fmt.Errorf("%w: %v", ErrClientClosed, err))
 			return
 		}
-		r := wire.NewReader(frame)
+		r.Reset(frame)
 		msgID := r.U64()
 		kind := r.U8()
 		status := r.U16()
 		busy := r.U8()
 		if r.Err() != nil || kind != kindResponse {
+			// A frame too short for the response header, or of the
+			// wrong kind. Don't drop it on the floor: the caller
+			// whose ID it carries (if any) would otherwise hang
+			// until the connection dies. Fail that call and count
+			// the frame so the condition is observable.
+			c.badFrames.Add(1)
+			if p := c.take(msgID); p != nil {
+				p.ch <- response{err: fmt.Errorf("%w: %d-byte response frame, kind %d", ErrBadFrame, len(frame), kind)}
+			}
 			continue
 		}
 		c.busy.Store(uint32(busy))
@@ -413,16 +475,16 @@ func (c *Client) readLoop() {
 		if status != 0 {
 			resp.err = &RemoteError{Message: r.String()}
 		} else {
-			resp.payload = r.Bytes()
+			// The frame is owned by this loop and handed to exactly
+			// one waiter, so the payload may alias it.
+			resp.payload = r.BytesRef()
 		}
 		if err := r.Err(); err != nil {
-			resp.err = err
+			c.badFrames.Add(1)
+			resp.err = fmt.Errorf("%w: %v", ErrBadFrame, err)
+			resp.payload = nil
 		}
-		c.mu.Lock()
-		p := c.pending[msgID]
-		delete(c.pending, msgID)
-		c.mu.Unlock()
-		if p != nil {
+		if p := c.take(msgID); p != nil {
 			p.ch <- resp
 		}
 	}
@@ -430,43 +492,66 @@ func (c *Client) readLoop() {
 
 // failAll aborts every pending call with err and marks the client closed.
 func (c *Client) failAll(err error) {
-	c.mu.Lock()
-	c.closed = true
-	pend := c.pending
-	c.pending = make(map[uint64]*pendingCall)
-	c.mu.Unlock()
+	// Lock every shard, publish the cause, then mark closed: register
+	// checks closed under its shard lock, so once the flag is visible no
+	// new call can slip into a shard this loop already drained.
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+	c.closeErr = err
+	c.closed.Store(true)
+	var pend []*pendingCall
+	for i := range c.shards {
+		sh := &c.shards[i]
+		for _, p := range sh.pending {
+			pend = append(pend, p)
+		}
+		sh.pending = make(map[uint64]*pendingCall)
+		sh.mu.Unlock()
+	}
 	for _, p := range pend {
 		p.ch <- response{err: err}
 	}
 }
 
+// BadFrames returns the number of malformed response frames received.
+func (c *Client) BadFrames() int64 { return c.badFrames.Load() }
+
 // CallRaw issues op with an already-encoded body and returns the raw reply.
+// The reply slice may alias the client's receive buffer for that call; it is
+// owned by the caller and stays valid indefinitely, but callers needing to
+// mutate it should copy.
 func (c *Client) CallRaw(op uint16, body []byte) ([]byte, error) {
 	id := c.nextID.Add(1)
-	p := &pendingCall{ch: make(chan response, 1)}
-
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClientClosed
+	p := callPool.Get().(*pendingCall)
+	if err := c.register(id, p); err != nil {
+		callPool.Put(p)
+		return nil, err
 	}
-	c.pending[id] = p
-	c.mu.Unlock()
 
-	var b wire.Buffer
+	b := wire.GetBuffer()
 	b.PutU64(id)
 	b.PutU8(kindRequest)
 	b.PutU16(op)
 	b.PutRaw(body)
 
 	start := c.clk.Now()
-	if err := c.conn.Send(b.Bytes()); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+	err := c.conn.Send(b.Bytes()) // Send copies; recycle immediately
+	wire.PutBuffer(b)
+	if err != nil {
+		if c.take(id) != nil {
+			// We removed the call ourselves; nothing can send on it.
+			callPool.Put(p)
+			return nil, err
+		}
+		// A racing response or failAll owns the call and will send
+		// exactly once; drain before recycling.
+		<-p.ch
+		callPool.Put(p)
 		return nil, err
 	}
 	resp := <-p.ch
+	callPool.Put(p)
 	c.observeRTT(c.clk.Since(start))
 	c.calls.Inc()
 	if resp.err != nil {

@@ -367,3 +367,61 @@ func TestUnknownOpReturnsError(t *testing.T) {
 		t.Fatal("unknown op succeeded")
 	}
 }
+
+// TestClientMalformedResponseFailsCall exercises the readLoop's handling of
+// damaged response frames. The seed silently dropped them, leaving the
+// matching caller hung until the connection died; now the call fails with
+// ErrBadFrame and the frame is counted.
+func TestClientMalformedResponseFailsCall(t *testing.T) {
+	cliConn, srvConn := localPair(t)
+	cli := NewClient(cliConn, clock.Real(1))
+	defer cli.Close()
+
+	// Fake server: read the request, echo back a frame truncated after the
+	// message ID — too short for a response header.
+	go func() {
+		frame, err := srvConn.Recv()
+		if err != nil {
+			return
+		}
+		var short wire.Buffer
+		short.PutU64(wire.NewReader(frame).U64()) // msgID only, no kind/status
+		_ = srvConn.Send(short.Bytes())
+	}()
+
+	if _, err := cli.CallRaw(opEcho, []byte("x")); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("call on truncated response: err = %v, want ErrBadFrame", err)
+	}
+	if n := cli.BadFrames(); n != 1 {
+		t.Fatalf("BadFrames = %d, want 1", n)
+	}
+}
+
+// TestClientTruncatedPayloadFailsCall covers a frame whose header parses but
+// whose length-prefixed payload overruns the frame.
+func TestClientTruncatedPayloadFailsCall(t *testing.T) {
+	cliConn, srvConn := localPair(t)
+	cli := NewClient(cliConn, clock.Real(1))
+	defer cli.Close()
+
+	go func() {
+		frame, err := srvConn.Recv()
+		if err != nil {
+			return
+		}
+		var b wire.Buffer
+		b.PutU64(wire.NewReader(frame).U64())
+		b.PutU8(kindResponse)
+		b.PutU16(0)       // status OK
+		b.PutU8(0)        // load
+		b.PutU32(1 << 20) // payload length with no payload bytes
+		_ = srvConn.Send(b.Bytes())
+	}()
+
+	if _, err := cli.CallRaw(opEcho, nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("call on truncated payload: err = %v, want ErrBadFrame", err)
+	}
+	if n := cli.BadFrames(); n != 1 {
+		t.Fatalf("BadFrames = %d, want 1", n)
+	}
+}

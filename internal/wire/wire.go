@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -101,6 +102,10 @@ type Reader struct {
 
 // NewReader wraps p for decoding. The reader does not copy p.
 func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+// Reset rewinds the reader onto p, clearing any sticky error. It lets hot
+// paths keep a stack-allocated Reader instead of calling NewReader per frame.
+func (r *Reader) Reset(p []byte) { *r = Reader{b: p} }
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
@@ -198,6 +203,22 @@ func (r *Reader) Bytes() []byte {
 	return out
 }
 
+// BytesRef decodes a length-prefixed byte string without copying: the result
+// aliases the reader's underlying buffer. Use only when the buffer outlives
+// the decoded value and has a single consumer (e.g. RPC frames handed to
+// exactly one waiter).
+func (r *Reader) BytesRef() []byte {
+	n := r.U32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		r.fail(fmt.Errorf("%w: %d", ErrTooLong, n))
+		return nil
+	}
+	return r.take(int(n))
+}
+
 // String decodes a length-prefixed string.
 func (r *Reader) String() string {
 	n := r.U32()
@@ -210,6 +231,32 @@ func (r *Reader) String() string {
 	}
 	p := r.take(int(n))
 	return string(p)
+}
+
+// bufPool recycles encode buffers across the RPC framing and journal append
+// hot paths. Oversized buffers are dropped on Put so one huge message cannot
+// pin its allocation forever.
+var bufPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// maxPooledBuf is the largest buffer capacity returned to the pool.
+const maxPooledBuf = 64 << 10
+
+// GetBuffer returns an empty encode buffer from the pool. Release it with
+// PutBuffer once the encoded bytes have been copied out (device and network
+// Send paths copy before returning).
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must not
+// touch the buffer (or slices aliasing it) afterwards.
+func PutBuffer(b *Buffer) {
+	if cap(b.b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
 }
 
 // Encode marshals m into a fresh byte slice.
