@@ -1,0 +1,277 @@
+// Command redbud-lint runs redbud's static-analysis suite (internal/lint):
+// lockorder, durability, simclock and senterr.
+//
+// It speaks two protocols:
+//
+//   - Standalone: `redbud-lint ./...` (or a list of package directories)
+//     loads and checks packages of the enclosing module directly.
+//
+//   - go vet: `go vet -vettool=$(command -v redbud-lint) ./...` — the go
+//     command invokes the tool once per package with a JSON config file, the
+//     same unit-checker protocol used by golang.org/x/tools analyzers. This
+//     is the mode CI uses: the go command handles package discovery, export
+//     data and caching.
+//
+// Exit status: 0 for no findings, 1 for an internal error, 2 if any
+// diagnostic was reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"redbud/internal/lint"
+)
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (the go command probes with -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON (go vet probe)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: redbud-lint [packages]\n   or: go vet -vettool=$(command -v redbud-lint) [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	// go vet probes the tool identity with -V=full; the output becomes part
+	// of its cache key, so a "devel" version must carry a buildID derived
+	// from the binary's own content (same scheme as x/tools' unitchecker).
+	if *versionFlag != "" {
+		exe, err := os.Executable()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			fatalf("%v", err)
+		}
+		f.Close()
+		fmt.Printf("%s version devel redbud buildID=%02x\n", filepath.Base(os.Args[0]), h.Sum(nil))
+		return
+	}
+	// go vet asks which flags the tool accepts; we expose none.
+	if *flagsFlag {
+		fmt.Println("[]")
+		return
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "redbud-lint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// ---------------------------------------------------------------------------
+// Standalone mode
+
+func runStandalone(args []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var paths []string
+	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "all")) {
+		paths, err = loader.ModulePackages()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, arg := range args {
+			p, err := importPathFor(loader, cwd, arg)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			paths = append(paths, p)
+		}
+	}
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		diags, err := lint.Run(pkg, lint.Analyzers())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("redbud-lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// importPathFor maps a command-line package argument (./internal/meta,
+// redbud/internal/meta, internal/meta/...) to module import paths.
+func importPathFor(l *lint.Loader, cwd, arg string) (string, error) {
+	if strings.HasPrefix(arg, l.ModulePath) {
+		return arg, nil
+	}
+	abs := arg
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(cwd, arg)
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("redbud-lint: %s is outside module %s", arg, l.ModulePath)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// ---------------------------------------------------------------------------
+// go vet unit-checker mode
+
+// vetConfig is the JSON schema the go command writes for -vettool
+// invocations (cmd/go/internal/work's vet.cfg).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The go command requires the output facts file to exist even though
+	// this suite exports no facts.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+
+	// Dependency-only invocation: nothing to analyze, no facts to compute.
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export-data files the go command already
+	// built: ImportMap canonicalizes source-level import paths (vendoring),
+	// PackageFile locates each canonical path's export data.
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if canon, ok := cfg.ImportMap[importPath]; ok {
+			importPath = canon
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	pkg, err := lint.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fatalf("%v", err)
+	}
+	pkg.Dir = cfg.Dir
+
+	diags, err := lint.Run(pkg, lint.Analyzers())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

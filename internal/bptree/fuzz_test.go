@@ -1,0 +1,72 @@
+package bptree
+
+import "testing"
+
+// FuzzTreeOps drives a random insert/delete/lookup sequence decoded from the
+// fuzz input against a map oracle, validating structural invariants with
+// check() after every mutation and full contents via Ascend at the end.
+// Keys are kept in a small range so operations collide often — that is where
+// split/merge/rebalance bugs live.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 2, 2, 2, 1, 9})
+	// Enough inserts to force leaf and internal splits, then deletions.
+	ascending := make([]byte, 0, 200)
+	for i := byte(0); i < 50; i++ {
+		ascending = append(ascending, 0, i)
+	}
+	for i := byte(0); i < 50; i += 2 {
+		ascending = append(ascending, 1, i)
+	}
+	f.Add(ascending)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New()
+		oracle := make(map[int64]int64)
+		var seq int64
+		for i := 0; i+1 < len(data); i += 2 {
+			op, kb := data[i], data[i+1]
+			k := int64(kb % 64)
+			switch op % 3 {
+			case 0: // insert/overwrite
+				seq++
+				tr.Put(k, seq)
+				oracle[k] = seq
+			case 1: // delete
+				deleted := tr.Delete(k)
+				_, inOracle := oracle[k]
+				if deleted != inOracle {
+					t.Fatalf("Delete(%d) = %v, oracle has it = %v", k, deleted, inOracle)
+				}
+				delete(oracle, k)
+			case 2: // lookup
+				v, ok := tr.Get(k)
+				ov, ook := oracle[k]
+				if ok != ook || (ok && v != ov) {
+					t.Fatalf("Get(%d) = (%d, %v), oracle (%d, %v)", k, v, ok, ov, ook)
+				}
+			}
+			tr.check()
+			if tr.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+			}
+		}
+		// Final sweep: Ascend must enumerate exactly the oracle, in order.
+		var prev int64 = -1
+		n := 0
+		tr.Ascend(func(k, v int64) bool {
+			if k <= prev {
+				t.Fatalf("Ascend out of order: %d after %d", k, prev)
+			}
+			if ov, ok := oracle[k]; !ok || ov != v {
+				t.Fatalf("Ascend yielded (%d, %d), oracle (%d, %v)", k, v, ov, ok)
+			}
+			prev = k
+			n++
+			return true
+		})
+		if n != len(oracle) {
+			t.Fatalf("Ascend yielded %d pairs, oracle %d", n, len(oracle))
+		}
+	})
+}

@@ -590,7 +590,10 @@ func (c *Client) commitBatch(ids []meta.FileID) {
 		return
 	}
 	if len(reqs) == 1 {
-		err := c.sendCommit(reqs[0])
+		c.st.commitRPCs.Inc()
+		c.st.commitsSent.Inc()
+		var resp proto.CommitResp
+		err := c.mds.Call(proto.OpCommit, reqs[0], &resp)
 		c.finishCommit(states[0], reqs[0], err)
 		return
 	}
@@ -631,14 +634,6 @@ func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
 	req := &proto.CommitReq{Owner: c.cfg.Name, File: fs.id, Size: fs.size, MTime: fs.mtime, Extents: exts}
 	fs.mu.Unlock()
 	return req
-}
-
-// sendCommit issues a single commit RPC.
-func (c *Client) sendCommit(req *proto.CommitReq) error {
-	c.st.commitRPCs.Inc()
-	c.st.commitsSent.Inc()
-	var resp proto.CommitResp
-	return c.mds.Call(proto.OpCommit, req, &resp)
 }
 
 // finishCommit marks the committed extents and wakes fsync waiters. A
@@ -687,7 +682,10 @@ func (c *Client) commitFile(fs *fileState) error {
 		fs.mu.Unlock()
 		return err
 	}
-	err := c.sendCommit(req)
+	c.st.commitRPCs.Inc()
+	c.st.commitsSent.Inc()
+	var resp proto.CommitResp
+	err := c.mds.Call(proto.OpCommit, req, &resp)
 	c.finishCommit(fs, req, err)
 	if err != nil && errors.Is(mapRemote(err), fsapi.ErrNotExist) {
 		return nil // file removed while the commit was in flight

@@ -52,11 +52,11 @@ func Real(scale float64) Clock {
 	if scale <= 0 || scale > 1 {
 		panic("clock: scale must be in (0, 1]")
 	}
-	return &realClock{scale: scale, start: time.Now()}
+	return &realClock{scale: scale, start: time.Now()} //lint:allow wallclock — Real is the wall-clock bridge
 }
 
 func (c *realClock) Now() time.Time {
-	wall := time.Since(c.start)
+	wall := time.Since(c.start) //lint:allow wallclock — Real is the wall-clock bridge
 	return Epoch.Add(time.Duration(float64(wall) / c.scale))
 }
 
@@ -64,7 +64,7 @@ func (c *realClock) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	time.Sleep(time.Duration(float64(d) * c.scale))
+	time.Sleep(time.Duration(float64(d) * c.scale)) //lint:allow wallclock — Real is the wall-clock bridge
 }
 
 func (c *realClock) After(d time.Duration) <-chan time.Time {
@@ -75,7 +75,7 @@ func (c *realClock) After(d time.Duration) <-chan time.Time {
 	}
 	wall := time.Duration(float64(d) * c.scale)
 	go func() {
-		time.Sleep(wall)
+		time.Sleep(wall) //lint:allow wallclock — Real is the wall-clock bridge
 		ch <- c.Now()
 	}()
 	return ch

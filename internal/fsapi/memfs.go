@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"redbud/internal/clock"
 )
 
 // MemFS is an in-memory reference implementation of FileSystem. It exists
@@ -11,6 +13,7 @@ import (
 // the oracle in differential tests (run the same operation stream against
 // Redbud and MemFS, compare every byte).
 type MemFS struct {
+	clk    clock.Clock
 	mu     sync.Mutex
 	nodes  map[string]*memNode // path -> node; "" is the root dir
 	closed bool
@@ -23,9 +26,16 @@ type memNode struct {
 	mtime time.Time
 }
 
-// NewMemFS returns an empty file system.
+// NewMemFS returns an empty file system stamping mtimes from the wall clock.
 func NewMemFS() *MemFS {
-	return &MemFS{nodes: map[string]*memNode{"": {dir: true}}}
+	return NewMemFSWithClock(clock.Real(1))
+}
+
+// NewMemFSWithClock returns an empty file system stamping mtimes from clk.
+// Differential tests must inject the simulation clock here: otherwise memfs
+// mtimes read the wall clock and two runs of the same op stream diverge.
+func NewMemFSWithClock(clk clock.Clock) *MemFS {
+	return &MemFS{clk: clk, nodes: map[string]*memNode{"": {dir: true}}}
 }
 
 // norm canonicalizes a path to its joined components.
@@ -68,7 +78,7 @@ func (m *MemFS) Create(path string) (File, error) {
 	if m.nodes[np] != nil {
 		return nil, fmt.Errorf("%w: %q", ErrExist, path)
 	}
-	n := &memNode{mtime: time.Now()}
+	n := &memNode{mtime: m.clk.Now()}
 	m.nodes[np] = n
 	return &memFile{fs: m, node: n}, nil
 }
@@ -102,7 +112,7 @@ func (m *MemFS) Mkdir(path string) error {
 	if m.nodes[np] != nil {
 		return fmt.Errorf("%w: %q", ErrExist, path)
 	}
-	m.nodes[np] = &memNode{dir: true, mtime: time.Now()}
+	m.nodes[np] = &memNode{dir: true, mtime: m.clk.Now()}
 	return nil
 }
 
@@ -255,7 +265,7 @@ func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
 	if end > f.node.size {
 		f.node.size = end
 	}
-	f.node.mtime = time.Now()
+	f.node.mtime = f.fs.clk.Now()
 	return len(p), nil
 }
 

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SentErr requires the error-producing packages of the storage stack — meta,
+// rpc, blockdev — to return errors that wrap package sentinels, so callers
+// can branch with errors.Is instead of string matching. Inside function
+// bodies of those packages it flags:
+//
+//   - fmt.Errorf with a constant format string that contains no %w verb
+//     (an un-Is-able leaf error), and
+//   - errors.New (leaf errors belong at package scope as sentinels, where
+//     the var declaration names them; in a function body they are anonymous
+//     and unmatchable).
+//
+// Package-level `var ErrX = errors.New(...)` declarations — the sentinels
+// themselves — are the sanctioned pattern and are not flagged.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc:  "errors from meta/rpc/blockdev must wrap package sentinels (%w), not be bare strings",
+	Run:  runSentErr,
+}
+
+func runSentErr(pass *Pass) error {
+	switch pass.Pkg.Name() {
+	case "meta", "rpc", "blockdev":
+	default:
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := pkgFuncCall(pass.Info, call)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == "errors" && name == "New":
+					pass.Reportf(call.Pos(),
+						"errors.New in a function body creates an unmatchable leaf error: declare a package sentinel (var ErrX = errors.New) and wrap it with fmt.Errorf(\"...: %%w\", ErrX)")
+				case pkgPath == "fmt" && name == "Errorf" && len(call.Args) > 0:
+					if format, ok := constFormat(call.Args[0]); ok && !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf without %%w is not errors.Is-able: wrap a package sentinel")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// constFormat extracts a string literal format argument, if it is one.
+func constFormat(expr ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(expr).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	// Trim the quote characters; escapes inside do not matter for a %w scan.
+	s := lit.Value
+	if len(s) >= 2 {
+		s = s[1 : len(s)-1]
+	}
+	return s, true
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SimClock enforces virtual-time determinism: production code under
+// internal/ must route time through internal/clock and randomness through an
+// injected *rand.Rand. Direct wall-clock reads and the global math/rand
+// source make simulator runs irreproducible, so they are banned outside
+// package main, test files, and sites annotated `//lint:allow wallclock`.
+var SimClock = &Analyzer{
+	Name:       "simclock",
+	Doc:        "ban wall-clock time and the global math/rand source in simulated code",
+	AllowToken: "wallclock",
+	Run:        runSimClock,
+}
+
+// bannedTimeFuncs are the time package functions that read or wait on the
+// wall clock. Pure constructors/parsers (Date, Parse, Unix, Duration
+// arithmetic) are fine.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRandFuncs are math/rand functions that do NOT touch the global
+// source — constructors for injected generators.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // rand/v2
+	"NewChaCha8": true, // rand/v2
+}
+
+func runSimClock(pass *Pass) error {
+	// cmd/ binaries (package main) bridge to the real world; the ban applies
+	// to library code only.
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCall(pass.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "time" && bannedTimeFuncs[name]:
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock: use internal/clock so simulated runs stay deterministic", name)
+			case isMathRand(pkgPath) && !allowedRandFuncs[name]:
+				pass.Reportf(call.Pos(),
+					"%s.%s uses the global math/rand source: inject a seeded *rand.Rand instead", pkgPath, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2" ||
+		strings.HasSuffix(path, "/math/rand") // fixture mirrors
+}

@@ -1,0 +1,66 @@
+// Package client mirrors redbud's internal/client commit paths for the
+// durability analyzer: every commit RPC must be dominated by a durability
+// wait.
+package client
+
+import (
+	"sync"
+
+	"proto"
+	"rpc"
+)
+
+type fileState struct {
+	mu            sync.Mutex
+	cond          *sync.Cond
+	pendingWrites int
+}
+
+type Client struct {
+	mds *rpc.Client
+}
+
+// waitDurable is a base durability wait: it loops on the condition variable
+// until every covered write has been acknowledged durable.
+func (c *Client) waitDurable(fs *fileState) {
+	fs.mu.Lock()
+	for fs.pendingWrites > 0 {
+		fs.cond.Wait()
+	}
+	fs.mu.Unlock()
+}
+
+// buildCommit embeds the wait; callers inherit it transitively.
+func (c *Client) buildCommit(fs *fileState) []byte {
+	c.waitDurable(fs)
+	return nil
+}
+
+// goodDirect waits, then commits.
+func (c *Client) goodDirect(fs *fileState) error {
+	c.waitDurable(fs)
+	return c.mds.Call(proto.OpCommit, nil, nil)
+}
+
+// goodTransitive commits after buildCommit, which contains the wait.
+func (c *Client) goodTransitive(fs *fileState) error {
+	req := c.buildCommit(fs)
+	return c.mds.Call(proto.OpCommit, req, nil)
+}
+
+// goodOtherOp: non-commit RPCs need no durability wait.
+func (c *Client) goodOtherOp() error {
+	return c.mds.Call(proto.OpWrite, nil, nil)
+}
+
+// badNoWait fires the commit with covered writes possibly still in flight —
+// exactly the reordering the paper's ordered-write rule forbids.
+func (c *Client) badNoWait() error {
+	return c.mds.Call(proto.OpCommit, nil, nil) // want `without a dominating durability wait`
+}
+
+// badSubOp builds a compound commit sub-op without waiting.
+func (c *Client) badSubOp() error {
+	subs := []rpc.SubOp{{Op: proto.OpCommit}} // want `compound commit sub-op`
+	return c.mds.Compound(subs)
+}

@@ -1,0 +1,121 @@
+// Package meta mirrors the locking structure of redbud's internal/meta so
+// the lockorder analyzer can be exercised against both correct and inverted
+// acquisition orders.
+package meta
+
+import (
+	"sync"
+
+	"rpc"
+)
+
+type delegation struct {
+	mu sync.Mutex
+}
+
+// Journal mirrors meta.Journal; Append is the instantaneous slot
+// reservation at the bottom of the hierarchy.
+type Journal struct{}
+
+func (j *Journal) Append(rec []byte) func() error { return nil }
+
+type Store struct {
+	ns      sync.RWMutex
+	stripes [4]sync.RWMutex
+	deleg   delegation
+	journal *Journal
+}
+
+func (s *Store) stripe(id uint64) *sync.RWMutex {
+	return &s.stripes[id%4]
+}
+
+// goodOrder follows the documented hierarchy: namespace, then stripe, then
+// delegation, then the journal reservation; the durability wait runs only
+// after every lock is released.
+func goodOrder(s *Store, id uint64) error {
+	s.ns.Lock()
+	st := s.stripe(id)
+	st.Lock()
+	s.deleg.mu.Lock()
+	wait := s.journal.Append(nil)
+	s.deleg.mu.Unlock()
+	st.Unlock()
+	s.ns.Unlock()
+	return wait()
+}
+
+// goodEarlyExit releases on the failure path before taking the stripe lock;
+// the analyzer must not carry the terminated branch's state forward.
+func goodEarlyExit(s *Store, id uint64, ok bool) {
+	s.ns.RLock()
+	if !ok {
+		s.ns.RUnlock()
+		return
+	}
+	st := s.stripe(id)
+	st.Lock()
+	st.Unlock()
+	s.ns.RUnlock()
+}
+
+// goodIndexed locks a stripe by direct index after the namespace lock.
+func goodIndexed(s *Store, i int) {
+	s.ns.RLock()
+	s.stripes[i].Lock()
+	s.stripes[i].Unlock()
+	s.ns.RUnlock()
+}
+
+// badInversion takes the namespace lock while holding a stripe.
+func badInversion(s *Store, id uint64) {
+	st := s.stripe(id)
+	st.Lock()
+	s.ns.Lock() // want `inverts the lock hierarchy`
+	s.ns.Unlock()
+	st.Unlock()
+}
+
+// badDelegThenStripe acquires a stripe under the delegation lock.
+func badDelegThenStripe(s *Store, id uint64) {
+	s.deleg.mu.Lock()
+	s.stripe(id).Lock() // want `inverts the lock hierarchy`
+	s.stripe(id).Unlock()
+	s.deleg.mu.Unlock()
+}
+
+// badRPCUnderStripe holds a stripe lock across an RPC round trip.
+func badRPCUnderStripe(s *Store, id uint64, c *rpc.Client) {
+	st := s.stripe(id)
+	st.Lock()
+	c.Call(1, nil, nil) // want `RPC Call while holding`
+	st.Unlock()
+}
+
+// badChannelUnderNS blocks on a channel receive under the namespace lock.
+func badChannelUnderNS(s *Store, ch chan int) {
+	s.ns.Lock()
+	<-ch // want `channel receive while holding`
+	s.ns.Unlock()
+}
+
+// goodWaitAfterUnlock receives from the durability channel only after all
+// locks are released (the journalAppend closure pattern).
+func goodWaitAfterUnlock(s *Store, id uint64, ch chan error) error {
+	s.ns.Lock()
+	st := s.stripe(id)
+	st.Lock()
+	st.Unlock()
+	s.ns.Unlock()
+	return <-ch
+}
+
+// goodGoroutine: a spawned goroutine starts with no locks held, so its
+// channel receive is fine even though the spawner holds the namespace lock.
+func goodGoroutine(s *Store, ch chan int) {
+	s.ns.Lock()
+	go func() {
+		<-ch
+	}()
+	s.ns.Unlock()
+}

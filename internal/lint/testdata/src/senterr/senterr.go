@@ -1,0 +1,25 @@
+// Package meta exercises the senterr analyzer's sentinel-wrapping rule.
+package meta
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is the sanctioned pattern: a package-level sentinel.
+var ErrNotFound = errors.New("meta: not found")
+
+// goodWrap wraps the sentinel so callers can branch with errors.Is.
+func goodWrap(name string) error {
+	return fmt.Errorf("lookup %q: %w", name, ErrNotFound)
+}
+
+// badBare is a bare string error nobody can match.
+func badBare(name string) error {
+	return fmt.Errorf("lookup %q failed", name) // want `without %w is not errors.Is-able`
+}
+
+// badLeaf mints an anonymous leaf error inside a function body.
+func badLeaf() error {
+	return errors.New("meta: transient") // want `unmatchable leaf error`
+}

@@ -1,0 +1,44 @@
+// Package sim exercises the simclock analyzer: simulated code must not read
+// the wall clock or draw from the global math/rand source.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badNow stamps with the wall clock.
+func badNow() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+func badAfter() <-chan time.Time {
+	return time.After(time.Second) // want `time.After reads the wall clock`
+}
+
+// badGlobalRand draws from the process-global source.
+func badGlobalRand() int {
+	return rand.Intn(10) // want `global math/rand source`
+}
+
+// goodInjected threads a seeded generator; method calls on *rand.Rand are
+// deterministic under an injected seed.
+func goodInjected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// goodConstructor builds the injected generator; constructors do not touch
+// the global source.
+func goodConstructor() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// goodAllowed is an annotated real-world bridge (the escape hatch cmd/
+// binaries and internal/clock use).
+func goodAllowed() time.Time {
+	return time.Now() //lint:allow wallclock — fixture exercises the escape hatch
+}

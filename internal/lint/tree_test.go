@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModuleTreeClean runs the full analyzer suite over every package of the
+// enclosing module and requires zero findings — the same gate CI applies via
+// `go vet -vettool=redbud-lint ./...`. A finding here means either new code
+// broke an enforced invariant or an analyzer regressed into a false
+// positive; both should be caught at `go test` time.
+func TestModuleTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no packages found in module")
+	}
+	var findings []string
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := Run(pkg, Analyzers())
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		for _, d := range diags {
+			findings = append(findings, d.String())
+		}
+	}
+	if len(findings) > 0 {
+		t.Errorf("module tree has %d lint findings:\n%s",
+			len(findings), strings.Join(findings, "\n"))
+	}
+}

@@ -55,8 +55,8 @@ func (ls *LogSet) regionOff(i int) int64 {
 // the two regions is regionSize bytes.
 func OpenLogSet(dev *blockdev.Device, regionSize int64) (*LogSet, *Journal, error) {
 	if regionSize <= 0 || SuperblockSize+2*regionSize > dev.Size() {
-		return nil, nil, fmt.Errorf("meta: log set (2 x %d + %d) exceeds device size %d",
-			regionSize, SuperblockSize, dev.Size())
+		return nil, nil, fmt.Errorf("%w: 2 x %d + %d exceeds %d",
+			ErrLogTooLarge, regionSize, SuperblockSize, dev.Size())
 	}
 	ls := &LogSet{dev: dev, regionSize: regionSize}
 	gen, active, err := ls.readSuperblock()

@@ -8,7 +8,7 @@ import "fmt"
 // explicit). Renaming a directory into its own subtree is rejected.
 func (s *Store) Rename(srcParent FileID, srcName string, dstParent FileID, dstName string) error {
 	if dstName == "" || dstName == "." || dstName == ".." {
-		return fmt.Errorf("meta: invalid name %q", dstName)
+		return fmt.Errorf("%w: %q", ErrInvalidName, dstName)
 	}
 	s.ns.Lock()
 	src, ok := s.dirents[srcParent]
@@ -35,7 +35,7 @@ func (s *Store) Rename(srcParent FileID, srcName string, dstParent FileID, dstNa
 		for cur := dstParent; cur != RootID; {
 			if cur == id {
 				s.ns.Unlock()
-				return fmt.Errorf("meta: cannot move directory %q into its own subtree", srcName)
+				return fmt.Errorf("%w: cannot move %q into its own subtree", ErrLoop, srcName)
 			}
 			parent, ok := s.parentOf(cur)
 			if !ok {

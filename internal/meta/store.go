@@ -20,6 +20,10 @@ var (
 	ErrNotEmpty     = errors.New("meta: directory not empty")
 	ErrBadCommit    = errors.New("meta: commit references unallocated space")
 	ErrNoDelegation = errors.New("meta: no such delegation")
+	ErrInvalidName  = errors.New("meta: invalid name")
+	ErrLoop         = errors.New("meta: directory would become its own ancestor")
+	ErrNoJournal    = errors.New("meta: recovery requires a journal")
+	ErrLogTooLarge  = errors.New("meta: log set does not fit on device")
 )
 
 // Config configures a Store.
@@ -202,7 +206,7 @@ func (s *Store) journalAppend(rec *Record) func() error {
 // Create makes a file or directory under parent and returns its attributes.
 func (s *Store) Create(parent FileID, name string, typ FileType) (Attr, error) {
 	if name == "" || name == "." || name == ".." {
-		return Attr{}, fmt.Errorf("meta: invalid name %q", name)
+		return Attr{}, fmt.Errorf("%w: %q", ErrInvalidName, name)
 	}
 	s.ns.Lock()
 	dir, ok := s.dirents[parent]
@@ -684,7 +688,7 @@ type RecoveryStats struct {
 // free pool. The AG set in cfg must be fresh (fully free).
 func Recover(cfg Config) (*Store, RecoveryStats, error) {
 	if cfg.Journal == nil {
-		return nil, RecoveryStats{}, errors.New("meta: recovery requires a journal")
+		return nil, RecoveryStats{}, ErrNoJournal
 	}
 	j := cfg.Journal
 	cfgNoJournal := cfg

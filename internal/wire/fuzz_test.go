@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzFrameDecode fuzzes the RPC response-frame decode sequence (message ID,
+// kind, status, load, length-prefixed payload) against two properties: a
+// failed decode reports a wrapped ErrTruncated/ErrTooLong sentinel, and a
+// successful decode round-trips — re-encoding the decoded fields reproduces
+// the consumed bytes exactly.
+func FuzzFrameDecode(f *testing.F) {
+	// Seeds: the two malformed response frames from the rpc ErrBadFrame
+	// tests (truncated after the message ID; payload length overrunning the
+	// frame), plus a well-formed frame.
+	var short Buffer
+	short.PutU64(7)
+	f.Add(short.Bytes())
+
+	var overrun Buffer
+	overrun.PutU64(7)
+	overrun.PutU8(1)
+	overrun.PutU16(0)
+	overrun.PutU8(0)
+	overrun.PutU32(1 << 20) // payload length with no payload bytes
+	f.Add(overrun.Bytes())
+
+	var good Buffer
+	good.PutU64(42)
+	good.PutU8(1)
+	good.PutU16(3)
+	good.PutU8(200)
+	good.PutBytes([]byte("payload"))
+	f.Add(good.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		id := r.U64()
+		kind := r.U8()
+		status := r.U16()
+		load := r.U8()
+		payload := r.BytesRef()
+		if err := r.Err(); err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrTooLong) {
+				t.Fatalf("decode error is not ErrTruncated/ErrTooLong: %v", err)
+			}
+			return
+		}
+		var b Buffer
+		b.PutU64(id)
+		b.PutU8(kind)
+		b.PutU16(status)
+		b.PutU8(load)
+		b.PutBytes(payload)
+		consumed := len(data) - r.Remaining()
+		if !bytes.Equal(b.Bytes(), data[:consumed]) {
+			t.Fatalf("round-trip mismatch:\n consumed: %x\n re-encoded: %x", data[:consumed], b.Bytes())
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"redbud/internal/clock"
+	"redbud/internal/fsapi"
+)
+
+// TestEngineDeterminism runs the op-mix engine twice with the same seed on a
+// virtual clock and requires the two op streams to be identical, per thread.
+// This is the property the simclock analyzer protects: any wall-clock read
+// or global-rand draw on the op path would make the traces diverge.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() ([][]string, Result) {
+		traces := make([][]string, 3)
+		spec := Spec{
+			Name:             "det",
+			Threads:          3,
+			OpsPerThread:     200,
+			PrefillPerThread: 10,
+			FileSize:         SizeDist{Mean: 32 << 10},
+			Dirs:             4,
+			Seed:             42,
+			Mix: []OpWeight{
+				{OpCreateWrite, 30},
+				{OpRead, 30},
+				{OpAppend, 20},
+				{OpDelete, 10},
+				{OpStat, 10},
+			},
+			// Each trace slice is appended to by exactly one worker
+			// goroutine, so no locking is needed.
+			OnOp: func(tid int, kind OpKind, path string, n int64) {
+				traces[tid] = append(traces[tid], fmt.Sprintf("%s %s %d", kind, path, n))
+			},
+		}
+		fs := fsapi.NewMemFSWithClock(clock.NewManual())
+		res, err := Run(fs, clock.NewManual(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traces, res
+	}
+
+	traces1, res1 := run()
+	traces2, res2 := run()
+
+	for tid := range traces1 {
+		if len(traces1[tid]) != len(traces2[tid]) {
+			t.Fatalf("thread %d: %d ops vs %d ops", tid, len(traces1[tid]), len(traces2[tid]))
+		}
+		for i := range traces1[tid] {
+			if traces1[tid][i] != traces2[tid][i] {
+				t.Fatalf("thread %d op %d diverged:\n  run1: %s\n  run2: %s",
+					tid, i, traces1[tid][i], traces2[tid][i])
+			}
+		}
+		if len(traces1[tid]) != 200 {
+			t.Errorf("thread %d: got %d measured ops, want 200", tid, len(traces1[tid]))
+		}
+	}
+	if res1 != res2 {
+		t.Errorf("results diverged:\n  run1: %+v\n  run2: %+v", res1, res2)
+	}
+	if res1.Errors != 0 {
+		t.Errorf("run reported %d op errors", res1.Errors)
+	}
+}

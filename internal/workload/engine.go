@@ -101,6 +101,10 @@ type Spec struct {
 	Dirs int
 	// Seed makes runs reproducible.
 	Seed int64
+	// OnOp, when non-nil, observes every measured operation in issue order
+	// (per thread). The determinism regression test diffs two runs' op
+	// streams through this hook.
+	OnOp func(tid int, kind OpKind, path string, n int64)
 }
 
 // Result summarizes one run.
@@ -189,7 +193,7 @@ func Run(fs fsapi.FileSystem, clk clock.Clock, spec Spec) (Result, error) {
 	)
 
 	worker := func(tid int, measured bool, count int) {
-		ts := &threadState{rng: rand.New(rand.NewSource(spec.Seed + int64(tid)*7919 + boolInt(measured)))}
+		ts := &threadState{rng: threadRNG(spec.Seed, tid, measured)}
 		// Rebuild the thread's view of its prefilled files.
 		for i := 0; i < spec.PrefillPerThread; i++ {
 			ts.files = append(ts.files, pathFor(root, spec, tid, i))
@@ -199,9 +203,12 @@ func Run(fs fsapi.FileSystem, clk clock.Clock, spec Spec) (Result, error) {
 		for i := 0; i < count; i++ {
 			kind := pickOp(ts.rng, spec.Mix, totalWeight, ts)
 			start := clk.Now()
-			n, err := execOp(fs, clk, spec, root, tid, ts, kind, &buf)
+			path, n, err := execOp(fs, clk, spec, root, tid, ts, kind, &buf)
 			el := clk.Since(start)
 			if measured {
+				if spec.OnOp != nil {
+					spec.OnOp(tid, kind, path, n)
+				}
 				ops.Inc()
 				if err != nil {
 					errs.Inc()
@@ -226,7 +233,7 @@ func Run(fs fsapi.FileSystem, clk clock.Clock, spec Spec) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ts := &threadState{rng: rand.New(rand.NewSource(spec.Seed + int64(t)))}
+			ts := &threadState{rng: threadRNG(spec.Seed, t, false)}
 			for i := 0; i < spec.PrefillPerThread; i++ {
 				path := pathFor(root, spec, t, i)
 				writeWholeFile(fs, path, spec.FileSize.sample(ts.rng), false)
@@ -262,11 +269,17 @@ func Run(fs fsapi.FileSystem, clk clock.Clock, spec Spec) (Result, error) {
 	return res, nil
 }
 
-func boolInt(b bool) int64 {
-	if b {
-		return 104729
+// threadRNG derives a thread's deterministic generator from the spec seed.
+// The prefill and measured phases get distinct streams (offset by a prime)
+// so the measured-phase draws do not depend on how prefill consumed the
+// sequence; two runs with the same seed therefore produce identical op
+// streams regardless of goroutine scheduling.
+func threadRNG(seed int64, tid int, measured bool) *rand.Rand {
+	s := seed + int64(tid)*7919
+	if measured {
+		s += 104729
 	}
-	return 0
+	return rand.New(rand.NewSource(s))
 }
 
 func pathFor(root string, spec Spec, tid, i int) string {
@@ -289,24 +302,25 @@ func pickOp(rng *rand.Rand, mix []OpWeight, total int, ts *threadState) OpKind {
 	return OpCreateWrite
 }
 
-// execOp performs one operation, returning the bytes moved.
-func execOp(fs fsapi.FileSystem, clk clock.Clock, spec Spec, root string, tid int, ts *threadState, kind OpKind, buf *[]byte) (int64, error) {
+// execOp performs one operation, returning the path it touched and the
+// bytes moved.
+func execOp(fs fsapi.FileSystem, clk clock.Clock, spec Spec, root string, tid int, ts *threadState, kind OpKind, buf *[]byte) (string, int64, error) {
 	switch kind {
 	case OpCreateWrite:
 		path := pathFor(root, spec, tid, ts.next)
 		ts.next++
 		size := spec.FileSize.sample(ts.rng)
 		if err := writeWholeFile(fs, path, size, spec.FsyncWrites); err != nil {
-			return 0, err
+			return path, 0, err
 		}
 		ts.files = append(ts.files, path)
-		return size, nil
+		return path, size, nil
 
 	case OpRead:
 		path := ts.files[ts.rng.Intn(len(ts.files))]
 		f, err := fs.Open(path)
 		if err != nil {
-			return 0, err
+			return path, 0, err
 		}
 		defer f.Close()
 		size := f.Size()
@@ -314,38 +328,38 @@ func execOp(fs fsapi.FileSystem, clk clock.Clock, spec Spec, root string, tid in
 			*buf = make([]byte, size)
 		}
 		n, err := f.ReadAt((*buf)[:size], 0)
-		return int64(n), err
+		return path, int64(n), err
 
 	case OpAppend:
 		path := ts.files[ts.rng.Intn(len(ts.files))]
 		f, err := fs.Open(path)
 		if err != nil {
-			return 0, err
+			return path, 0, err
 		}
 		defer f.Close()
 		data := fill(spec.AppendSize, byte(tid))
 		if _, err := f.Append(data); err != nil {
-			return 0, err
+			return path, 0, err
 		}
 		if spec.FsyncWrites {
 			if err := f.Sync(); err != nil {
-				return 0, err
+				return path, 0, err
 			}
 		}
-		return spec.AppendSize, nil
+		return path, spec.AppendSize, nil
 
 	case OpDelete:
 		i := ts.rng.Intn(len(ts.files))
 		path := ts.files[i]
 		ts.files = append(ts.files[:i], ts.files[i+1:]...)
-		return 0, fs.Remove(path)
+		return path, 0, fs.Remove(path)
 
 	case OpStat:
 		path := ts.files[ts.rng.Intn(len(ts.files))]
 		_, err := fs.Stat(path)
-		return 0, err
+		return path, 0, err
 	}
-	return 0, fmt.Errorf("workload: bad op %d", kind)
+	return "", 0, fmt.Errorf("workload: bad op %d", kind)
 }
 
 // writeWholeFile creates a file and writes size bytes the way applications
