@@ -63,6 +63,9 @@ type Config struct {
 	DisableMerge bool
 	// Trace, if non-nil, observes every dispatch.
 	Trace TraceFunc
+	// WriteFault, if non-nil, decides the fate of every write at completion
+	// time (see faults.go). Also settable later via SetWriteFault.
+	WriteFault WriteFaultFunc
 }
 
 // Stats aggregates device-level counters.
@@ -115,14 +118,17 @@ type Device struct {
 	clk   clock.Clock
 	store *pageStore
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*ior
-	head    int64
-	closed  bool
-	crashed bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []*ior
+	head       int64
+	closed     bool
+	crashed    bool
+	writeFault WriteFaultFunc
 
 	durable intervalSet
+
+	nFaults stats.Counter
 
 	nSubmitted stats.Counter
 	nDispatch  stats.Counter
@@ -152,7 +158,7 @@ func New(cfg Config) *Device {
 	if cfg.MaxMergedBytes <= 0 {
 		cfg.MaxMergedBytes = 1 << 20
 	}
-	d := &Device{cfg: cfg, clk: cfg.Clock, store: newPageStore()}
+	d := &Device{cfg: cfg, clk: cfg.Clock, store: newPageStore(), writeFault: cfg.WriteFault}
 	d.cond = sync.NewCond(&d.mu)
 	d.wg.Add(1)
 	go d.scheduler()
@@ -318,24 +324,54 @@ func (d *Device) scheduler() {
 }
 
 // complete applies a dispatched entry to the store and finishes its requests.
+// Requests merged into one dispatch can fail individually under an injected
+// write fault, so completion errors are per-request.
 func (d *Device) complete(q *ior, head int64, st time.Duration) {
 	d.mu.Lock()
 	crashed := d.crashed
+	fault := d.writeFault
 	d.mu.Unlock()
 
-	var err error
+	errs := make([]error, len(q.reqs))
 	if crashed {
-		err = ErrCrashed
+		for i := range errs {
+			errs[i] = ErrCrashed
+		}
 	} else {
-		for _, r := range q.reqs {
-			if r.op == OpWrite {
-				d.store.writeAt(r.data, r.off)
-				d.durable.add(r.off, r.off+r.n)
-				d.bytesWrite.Add(r.n)
-			} else {
+		for i, r := range q.reqs {
+			if r.op != OpWrite {
 				d.store.readAt(r.buf, r.off)
 				d.bytesRead.Add(r.n)
+				continue
 			}
+			if fault != nil {
+				f, keep := fault(r.off, r.n)
+				if f == WriteError || f == WriteTorn {
+					d.nFaults.Inc()
+					if f == WriteError {
+						errs[i] = fmt.Errorf("%w: write [%d,%d)", ErrInjected, r.off, r.off+r.n)
+						continue
+					}
+					// Torn: persist a strict prefix and record only it as
+					// durable; the request's full range stays non-durable.
+					if keep < 0 {
+						keep = 0
+					}
+					if keep >= r.n {
+						keep = r.n - 1
+					}
+					if keep > 0 {
+						d.store.writeAt(r.data[:keep], r.off)
+						d.durable.add(r.off, r.off+keep)
+						d.bytesWrite.Add(keep)
+					}
+					errs[i] = fmt.Errorf("%w: torn write [%d,%d) kept %d bytes", ErrInjected, r.off, r.off+r.n, keep)
+					continue
+				}
+			}
+			d.store.writeAt(r.data, r.off)
+			d.durable.add(r.off, r.off+r.n)
+			d.bytesWrite.Add(r.n)
 		}
 	}
 
@@ -350,9 +386,9 @@ func (d *Device) complete(q *ior, head int64, st time.Duration) {
 		d.seekBytes.Add(seek)
 	}
 	now := d.clk.Now()
-	for _, r := range q.reqs {
+	for i, r := range q.reqs {
 		d.latency.Observe(now.Sub(r.enq))
-		r.done <- err
+		r.done <- errs[i]
 	}
 	if d.cfg.Trace != nil && !crashed {
 		d.cfg.Trace(Event{T: now, Dev: d.cfg.ID, Op: q.op, Offset: q.off, Length: q.n, SeekLen: seek, Merged: len(q.reqs) - 1})

@@ -1,0 +1,407 @@
+// Package chaos drives the whole simulated cluster — network, data device,
+// journal, MDS, clients — through seeded fault plans while auditing the
+// paper's ordered-write contract on every commit the MDS applies.
+//
+// A run is reproducible from its Config: one seed derives the network fault
+// decisions, the disk fault rolls, each workload thread's op stream, and the
+// clients' retry jitter. The harness checks three things:
+//
+//  1. Live invariant: CommitCheck rejects (and records) any commit whose
+//     extents are not durable on the data device at the instant the MDS
+//     applies it — the ordered-write rule, checked on every commit including
+//     retransmissions.
+//  2. End-of-run consistency: CheckConsistent finds no committed extent
+//     whose data never became durable, and Fsck finds no space-accounting
+//     or reachability problem in the live store.
+//  3. Crash-at-end recovery: a fresh store recovered from the journal also
+//     fscks clean, so the run's surviving history is replayable.
+//
+// Mid-run MDS restarts (Config.Restarts) exercise the full recovery path:
+// the listener is replaced, in-flight calls die with ErrConnClosed, clients
+// redial, learn the bumped incarnation from OpHello, and re-establish their
+// sessions against the recovered store.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"redbud/internal/alloc"
+	"redbud/internal/blockdev"
+	"redbud/internal/client"
+	"redbud/internal/clock"
+	"redbud/internal/mds"
+	"redbud/internal/meta"
+	"redbud/internal/netsim"
+	"redbud/internal/rpc"
+	"redbud/internal/workload"
+)
+
+const (
+	dataSpace   = 1 << 30  // data device capacity
+	metaSpace   = 64 << 20 // metadata device capacity
+	journalSize = 32 << 20 // journal region at the front of the metadata device
+	allocGroups = 4
+)
+
+// DiskFaults configures probabilistic write faults on the shared data
+// device. The metadata device stays fault-free: torn-journal recovery has
+// dedicated crash-point tests in internal/meta, and a probabilistic journal
+// tear mid-run would halt the store rather than exercise anything this
+// harness can keep checking.
+type DiskFaults struct {
+	// ErrProb is the probability a data write fails with an I/O error.
+	ErrProb float64
+	// TornProb is the probability a data write is torn partway through.
+	TornProb float64
+}
+
+// Config describes one chaos run. The zero value of most fields picks a
+// sensible default; a Seed alone is enough for a smoke run.
+type Config struct {
+	// Seed drives every random stream in the run.
+	Seed int64
+
+	// Clients file-system clients (default 2), each running Threads
+	// application threads (default 2) of Ops measured operations
+	// (default 30) over Prefill pre-created files per thread.
+	Clients int
+	Threads int
+	Ops     int
+	Prefill int
+
+	// FileSize is the created-file size (default 16 KiB).
+	FileSize int64
+	// Mix weights the op mix; nil picks a create/read/append/stat/delete
+	// blend.
+	Mix []workload.OpWeight
+	// Mode selects the commit path (SyncCommit or DelayedCommit).
+	Mode client.Mode
+	// Fsync forces a commit barrier after every workload write.
+	Fsync bool
+	// Think is per-op application compute time; use it to stretch the
+	// workload across scheduled restarts.
+	Think time.Duration
+	// Delegation is the space-delegation chunk (default 1 MiB, negative
+	// disables delegation).
+	Delegation int64
+
+	// Retry is the clients' fault-tolerance policy. The zero value picks
+	// MaxAttempts 6, 1ms..16ms backoff, and a 75ms call timeout. A plan
+	// with DropProb > 0 needs CallTimeout > 0, or a dropped frame parks
+	// its calling thread forever.
+	Retry client.RetryPolicy
+
+	// Net is the network fault plan; its Seed defaults to Config.Seed.
+	Net netsim.FaultPlan
+	// Disk injects data-device write faults.
+	Disk DiskFaults
+
+	// Restarts crash-restarts the MDS this many times, every RestartEvery
+	// of virtual time (default 10ms): the listener is closed, the server
+	// drained, and the store recovered from the journal under a bumped
+	// incarnation.
+	Restarts     int
+	RestartEvery time.Duration
+
+	// LeaseTimeout enables MDS lease expiry (0 disables).
+	LeaseTimeout time.Duration
+
+	// Clock overrides the simulation clock (default clock.Real(1)).
+	Clock clock.Clock
+
+	// OnOp observes every measured workload operation in per-thread issue
+	// order; the determinism test diffs two runs through this hook.
+	OnOp func(clientID, tid int, kind workload.OpKind, path string, n int64)
+}
+
+// Report is what a run leaves behind for assertions.
+type Report struct {
+	// Results holds one workload result per client.
+	Results []workload.Result
+	// Violations lists every commit the MDS saw whose extents were not
+	// durable — ordered-write contract breaches. Must stay empty.
+	Violations []string
+	// Inconsistent lists committed extents whose data was not durable at
+	// the end of the run. Must stay empty.
+	Inconsistent []meta.Extent
+	// Fsck checks the live store at end of run; RecoveredFsck re-runs the
+	// check on a store recovered from the journal afterwards (the
+	// crash-at-end scenario).
+	Fsck          meta.FsckReport
+	RecoveredFsck meta.FsckReport
+	// Recovery reports the final recovery's replay statistics.
+	Recovery meta.RecoveryStats
+	// Restarts counts completed mid-run MDS restarts.
+	Restarts int
+	// DedupHits counts commit retransmissions answered from the MDS dedup
+	// table, summed across incarnations.
+	DedupHits int64
+	// Faults holds the network fault-injection counters.
+	Faults netsim.FaultStats
+	// DiskFaults counts injected data-device write faults.
+	DiskFaults int64
+	// OpErrors sums per-operation workload errors (expected under faults;
+	// an op that fails cleanly is not an invariant breach).
+	OpErrors int64
+	// CloseErrs collects client-shutdown errors, which are tolerated: a
+	// client can hold uncommittable state after a restart reclaimed its
+	// delegations.
+	CloseErrs []error
+}
+
+// defaultMix is the blend used when Config.Mix is nil.
+func defaultMix() []workload.OpWeight {
+	return []workload.OpWeight{
+		{Kind: workload.OpCreateWrite, Weight: 4},
+		{Kind: workload.OpRead, Weight: 3},
+		{Kind: workload.OpAppend, Weight: 2},
+		{Kind: workload.OpStat, Weight: 2},
+		{Kind: workload.OpDelete, Weight: 1},
+	}
+}
+
+// planActive reports whether plan would affect any frame at all.
+func planActive(p netsim.FaultPlan) bool {
+	return p.Script != nil || p.Default != (netsim.LinkFaults{}) ||
+		len(p.Links) > 0 || len(p.Partitions) > 0
+}
+
+// Run executes one chaos run and returns its report. A non-nil error means
+// the harness itself failed (recovery error, setup failure) — invariant
+// breaches are reported through Report fields, not the error.
+func Run(cfg Config) (*Report, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real(1)
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 2
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 2
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 30
+	}
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = 16 << 10
+	}
+	if cfg.Mix == nil {
+		cfg.Mix = defaultMix()
+	}
+	deleg := cfg.Delegation
+	if deleg == 0 {
+		deleg = 1 << 20
+	} else if deleg < 0 {
+		deleg = 0
+	}
+	if cfg.Retry == (client.RetryPolicy{}) {
+		cfg.Retry = client.RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    16 * time.Millisecond,
+			CallTimeout: 75 * time.Millisecond,
+		}
+	}
+	if cfg.RestartEvery <= 0 {
+		cfg.RestartEvery = 10 * time.Millisecond
+	}
+
+	rep := &Report{}
+
+	// Shared data device, optionally faulty; fault-free metadata device
+	// carrying the journal.
+	var faultFn blockdev.WriteFaultFunc
+	if cfg.Disk.ErrProb > 0 || cfg.Disk.TornProb > 0 {
+		faultFn = blockdev.ProbFaults(cfg.Seed^0x5eed, cfg.Disk.ErrProb, cfg.Disk.TornProb)
+	}
+	data := blockdev.New(blockdev.Config{Size: dataSpace, Model: blockdev.ZeroLatency(), Clock: clk, WriteFault: faultFn})
+	defer data.Close()
+	metaDev := blockdev.New(blockdev.Config{Size: metaSpace, Model: blockdev.ZeroLatency(), Clock: clk})
+	defer metaDev.Close()
+
+	mkAGs := func() *alloc.AGSet { return alloc.NewUniformAGSet(alloc.RoundRobin, 0, dataSpace, allocGroups) }
+	store := meta.NewStore(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk})
+
+	// The durability oracle: every commit the MDS applies is audited
+	// against what the data device has actually made durable, and an
+	// undurable commit is both recorded and rejected.
+	var vmu sync.Mutex
+	check := func(exts []meta.Extent) error {
+		for _, e := range exts {
+			if e.Dev != 0 || !data.IsDurable(e.VolOff, e.Len) {
+				msg := fmt.Sprintf("commit references non-durable extent dev%d [%d,+%d)", e.Dev, e.VolOff, e.Len)
+				vmu.Lock()
+				rep.Violations = append(rep.Violations, msg)
+				vmu.Unlock()
+				return fmt.Errorf("chaos: %s", msg)
+			}
+		}
+		return nil
+	}
+
+	net := netsim.NewNetwork(clk)
+	net.AddHost("mds", netsim.Instant())
+
+	incarnation := uint64(1)
+	startServer := func() (*mds.Server, *netsim.Listener, error) {
+		srv := mds.New(mds.Config{
+			Store:        store,
+			Clock:        clk,
+			Daemons:      4,
+			CommitCheck:  check,
+			LeaseTimeout: cfg.LeaseTimeout,
+			Incarnation:  incarnation,
+		})
+		lis, err := net.Listen("mds")
+		if err != nil {
+			return nil, nil, err
+		}
+		go srv.Serve(lis)
+		return srv, lis, nil
+	}
+	srv, lis, err := startServer()
+	if err != nil {
+		return rep, err
+	}
+
+	plan := cfg.Net
+	if plan.Seed == 0 {
+		plan.Seed = cfg.Seed
+	}
+	if planActive(plan) {
+		net.InstallFaults(plan)
+	}
+	defer net.ClearFaults()
+
+	clients := make([]*client.Client, cfg.Clients)
+	for i := range clients {
+		host := fmt.Sprintf("c%d", i)
+		net.AddHost(host, netsim.Instant())
+		dial := func() (*rpc.Client, error) {
+			conn, err := net.Dial(host, "mds")
+			if err != nil {
+				return nil, err
+			}
+			return rpc.NewClient(conn, clk), nil
+		}
+		first, err := dial()
+		if err != nil {
+			return rep, err
+		}
+		pol := cfg.Retry
+		if pol.Seed == 0 {
+			pol.Seed = cfg.Seed + int64(i)*31 + 1
+		}
+		clients[i] = client.New(client.Config{
+			Name:            host,
+			MDS:             first,
+			Redial:          dial,
+			Retry:           pol,
+			Devices:         map[uint32]client.BlockDevice{0: data},
+			Clock:           clk,
+			Mode:            cfg.Mode,
+			DelegationChunk: deleg,
+			PoolInterval:    time.Millisecond,
+		})
+	}
+
+	// Fan the workloads out, one namespace subtree per client.
+	rep.Results = make([]workload.Result, cfg.Clients)
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			spec := workload.Spec{
+				Name:             fmt.Sprintf("w%d", i),
+				Threads:          cfg.Threads,
+				OpsPerThread:     cfg.Ops,
+				PrefillPerThread: cfg.Prefill,
+				FileSize:         workload.SizeDist{Mean: cfg.FileSize, Fixed: true},
+				Mix:              cfg.Mix,
+				FsyncWrites:      cfg.Fsync,
+				Think:            cfg.Think,
+				Seed:             cfg.Seed + int64(i+1)*7919,
+			}
+			if cfg.OnOp != nil {
+				spec.OnOp = func(tid int, kind workload.OpKind, path string, n int64) {
+					cfg.OnOp(i, tid, kind, path, n)
+				}
+			}
+			res, err := workload.Run(clients[i], clk, spec)
+			if err != nil {
+				// Namespace setup died under faults; count it and move on —
+				// a cleanly failed workload is not an invariant breach.
+				res.Errors++
+			}
+			rep.Results[i] = res
+		}()
+	}
+
+	// Scheduled crash-restarts while the workloads run. Closing the server
+	// drains in-flight operations (so the journal is quiescent), then the
+	// survivors' connections die underneath them and the retry layer takes
+	// over: redial, OpHello, incarnation bump, session re-establishment.
+	var restartErr error
+	for r := 0; r < cfg.Restarts; r++ {
+		clk.Sleep(cfg.RestartEvery)
+		lis.Close()
+		srv.Close()
+		rep.DedupHits += srv.DedupHits()
+		rec, _, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk})
+		if err != nil {
+			restartErr = fmt.Errorf("chaos: recovery at restart %d: %w", r+1, err)
+			break
+		}
+		store = rec
+		incarnation++
+		if srv, lis, err = startServer(); err != nil {
+			restartErr = err
+			break
+		}
+		rep.Restarts++
+	}
+
+	wg.Wait()
+
+	// The faulty phase is over: snapshot the counters, lift the faults,
+	// and shut the clients down cleanly.
+	rep.Faults = net.FaultStats()
+	net.ClearFaults()
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			rep.CloseErrs = append(rep.CloseErrs, err)
+		}
+	}
+	for i := range clients {
+		store.ClientGone(fmt.Sprintf("c%d", i))
+	}
+	for _, res := range rep.Results {
+		rep.OpErrors += res.Errors
+	}
+	if restartErr != nil {
+		return rep, restartErr
+	}
+
+	rep.Inconsistent = store.CheckConsistent(func(dev int, off, n int64) bool {
+		return dev == 0 && data.IsDurable(off, n)
+	})
+	rep.Fsck = store.Fsck(dataSpace)
+	rep.DiskFaults = data.InjectedFaults()
+
+	// Crash-at-end: abandon the live store, recover once more from the
+	// journal, and fsck the recovered image.
+	lis.Close()
+	srv.Close()
+	rep.DedupHits += srv.DedupHits()
+	rec, rst, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk})
+	if err != nil {
+		return rep, fmt.Errorf("chaos: final recovery: %w", err)
+	}
+	rep.Recovery = rst
+	rep.RecoveredFsck = rec.Fsck(dataSpace)
+	return rep, nil
+}

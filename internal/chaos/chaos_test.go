@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"redbud/internal/client"
+	"redbud/internal/netsim"
+	"redbud/internal/workload"
+)
+
+// seeds widens the invariant sweep; CI runs `-seeds=100` nightly.
+var seeds = flag.Int("seeds", 5, "number of fault-plan seeds the invariant sweep runs")
+
+// invariantConfig is the full fault menu: drops, duplicates, delays,
+// reorders, a timed partition, and probabilistic data-device faults.
+func invariantConfig(seed int64) Config {
+	return Config{
+		Seed:    seed,
+		Clients: 3,
+		Threads: 2,
+		Ops:     25,
+		Prefill: 2,
+		Mode:    client.DelayedCommit,
+		Fsync:   true,
+		Retry: client.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    8 * time.Millisecond,
+			CallTimeout: 50 * time.Millisecond,
+		},
+		Net: netsim.FaultPlan{
+			Default: netsim.LinkFaults{
+				DropProb:    0.02,
+				DupProb:     0.02,
+				DelayProb:   0.10,
+				DelaySpike:  2 * time.Millisecond,
+				ReorderProb: 0.05,
+			},
+			Partitions: []netsim.Partition{
+				{From: "*", To: "mds", Start: 20 * time.Millisecond, End: 35 * time.Millisecond},
+			},
+		},
+		Disk: DiskFaults{ErrProb: 0.02, TornProb: 0.02},
+	}
+}
+
+// assertClean checks the two paper invariants and both fsck passes.
+func assertClean(t *testing.T, rep *Report) {
+	t.Helper()
+	if len(rep.Violations) != 0 {
+		t.Errorf("ordered-write violations:\n  %s", strings.Join(rep.Violations, "\n  "))
+	}
+	if len(rep.Inconsistent) != 0 {
+		t.Errorf("committed-but-not-durable extents at end of run: %+v", rep.Inconsistent)
+	}
+	if !rep.Fsck.OK() {
+		t.Errorf("live fsck: %s", rep.Fsck)
+	}
+	if !rep.RecoveredFsck.OK() {
+		t.Errorf("post-recovery fsck: %s", rep.RecoveredFsck)
+	}
+}
+
+// TestChaosInvariants sweeps seeded fault plans and asserts that no plan can
+// produce an MDS-visible commit of non-durable data, an inconsistent store,
+// or an unrecoverable journal. Individual operations may fail — that is the
+// fault plan working — but the metadata must never lie.
+func TestChaosInvariants(t *testing.T) {
+	for s := 0; s < *seeds; s++ {
+		seed := int64(s)*7919 + 1
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(invariantConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertClean(t, rep)
+			var ops int64
+			for _, r := range rep.Results {
+				ops += r.Ops
+			}
+			if ops > 0 && rep.OpErrors >= ops {
+				t.Errorf("every one of %d ops failed; the fault plan starved the workload", ops)
+			}
+			t.Logf("ops=%d opErrors=%d netFaults=%+v diskFaults=%d dedupHits=%d",
+				ops, rep.OpErrors, rep.Faults, rep.DiskFaults, rep.DedupHits)
+		})
+	}
+}
+
+// TestChaosMDSRestart crash-restarts the MDS twice mid-workload with no
+// other faults: clients must redial, observe the incarnation bump, rebuild
+// their sessions, and keep making progress; the recovered store must fsck
+// clean both times and at the end.
+func TestChaosMDSRestart(t *testing.T) {
+	cfg := invariantConfig(4242)
+	cfg.Net = netsim.FaultPlan{}
+	cfg.Disk = DiskFaults{}
+	cfg.Ops = 40
+	cfg.Think = time.Millisecond // stretch the workload across the restarts
+	cfg.Restarts = 2
+	cfg.RestartEvery = 15 * time.Millisecond
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 2 {
+		t.Fatalf("completed %d restarts, want 2", rep.Restarts)
+	}
+	assertClean(t, rep)
+	var ops int64
+	for _, r := range rep.Results {
+		ops += r.Ops
+	}
+	if want := int64(cfg.Clients * cfg.Threads * cfg.Ops); ops != want {
+		t.Fatalf("measured %d ops, want %d: a thread died instead of retrying", ops, want)
+	}
+	if rep.OpErrors >= ops {
+		t.Fatalf("all %d ops failed across the restarts; sessions never re-established", ops)
+	}
+	t.Logf("ops=%d opErrors=%d dedupHits=%d recovery=%+v", ops, rep.OpErrors, rep.DedupHits, rep.Recovery)
+}
+
+// TestChaosDeterminism runs the same seed and fault plan twice and requires
+// byte-identical per-thread event logs. The plan is delay-only and retries
+// are disabled: delays never change an operation's outcome, so the op
+// streams — which do depend on outcomes — must replay exactly.
+func TestChaosDeterminism(t *testing.T) {
+	eventLog := func() (string, int64) {
+		var mu sync.Mutex
+		logs := map[int][]string{}
+		cfg := Config{
+			Seed:    99,
+			Clients: 2,
+			Threads: 2,
+			Ops:     20,
+			Prefill: 2,
+			Mode:    client.DelayedCommit,
+			Fsync:   true,
+			// One attempt, no call timeout: nothing scheduler-dependent
+			// can change an op's outcome.
+			Retry: client.RetryPolicy{MaxAttempts: 1},
+			Net: netsim.FaultPlan{
+				Default: netsim.LinkFaults{DelayProb: 0.3, DelaySpike: 300 * time.Microsecond},
+			},
+			OnOp: func(clientID, tid int, kind workload.OpKind, path string, n int64) {
+				key := clientID*1000 + tid
+				mu.Lock()
+				logs[key] = append(logs[key], fmt.Sprintf("%d %s %s %d", key, kind, path, n))
+				mu.Unlock()
+			},
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]int, 0, len(logs))
+		for k := range logs {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			for _, line := range logs[k] {
+				sb.WriteString(line)
+				sb.WriteByte('\n')
+			}
+		}
+		return sb.String(), rep.OpErrors
+	}
+	logA, errsA := eventLog()
+	logB, errsB := eventLog()
+	if errsA != 0 || errsB != 0 {
+		t.Fatalf("delay-only runs had op errors (%d, %d): an outcome-affecting fault leaked into the determinism fixture", errsA, errsB)
+	}
+	if logA == "" {
+		t.Fatal("event log is empty; OnOp never fired")
+	}
+	if logA != logB {
+		t.Fatalf("same seed and plan produced different event logs:\nrun A:\n%srun B:\n%s", logA, logB)
+	}
+}

@@ -19,7 +19,9 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redbud/internal/alloc"
@@ -71,6 +73,12 @@ type Config struct {
 	// MDS is the connected metadata RPC client. The file-system client
 	// owns it and closes it on Close.
 	MDS *rpc.Client
+	// Redial, if set, establishes a replacement MDS connection after the
+	// current one dies; combined with Retry it makes the client survive
+	// connection loss and MDS restarts.
+	Redial func() (*rpc.Client, error)
+	// Retry governs RPC timeouts and idempotent-retry backoff.
+	Retry RetryPolicy
 	// Devices maps device IDs to the shared disk array members.
 	Devices map[uint32]BlockDevice
 	Clock   clock.Clock
@@ -135,13 +143,27 @@ var _ fsapi.FileSystem = (*Client)(nil)
 type Client struct {
 	cfg  Config
 	clk  clock.Clock
-	mds  *rpc.Client
 	devs map[uint32]BlockDevice
+
+	// connMu guards the MDS connection, which Redial may replace, plus the
+	// reconnect bookkeeping. connGen counts replacements so concurrent
+	// failures reconnect once, not once per caller.
+	connMu         sync.Mutex
+	mds            *rpc.Client
+	connGen        uint64
+	totalCalls     int64 // RPCs issued on connections already closed
+	incarnation    uint64
+	sawIncarnation bool
+	rng            *rand.Rand // backoff jitter; guarded by connMu
+
+	commitSeq atomic.Uint64 // CommitID generator
 
 	queue    *core.Queue[meta.FileID]
 	pool     *core.Pool
 	compound *core.Compound
-	space    *core.SpacePool
+	// space may be swapped wholesale when an MDS restart invalidates every
+	// delegated span, hence the atomic pointer (nil when disabled).
+	space atomic.Pointer[core.SpacePool]
 
 	mu     sync.Mutex
 	files  map[meta.FileID]*fileState
@@ -212,18 +234,28 @@ func New(cfg Config) *Client {
 		files:  make(map[meta.FileID]*fileState),
 		dcache: make(map[string]meta.FileID),
 	}
+	seed := cfg.Retry.Seed
+	if seed == 0 {
+		seed = retrySeed(cfg.Name)
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+	if d := cfg.Retry.CallTimeout; d > 0 {
+		cfg.MDS.SetCallTimeout(d)
+	}
 	c.compound = core.NewCompound(core.CompoundConfig{
 		Fixed:         cfg.CompoundDegree,
 		Max:           cfg.MaxCompoundDegree,
 		NetCongestion: cfg.NetCongestion,
-		ServerLoad:    c.mds.ServerLoad,
+		ServerLoad:    c.serverLoad,
 	})
 	if cfg.DelegationChunk > 0 {
-		c.space = core.NewSpacePool(core.SpacePoolConfig{
-			ChunkSize:  cfg.DelegationChunk,
-			Delegate:   c.delegate,
-			NoPrefetch: cfg.SpaceNoPrefetch,
-		})
+		c.space.Store(c.newSpacePool())
+	}
+	if cfg.Redial != nil {
+		// Learn the MDS incarnation up front so a later reconnect can tell
+		// a restart from a mere connection blip. Best effort: a pre-Hello
+		// MDS build simply leaves sawIncarnation unset.
+		c.hello(cfg.MDS)
 	}
 	if cfg.Mode == DelayedCommit {
 		c.queue = core.NewQueue[meta.FileID]()
@@ -242,10 +274,12 @@ func New(cfg Config) *Client {
 	return c
 }
 
-// delegate is the SpacePool's refill function.
+// delegate is the SpacePool's refill function. Not retried: a duplicate
+// grant whose first reply was lost would leak a span on the server.
 func (c *Client) delegate(size int64) (alloc.Span, error) {
+	mds, _ := c.conn()
 	var sp proto.SpanMsg
-	if err := c.mds.Call(proto.OpDelegate, &proto.DelegateReq{Owner: c.cfg.Name, Size: size}, &sp); err != nil {
+	if err := mds.Call(proto.OpDelegate, &proto.DelegateReq{Owner: c.cfg.Name, Size: size}, &sp); err != nil {
 		return alloc.Span{}, err
 	}
 	return alloc.Span{Dev: int(sp.Dev), Off: sp.Off, Len: sp.Len}, nil
@@ -279,7 +313,7 @@ func (c *Client) resolve(path string) (meta.FileID, error) {
 	cur := meta.RootID
 	for _, name := range parts {
 		var resp proto.AttrResp
-		if err := c.mds.Call(proto.OpLookup, &proto.LookupReq{Parent: cur, Name: name}, &resp); err != nil {
+		if err := c.callIdem(proto.OpLookup, &proto.LookupReq{Parent: cur, Name: name}, &resp); err != nil {
 			return 0, mapRemote(err)
 		}
 		cur = resp.ID
@@ -353,8 +387,9 @@ func (c *Client) Create(path string) (fsapi.File, error) {
 	if err != nil {
 		return nil, err
 	}
+	mds, _ := c.conn()
 	var resp proto.AttrResp
-	if err := c.mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: meta.TypeFile}, &resp); err != nil {
+	if err := mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: meta.TypeFile}, &resp); err != nil {
 		return nil, mapRemote(err)
 	}
 	c.st.creates.Inc()
@@ -375,7 +410,7 @@ func (c *Client) Open(path string) (fsapi.File, error) {
 		return nil, err
 	}
 	var attr proto.AttrResp
-	if err := c.mds.Call(proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
+	if err := c.callIdem(proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
 		return nil, mapRemote(err)
 	}
 	if attr.Type == meta.TypeDir {
@@ -408,8 +443,9 @@ func (c *Client) Mkdir(path string) error {
 	if err != nil {
 		return err
 	}
+	mds, _ := c.conn()
 	var resp proto.AttrResp
-	if err := c.mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: meta.TypeDir}, &resp); err != nil {
+	if err := mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: meta.TypeDir}, &resp); err != nil {
 		return mapRemote(err)
 	}
 	c.mu.Lock()
@@ -439,7 +475,8 @@ func (c *Client) Remove(path string) error {
 			}
 		}
 	}
-	if err := c.mds.Call(proto.OpRemove, &proto.RemoveReq{Parent: dir, Name: leaf}, nil); err != nil {
+	mds, _ := c.conn()
+	if err := mds.Call(proto.OpRemove, &proto.RemoveReq{Parent: dir, Name: leaf}, nil); err != nil {
 		return mapRemote(err)
 	}
 	c.st.removes.Inc()
@@ -464,7 +501,8 @@ func (c *Client) Rename(oldPath, newPath string) error {
 		return err
 	}
 	req := proto.RenameReq{SrcParent: srcDir, SrcName: srcLeaf, DstParent: dstDir, DstName: dstLeaf}
-	if err := c.mds.Call(proto.OpRename, &req, nil); err != nil {
+	mds, _ := c.conn()
+	if err := mds.Call(proto.OpRename, &req, nil); err != nil {
 		return mapRemote(err)
 	}
 	// Path-keyed cache entries under the old name (and, for directories,
@@ -490,7 +528,7 @@ func (c *Client) Stat(path string) (fsapi.Info, error) {
 		return fsapi.Info{}, err
 	}
 	var attr proto.AttrResp
-	if err := c.mds.Call(proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
+	if err := c.callIdem(proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
 		return fsapi.Info{}, mapRemote(err)
 	}
 	info := fsapi.Info{Name: lastPart(path), Size: attr.Size, Dir: attr.Type == meta.TypeDir, MTime: attr.MTime}
@@ -522,7 +560,7 @@ func (c *Client) ReadDir(path string) ([]fsapi.Info, error) {
 		return nil, err
 	}
 	var resp proto.ReadDirResp
-	if err := c.mds.Call(proto.OpReadDir, &proto.ReadDirReq{ID: id}, &resp); err != nil {
+	if err := c.callIdem(proto.OpReadDir, &proto.ReadDirReq{ID: id}, &resp); err != nil {
 		return nil, mapRemote(err)
 	}
 	out := make([]fsapi.Info, 0, len(resp.Entries))
@@ -593,7 +631,7 @@ func (c *Client) commitBatch(ids []meta.FileID) {
 		c.st.commitRPCs.Inc()
 		c.st.commitsSent.Inc()
 		var resp proto.CommitResp
-		err := c.mds.Call(proto.OpCommit, reqs[0], &resp)
+		err := c.sendCommit(states[0], reqs[0], &resp)
 		c.finishCommit(states[0], reqs[0], err)
 		return
 	}
@@ -602,7 +640,7 @@ func (c *Client) commitBatch(ids []meta.FileID) {
 		ops = append(ops, rpc.SubOp{Op: proto.OpCommit, Body: wire.Encode(req)})
 	}
 	c.st.commitRPCs.Inc()
-	results, err := c.mds.Compound(ops)
+	results, err := c.sendCompound(states, ops)
 	for i, fs := range states {
 		c.st.commitsSent.Inc()
 		e := err
@@ -631,7 +669,14 @@ func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
 			exts = append(exts, e)
 		}
 	}
-	req := &proto.CommitReq{Owner: c.cfg.Name, File: fs.id, Size: fs.size, MTime: fs.mtime, Extents: exts}
+	req := &proto.CommitReq{
+		Owner: c.cfg.Name, File: fs.id, Size: fs.size, MTime: fs.mtime,
+		// A fresh CommitID per built request: retransmissions of this exact
+		// request dedupe at the MDS, while a rebuilt (different) commit for
+		// the same file is a new operation.
+		CommitID: c.commitSeq.Add(1),
+		Extents:  exts,
+	}
 	fs.mu.Unlock()
 	return req
 }
@@ -685,7 +730,7 @@ func (c *Client) commitFile(fs *fileState) error {
 	c.st.commitRPCs.Inc()
 	c.st.commitsSent.Inc()
 	var resp proto.CommitResp
-	err := c.mds.Call(proto.OpCommit, req, &resp)
+	err := c.sendCommit(fs, req, &resp)
 	c.finishCommit(fs, req, err)
 	if err != nil && errors.Is(mapRemote(err), fsapi.ErrNotExist) {
 		return nil // file removed while the commit was in flight
@@ -716,15 +761,17 @@ func (c *Client) Close() error {
 		c.queue.Close()
 		c.pool.Stop()
 	}
-	if c.space != nil {
-		for _, sp := range c.space.Close() {
+	if pool := c.space.Load(); pool != nil {
+		mds, _ := c.conn()
+		for _, sp := range pool.Close() {
 			msg := proto.SpanMsg{Dev: uint32(sp.Dev), Off: sp.Off, Len: sp.Len}
-			if err := c.mds.Call(proto.OpDelegReturn, &proto.DelegReturnReq{Owner: c.cfg.Name, Span: msg}, nil); err != nil && firstErr == nil {
+			if err := mds.Call(proto.OpDelegReturn, &proto.DelegReturnReq{Owner: c.cfg.Name, Span: msg}, nil); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
-	c.mds.Close()
+	mds, _ := c.conn()
+	mds.Close()
 	return firstErr
 }
 
@@ -738,7 +785,8 @@ func (c *Client) Crash() {
 		c.queue.Close()
 		c.pool.Stop()
 	}
-	c.mds.Close()
+	mds, _ := c.conn()
+	mds.Close()
 }
 
 // Drain blocks until the commit queue is empty and all dirty files are
@@ -809,7 +857,7 @@ func (c *Client) Stats() Stats {
 		BytesRead:        c.st.bytesRead.Load(),
 		CommitsSent:      c.st.commitsSent.Load(),
 		CommitRPCs:       c.st.commitRPCs.Load(),
-		RPCs:             c.mds.Calls(),
+		RPCs:             c.rpcCalls(),
 		MeanWriteLatency: c.st.writeLat.Mean(),
 		MeanCloseLatency: c.st.closeLat.Mean(),
 		MeanOpLatency:    c.st.opLat.Mean(),
@@ -818,8 +866,15 @@ func (c *Client) Stats() Stats {
 	if c.queue != nil {
 		s.QueueEnqueued, s.QueueDedup = c.queue.Stats()
 	}
-	if c.space != nil {
-		s.LocalAllocs, s.Delegations, s.WastedDelegationBytes = c.space.Stats()
+	if pool := c.space.Load(); pool != nil {
+		s.LocalAllocs, s.Delegations, s.WastedDelegationBytes = pool.Stats()
 	}
 	return s
+}
+
+// rpcCalls totals RPCs across the live connection and any it replaced.
+func (c *Client) rpcCalls() int64 {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.totalCalls + c.mds.Calls()
 }

@@ -258,10 +258,10 @@ func (c *Client) ensureExtents(fs *fileState, off, end int64) error {
 	if len(holes) == 0 {
 		return nil
 	}
-	if c.space != nil {
+	if pool := c.spacePool(); pool != nil {
 		remaining := holes[:0]
 		for _, h := range holes {
-			sp, err := c.space.Alloc(h[1] - h[0])
+			sp, err := pool.Alloc(h[1] - h[0])
 			if err != nil {
 				if errors.Is(err, core.ErrTooLarge) {
 					remaining = append(remaining, h)
@@ -282,7 +282,9 @@ func (c *Client) ensureExtents(fs *fileState, off, end int64) error {
 	// Large (or undelegated) ranges apply to the MDS directly.
 	fs.mu.Unlock()
 	var lay proto.LayoutResp
-	err := c.mds.Call(proto.OpLayoutGet, &proto.LayoutGetReq{
+	// Idempotent retry is safe: re-allocating the same range returns the
+	// extents the first attempt created.
+	err := c.callIdem(proto.OpLayoutGet, &proto.LayoutGetReq{
 		Owner: c.cfg.Name, File: fs.id, Off: off, Len: end - off, Write: true,
 	}, &lay)
 	fs.mu.Lock()
@@ -364,7 +366,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		if holes := fs.gapsLocked(off, end); len(holes) > 0 && fs.committedSizeMayCover(holes) {
 			fs.mu.Unlock()
 			var lay proto.LayoutResp
-			err := c.mds.Call(proto.OpLayoutGet, &proto.LayoutGetReq{File: fs.id, Off: off, Len: n}, &lay)
+			err := c.callIdem(proto.OpLayoutGet, &proto.LayoutGetReq{File: fs.id, Off: off, Len: n}, &lay)
 			fs.mu.Lock()
 			if err != nil {
 				fs.mu.Unlock()

@@ -1,0 +1,284 @@
+package client
+
+import (
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"redbud/internal/core"
+	"redbud/internal/meta"
+	"redbud/internal/proto"
+	"redbud/internal/rpc"
+	"redbud/internal/wire"
+)
+
+// RetryPolicy configures how the client survives transport faults: lost or
+// delayed RPC frames, a dying connection, and an MDS restart.
+//
+// Only idempotent operations are ever retried: commits (made idempotent by
+// the CommitID the MDS dedupes), lookups, attribute and directory reads, and
+// layout fetches (re-allocating a layout returns the extents the first
+// attempt created). Namespace mutations — create, remove, rename — and
+// delegation requests are never retried, because a duplicate would create,
+// unlink, or leak state the first execution already handled.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per retriable RPC. Zero
+	// defaults to 8 when Redial or CallTimeout enables the retry path, and
+	// to 1 (no retry, the pre-fault-tolerance behavior) otherwise.
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 1ms of virtual time).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential schedule (default 200ms).
+	MaxDelay time.Duration
+	// CallTimeout bounds each RPC's wait for a response; 0 waits forever.
+	// A timeout is what turns a silently dropped frame into a retriable
+	// error.
+	CallTimeout time.Duration
+	// Seed drives the jitter stream; 0 derives one from the client name.
+	Seed int64
+}
+
+// maxAttempts resolves the effective attempt budget.
+func (c *Client) maxAttempts() int {
+	if n := c.cfg.Retry.MaxAttempts; n > 0 {
+		return n
+	}
+	if c.cfg.Redial != nil || c.cfg.Retry.CallTimeout > 0 {
+		return 8
+	}
+	return 1
+}
+
+// retriable reports whether err indicates a transport fault the retry layer
+// may act on. RemoteError (the server executed and said no) and ErrBadFrame
+// (protocol corruption) are deliberately excluded.
+func retriable(err error) bool {
+	return errors.Is(err, rpc.ErrConnClosed) ||
+		errors.Is(err, rpc.ErrClientClosed) ||
+		errors.Is(err, rpc.ErrTimeout)
+}
+
+// backoffDelay returns the sleep before retry attempt (0-based): an
+// exponential schedule base<<attempt capped at max, with jitter drawn from
+// rng uniformly in [d/2, d) so synchronized clients desynchronize.
+func backoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max <= 0 {
+		max = 200 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// retrySeed derives the default jitter seed from the client name.
+func retrySeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// sleepBackoff sleeps the backoff delay for one retry attempt.
+func (c *Client) sleepBackoff(attempt int) {
+	c.connMu.Lock()
+	d := backoffDelay(attempt, c.cfg.Retry.BaseDelay, c.cfg.Retry.MaxDelay, c.rng)
+	c.connMu.Unlock()
+	c.clk.Sleep(d)
+}
+
+// conn returns the current MDS connection and its generation; the
+// generation lets a failed caller detect that another goroutine already
+// replaced the connection.
+func (c *Client) conn() (*rpc.Client, uint64) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.mds, c.connGen
+}
+
+// serverLoad reads the load byte piggybacked on the current connection.
+func (c *Client) serverLoad() uint8 {
+	m, _ := c.conn()
+	return m.ServerLoad()
+}
+
+// recoverConn reacts to a retriable failure of a call issued on the
+// connection with generation gen. It returns nil when the caller may retry,
+// or an error when the fault cannot be recovered (no redial configured and
+// the connection is dead).
+func (c *Client) recoverConn(old *rpc.Client, gen uint64, cause error) error {
+	if c.cfg.Redial == nil {
+		if errors.Is(cause, rpc.ErrTimeout) {
+			return nil // connection still usable; retry in place
+		}
+		return cause
+	}
+	c.connMu.Lock()
+	if c.connGen != gen {
+		// Another goroutine already replaced the connection.
+		c.connMu.Unlock()
+		return nil
+	}
+	nc, err := c.cfg.Redial()
+	if err != nil {
+		c.connMu.Unlock()
+		return err
+	}
+	if d := c.cfg.Retry.CallTimeout; d > 0 {
+		nc.SetCallTimeout(d)
+	}
+	c.totalCalls += old.Calls()
+	old.Close()
+	c.mds = nc
+	c.connGen++
+	c.connMu.Unlock()
+	c.hello(nc)
+	return nil
+}
+
+// hello (re)introduces the client to the MDS and learns its incarnation. A
+// changed incarnation means the MDS restarted and recovered: every
+// delegation and uncommitted allocation of this client was reclaimed, so
+// the local session state must be re-established.
+func (c *Client) hello(mds *rpc.Client) {
+	var h proto.HelloResp
+	if err := mds.Call(proto.OpHello, &proto.HelloReq{Owner: c.cfg.Name}, &h); err != nil {
+		return // next failure will retry the handshake
+	}
+	c.connMu.Lock()
+	restarted := c.sawIncarnation && h.Incarnation != c.incarnation
+	c.incarnation = h.Incarnation
+	c.sawIncarnation = true
+	c.connMu.Unlock()
+	if restarted {
+		c.reestablish()
+	}
+}
+
+// reestablish rolls the client session back to what the recovered MDS still
+// knows. meta.Recover reclaimed this client's delegations and freed its
+// uncommitted allocations, so: the space pool is discarded and rebuilt, and
+// every file drops its uncommitted extents, cached pages, and local size
+// growth. Delayed-commit data that was never fsynced is lost — exactly the
+// window the paper's §III-A contract concedes.
+func (c *Client) reestablish() {
+	if old := c.space.Load(); old != nil {
+		old.Close() // the recovered MDS no longer tracks these spans
+		c.space.Store(c.newSpacePool())
+	}
+	c.mu.Lock()
+	files := make([]*fileState, 0, len(c.files))
+	for _, fs := range c.files {
+		files = append(files, fs)
+	}
+	c.mu.Unlock()
+	for _, fs := range files {
+		fs.mu.Lock()
+		fs.waitWritesLocked() // let in-flight device writes land first
+		kept := fs.extents[:0]
+		for _, e := range fs.extents {
+			if e.State == meta.StateCommitted {
+				kept = append(kept, e)
+			}
+		}
+		fs.extents = kept
+		fs.size = fs.committedSize
+		fs.dirtyMeta = false
+		fs.pages = make(map[int64][]byte)
+		fs.cond.Broadcast()
+		fs.mu.Unlock()
+	}
+}
+
+// callIdem issues an idempotent RPC with timeout/backoff retry across
+// reconnects. Must not be used for ops whose re-execution has side effects.
+func (c *Client) callIdem(op uint16, req wire.Marshaler, resp wire.Unmarshaler) error {
+	attempts := c.maxAttempts()
+	for attempt := 0; ; attempt++ {
+		mds, gen := c.conn()
+		err := mds.Call(op, req, resp)
+		if err == nil || !retriable(err) || attempt >= attempts-1 {
+			return err
+		}
+		if rerr := c.recoverConn(mds, gen, err); rerr != nil {
+			return err
+		}
+		c.sleepBackoff(attempt)
+	}
+}
+
+// sendCommit ships one commit request, retrying over timeouts and
+// reconnects. The request carries a CommitID the MDS dedupes, so a
+// retransmission after a lost reply cannot apply twice. The ordered-write
+// barrier is re-asserted immediately before the send: the data the extents
+// name must be durable before the MDS can learn about it, on the first
+// transmission and on every retry alike.
+func (c *Client) sendCommit(fs *fileState, req *proto.CommitReq, resp *proto.CommitResp) error {
+	fs.mu.Lock()
+	for fs.pendingWrites > 0 {
+		fs.cond.Wait()
+	}
+	fs.mu.Unlock()
+	attempts := c.maxAttempts()
+	for attempt := 0; ; attempt++ {
+		mds, gen := c.conn()
+		err := mds.Call(proto.OpCommit, req, resp)
+		if err == nil || !retriable(err) || attempt >= attempts-1 {
+			return err
+		}
+		if rerr := c.recoverConn(mds, gen, err); rerr != nil {
+			return err
+		}
+		c.sleepBackoff(attempt)
+	}
+}
+
+// sendCompound ships a compound frame of commit sub-operations with the
+// same retry rules as sendCommit; every sub-operation carries its own
+// CommitID, so replaying the whole frame is safe.
+func (c *Client) sendCompound(states []*fileState, ops []rpc.SubOp) ([]rpc.SubResult, error) {
+	for _, fs := range states {
+		fs.mu.Lock()
+		for fs.pendingWrites > 0 {
+			fs.cond.Wait()
+		}
+		fs.mu.Unlock()
+	}
+	attempts := c.maxAttempts()
+	for attempt := 0; ; attempt++ {
+		mds, gen := c.conn()
+		results, err := mds.Compound(ops)
+		if err == nil || !retriable(err) || attempt >= attempts-1 {
+			return results, err
+		}
+		if rerr := c.recoverConn(mds, gen, err); rerr != nil {
+			return results, err
+		}
+		c.sleepBackoff(attempt)
+	}
+}
+
+// newSpacePool builds the delegation space pool from the client config.
+func (c *Client) newSpacePool() *core.SpacePool {
+	return core.NewSpacePool(core.SpacePoolConfig{
+		ChunkSize:  c.cfg.DelegationChunk,
+		Delegate:   c.delegate,
+		NoPrefetch: c.cfg.SpaceNoPrefetch,
+	})
+}
+
+// spacePool returns the live delegation pool, or nil when disabled.
+func (c *Client) spacePool() *core.SpacePool {
+	if c.cfg.DelegationChunk <= 0 {
+		return nil
+	}
+	return c.space.Load()
+}

@@ -43,6 +43,63 @@ type Config struct {
 	// LeaseTimeout revokes a client's delegations and orphan allocations
 	// after this much inactivity (0 disables lease expiry).
 	LeaseTimeout time.Duration
+	// Incarnation identifies this MDS process lifetime; a harness bumps it
+	// on every restart. Clients compare the value returned by OpHello
+	// across reconnects to detect that a recovery happened (defaults to 1).
+	Incarnation uint64
+}
+
+// commitWindow bounds how many recently applied commit IDs the MDS
+// remembers per owner for duplicate suppression.
+const commitWindow = 1024
+
+// dedupTable remembers recently applied commit IDs per owner, with the
+// encoded response each produced, so a retransmitted commit is answered
+// from memory instead of re-applied.
+type dedupTable struct {
+	mu     sync.Mutex
+	owners map[string]*ownerDedup
+}
+
+type ownerDedup struct {
+	resp map[uint64][]byte
+	fifo []uint64 // insertion order, for window eviction
+}
+
+func (t *dedupTable) lookup(owner string, id uint64) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	od := t.owners[owner]
+	if od == nil {
+		return nil, false
+	}
+	r, ok := od.resp[id]
+	return r, ok
+}
+
+func (t *dedupTable) record(owner string, id uint64, resp []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	od := t.owners[owner]
+	if od == nil {
+		od = &ownerDedup{resp: make(map[uint64][]byte)}
+		t.owners[owner] = od
+	}
+	if _, dup := od.resp[id]; dup {
+		return
+	}
+	od.resp[id] = resp
+	od.fifo = append(od.fifo, id)
+	if len(od.fifo) > commitWindow {
+		delete(od.resp, od.fifo[0])
+		od.fifo = od.fifo[1:]
+	}
+}
+
+func (t *dedupTable) drop(owner string) {
+	t.mu.Lock()
+	delete(t.owners, owner)
+	t.mu.Unlock()
 }
 
 // Server is the metadata server.
@@ -57,6 +114,9 @@ type Server struct {
 	// request from an owner it is a lock-free load + atomic store, rather
 	// than every daemon serializing on one mutex.
 	lastSeen sync.Map
+
+	dedup     dedupTable
+	dedupHits atomic.Int64
 }
 
 // New builds the MDS and its RPC daemon pool.
@@ -67,7 +127,11 @@ func New(cfg Config) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real(1)
 	}
+	if cfg.Incarnation == 0 {
+		cfg.Incarnation = 1
+	}
 	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg}
+	s.dedup.owners = make(map[string]*ownerDedup)
 	s.rpc = rpc.NewServer(rpc.ServerConfig{
 		Handler:             s.handle,
 		Daemons:             cfg.Daemons,
@@ -127,10 +191,17 @@ func (s *Server) ExpireLeases() int64 {
 	var reclaimed int64
 	for _, owner := range expired {
 		s.lastSeen.Delete(owner)
+		// An expired client's session is over; its commit IDs can never be
+		// legitimately retransmitted.
+		s.dedup.drop(owner)
 		reclaimed += s.store.ClientGone(owner)
 	}
 	return reclaimed
 }
+
+// DedupHits reports how many retransmitted commits were answered from the
+// dedup table instead of being re-applied.
+func (s *Server) DedupHits() int64 { return s.dedupHits.Load() }
 
 // handle dispatches one decoded RPC operation.
 func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
@@ -224,6 +295,12 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		s.touch(req.Owner)
+		if req.CommitID != 0 {
+			if cached, ok := s.dedup.lookup(req.Owner, req.CommitID); ok {
+				s.dedupHits.Add(1)
+				return cached, nil
+			}
+		}
 		if s.cfg.CommitCheck != nil {
 			if err := s.cfg.CommitCheck(req.Extents); err != nil {
 				return nil, fmt.Errorf("mds: ordered-write violation: %w", err)
@@ -237,7 +314,13 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		resp := proto.CommitResp{Size: a.Size}
-		return wire.Encode(&resp), nil
+		out := wire.Encode(&resp)
+		if req.CommitID != 0 {
+			// Only successful commits are remembered: a failed commit may
+			// legitimately succeed on retry, so it must reach the store.
+			s.dedup.record(req.Owner, req.CommitID, out)
+		}
+		return out, nil
 
 	case proto.OpDelegate:
 		var req proto.DelegateReq
@@ -267,6 +350,15 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		return nil, s.store.Rename(req.SrcParent, req.SrcName, req.DstParent, req.DstName)
+
+	case proto.OpHello:
+		var req proto.HelloReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		s.touch(req.Owner)
+		resp := proto.HelloResp{Incarnation: s.cfg.Incarnation}
+		return wire.Encode(&resp), nil
 
 	case proto.OpStat:
 		resp := proto.StatResp{

@@ -17,6 +17,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redbud/internal/clock"
@@ -132,6 +133,11 @@ type LinkStats struct {
 type Network struct {
 	clk clock.Clock
 
+	// inj holds the active fault plan, if any (see faults.go). It applies
+	// to every established connection, so a plan installed mid-run takes
+	// effect immediately.
+	inj atomic.Pointer[injector]
+
 	mu        sync.Mutex
 	links     map[string]*link
 	listeners map[string]*Listener
@@ -229,7 +235,7 @@ func (n *Network) Dial(from, to string) (Conn, error) {
 	if lis == nil {
 		return nil, fmt.Errorf("netsim: host %q is not listening", to)
 	}
-	client, server := newPair(src, dst)
+	client, server := newPair(n, from, to, src, dst)
 	// Check done first: the accept channel is buffered, so a plain select
 	// could enqueue into a closed listener.
 	select {
@@ -247,20 +253,25 @@ func (n *Network) Dial(from, to string) (Conn, error) {
 
 // simConn is one half of a simulated connection.
 type simConn struct {
-	ingress *link // destination's ingress link; Send pays its cost
-	in      chan []byte
-	peer    *simConn
-	done    chan struct{}
-	once    *sync.Once
+	net      *Network
+	from, to string // host names, for fault-plan lookup
+	ingress  *link  // destination's ingress link; Send pays its cost
+	in       chan []byte
+	peer     *simConn
+	done     chan struct{}
+	once     *sync.Once
+
+	holdMu sync.Mutex
+	held   []byte // frame parked by a reorder fault
 }
 
 // newPair builds the two halves of a connection between hosts with ingress
 // links src (client host) and dst (server host).
-func newPair(src, dst *link) (client, server *simConn) {
+func newPair(n *Network, fromHost, toHost string, src, dst *link) (client, server *simConn) {
 	done := make(chan struct{})
 	once := &sync.Once{}
-	client = &simConn{ingress: dst, in: make(chan []byte, 1024), done: done, once: once}
-	server = &simConn{ingress: src, in: make(chan []byte, 1024), done: done, once: once}
+	client = &simConn{net: n, from: fromHost, to: toHost, ingress: dst, in: make(chan []byte, 1024), done: done, once: once}
+	server = &simConn{net: n, from: toHost, to: fromHost, ingress: src, in: make(chan []byte, 1024), done: done, once: once}
 	client.peer = server
 	server.peer = client
 	return client, server
@@ -278,12 +289,77 @@ func (c *simConn) Send(frame []byte) error {
 	// Copy: the caller may reuse the buffer after Send returns.
 	f := make([]byte, len(frame))
 	copy(f, frame)
+	var d Decision
+	if c.net != nil {
+		if inj := c.net.inj.Load(); inj != nil {
+			d = inj.decide(c.from, c.to, len(f))
+		}
+	}
+	// The sender always pays transmission: a dropped frame was serialized
+	// onto the wire and lost, not never sent.
 	c.ingress.transmit(len(f))
+	if d.Delay > 0 {
+		c.net.clk.Sleep(d.Delay)
+	}
+	if d.Drop {
+		return nil
+	}
+	if d.Hold {
+		c.holdMu.Lock()
+		if c.held == nil {
+			c.held = f
+			c.holdMu.Unlock()
+			go c.flushHeldAfter(d.HoldFor)
+			return nil
+		}
+		// Already holding one frame; deliver this one normally so at most
+		// one frame per connection is ever parked.
+		c.holdMu.Unlock()
+	}
+	if err := c.deliver(f); err != nil {
+		return err
+	}
+	if d.Dup {
+		g := make([]byte, len(f))
+		copy(g, f)
+		if err := c.deliver(g); err != nil {
+			return err
+		}
+	}
+	c.flushHeld()
+	return nil
+}
+
+func (c *simConn) deliver(f []byte) error {
 	select {
 	case c.peer.in <- f:
 		return nil
 	case <-c.done:
 		return ErrClosed
+	}
+}
+
+// flushHeld delivers the parked reorder frame, if any.
+func (c *simConn) flushHeld() {
+	c.holdMu.Lock()
+	h := c.held
+	c.held = nil
+	c.holdMu.Unlock()
+	if h != nil {
+		c.deliver(h)
+	}
+}
+
+// flushHeldAfter bounds how long a reordered frame can wait for a successor
+// frame on a quiet link.
+func (c *simConn) flushHeldAfter(d time.Duration) {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	select {
+	case <-c.net.clk.After(d):
+		c.flushHeld()
+	case <-c.done:
 	}
 }
 

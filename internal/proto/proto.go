@@ -26,6 +26,7 @@ const (
 	OpDelegReturn
 	OpStat
 	OpRename
+	OpHello
 )
 
 // PingReq is an empty liveness probe.
@@ -248,11 +249,16 @@ func (m *LayoutResp) UnmarshalWire(r *wire.Reader) error {
 // write. Several CommitReqs are what delayed commit packs into one compound
 // RPC.
 type CommitReq struct {
-	Owner   string
-	File    meta.FileID
-	Size    int64
-	MTime   time.Time
-	Extents []meta.Extent
+	Owner string
+	File  meta.FileID
+	Size  int64
+	MTime time.Time
+	// CommitID, when non-zero, identifies this commit uniquely within the
+	// owner's session. The MDS remembers recently applied IDs and answers a
+	// retransmission from that memory instead of re-applying, making commit
+	// retry after a lost reply idempotent.
+	CommitID uint64
+	Extents  []meta.Extent
 }
 
 func (m *CommitReq) MarshalWire(b *wire.Buffer) {
@@ -260,6 +266,7 @@ func (m *CommitReq) MarshalWire(b *wire.Buffer) {
 	b.PutU64(uint64(m.File))
 	b.PutI64(m.Size)
 	b.PutTime(m.MTime)
+	b.PutU64(m.CommitID)
 	meta.PutExtents(b, m.Extents)
 }
 
@@ -268,6 +275,7 @@ func (m *CommitReq) UnmarshalWire(r *wire.Reader) error {
 	m.File = meta.FileID(r.U64())
 	m.Size = r.I64()
 	m.MTime = r.Time()
+	m.CommitID = r.U64()
 	m.Extents = meta.GetExtents(r)
 	return r.Err()
 }
@@ -333,6 +341,29 @@ func (m *DelegReturnReq) MarshalWire(b *wire.Buffer) {
 func (m *DelegReturnReq) UnmarshalWire(r *wire.Reader) error {
 	m.Owner = r.String()
 	return m.Span.UnmarshalWire(r)
+}
+
+// HelloReq (re)introduces a client session to the MDS. Clients send it on
+// connect and after every reconnect; comparing the returned incarnation with
+// the last one seen tells the client whether the MDS restarted (and thus
+// recovered, revoking its delegations and uncommitted allocations).
+type HelloReq struct{ Owner string }
+
+func (m *HelloReq) MarshalWire(b *wire.Buffer) { b.PutString(m.Owner) }
+
+func (m *HelloReq) UnmarshalWire(r *wire.Reader) error {
+	m.Owner = r.String()
+	return r.Err()
+}
+
+// HelloResp carries the MDS incarnation number, bumped on every restart.
+type HelloResp struct{ Incarnation uint64 }
+
+func (m *HelloResp) MarshalWire(b *wire.Buffer) { b.PutU64(m.Incarnation) }
+
+func (m *HelloResp) UnmarshalWire(r *wire.Reader) error {
+	m.Incarnation = r.U64()
+	return r.Err()
 }
 
 // StatResp reports MDS status for the adaptive compound controller.

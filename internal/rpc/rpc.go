@@ -37,6 +37,13 @@ var (
 	ErrClientClosed = errors.New("rpc: client closed")
 	ErrServerClosed = errors.New("rpc: server closed")
 	ErrBadFrame     = errors.New("rpc: malformed frame")
+	// ErrConnClosed marks calls that were in flight when the transport
+	// died. Unlike ErrBadFrame (protocol corruption on a live link) it is
+	// safe grounds for a retry layer to redial and resend idempotent work.
+	ErrConnClosed = errors.New("rpc: connection closed")
+	// ErrTimeout marks a call that exceeded the client's call timeout. The
+	// request may or may not have executed on the server.
+	ErrTimeout = errors.New("rpc: call timed out")
 )
 
 // RemoteError is an application-level error returned by a handler.
@@ -400,6 +407,7 @@ type Client struct {
 	busy      atomic.Uint32 // last piggybacked server load
 	rttNs     atomic.Int64  // EWMA of call round-trip, nanoseconds
 	badFrames atomic.Int64  // malformed response frames received
+	timeoutNs atomic.Int64  // per-call timeout; 0 = wait forever
 
 	calls stats.Counter
 }
@@ -424,7 +432,13 @@ func (c *Client) register(id uint64, p *pendingCall) error {
 	sh := c.shard(id)
 	sh.mu.Lock()
 	if c.closed.Load() {
+		cause := c.closeErr
 		sh.mu.Unlock()
+		if cause != nil {
+			// Keep the connection-death cause visible so callers can
+			// distinguish a dead transport from a deliberate Close.
+			return fmt.Errorf("%w: %w", ErrClientClosed, cause)
+		}
 		return ErrClientClosed
 	}
 	sh.pending[id] = p
@@ -448,7 +462,7 @@ func (c *Client) readLoop() {
 	for {
 		frame, err := c.conn.Recv()
 		if err != nil {
-			c.failAll(fmt.Errorf("%w: %v", ErrClientClosed, err))
+			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
 			return
 		}
 		r.Reset(frame)
@@ -517,6 +531,12 @@ func (c *Client) failAll(err error) {
 // BadFrames returns the number of malformed response frames received.
 func (c *Client) BadFrames() int64 { return c.badFrames.Load() }
 
+// SetCallTimeout bounds how long each subsequent call waits for its
+// response (0 restores waiting forever). A timed-out call returns an error
+// wrapping ErrTimeout; whether the server executed it is unknown, so only
+// idempotent requests should be retried.
+func (c *Client) SetCallTimeout(d time.Duration) { c.timeoutNs.Store(int64(d)) }
+
 // CallRaw issues op with an already-encoded body and returns the raw reply.
 // The reply slice may alias the client's receive buffer for that call; it is
 // owned by the caller and stays valid indefinitely, but callers needing to
@@ -539,6 +559,9 @@ func (c *Client) CallRaw(op uint16, body []byte) ([]byte, error) {
 	err := c.conn.Send(b.Bytes()) // Send copies; recycle immediately
 	wire.PutBuffer(b)
 	if err != nil {
+		// A transport that cannot carry the request is as dead as one
+		// whose read side failed: surface the same sentinel.
+		err = fmt.Errorf("%w: send: %v", ErrConnClosed, err)
 		if c.take(id) != nil {
 			// We removed the call ourselves; nothing can send on it.
 			callPool.Put(p)
@@ -550,7 +573,24 @@ func (c *Client) CallRaw(op uint16, body []byte) ([]byte, error) {
 		callPool.Put(p)
 		return nil, err
 	}
-	resp := <-p.ch
+	var resp response
+	if d := time.Duration(c.timeoutNs.Load()); d > 0 {
+		select {
+		case resp = <-p.ch:
+		case <-c.clk.After(d):
+			if c.take(id) != nil {
+				// We own the call again: no response can reach it, so
+				// the handle is safe to recycle. A late response for
+				// this ID will find no pending entry and be dropped.
+				callPool.Put(p)
+				return nil, fmt.Errorf("%w: op %d after %v", ErrTimeout, op, d)
+			}
+			// A response or failAll won the race; its send is imminent.
+			resp = <-p.ch
+		}
+	} else {
+		resp = <-p.ch
+	}
 	callPool.Put(p)
 	c.observeRTT(c.clk.Since(start))
 	c.calls.Inc()
