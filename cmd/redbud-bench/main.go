@@ -16,16 +16,19 @@ import (
 	"time"
 
 	"redbud/internal/bench"
+	"redbud/internal/obs"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7 or all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, obs or all (obs runs only when named)")
 		clients = flag.Int("clients", 7, "number of client nodes")
 		scale   = flag.Float64("scale", 0.02, "virtual-time compression in (0, 1]")
 		size    = flag.Float64("size", 0.5, "workload size factor in (0, 1]")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		mdsJSON = flag.String("json", "BENCH_mds.json", "path for the machine-readable Figure 7 report (empty disables)")
+		obsJSON = flag.String("obs-json", "BENCH_obs.json", "path for the observability report when -fig obs (empty disables)")
+		obsOut  = flag.String("obs-trace", "", "path for the Chrome/Perfetto trace JSON when -fig obs (empty disables)")
 	)
 	flag.Parse()
 
@@ -88,6 +91,39 @@ func main() {
 			return nil
 		})
 	}
+	// The obs benchmark is opt-in ("-fig obs"), not part of "all": it runs
+	// the same workload twice to price the tracing overhead.
+	if *fig == "obs" {
+		run("Observability", func() error {
+			rep, spans, err := bench.RunObsBench(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintObs(os.Stdout, rep)
+			if *obsJSON != "" {
+				if err := bench.WriteObsJSON(*obsJSON, opt, rep); err != nil {
+					return err
+				}
+				fmt.Printf("   wrote %s\n", *obsJSON)
+			}
+			if *obsOut != "" {
+				f, err := os.Create(*obsOut)
+				if err != nil {
+					return err
+				}
+				if err := obs.WriteChromeTrace(f, spans); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("   wrote %s (load in ui.perfetto.dev)\n", *obsOut)
+			}
+			return nil
+		})
+	}
+
 	if want("7") {
 		run("Figure 7", func() error {
 			cells, err := bench.Fig7(opt)

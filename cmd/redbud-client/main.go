@@ -25,6 +25,8 @@ import (
 	"redbud/internal/client"
 	"redbud/internal/clock"
 	"redbud/internal/netsim"
+	"redbud/internal/obs"
+	"redbud/internal/obs/debughttp"
 	"redbud/internal/rpc"
 	"redbud/internal/san"
 )
@@ -53,6 +55,7 @@ func main() {
 		name    = flag.String("name", "", "client name (default: host:pid)")
 		sync    = flag.Bool("sync", false, "use synchronous commit instead of delayed")
 		deleg   = flag.Int64("delegation", 16<<20, "space delegation chunk (0 disables)")
+		debug   = flag.String("debug", "", "debug HTTP listen address (/metrics, /debug/trace, pprof; empty disables)")
 	)
 	flag.Var(disks, "disk", "data device as ID=ADDR (repeatable)")
 	flag.Parse()
@@ -86,6 +89,10 @@ func main() {
 	if *sync {
 		mode = client.SyncCommit
 	}
+	var tracer *obs.Tracer
+	if *debug != "" {
+		tracer = obs.NewTracer(0)
+	}
 	c := client.New(client.Config{
 		Name:            cname,
 		MDS:             rpc.NewClient(netsim.FrameConn(mconn), clk),
@@ -93,8 +100,19 @@ func main() {
 		Clock:           clk,
 		Mode:            mode,
 		DelegationChunk: *deleg,
+		Tracer:          tracer,
 	})
 	defer c.Close()
+	if *debug != "" {
+		reg := obs.NewRegistry()
+		c.RegisterMetrics(reg)
+		dbg, err := debughttp.Start(debughttp.Config{Addr: *debug, Registry: reg, Tracer: tracer})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug HTTP on http://%s/", dbg.Addr())
+	}
 
 	switch args[0] {
 	case "put":

@@ -23,6 +23,8 @@ import (
 	"redbud/internal/mds"
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
+	"redbud/internal/obs"
+	"redbud/internal/obs/debughttp"
 )
 
 func main() {
@@ -34,10 +36,17 @@ func main() {
 		daemons    = flag.Int("daemons", 8, "server daemon threads")
 		lease      = flag.Duration("lease", time.Minute, "client lease timeout (0 disables)")
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "journal checkpoint period (0 disables)")
+		debugAddr  = flag.String("debug", "", "debug HTTP listen address (/metrics, /debug/trace, pprof; empty disables)")
+		traceCap   = flag.Int("trace-cap", 0, "commit-span ring capacity with -debug (0 = default)")
 	)
 	flag.Parse()
 
 	clk := clock.Real(1)
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *debugAddr != "" {
+		tracer = obs.NewTracer(*traceCap)
+	}
 	mkAGs := func() *alloc.AGSet {
 		var groups []*alloc.Group
 		for d := 0; d < *devices; d++ {
@@ -55,12 +64,12 @@ func main() {
 
 	// The metadata disk lives inside the MDS process: superblock plus two
 	// alternating journal regions, recovered at startup.
-	metaDev := blockdev.New(blockdev.Config{ID: 1000, Size: 4 << 30, Model: blockdev.DefaultHDD(), Clock: clk})
+	metaDev := blockdev.New(blockdev.Config{ID: 1000, Size: 4 << 30, Model: blockdev.DefaultHDD(), Clock: clk, Tracer: tracer})
 	logset, journal, err := meta.OpenLogSet(metaDev, 1<<30)
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, rstats, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: journal, Clock: clk})
+	store, rstats, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: journal, Clock: clk, Tracer: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,8 +78,19 @@ func main() {
 			rstats.Records, rstats.Files, rstats.OrphanBytes, rstats.Torn)
 	}
 
-	srv := mds.New(mds.Config{Store: store, Clock: clk, Daemons: *daemons, LeaseTimeout: *lease})
+	srv := mds.New(mds.Config{Store: store, Clock: clk, Daemons: *daemons, LeaseTimeout: *lease, Tracer: tracer})
 	defer srv.Close()
+	srv.RegisterMetrics(reg)
+	metaDev.RegisterMetrics(reg)
+
+	if *debugAddr != "" {
+		dbg, err := debughttp.Start(debughttp.Config{Addr: *debugAddr, Registry: reg, Tracer: tracer})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug HTTP on http://%s/ (curl /metrics for Prometheus text)", dbg.Addr())
+	}
 
 	if *lease > 0 {
 		go func() {

@@ -1,0 +1,163 @@
+// Command redbud-top is a live cluster monitor: it polls the /metrics.json
+// endpoint of one or more debug HTTP servers (started with `redbud-mds
+// -debug` / `redbud-client -debug`) and renders a refreshing terminal view —
+// commit-queue depth, commit threads, compound degree, commit-latency
+// p50/p99, and per-second rates computed from counter deltas between polls.
+//
+//	redbud-mds  -listen :9000 -debug :9100 &
+//	redbud-client -mds :9000 -disk 0=:9001 -debug :9101 bench 5000 &
+//	redbud-top :9100 :9101
+//
+// Flags:
+//
+//	-interval 1s   poll period
+//	-n 0           number of refreshes (0 = until interrupted)
+//	-plain         no ANSI clear between refreshes (log-friendly)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"redbud/internal/obs"
+)
+
+// target is one polled debug endpoint.
+type target struct {
+	addr string
+	prev obs.Snapshot
+	ok   bool
+}
+
+func main() {
+	var (
+		interval = flag.Duration("interval", time.Second, "poll period")
+		count    = flag.Int("n", 0, "refreshes before exiting (0 = forever)")
+		plain    = flag.Bool("plain", false, "do not clear the screen between refreshes")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: redbud-top [flags] ADDR [ADDR...]  (debug HTTP addresses, e.g. :9100)")
+		os.Exit(2)
+	}
+
+	targets := make([]*target, 0, flag.NArg())
+	for _, a := range flag.Args() {
+		targets = append(targets, &target{addr: a})
+	}
+	httpc := &http.Client{Timeout: 2 * time.Second}
+
+	for i := 0; *count == 0 || i < *count; i++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "redbud-top  %s  (%s refresh)\n\n", time.Now().Format("15:04:05"), *interval)
+		for _, t := range targets {
+			render(&b, httpc, t, *interval)
+		}
+		if !*plain {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear
+		}
+		os.Stdout.WriteString(b.String())
+		if *count == 0 || i < *count-1 {
+			time.Sleep(*interval)
+		}
+	}
+}
+
+// render polls one target and appends its panel.
+func render(b *strings.Builder, httpc *http.Client, t *target, interval time.Duration) {
+	fmt.Fprintf(b, "── %s ", t.addr)
+	fmt.Fprintln(b, strings.Repeat("─", max(0, 60-len(t.addr))))
+	snap, err := poll(httpc, t.addr)
+	if err != nil {
+		fmt.Fprintf(b, "  unreachable: %v\n\n", err)
+		t.ok = false
+		return
+	}
+	d := obs.Diff(t.prev, snap)
+	first := !t.ok
+	t.prev, t.ok = snap, true
+
+	// Gauges: instantaneous state worth watching.
+	for _, name := range []string{
+		"redbud_client_commit_queue_len", "redbud_client_commit_threads",
+		"redbud_client_compound_degree", "redbud_rpc_queue_len",
+		"redbud_rpc_inflight", "redbud_meta_files",
+	} {
+		for _, m := range d.Metrics {
+			if m.Name == name && m.Kind == obs.KindGauge {
+				fmt.Fprintf(b, "  %-36s %12d  %s\n", name, m.Value, m.Labels)
+			}
+		}
+	}
+	// Histograms: commit latency quantiles over the last interval.
+	for _, m := range d.Metrics {
+		if m.Kind == obs.KindHistogram && m.Hist != nil && m.Hist.Count > 0 {
+			fmt.Fprintf(b, "  %-36s p50 %8s  p99 %8s  n=%d  %s\n",
+				m.Name, fmtSec(m.Hist.P50), fmtSec(m.Hist.P99), m.Hist.Count, m.Labels)
+		}
+	}
+	// Counters: per-second rates from the interval delta (skip the first
+	// poll, where the delta spans process lifetime).
+	if !first {
+		type rate struct {
+			name, labels string
+			persec       float64
+		}
+		var rates []rate
+		for _, m := range d.Metrics {
+			if m.Kind == obs.KindCounter && m.Value != 0 {
+				rates = append(rates, rate{m.Name, m.Labels, float64(m.Value) / interval.Seconds()})
+			}
+		}
+		sort.Slice(rates, func(i, j int) bool { return rates[i].persec > rates[j].persec })
+		if len(rates) > 12 {
+			rates = rates[:12]
+		}
+		for _, r := range rates {
+			fmt.Fprintf(b, "  %-36s %12.1f/s  %s\n", r.name, r.persec, r.labels)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// poll fetches and decodes one /metrics.json snapshot. Bare ":9100" means
+// localhost; "host:port" and full URLs work too.
+func poll(httpc *http.Client, addr string) (obs.Snapshot, error) {
+	url := addr
+	switch {
+	case strings.Contains(url, "://"):
+		// full URL
+	case strings.HasPrefix(url, ":"):
+		url = "http://127.0.0.1" + url
+	default:
+		url = "http://" + url
+	}
+	resp, err := httpc.Get(url + "/metrics.json")
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	var s obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return s, nil
+}
+
+// fmtSec renders a duration in seconds with a sensible unit.
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

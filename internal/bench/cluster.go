@@ -21,6 +21,7 @@ import (
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
 	"redbud/internal/nfs3"
+	"redbud/internal/obs"
 	"redbud/internal/pvfs2"
 	"redbud/internal/rpc"
 	"redbud/internal/workload"
@@ -88,6 +89,11 @@ type Options struct {
 	Seed int64
 	// Trace attaches a blktrace recorder to the data devices.
 	Trace bool
+	// SpanTrace attaches a commit-lifecycle span tracer to every layer of a
+	// Redbud cluster (devices, network, MDS, store, clients).
+	SpanTrace bool
+	// SpanTraceCap bounds the span ring (0 = obs.DefaultTraceCap).
+	SpanTraceCap int
 
 	// ReadAhead enables client sequential prefetch with this window.
 	ReadAhead int64
@@ -141,6 +147,12 @@ type Cluster struct {
 	Net     *netsim.Network
 	MetaDev *blockdev.Device
 	AGTotal int64 // capacity the AG set spans (fsck identity)
+
+	// Tracer is the commit-lifecycle span ring (nil unless Options.SpanTrace;
+	// Redbud systems only). Registry names every counter of a Redbud cluster
+	// and is always built.
+	Tracer   *obs.Tracer
+	Registry *obs.Registry
 
 	closers []func()
 }
@@ -215,7 +227,7 @@ func Build(sys System, opt Options) *Cluster {
 }
 
 // newDevices builds the shared disk array, optionally traced.
-func newDevices(opt Options, clk clock.Clock, rec *iotrace.Recorder) []*blockdev.Device {
+func newDevices(opt Options, clk clock.Clock, rec *iotrace.Recorder, tr *obs.Tracer) []*blockdev.Device {
 	devs := make([]*blockdev.Device, 0, opt.DataDevices)
 	for i := 0; i < opt.DataDevices; i++ {
 		cfg := blockdev.Config{
@@ -224,6 +236,7 @@ func newDevices(opt Options, clk clock.Clock, rec *iotrace.Recorder) []*blockdev
 			Model:        opt.Disk,
 			Clock:        clk,
 			DisableMerge: opt.DisableMerge,
+			Tracer:       tr,
 		}
 		if rec != nil {
 			cfg.Trace = rec.Record
@@ -241,7 +254,11 @@ func buildRedbud(sys System, opt Options) *Cluster {
 	if opt.Trace {
 		c.Rec = iotrace.NewRecorder()
 	}
-	c.Devices = newDevices(opt, clk, c.Rec)
+	if opt.SpanTrace {
+		c.Tracer = obs.NewTracer(opt.SpanTraceCap)
+	}
+	c.Registry = obs.NewRegistry()
+	c.Devices = newDevices(opt, clk, c.Rec, c.Tracer)
 	for _, d := range c.Devices {
 		dev := d
 		c.closers = append(c.closers, dev.Close)
@@ -263,7 +280,7 @@ func buildRedbud(sys System, opt Options) *Cluster {
 	c.MetaDev = metaDev
 	c.AGTotal = meta.TotalSpace(ags)
 	journal := meta.NewJournal(metaDev, 0, 2<<30)
-	c.Store = meta.NewStore(meta.Config{AGs: ags, Journal: journal, Clock: clk})
+	c.Store = meta.NewStore(meta.Config{AGs: ags, Journal: journal, Clock: clk, Tracer: c.Tracer})
 
 	c.MDS = mds.New(mds.Config{
 		Store:               c.Store,
@@ -272,10 +289,12 @@ func buildRedbud(sys System, opt Options) *Cluster {
 		OpCost:              opt.MDSOpCost,
 		FrameCost:           opt.MDSFrameCost,
 		ContentionPerDaemon: 0.05,
+		Tracer:              c.Tracer,
 	})
 	c.closers = append(c.closers, c.MDS.Close)
 
 	c.Net = netsim.NewNetwork(clk)
+	c.Net.SetTracer(c.Tracer)
 	c.Net.AddHost("mds", opt.Net)
 	lis, err := c.Net.Listen("mds")
 	if err != nil {
@@ -319,9 +338,21 @@ func buildRedbud(sys System, opt Options) *Cluster {
 			FixedCommitThreads: opt.FixedCommitThreads,
 			SpaceNoPrefetch:    opt.SpaceNoPrefetch,
 			CommitEvenIfClean:  opt.CommitEvenIfClean,
+			Tracer:             c.Tracer,
 		})
 		c.Redbud = append(c.Redbud, cl)
 		c.Mounts = append(c.Mounts, cl)
+	}
+
+	// Name every counter in the cluster-wide registry.
+	for _, d := range c.Devices {
+		d.RegisterMetrics(c.Registry)
+	}
+	metaDev.RegisterMetrics(c.Registry)
+	c.Net.RegisterMetrics(c.Registry)
+	c.MDS.RegisterMetrics(c.Registry)
+	for _, cl := range c.Redbud {
+		cl.RegisterMetrics(c.Registry)
 	}
 	return c
 }

@@ -3,6 +3,9 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"time"
+
+	"redbud/internal/obs"
 )
 
 // MDSReport is the machine-readable form of the Figure 7 sweep, written by
@@ -26,6 +29,80 @@ func WriteMDSJSON(path string, opt Options, cells []Fig7Cell) error {
 		Cells:   cells,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ObsStageJSON is one row of the critical-path table in the obs report.
+type ObsStageJSON struct {
+	Name    string  `json:"name"`
+	TotalUS float64 `json:"total_us"`
+	MeanUS  float64 `json:"mean_us"`
+	PctE2E  float64 `json:"pct_e2e"`
+}
+
+// ObsJSONReport is the machine-readable form of the observability benchmark,
+// written by cmd/redbud-bench -fig obs for CI regression tracking.
+type ObsJSONReport struct {
+	Figure       string         `json:"figure"`
+	Clients      int            `json:"clients"`
+	Scale        float64        `json:"scale"`
+	Size         float64        `json:"size_factor"`
+	System       string         `json:"system"`
+	Workload     string         `json:"workload"`
+	Commits      int            `json:"commits"`
+	SpansKept    int            `json:"spans_kept"`
+	SpansTotal   int64          `json:"spans_total"`
+	SpansDropped int64          `json:"spans_dropped"`
+	MeanE2EUS    float64        `json:"mean_e2e_us"`
+	P50US        float64        `json:"p50_e2e_us"`
+	P99US        float64        `json:"p99_e2e_us"`
+	OverheadPct  float64        `json:"trace_overhead_pct"`
+	Stages       []ObsStageJSON `json:"stages"`
+	Sub          []ObsStageJSON `json:"rpc_decomposition"`
+}
+
+// WriteObsJSON serializes the observability report to path as indented JSON.
+func WriteObsJSON(path string, opt Options, rep *ObsReport) error {
+	b := rep.Breakdown
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	stageJSON := func(stages []obs.Stage) []ObsStageJSON {
+		out := make([]ObsStageJSON, 0, len(stages))
+		for _, s := range stages {
+			row := ObsStageJSON{Name: s.Name, TotalUS: us(s.Total)}
+			if b.Commits > 0 {
+				row.MeanUS = us(s.Total) / float64(b.Commits)
+			}
+			if b.E2E > 0 {
+				row.PctE2E = 100 * float64(s.Total) / float64(b.E2E)
+			}
+			out = append(out, row)
+		}
+		return out
+	}
+	j := ObsJSONReport{
+		Figure:       "obs",
+		Clients:      opt.Clients,
+		Scale:        opt.Scale,
+		Size:         opt.SizeFactor,
+		System:       rep.System,
+		Workload:     rep.Workload,
+		Commits:      b.Commits,
+		SpansKept:    rep.SpansKept,
+		SpansTotal:   rep.SpansTotal,
+		SpansDropped: rep.SpansDropped,
+		P50US:        us(rep.P50),
+		P99US:        us(rep.P99),
+		OverheadPct:  rep.OverheadPct,
+		Stages:       stageJSON(b.Stages),
+		Sub:          stageJSON(b.Sub),
+	}
+	if b.Commits > 0 {
+		j.MeanE2EUS = us(b.E2E) / float64(b.Commits)
+	}
+	data, err := json.MarshalIndent(j, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"redbud/internal/obs"
+	"redbud/internal/workload"
+)
+
+// TestClusterSpanTrace runs a small traced cluster end to end and checks the
+// tentpole acceptance criteria: the trace exports as loadable Chrome-trace
+// JSON, and the per-stage critical path sums to the end-to-end latency.
+func TestClusterSpanTrace(t *testing.T) {
+	opt := TestOptions()
+	opt.SpanTrace = true
+	c := Build(SysRedbudDC, opt)
+	defer c.Close()
+
+	spec := workload.Varmail(opt.Seed).Scale(opt.SizeFactor)
+	if _, err := RunDistributed(c, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := c.Tracer.Spans()
+	if len(spans) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	seen := map[string]bool{}
+	for _, s := range spans {
+		seen[s.Name] = true
+	}
+	for _, want := range []string{
+		obs.SpanCommitRPC, obs.SpanMDSCommit, obs.SpanMDSJournal,
+		obs.SpanDevQueue, obs.SpanRPCProcess, obs.SpanNetXmit, obs.SpanAppWrite,
+	} {
+		if !seen[want] {
+			t.Errorf("no %q span recorded (have %v)", want, keys(seen))
+		}
+	}
+
+	b := obs.Analyze(spans)
+	if b.Commits == 0 {
+		t.Fatal("no commit critical paths reconstructed")
+	}
+	for _, p := range b.PerCommit {
+		if sum := p.Queue + p.DataWait + p.Batch + p.RPC; sum != p.E2E {
+			t.Fatalf("commit %d: stage sum %v != e2e %v", p.ID, sum, p.E2E)
+		}
+		if p.Wire < 0 {
+			t.Fatalf("commit %d: negative wire time %v", p.ID, p.Wire)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(spans) {
+		t.Fatalf("export has %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+}
+
+// TestClusterRegistry checks the unified registry: every layer's counters
+// appear in one Prometheus export, including the adopted legacy counters.
+func TestClusterRegistry(t *testing.T) {
+	opt := TestOptions()
+	c := Build(SysRedbudDC, opt)
+	defer c.Close()
+	spec := workload.Varmail(opt.Seed).Scale(opt.SizeFactor)
+	if _, err := RunDistributed(c, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := c.Registry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"redbud_client_writes_total",                  // client layer
+		"redbud_client_commit_latency_seconds_bucket", // histogram export
+		"redbud_mds_dedup_hits_total",                 // adopted mds counter
+		"redbud_rpc_processed_total",                  // rpc server layer
+		"redbud_client_bad_frames_total",              // adopted rpc counter
+		"redbud_net_messages_total",                   // netsim layer
+		"redbud_net_fault_dropped_total",              // adopted fault counters
+		"redbud_dev_written_bytes_total",              // blockdev layer
+		"redbud_dev_injected_faults_total",
+		"redbud_meta_journal_appends_total", // meta store layer
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry export missing %s", want)
+		}
+	}
+	// Sanity: the workload actually moved the counters.
+	snap := c.Registry.Snapshot()
+	var writes int64
+	for _, m := range snap.Metrics {
+		if m.Name == "redbud_client_writes_total" {
+			writes += m.Value
+		}
+	}
+	if writes == 0 {
+		t.Fatal("redbud_client_writes_total stayed zero across a write workload")
+	}
+}
+
+// TestWriteObsJSON exercises the CI artifact writer on a real (tiny) report.
+func TestWriteObsJSON(t *testing.T) {
+	opt := TestOptions()
+	opt.Clients = 2
+	opt.SizeFactor = 0.05
+	rep, spans, err := RunObsBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breakdown.Commits == 0 || len(spans) == 0 {
+		t.Fatalf("obs bench produced no commits/spans: %+v", rep)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	if err := WriteObsJSON(path, opt, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j ObsJSONReport
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if j.Figure != "obs" || j.Commits != rep.Breakdown.Commits || len(j.Stages) != 4 {
+		t.Fatalf("artifact content: %+v", j)
+	}
+	var pct float64
+	for _, s := range j.Stages {
+		pct += s.PctE2E
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Fatalf("stage percentages sum to %v, want 100", pct)
+	}
+	var out strings.Builder
+	PrintObs(&out, rep)
+	if !strings.Contains(out.String(), "commit critical path") {
+		t.Fatalf("PrintObs output:\n%s", out.String())
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"redbud/internal/clock"
+	"redbud/internal/obs"
 	"redbud/internal/stats"
 )
 
@@ -63,6 +64,9 @@ type Config struct {
 	DisableMerge bool
 	// Trace, if non-nil, observes every dispatch.
 	Trace TraceFunc
+	// Tracer, if non-nil, records dev.queue / dev.seek / dev.xfer spans for
+	// every dispatch on track "dev<ID>".
+	Tracer *obs.Tracer
 	// WriteFault, if non-nil, decides the fate of every write at completion
 	// time (see faults.go). Also settable later via SetWriteFault.
 	WriteFault WriteFaultFunc
@@ -144,6 +148,8 @@ type Device struct {
 	baseMu sync.Mutex
 	base   Stats // snapshot subtracted by Stats(); set by ResetStats
 
+	track string // precomputed span track name, "dev<ID>"
+
 	wg sync.WaitGroup
 }
 
@@ -158,7 +164,8 @@ func New(cfg Config) *Device {
 	if cfg.MaxMergedBytes <= 0 {
 		cfg.MaxMergedBytes = 1 << 20
 	}
-	d := &Device{cfg: cfg, clk: cfg.Clock, store: newPageStore(), writeFault: cfg.WriteFault}
+	d := &Device{cfg: cfg, clk: cfg.Clock, store: newPageStore(), writeFault: cfg.WriteFault,
+		track: fmt.Sprintf("dev%d", cfg.ID)}
 	d.cond = sync.NewCond(&d.mu)
 	d.wg.Add(1)
 	go d.scheduler()
@@ -393,6 +400,24 @@ func (d *Device) complete(q *ior, head int64, st time.Duration) {
 	if d.cfg.Trace != nil && !crashed {
 		d.cfg.Trace(Event{T: now, Dev: d.cfg.ID, Op: q.op, Offset: q.off, Length: q.n, SeekLen: seek, Merged: len(q.reqs) - 1})
 	}
+	if d.cfg.Tracer.Enabled() && !crashed {
+		// Reconstruct the dispatch timeline from the service-time model:
+		// [dispatch, dispatch+seek) positions the head, the remainder is
+		// controller overhead + media transfer.
+		dispatch := now.Add(-st)
+		seekT := d.cfg.Model.SeekTime(head, q.off)
+		minEnq := q.reqs[0].enq
+		for _, r := range q.reqs[1:] {
+			if r.enq.Before(minEnq) {
+				minEnq = r.enq
+			}
+		}
+		d.cfg.Tracer.Record(d.track, obs.SpanDevQueue, 0, minEnq, dispatch)
+		if seekT > 0 {
+			d.cfg.Tracer.Record(d.track, obs.SpanDevSeek, 0, dispatch, dispatch.Add(seekT))
+		}
+		d.cfg.Tracer.Record(d.track, obs.SpanDevTransfer, 0, dispatch.Add(seekT), now)
+	}
 }
 
 // Crash simulates a power failure: queued and future requests fail, and the
@@ -473,4 +498,25 @@ func (d *Device) ResetStats() {
 	d.baseMu.Lock()
 	d.base = s
 	d.baseMu.Unlock()
+}
+
+// RegisterMetrics exposes the device counters in a metrics registry, labeled
+// by device ID. Raw monotonic values are exported (ResetStats does not
+// affect them); rate consumers diff snapshots instead.
+func (d *Device) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	l := obs.Labels{"dev": fmt.Sprintf("%d", d.cfg.ID)}
+	r.CounterFunc("redbud_dev_submitted_total", "I/O requests submitted", l, d.nSubmitted.Load)
+	r.CounterFunc("redbud_dev_dispatched_total", "elevator dispatches issued", l, d.nDispatch.Load)
+	r.CounterFunc("redbud_dev_merged_total", "requests absorbed by elevator merging", l, d.nMerged.Load)
+	r.CounterFunc("redbud_dev_seeks_total", "dispatches requiring head movement", l, d.nSeeks.Load)
+	r.CounterFunc("redbud_dev_seek_bytes_total", "total absolute head movement in bytes", l, d.seekBytes.Load)
+	r.CounterFunc("redbud_dev_read_bytes_total", "bytes read from media", l, d.bytesRead.Load)
+	r.CounterFunc("redbud_dev_written_bytes_total", "bytes written to media", l, d.bytesWrite.Load)
+	r.CounterFunc("redbud_dev_injected_faults_total", "injected write faults fired", l, d.nFaults.Load)
+	r.CounterFunc("redbud_dev_busy_ns_total", "cumulative head busy time in nanoseconds", l,
+		func() int64 { return int64(d.busy.Total()) })
+	r.GaugeFunc("redbud_dev_queue_len", "instantaneous elevator queue length", l, d.queueLen.Load)
 }

@@ -34,6 +34,7 @@ import (
 	"redbud/internal/mds"
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
+	"redbud/internal/obs"
 	"redbud/internal/rpc"
 	"redbud/internal/workload"
 )
@@ -110,6 +111,12 @@ type Config struct {
 
 	// Clock overrides the simulation clock (default clock.Real(1)).
 	Clock clock.Clock
+
+	// Tracer, when non-nil, records commit-lifecycle spans across every
+	// layer of the run (devices, network, MDS — including restarted
+	// incarnations — and clients). Export with obs.WriteChromeTrace to see
+	// what a fault plan does to the commit path.
+	Tracer *obs.Tracer
 
 	// OnOp observes every measured workload operation in per-thread issue
 	// order; the determinism test diffs two runs through this hook.
@@ -217,13 +224,13 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Disk.ErrProb > 0 || cfg.Disk.TornProb > 0 {
 		faultFn = blockdev.ProbFaults(cfg.Seed^0x5eed, cfg.Disk.ErrProb, cfg.Disk.TornProb)
 	}
-	data := blockdev.New(blockdev.Config{Size: dataSpace, Model: blockdev.ZeroLatency(), Clock: clk, WriteFault: faultFn})
+	data := blockdev.New(blockdev.Config{Size: dataSpace, Model: blockdev.ZeroLatency(), Clock: clk, WriteFault: faultFn, Tracer: cfg.Tracer})
 	defer data.Close()
 	metaDev := blockdev.New(blockdev.Config{Size: metaSpace, Model: blockdev.ZeroLatency(), Clock: clk})
 	defer metaDev.Close()
 
 	mkAGs := func() *alloc.AGSet { return alloc.NewUniformAGSet(alloc.RoundRobin, 0, dataSpace, allocGroups) }
-	store := meta.NewStore(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk})
+	store := meta.NewStore(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk, Tracer: cfg.Tracer})
 
 	// The durability oracle: every commit the MDS applies is audited
 	// against what the data device has actually made durable, and an
@@ -243,6 +250,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	net := netsim.NewNetwork(clk)
+	net.SetTracer(cfg.Tracer)
 	net.AddHost("mds", netsim.Instant())
 
 	incarnation := uint64(1)
@@ -254,6 +262,7 @@ func Run(cfg Config) (*Report, error) {
 			CommitCheck:  check,
 			LeaseTimeout: cfg.LeaseTimeout,
 			Incarnation:  incarnation,
+			Tracer:       cfg.Tracer,
 		})
 		lis, err := net.Listen("mds")
 		if err != nil {
@@ -305,6 +314,7 @@ func Run(cfg Config) (*Report, error) {
 			Mode:            cfg.Mode,
 			DelegationChunk: deleg,
 			PoolInterval:    time.Millisecond,
+			Tracer:          cfg.Tracer,
 		})
 	}
 
@@ -351,7 +361,7 @@ func Run(cfg Config) (*Report, error) {
 		lis.Close()
 		srv.Close()
 		rep.DedupHits += srv.DedupHits()
-		rec, _, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk})
+		rec, _, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk, Tracer: cfg.Tracer})
 		if err != nil {
 			restartErr = fmt.Errorf("chaos: recovery at restart %d: %w", r+1, err)
 			break

@@ -29,6 +29,7 @@ import (
 	"redbud/internal/core"
 	"redbud/internal/fsapi"
 	"redbud/internal/meta"
+	"redbud/internal/obs"
 	"redbud/internal/proto"
 	"redbud/internal/rpc"
 	"redbud/internal/stats"
@@ -134,6 +135,11 @@ type Config struct {
 	// when the file has nothing new — approximating a commit queue
 	// without per-file deduplication.
 	CommitEvenIfClean bool
+
+	// Tracer, if non-nil, records commit-lifecycle spans (commit.queue,
+	// commit.datawait, commit.rpc on track "<Name>/commit"; write.app on
+	// track "<Name>/app"), CommitID-correlated with the MDS-side spans.
+	Tracer *obs.Tracer
 }
 
 // Client implements fsapi.FileSystem.
@@ -172,6 +178,14 @@ type Client struct {
 
 	st clientStats
 	ra raStats
+
+	tracer      *obs.Tracer
+	trackApp    string // span track for application threads, "<Name>/app"
+	trackCommit string // span track for commit daemons, "<Name>/commit"
+
+	// commitLat is the client-observed commit latency (enqueue/build →
+	// reply), always collected for redbud-top and the obs bench.
+	commitLat *stats.Histogram
 }
 
 type clientStats struct {
@@ -227,13 +241,18 @@ func New(cfg Config) *Client {
 	}
 
 	c := &Client{
-		cfg:    cfg,
-		clk:    cfg.Clock,
-		mds:    cfg.MDS,
-		devs:   cfg.Devices,
-		files:  make(map[meta.FileID]*fileState),
-		dcache: make(map[string]meta.FileID),
+		cfg:         cfg,
+		clk:         cfg.Clock,
+		mds:         cfg.MDS,
+		devs:        cfg.Devices,
+		files:       make(map[meta.FileID]*fileState),
+		dcache:      make(map[string]meta.FileID),
+		tracer:      cfg.Tracer,
+		trackApp:    cfg.Name + "/app",
+		trackCommit: cfg.Name + "/commit",
+		commitLat:   stats.NewLatencyHistogram(),
 	}
+	c.commitSeq.Store(commitIDBase(cfg.Name))
 	seed := cfg.Retry.Seed
 	if seed == 0 {
 		seed = retrySeed(cfg.Name)
@@ -425,15 +444,20 @@ func (c *Client) Open(path string) (fsapi.File, error) {
 }
 
 // fileStateLocked finds or creates the shared per-file state. Caller holds
-// c.mu.
+// c.mu; fs.size is guarded by fs.mu (reestablish shrinks it concurrently),
+// and c.mu → fs.mu is the nesting order used throughout.
 func (c *Client) fileStateLocked(id meta.FileID, size int64) *fileState {
 	fs := c.files[id]
 	if fs == nil {
 		fs = newFileState(id, size)
 		c.files[id] = fs
-	} else if size > fs.size {
+		return fs
+	}
+	fs.mu.Lock()
+	if size > fs.size {
 		fs.size = size
 	}
+	fs.mu.Unlock()
 	return fs
 }
 
@@ -577,6 +601,16 @@ func (c *Client) ReadDir(path string) ([]fsapi.Info, error) {
 // commits it synchronously (sync mode).
 func (c *Client) enqueueCommit(fs *fileState) error {
 	if c.cfg.Mode == DelayedCommit {
+		if c.tracer.Enabled() {
+			// Stamp the queue-entry time once per queue residency; the
+			// commit daemon that builds the request consumes it.
+			now := c.clk.Now()
+			fs.mu.Lock()
+			if fs.enqAt.IsZero() {
+				fs.enqAt = now
+			}
+			fs.mu.Unlock()
+		}
 		c.queue.Enqueue(fs.id)
 		return nil
 	}
@@ -631,7 +665,9 @@ func (c *Client) commitBatch(ids []meta.FileID) {
 		c.st.commitRPCs.Inc()
 		c.st.commitsSent.Inc()
 		var resp proto.CommitResp
+		start := c.clk.Now()
 		err := c.sendCommit(states[0], reqs[0], &resp)
+		c.observeCommitRPC(start, reqs[0].CommitID)
 		c.finishCommit(states[0], reqs[0], err)
 		return
 	}
@@ -640,9 +676,11 @@ func (c *Client) commitBatch(ids []meta.FileID) {
 		ops = append(ops, rpc.SubOp{Op: proto.OpCommit, Body: wire.Encode(req)})
 	}
 	c.st.commitRPCs.Inc()
+	start := c.clk.Now()
 	results, err := c.sendCompound(states, ops)
 	for i, fs := range states {
 		c.st.commitsSent.Inc()
+		c.observeCommitRPC(start, reqs[i].CommitID)
 		e := err
 		if e == nil && results[i].Err != nil {
 			e = results[i].Err
@@ -651,14 +689,32 @@ func (c *Client) commitBatch(ids []meta.FileID) {
 	}
 }
 
+// observeCommitRPC folds one commit's RPC round-trip into the latency
+// histogram and, when tracing, records its commit.rpc span. Commits sharing
+// a compound frame share the interval — each rode the same wire round trip.
+func (c *Client) observeCommitRPC(start time.Time, commitID uint64) {
+	end := c.clk.Now()
+	c.commitLat.ObserveDuration(end.Sub(start))
+	if c.tracer.Enabled() {
+		c.tracer.Record(c.trackCommit, obs.SpanCommitRPC, commitID, start, end)
+	}
+}
+
 // buildCommit waits for outstanding data writes (the ordered-write rule) and
 // snapshots the file's uncommitted metadata. Returns nil when there is
 // nothing to commit.
 func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
+	traced := c.tracer.Enabled()
+	var waitStart time.Time
+	if traced {
+		waitStart = c.clk.Now()
+	}
 	fs.mu.Lock()
 	for fs.pendingWrites > 0 {
 		fs.cond.Wait()
 	}
+	enqAt := fs.enqAt
+	fs.enqAt = time.Time{}
 	if fs.writeErr != nil || (!fs.dirtyMeta && !c.cfg.CommitEvenIfClean) {
 		fs.mu.Unlock()
 		return nil
@@ -678,6 +734,12 @@ func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
 		Extents:  exts,
 	}
 	fs.mu.Unlock()
+	if traced {
+		if !enqAt.IsZero() {
+			c.tracer.Record(c.trackCommit, obs.SpanCommitQueue, req.CommitID, enqAt, waitStart)
+		}
+		c.tracer.Record(c.trackCommit, obs.SpanCommitDataWait, req.CommitID, waitStart, c.clk.Now())
+	}
 	return req
 }
 
@@ -730,7 +792,9 @@ func (c *Client) commitFile(fs *fileState) error {
 	c.st.commitRPCs.Inc()
 	c.st.commitsSent.Inc()
 	var resp proto.CommitResp
+	start := c.clk.Now()
 	err := c.sendCommit(fs, req, &resp)
+	c.observeCommitRPC(start, req.CommitID)
 	c.finishCommit(fs, req, err)
 	if err != nil && errors.Is(mapRemote(err), fsapi.ErrNotExist) {
 		return nil // file removed while the commit was in flight
@@ -877,4 +941,40 @@ func (c *Client) rpcCalls() int64 {
 	c.connMu.Lock()
 	defer c.connMu.Unlock()
 	return c.totalCalls + c.mds.Calls()
+}
+
+// badFrames reads the live connection's malformed-frame counter.
+func (c *Client) badFrames() int64 {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.mds.BadFrames()
+}
+
+// CommitLatency exposes the client-observed commit latency histogram
+// (seconds, RPC send → reply).
+func (c *Client) CommitLatency() *stats.Histogram { return c.commitLat }
+
+// RegisterMetrics exposes the client counters in a metrics registry,
+// labeled with the client name.
+func (c *Client) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	l := obs.Labels{"client": c.cfg.Name}
+	r.CounterFunc("redbud_client_writes_total", "WriteAt calls", l, c.st.writes.Load)
+	r.CounterFunc("redbud_client_reads_total", "ReadAt calls", l, c.st.reads.Load)
+	r.CounterFunc("redbud_client_written_bytes_total", "bytes written by applications", l, c.st.bytesWritten.Load)
+	r.CounterFunc("redbud_client_read_bytes_total", "bytes read by applications", l, c.st.bytesRead.Load)
+	r.CounterFunc("redbud_client_fsyncs_total", "Sync calls", l, c.st.fsyncs.Load)
+	r.CounterFunc("redbud_client_commits_sent_total", "commit requests sent (compound sub-ops counted)", l, c.st.commitsSent.Load)
+	r.CounterFunc("redbud_client_commit_rpcs_total", "network frames carrying commits", l, c.st.commitRPCs.Load)
+	r.CounterFunc("redbud_client_rpcs_total", "RPCs issued across all MDS connections", l, c.rpcCalls)
+	r.CounterFunc("redbud_client_bad_frames_total", "malformed response frames on the live connection", l, c.badFrames)
+	r.GaugeFunc("redbud_client_commit_queue_len", "commit queue length", l,
+		func() int64 { return int64(c.QueueLen()) })
+	r.GaugeFunc("redbud_client_commit_threads", "live commit-daemon pool size", l,
+		func() int64 { return int64(c.CommitThreads()) })
+	r.GaugeFunc("redbud_client_compound_degree", "current adaptive compound degree", l,
+		func() int64 { return int64(c.CompoundDegree()) })
+	r.RegisterHistogram("redbud_client_commit_latency_seconds", "client-observed commit RPC latency", l, c.commitLat)
 }

@@ -9,6 +9,7 @@ import (
 	"redbud/internal/core"
 	"redbud/internal/fsapi"
 	"redbud/internal/meta"
+	"redbud/internal/obs"
 	"redbud/internal/proto"
 )
 
@@ -43,6 +44,7 @@ type fileState struct {
 	dirtyMeta     bool   // something to commit
 	commitGen     uint64 // bumped by every finished commit
 	refs          int
+	enqAt         time.Time // first enqueue of the current queue residency (tracing)
 }
 
 func newFileState(id meta.FileID, size int64) *fileState {
@@ -242,6 +244,9 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		}
 	} else {
 		werr = c.enqueueCommit(fs)
+	}
+	if c.tracer.Enabled() {
+		c.tracer.Record(c.trackApp, obs.SpanAppWrite, 0, start, c.clk.Now())
 	}
 	c.st.writeLat.Observe(c.clk.Since(start))
 	if werr != nil {

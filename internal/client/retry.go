@@ -87,6 +87,17 @@ func retrySeed(name string) int64 {
 	return int64(h.Sum64())
 }
 
+// commitIDBase namespaces commit IDs per client: the name hash occupies the
+// high 32 bits, leaving 2^32 sequence numbers per client. The MDS dedup
+// table is keyed (owner, id) and does not depend on this; the namespace only
+// keeps commits from different clients distinct when their spans land in one
+// shared tracer.
+func commitIDBase(name string) uint64 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return uint64(h.Sum32()) << 32
+}
+
 // sleepBackoff sleeps the backoff delay for one retry attempt.
 func (c *Client) sleepBackoff(attempt int) {
 	c.connMu.Lock()

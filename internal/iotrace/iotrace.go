@@ -14,42 +14,82 @@ import (
 )
 
 // Recorder accumulates dispatch events. Attach its Record method as a
-// device's Trace hook.
+// device's Trace hook. An uncapped Recorder grows without bound — fine for
+// a measured experiment window, wrong for a long-lived process; use
+// NewRecorderCap there.
 type Recorder struct {
-	mu  sync.Mutex
-	evs []blockdev.Event
+	mu      sync.Mutex
+	evs     []blockdev.Event
+	cap     int   // 0 = unbounded
+	start   int   // ring read cursor (capped, after wrap)
+	dropped int64 // events evicted by the ring
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty unbounded recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewRecorderCap returns a recorder retaining at most n events; once full,
+// each new event evicts the oldest and increments the dropped counter. n <= 0
+// means unbounded.
+func NewRecorderCap(n int) *Recorder {
+	if n <= 0 {
+		return &Recorder{}
+	}
+	return &Recorder{cap: n, evs: make([]blockdev.Event, 0, n)}
+}
 
 // Record appends one event; safe for concurrent use.
 func (r *Recorder) Record(e blockdev.Event) {
 	r.mu.Lock()
-	r.evs = append(r.evs, e)
+	if r.cap > 0 && len(r.evs) == r.cap {
+		r.evs[r.start] = e
+		r.start++
+		if r.start == r.cap {
+			r.start = 0
+		}
+		r.dropped++
+	} else {
+		r.evs = append(r.evs, e)
+	}
 	r.mu.Unlock()
 }
 
-// Events returns a copy of all recorded events in dispatch order.
+// Events returns a copy of the retained events in dispatch order (oldest
+// first).
 func (r *Recorder) Events() []blockdev.Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]blockdev.Event, len(r.evs))
-	copy(out, r.evs)
+	out := make([]blockdev.Event, 0, len(r.evs))
+	out = append(out, r.evs[r.start:]...)
+	out = append(out, r.evs[:r.start]...)
 	return out
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.evs)
 }
 
-// Reset discards all recorded events.
+// Dropped returns how many events the ring has evicted (always 0 for an
+// unbounded recorder).
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset discards all recorded events and zeroes the dropped counter.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
-	r.evs = nil
+	if r.cap > 0 {
+		r.evs = r.evs[:0]
+	} else {
+		r.evs = nil
+	}
+	r.start = 0
+	r.dropped = 0
 	r.mu.Unlock()
 }
 

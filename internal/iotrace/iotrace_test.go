@@ -152,3 +152,44 @@ func TestAgainstLiveDevice(t *testing.T) {
 		t.Fatalf("trace seeks %d != device %d", sum.Seeks, s.Seeks)
 	}
 }
+
+func TestRecorderCapRing(t *testing.T) {
+	r := NewRecorderCap(4)
+	for i := 0; i < 7; i++ {
+		r.Record(ev(time.Duration(i)*time.Millisecond, blockdev.OpWrite, int64(i)*512, 512, 0, 1))
+	}
+	if r.Len() != 4 || r.Dropped() != 3 {
+		t.Fatalf("Len/Dropped = %d/%d, want 4/3", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	// Oldest first: events 3..6 survive, in dispatch order.
+	for i, e := range evs {
+		if want := int64(i+3) * 512; e.Offset != want {
+			t.Errorf("event %d offset = %d, want %d", i, e.Offset, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	// The ring stays capped after Reset.
+	for i := 0; i < 5; i++ {
+		r.Record(ev(time.Duration(i)*time.Millisecond, blockdev.OpWrite, int64(i), 512, 0, 1))
+	}
+	if r.Len() != 4 || r.Dropped() != 1 {
+		t.Fatalf("after Reset: Len/Dropped = %d/%d, want 4/1", r.Len(), r.Dropped())
+	}
+}
+
+func TestRecorderCapZeroUnbounded(t *testing.T) {
+	r := NewRecorderCap(0)
+	for i := 0; i < 100; i++ {
+		r.Record(ev(0, blockdev.OpWrite, int64(i), 512, 0, 1))
+	}
+	if r.Len() != 100 || r.Dropped() != 0 {
+		t.Fatalf("unbounded recorder Len/Dropped = %d/%d", r.Len(), r.Dropped())
+	}
+}

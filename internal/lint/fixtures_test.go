@@ -82,4 +82,9 @@ func runFixture(t *testing.T, a *Analyzer, path string) {
 func TestLockOrderFixture(t *testing.T)  { runFixture(t, LockOrder, "lockorder") }
 func TestDurabilityFixture(t *testing.T) { runFixture(t, Durability, "durability") }
 func TestSimClockFixture(t *testing.T)   { runFixture(t, SimClock, "simclock") }
-func TestSentErrFixture(t *testing.T)    { runFixture(t, SentErr, "senterr") }
+
+// TestSimClockDebugHTTPAllowed checks the package-level allow-list: the
+// debughttp fixture calls time.Now/Since with no `// want` comments, so the
+// run must produce zero diagnostics.
+func TestSimClockDebugHTTPAllowed(t *testing.T) { runFixture(t, SimClock, "debughttp") }
+func TestSentErrFixture(t *testing.T)           { runFixture(t, SentErr, "senterr") }

@@ -48,6 +48,9 @@ func runSimClock(pass *Pass) error {
 	if pass.Pkg.Name() == "main" {
 		return nil
 	}
+	if wallclockAllowedPkg(pass.Pkg.Path()) {
+		return nil
+	}
 	for _, file := range pass.Files {
 		if pass.IsTestFile(file.Pos()) {
 			continue
@@ -78,4 +81,13 @@ func runSimClock(pass *Pass) error {
 func isMathRand(path string) bool {
 	return path == "math/rand" || path == "math/rand/v2" ||
 		strings.HasSuffix(path, "/math/rand") // fixture mirrors
+}
+
+// wallclockAllowedPkg exempts whole packages that legitimately live on the
+// wall clock: the debug HTTP server only exists in real-TCP deployments
+// (never inside a simulated run), so its uptime reads cannot perturb
+// determinism.
+func wallclockAllowedPkg(path string) bool {
+	return path == "redbud/internal/obs/debughttp" ||
+		strings.HasSuffix(path, "/debughttp") || path == "debughttp" // fixture mirrors
 }

@@ -1,0 +1,10 @@
+// Package debughttp mirrors redbud/internal/obs/debughttp: an allow-listed
+// wall-clock user. No diagnostics expected despite the banned calls.
+package debughttp
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}

@@ -16,8 +16,10 @@ import (
 	"redbud/internal/clock"
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
+	"redbud/internal/obs"
 	"redbud/internal/proto"
 	"redbud/internal/rpc"
+	"redbud/internal/stats"
 	"redbud/internal/wire"
 )
 
@@ -47,6 +49,9 @@ type Config struct {
 	// on every restart. Clients compare the value returned by OpHello
 	// across reconnects to detect that a recovery happened (defaults to 1).
 	Incarnation uint64
+	// Tracer, if non-nil, records mds.commit spans on track "mds" (plus the
+	// rpc.queue / rpc.process spans of the daemon pool) for every commit.
+	Tracer *obs.Tracer
 }
 
 // commitWindow bounds how many recently applied commit IDs the MDS
@@ -117,6 +122,11 @@ type Server struct {
 
 	dedup     dedupTable
 	dedupHits atomic.Int64
+
+	// commitLat is the server-side commit handling latency (dispatch →
+	// response encoded), always collected: one histogram per server is
+	// cheap, and redbud-top reads it live.
+	commitLat *stats.Histogram
 }
 
 // New builds the MDS and its RPC daemon pool.
@@ -130,7 +140,7 @@ func New(cfg Config) *Server {
 	if cfg.Incarnation == 0 {
 		cfg.Incarnation = 1
 	}
-	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg}
+	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg, commitLat: stats.NewLatencyHistogram()}
 	s.dedup.owners = make(map[string]*ownerDedup)
 	s.rpc = rpc.NewServer(rpc.ServerConfig{
 		Handler:             s.handle,
@@ -139,6 +149,8 @@ func New(cfg Config) *Server {
 		FrameCost:           cfg.FrameCost,
 		ContentionPerDaemon: cfg.ContentionPerDaemon,
 		Clock:               cfg.Clock,
+		Tracer:              cfg.Tracer,
+		TraceTrack:          "mds",
 	})
 	return s
 }
@@ -202,6 +214,23 @@ func (s *Server) ExpireLeases() int64 {
 // DedupHits reports how many retransmitted commits were answered from the
 // dedup table instead of being re-applied.
 func (s *Server) DedupHits() int64 { return s.dedupHits.Load() }
+
+// CommitLatency exposes the server-side commit handling latency histogram
+// (seconds).
+func (s *Server) CommitLatency() *stats.Histogram { return s.commitLat }
+
+// RegisterMetrics exposes the MDS counters — including those of its RPC
+// daemon pool and metadata store — in a metrics registry.
+func (s *Server) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("redbud_mds_dedup_hits_total", "retransmitted commits answered from the dedup table", nil,
+		s.dedupHits.Load)
+	r.RegisterHistogram("redbud_mds_commit_latency_seconds", "server-side commit handling latency", nil, s.commitLat)
+	s.rpc.RegisterMetrics(r, obs.Labels{"server": "mds"})
+	s.store.RegisterMetrics(r)
+}
 
 // handle dispatches one decoded RPC operation.
 func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
@@ -306,7 +335,8 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 				return nil, fmt.Errorf("mds: ordered-write violation: %w", err)
 			}
 		}
-		if err := s.store.Commit(req.Owner, req.File, req.Extents, req.Size, req.MTime); err != nil {
+		start := s.clk.Now()
+		if err := s.store.CommitTraced(req.Owner, req.File, req.Extents, req.Size, req.MTime, req.CommitID); err != nil {
 			return nil, err
 		}
 		a, err := s.store.GetAttr(req.File)
@@ -315,6 +345,11 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 		}
 		resp := proto.CommitResp{Size: a.Size}
 		out := wire.Encode(&resp)
+		end := s.clk.Now()
+		s.commitLat.ObserveDuration(end.Sub(start))
+		if s.cfg.Tracer.Enabled() && req.CommitID != 0 {
+			s.cfg.Tracer.Record("mds", obs.SpanMDSCommit, req.CommitID, start, end)
+		}
 		if req.CommitID != 0 {
 			// Only successful commits are remembered: a failed commit may
 			// legitimately succeed on retry, so it must reach the store.

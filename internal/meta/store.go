@@ -9,6 +9,7 @@ import (
 
 	"redbud/internal/alloc"
 	"redbud/internal/clock"
+	"redbud/internal/obs"
 )
 
 // Store errors.
@@ -34,6 +35,10 @@ type Config struct {
 	Clock   clock.Clock
 	// MaxSpan bounds a single allocated extent (0 = unbounded).
 	MaxSpan int64
+	// Tracer, if non-nil, records mds.lockwait / mds.apply / mds.journal
+	// spans for every traced commit on track "mds/store". Spans are
+	// recorded only after all store locks are released.
+	Tracer *obs.Tracer
 }
 
 // delegation is a chunk of physical space granted to one client, which
@@ -186,6 +191,27 @@ func NewStore(cfg Config) *Store {
 	s.inodes[RootID] = &inode{id: RootID, typ: TypeDir, mtime: s.clk.Now(), nlink: 1}
 	s.dirents[RootID] = make(map[string]FileID)
 	return s
+}
+
+// RegisterMetrics exposes the store's namespace size and journal
+// group-commit counters in a metrics registry.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("redbud_meta_files", "inodes (files + directories) in the namespace", nil,
+		func() int64 {
+			s.ns.RLock()
+			n := int64(len(s.inodes))
+			s.ns.RUnlock()
+			return n
+		})
+	if j := s.cfg.Journal; j != nil {
+		r.CounterFunc("redbud_meta_journal_appends_total", "journal records appended", nil,
+			func() int64 { a, _ := j.GroupCommitStats(); return a })
+		r.CounterFunc("redbud_meta_journal_batches_total", "journal group-commit batches flushed", nil,
+			func() int64 { _, b := j.GroupCommitStats(); return b })
+	}
 }
 
 // journalAppend appends rec (if a journal is configured) while the caller
@@ -477,6 +503,21 @@ func insertExtent(list []Extent, e Extent) []Extent {
 // so commits to different files proceed in parallel and their journal
 // records coalesce in the group-commit batcher.
 func (s *Store) Commit(owner string, id FileID, exts []Extent, size int64, mtime time.Time) error {
+	return s.CommitTraced(owner, id, exts, size, mtime, 0)
+}
+
+// CommitTraced is Commit carrying the client-assigned commit ID for span
+// correlation. The span timeline splits the call into lock wait (namespace +
+// stripe acquisition), apply (mutation under the stripe lock, including the
+// journal append handoff), and journal (the group-commit durability wait).
+// All spans are recorded after the locks are dropped so tracing can never
+// extend a lock hold.
+func (s *Store) CommitTraced(owner string, id FileID, exts []Extent, size int64, mtime time.Time, commitID uint64) error {
+	traced := s.cfg.Tracer.Enabled() && commitID != 0
+	var lockStart, applyStart time.Time
+	if traced {
+		lockStart = s.clk.Now()
+	}
 	s.ns.RLock()
 	ino, ok := s.inodes[id]
 	if !ok {
@@ -489,6 +530,9 @@ func (s *Store) Commit(owner string, id FileID, exts []Extent, size int64, mtime
 	}
 	st := s.stripe(id)
 	st.Lock()
+	if traced {
+		applyStart = s.clk.Now()
+	}
 	if err := s.applyCommit(ino, owner, exts, size, mtime, true); err != nil {
 		st.Unlock()
 		s.ns.RUnlock()
@@ -498,7 +542,16 @@ func (s *Store) Commit(owner string, id FileID, exts []Extent, size int64, mtime
 	wait := s.journalAppend(rec)
 	st.Unlock()
 	s.ns.RUnlock()
-	return wait()
+	if !traced {
+		return wait()
+	}
+	jStart := s.clk.Now()
+	err := wait()
+	end := s.clk.Now()
+	s.cfg.Tracer.Record("mds/store", obs.SpanMDSLockWait, commitID, lockStart, applyStart)
+	s.cfg.Tracer.Record("mds/store", obs.SpanMDSApply, commitID, applyStart, jStart)
+	s.cfg.Tracer.Record("mds/store", obs.SpanMDSJournal, commitID, jStart, end)
+	return err
 }
 
 // applyCommit flips or inserts committed extents. Caller holds the inode's

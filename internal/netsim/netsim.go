@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"redbud/internal/clock"
+	"redbud/internal/obs"
 	"redbud/internal/stats"
 )
 
@@ -75,8 +76,10 @@ func (c LinkConfig) transmitTime(n int) time.Duration {
 
 // link is one host's ingress queue, with virtual-time accounting.
 type link struct {
-	cfg clock.Clock
-	lc  LinkConfig
+	cfg   clock.Clock
+	lc    LinkConfig
+	track string // span track, "net/<host>"
+	tr    *atomic.Pointer[obs.Tracer]
 
 	mu       sync.Mutex
 	nextFree time.Time
@@ -90,6 +93,7 @@ type link struct {
 // time of an n-byte frame and returns the queueing delay experienced.
 func (l *link) transmit(n int) time.Duration {
 	if l.lc == (LinkConfig{}) {
+		// Instant link: no clock reads, no spans — keeps functional tests free.
 		l.msgs.Inc()
 		l.bytes.Add(int64(n))
 		return 0
@@ -111,6 +115,12 @@ func (l *link) transmit(n int) time.Duration {
 
 	l.msgs.Inc()
 	l.bytes.Add(int64(n))
+	if t := l.tr.Load(); t.Enabled() {
+		if wait > 0 {
+			t.Record(l.track, obs.SpanNetWait, 0, now, start)
+		}
+		t.Record(l.track, obs.SpanNetXmit, 0, start, end)
+	}
 	l.cfg.Sleep(end.Sub(now) + l.lc.Latency)
 	return wait
 }
@@ -138,10 +148,19 @@ type Network struct {
 	// effect immediately.
 	inj atomic.Pointer[injector]
 
+	// tr is the active span tracer; links read it on every transmit, so
+	// SetTracer takes effect immediately on existing links.
+	tr atomic.Pointer[obs.Tracer]
+
 	mu        sync.Mutex
 	links     map[string]*link
 	listeners map[string]*Listener
 }
+
+// SetTracer installs (or removes, with nil) the span tracer observing every
+// link transmission: net.wait for ingress queueing, net.xmit for
+// serialization, on track "net/<host>".
+func (n *Network) SetTracer(t *obs.Tracer) { n.tr.Store(t) }
 
 // NewNetwork returns an empty fabric using clk.
 func NewNetwork(clk clock.Clock) *Network {
@@ -155,7 +174,44 @@ func NewNetwork(clk clock.Clock) *Network {
 func (n *Network) AddHost(name string, lc LinkConfig) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.links[name] = &link{cfg: n.clk, lc: lc}
+	n.links[name] = &link{cfg: n.clk, lc: lc, track: "net/" + name, tr: &n.tr}
+}
+
+// RegisterMetrics exposes per-host link counters and the network fault
+// counters in a metrics registry. Hosts added after the call are not
+// covered; register after topology setup.
+func (n *Network) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	n.mu.Lock()
+	names := make([]string, 0, len(n.links))
+	for name := range n.links {
+		names = append(names, name)
+	}
+	links := make(map[string]*link, len(names))
+	for _, name := range names {
+		links[name] = n.links[name]
+	}
+	n.mu.Unlock()
+	for _, name := range names {
+		l := links[name]
+		lb := obs.Labels{"host": name}
+		r.CounterFunc("redbud_net_messages_total", "frames transmitted to the host's ingress link", lb, l.msgs.Load)
+		r.CounterFunc("redbud_net_bytes_total", "bytes transmitted to the host's ingress link", lb, l.bytes.Load)
+		r.GaugeFunc("redbud_net_wait_ns", "smoothed ingress queueing delay in nanoseconds", lb,
+			func() int64 { return int64(l.meanWait()) })
+	}
+	r.CounterFunc("redbud_net_fault_dropped_total", "frames dropped by the fault injector", nil,
+		func() int64 { return n.FaultStats().Dropped })
+	r.CounterFunc("redbud_net_fault_duplicated_total", "frames duplicated by the fault injector", nil,
+		func() int64 { return n.FaultStats().Duplicated })
+	r.CounterFunc("redbud_net_fault_delayed_total", "frames delayed by the fault injector", nil,
+		func() int64 { return n.FaultStats().Delayed })
+	r.CounterFunc("redbud_net_fault_reordered_total", "frames reordered by the fault injector", nil,
+		func() int64 { return n.FaultStats().Reordered })
+	r.CounterFunc("redbud_net_fault_partitioned_total", "frames blocked by a partition", nil,
+		func() int64 { return n.FaultStats().Partitioned })
 }
 
 // HostStats returns the ingress counters for a host.

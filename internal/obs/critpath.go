@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Canonical span names recorded by the instrumented layers. The critical-path
+// analyzer keys on them, so instrumentation and analysis agree by construction.
+const (
+	// Client commit lifecycle (CommitID-correlated).
+	SpanCommitQueue    = "commit.queue"    // enqueue → commit daemon dequeues the file
+	SpanCommitDataWait = "commit.datawait" // ordered-write wait for outstanding device writes
+	SpanCommitRPC      = "commit.rpc"      // commit RPC send → reply (client-observed)
+	// MDS commit handling (CommitID-correlated).
+	SpanMDSCommit   = "mds.commit"   // dispatch → response encoded
+	SpanMDSLockWait = "mds.lockwait" // namespace + stripe lock wait
+	SpanMDSApply    = "mds.apply"    // extent/attr application under the stripe lock
+	SpanMDSJournal  = "mds.journal"  // journal group-commit durability wait
+	// Shared-array device lifecycle (pre-commit data path, CommitID 0).
+	SpanDevQueue    = "dev.queue" // submit → elevator dispatch
+	SpanDevSeek     = "dev.seek"  // head movement + rotation
+	SpanDevTransfer = "dev.xfer"  // media transfer
+	// Metadata network and RPC server (CommitID 0).
+	SpanNetWait    = "net.wait"    // ingress-link queueing
+	SpanNetXmit    = "net.xmit"    // serialization + propagation
+	SpanRPCQueue   = "rpc.queue"   // request queue wait at the server
+	SpanRPCProcess = "rpc.process" // daemon-thread occupancy per frame
+	// Application thread (CommitID 0).
+	SpanAppWrite = "write.app" // WriteAt entry → return
+)
+
+// CommitPath is the reconstructed lifecycle of one commit. The four
+// top-level stages are disjoint and contiguous, so
+// Queue + DataWait + Batch + RPC == E2E exactly: Batch is defined as the
+// residual between the data-wait end and the RPC send (compound assembly,
+// daemon scheduling), absorbing any rounding.
+type CommitPath struct {
+	ID    uint64
+	Start time.Time
+	E2E   time.Duration
+
+	Queue    time.Duration // commit-queue wait (0 in sync mode)
+	DataWait time.Duration // ordered-write wait for data durability
+	Batch    time.Duration // residual: batching/assembly between build and send
+	RPC      time.Duration // commit RPC round trip
+
+	// Informational decomposition of RPC (server-side, matched by CommitID).
+	Server   time.Duration // MDS handler occupancy (mds.commit)
+	Wire     time.Duration // RPC - Server: network + server queueing
+	LockWait time.Duration // stripe/namespace lock wait inside the store
+	Apply    time.Duration // metadata application
+	Journal  time.Duration // journal group-commit wait
+}
+
+// Stage is one aggregated bucket of the breakdown table.
+type Stage struct {
+	Name  string
+	Total time.Duration
+	Count int64 // commits contributing a nonzero value
+}
+
+// Breakdown aggregates per-commit critical paths.
+type Breakdown struct {
+	Commits   int
+	E2E       time.Duration // summed end-to-end latency
+	Stages    []Stage       // top level; totals sum to E2E exactly
+	Sub       []Stage       // nested decomposition of the rpc stage
+	PerCommit []CommitPath  // sorted by CommitID
+}
+
+// Analyze reconstructs per-commit critical paths from a span stream.
+// Commits without a commit.rpc span (still in flight when the trace was
+// taken) are skipped.
+func Analyze(spans []Span) *Breakdown {
+	type acc struct {
+		queue, datawait, rpc        *Span
+		server, lock, apply, journl time.Duration
+	}
+	commits := make(map[uint64]*acc)
+	get := func(id uint64) *acc {
+		a := commits[id]
+		if a == nil {
+			a = &acc{}
+			commits[id] = a
+		}
+		return a
+	}
+	for i := range spans {
+		s := spans[i]
+		if s.CommitID == 0 {
+			continue
+		}
+		a := get(s.CommitID)
+		switch s.Name {
+		case SpanCommitQueue:
+			a.queue = widen(a.queue, s)
+		case SpanCommitDataWait:
+			a.datawait = widen(a.datawait, s)
+		case SpanCommitRPC:
+			a.rpc = widen(a.rpc, s) // retries widen to first send → last reply
+		case SpanMDSCommit:
+			a.server += s.Duration()
+		case SpanMDSLockWait:
+			a.lock += s.Duration()
+		case SpanMDSApply:
+			a.apply += s.Duration()
+		case SpanMDSJournal:
+			a.journl += s.Duration()
+		}
+	}
+
+	b := &Breakdown{}
+	for id, a := range commits {
+		if a.rpc == nil {
+			continue
+		}
+		p := CommitPath{ID: id}
+		start := a.rpc.Start
+		if a.datawait != nil {
+			start = a.datawait.Start
+			p.DataWait = a.datawait.Duration()
+		}
+		if a.queue != nil {
+			start = a.queue.Start
+			p.Queue = a.queue.Duration()
+		}
+		p.Start = start
+		p.E2E = a.rpc.End.Sub(start)
+		p.RPC = a.rpc.Duration()
+		// Residual: everything between the end of the data wait and the RPC
+		// send — compound assembly and daemon scheduling. Defined as the
+		// remainder so the top-level stages sum to E2E exactly.
+		p.Batch = p.E2E - p.Queue - p.DataWait - p.RPC
+		p.Server = a.server
+		if p.Server > p.RPC {
+			p.Server = p.RPC // dedup replays can over-count; clamp
+		}
+		p.Wire = p.RPC - p.Server
+		p.LockWait, p.Apply, p.Journal = a.lock, a.apply, a.journl
+		b.PerCommit = append(b.PerCommit, p)
+	}
+	sort.Slice(b.PerCommit, func(i, j int) bool { return b.PerCommit[i].ID < b.PerCommit[j].ID })
+
+	b.Commits = len(b.PerCommit)
+	stages := make([]Stage, 4)
+	stages[0].Name, stages[1].Name, stages[2].Name, stages[3].Name = "queue", "datawait", "batch", "rpc"
+	sub := make([]Stage, 5)
+	sub[0].Name, sub[1].Name, sub[2].Name, sub[3].Name, sub[4].Name =
+		"rpc.wire", "rpc.server", "server.lockwait", "server.apply", "server.journal"
+	for _, p := range b.PerCommit {
+		b.E2E += p.E2E
+		addStage(&stages[0], p.Queue)
+		addStage(&stages[1], p.DataWait)
+		addStage(&stages[2], p.Batch)
+		addStage(&stages[3], p.RPC)
+		addStage(&sub[0], p.Wire)
+		addStage(&sub[1], p.Server)
+		addStage(&sub[2], p.LockWait)
+		addStage(&sub[3], p.Apply)
+		addStage(&sub[4], p.Journal)
+	}
+	b.Stages = stages
+	b.Sub = sub
+	return b
+}
+
+func addStage(s *Stage, d time.Duration) {
+	s.Total += d
+	if d != 0 {
+		s.Count++
+	}
+}
+
+// widen keeps the envelope [min start, max end] across repeated spans of the
+// same kind (RPC retries, re-enqueues).
+func widen(have *Span, s Span) *Span {
+	if have == nil {
+		c := s
+		return &c
+	}
+	if s.Start.Before(have.Start) {
+		have.Start = s.Start
+	}
+	if s.End.After(have.End) {
+		have.End = s.End
+	}
+	return have
+}
+
+// Table renders the Figure-6-style per-stage breakdown. The top-level stage
+// totals sum to the end-to-end total exactly; the indented rows decompose
+// the rpc stage and do not add to the sum.
+func (b *Breakdown) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "commit critical path: %d commits, total e2e %v", b.Commits, b.E2E)
+	if b.Commits > 0 {
+		fmt.Fprintf(&sb, ", mean %v", (b.E2E / time.Duration(b.Commits)).Round(time.Nanosecond))
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "  %-16s %14s %14s %8s\n", "stage", "total", "mean", "% e2e")
+	writeRow := func(indent, name string, s Stage) {
+		var m time.Duration
+		if b.Commits > 0 {
+			m = s.Total / time.Duration(b.Commits)
+		}
+		pct := 0.0
+		if b.E2E > 0 {
+			pct = 100 * float64(s.Total) / float64(b.E2E)
+		}
+		fmt.Fprintf(&sb, "  %-16s %14v %14v %7.1f%%\n", indent+name, s.Total, m, pct)
+	}
+	for _, s := range b.Stages {
+		writeRow("", s.Name, s)
+	}
+	writeRow("", "e2e", Stage{Name: "e2e", Total: b.E2E})
+	for _, s := range b.Sub {
+		writeRow("  ", s.Name, s)
+	}
+	return sb.String()
+}

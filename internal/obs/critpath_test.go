@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAnalyzeStageSumExact(t *testing.T) {
+	spans := []Span{
+		// Commit 1, delayed mode: queue → data wait → (batch gap) → RPC.
+		{Track: "c0/commit", Name: SpanCommitQueue, CommitID: 1, Start: at(0), End: at(100)},
+		{Track: "c0/commit", Name: SpanCommitDataWait, CommitID: 1, Start: at(100), End: at(180)},
+		{Track: "c0/commit", Name: SpanCommitRPC, CommitID: 1, Start: at(200), End: at(300)},
+		{Track: "mds", Name: SpanMDSCommit, CommitID: 1, Start: at(220), End: at(280)},
+		{Track: "mds/store", Name: SpanMDSLockWait, CommitID: 1, Start: at(222), End: at(232)},
+		{Track: "mds/store", Name: SpanMDSApply, CommitID: 1, Start: at(232), End: at(252)},
+		{Track: "mds/store", Name: SpanMDSJournal, CommitID: 1, Start: at(252), End: at(277)},
+		// Commit 2, sync mode with an RPC retry: the envelope is
+		// [400,500] across both attempts.
+		{Track: "c1/commit", Name: SpanCommitRPC, CommitID: 2, Start: at(400), End: at(450)},
+		{Track: "c1/commit", Name: SpanCommitRPC, CommitID: 2, Start: at(430), End: at(500)},
+		// Commit 3 has no RPC span (still in flight): skipped.
+		{Track: "c2/commit", Name: SpanCommitQueue, CommitID: 3, Start: at(600), End: at(700)},
+		// CommitID-0 infrastructure spans are ignored by the analyzer.
+		{Track: "dev0", Name: SpanDevTransfer, Start: at(0), End: at(50)},
+	}
+	b := Analyze(spans)
+
+	if b.Commits != 2 {
+		t.Fatalf("Commits = %d, want 2", b.Commits)
+	}
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+
+	p1 := b.PerCommit[0]
+	if p1.ID != 1 {
+		t.Fatalf("PerCommit not sorted by ID: %+v", b.PerCommit)
+	}
+	if p1.E2E != us(300) || p1.Queue != us(100) || p1.DataWait != us(80) || p1.Batch != us(20) || p1.RPC != us(100) {
+		t.Fatalf("commit 1 stages = %+v", p1)
+	}
+	if p1.Server != us(60) || p1.Wire != us(40) || p1.LockWait != us(10) || p1.Apply != us(20) || p1.Journal != us(25) {
+		t.Fatalf("commit 1 rpc decomposition = %+v", p1)
+	}
+
+	p2 := b.PerCommit[1]
+	if p2.E2E != us(100) || p2.RPC != us(100) || p2.Queue != 0 || p2.DataWait != 0 || p2.Batch != 0 {
+		t.Fatalf("commit 2 (retry envelope) = %+v", p2)
+	}
+
+	// The acceptance criterion: per-commit top-level stages sum to E2E
+	// exactly, and so do the aggregated stage totals.
+	for _, p := range b.PerCommit {
+		if sum := p.Queue + p.DataWait + p.Batch + p.RPC; sum != p.E2E {
+			t.Fatalf("commit %d: stage sum %v != e2e %v", p.ID, sum, p.E2E)
+		}
+	}
+	var total time.Duration
+	for _, s := range b.Stages {
+		total += s.Total
+	}
+	if total != b.E2E {
+		t.Fatalf("aggregated stage sum %v != total e2e %v", total, b.E2E)
+	}
+
+	tbl := b.Table()
+	for _, want := range []string{"queue", "datawait", "batch", "rpc", "e2e", "rpc.wire", "server.journal", "2 commits"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// TestAnalyzeServerClamp: a dedup replay can make summed mds.commit time
+// exceed the client-observed RPC; Server must clamp so Wire stays ≥ 0.
+func TestAnalyzeServerClamp(t *testing.T) {
+	spans := []Span{
+		{Track: "c0/commit", Name: SpanCommitRPC, CommitID: 7, Start: at(0), End: at(100)},
+		{Track: "mds", Name: SpanMDSCommit, CommitID: 7, Start: at(0), End: at(90)},
+		{Track: "mds", Name: SpanMDSCommit, CommitID: 7, Start: at(10), End: at(95)}, // replay
+	}
+	b := Analyze(spans)
+	p := b.PerCommit[0]
+	if p.Server != p.RPC || p.Wire != 0 {
+		t.Fatalf("server not clamped: %+v", p)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	b := Analyze(nil)
+	if b.Commits != 0 || b.E2E != 0 || len(b.PerCommit) != 0 {
+		t.Fatalf("empty analysis = %+v", b)
+	}
+	if !strings.Contains(b.Table(), "0 commits") {
+		t.Fatal("empty table should render")
+	}
+}

@@ -1,0 +1,132 @@
+// Package debughttp serves live introspection over HTTP for the real-TCP
+// deployment (cmd/redbud-mds, cmd/redbud-client): /metrics in Prometheus
+// text format, /metrics.json for cmd/redbud-top, /debug/trace for the span
+// ring, /debug/trace/perfetto for a Chrome-trace export, and the standard
+// net/http/pprof handlers.
+//
+// This package is the one sanctioned wall-clock user under internal/: it
+// exists only in real deployments, never inside a simulated run, so the
+// simclock analyzer allow-lists it by package path.
+package debughttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"redbud/internal/obs"
+)
+
+// Config assembles a debug server.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9100". An ":0" port picks
+	// a free one; the chosen address is returned by Start.
+	Addr string
+	// Registry backs /metrics and /metrics.json (may be nil: empty output).
+	Registry *obs.Registry
+	// Tracer backs /debug/trace and /debug/trace/perfetto (may be nil).
+	Tracer *obs.Tracer
+}
+
+// Server is a running debug listener.
+type Server struct {
+	cfg     Config
+	lis     net.Listener
+	srv     *http.Server
+	started time.Time
+}
+
+// Start opens the listener and begins serving in a background goroutine.
+// It returns the bound address (useful with ":0").
+func Start(cfg Config) (*Server, error) {
+	lis, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("debughttp: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, lis: lis, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/trace/perfetto", s.handlePerfetto)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(lis) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener and all open connections.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<html><body><h1>redbud debug</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/metrics.json">/metrics.json</a></li>
+<li><a href="/debug/trace">/debug/trace</a> (span ring, ?n= to limit)</li>
+<li><a href="/debug/trace/perfetto">/debug/trace/perfetto</a> (load in ui.perfetto.dev)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+<li><a href="/healthz">/healthz</a></li>
+</ul></body></html>`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Registry.WritePrometheus(w) //nolint:errcheck // client disconnect
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.cfg.Registry.WriteJSON(w) //nolint:errcheck // client disconnect
+}
+
+// traceDump is the /debug/trace payload.
+type traceDump struct {
+	Total   int64      `json:"total"`
+	Dropped int64      `json:"dropped"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := s.cfg.Tracer.Spans()
+	if v := r.URL.Query().Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(spans) {
+			spans = spans[len(spans)-n:] // newest n
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(traceDump{ //nolint:errcheck // client disconnect
+		Total:   s.cfg.Tracer.Total(),
+		Dropped: s.cfg.Tracer.Dropped(),
+		Spans:   spans,
+	})
+}
+
+func (s *Server) handlePerfetto(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="redbud-trace.json"`)
+	obs.WriteChromeTrace(w, s.cfg.Tracer.Spans()) //nolint:errcheck // client disconnect
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintf(w, "ok uptime=%s\n", time.Since(s.started).Round(time.Second))
+}

@@ -1,0 +1,144 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"redbud/internal/obs"
+)
+
+func startTestServer(t *testing.T) (*Server, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	s, err := Start(Config{Addr: "127.0.0.1:0", Registry: reg, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, reg, tr
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoints(t *testing.T) {
+	s, reg, _ := startTestServer(t)
+	reg.NewCounter("redbud_test_ops_total", "ops", obs.Labels{"who": "me"}).Add(9)
+
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE redbud_test_ops_total counter",
+		`redbud_test_ops_total{who="me"} 9`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, "http://"+s.Addr()+"/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+	if m, ok := snap.Get("redbud_test_ops_total"); !ok || m.Value != 9 {
+		t.Fatalf("/metrics.json content: %+v", snap)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	s, _, tr := startTestServer(t)
+	base := time.Unix(5, 0).UTC()
+	for i := 0; i < 5; i++ {
+		tr.Record("trk", obs.SpanCommitRPC, uint64(i+1), base, base.Add(time.Millisecond))
+	}
+
+	code, body := get(t, "http://"+s.Addr()+"/debug/trace?n=2")
+	if code != 200 {
+		t.Fatalf("/debug/trace status %d", code)
+	}
+	var dump struct {
+		Total   int64      `json:"total"`
+		Dropped int64      `json:"dropped"`
+		Spans   []obs.Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/trace does not parse: %v", err)
+	}
+	if dump.Total != 5 || len(dump.Spans) != 2 {
+		t.Fatalf("trace dump = total %d, %d spans; want 5, 2", dump.Total, len(dump.Spans))
+	}
+	// ?n= keeps the newest spans.
+	if dump.Spans[1].CommitID != 5 {
+		t.Fatalf("newest span commit = %d, want 5", dump.Spans[1].CommitID)
+	}
+
+	code, body = get(t, "http://"+s.Addr()+"/debug/trace/perfetto")
+	if code != 200 {
+		t.Fatalf("/debug/trace/perfetto status %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("perfetto export does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) != 6 { // 5 spans + 1 thread_name
+		t.Fatalf("perfetto events = %d, want 6", len(doc.TraceEvents))
+	}
+}
+
+func TestIndexHealthzAndPprof(t *testing.T) {
+	s, _, _ := startTestServer(t)
+	if code, body := get(t, "http://"+s.Addr()+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, body := get(t, "http://"+s.Addr()+"/healthz"); code != 200 || !strings.Contains(body, "ok uptime=") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, _ := get(t, "http://"+s.Addr()+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline status %d", code)
+	}
+	if code, _ := get(t, "http://"+s.Addr()+"/nope"); code != 404 {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestNilBackendsServeEmpty(t *testing.T) {
+	s, err := Start(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, _ := get(t, "http://"+s.Addr()+"/metrics"); code != 200 {
+		t.Fatalf("/metrics with nil registry: %d", code)
+	}
+	code, body := get(t, "http://"+s.Addr()+"/debug/trace")
+	if code != 200 {
+		t.Fatalf("/debug/trace with nil tracer: %d", code)
+	}
+	if !strings.Contains(body, `"total": 0`) {
+		t.Fatalf("nil tracer dump: %s", body)
+	}
+}

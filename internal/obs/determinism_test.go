@@ -1,0 +1,147 @@
+package obs_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"redbud/internal/alloc"
+	"redbud/internal/blockdev"
+	"redbud/internal/client"
+	"redbud/internal/clock"
+	"redbud/internal/mds"
+	"redbud/internal/meta"
+	"redbud/internal/netsim"
+	"redbud/internal/obs"
+	"redbud/internal/rpc"
+)
+
+// tracedRun assembles a minimal single-client Redbud cluster on a manual
+// clock — zero-latency devices, instant links, one MDS daemon with a fixed
+// per-op cost, synchronous commit — runs a fixed write workload, and returns
+// the Chrome-trace export bytes. The shape is chosen so at most one
+// goroutine sleeps on the clock at a time (every other actor is blocked on a
+// channel handoff), which makes the span timeline, not just the span
+// multiset, reproducible.
+func tracedRun(t *testing.T) []byte {
+	t.Helper()
+	clk := clock.NewManual()
+
+	// Clock driver: advance to the next deadline whenever anything sleeps.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if !clk.AdvanceToNext() {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	tracer := obs.NewTracer(0)
+	data := blockdev.New(blockdev.Config{Size: 1 << 30, Model: blockdev.ZeroLatency(), Clock: clk, Tracer: tracer})
+	metaDev := blockdev.New(blockdev.Config{ID: 1000, Size: 64 << 20, Model: blockdev.ZeroLatency(), Clock: clk})
+	store := meta.NewStore(meta.Config{
+		AGs:     alloc.NewUniformAGSet(alloc.RoundRobin, 0, 1<<30, 4),
+		Journal: meta.NewJournal(metaDev, 0, 32<<20),
+		Clock:   clk,
+		Tracer:  tracer,
+	})
+	srv := mds.New(mds.Config{Store: store, Clock: clk, Daemons: 1, OpCost: 40 * time.Microsecond, Tracer: tracer})
+
+	net := netsim.NewNetwork(clk)
+	net.SetTracer(tracer)
+	net.AddHost("mds", netsim.Instant())
+	lis, err := net.Listen("mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+
+	net.AddHost("c0", netsim.Instant())
+	conn, err := net.Dial("c0", "mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(client.Config{
+		Name:    "c0",
+		MDS:     rpc.NewClient(conn, clk),
+		Devices: map[uint32]client.BlockDevice{0: data},
+		Clock:   clk,
+		Mode:    client.SyncCommit,
+		Tracer:  tracer,
+	})
+
+	payload := make([]byte, 4<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < 8; i++ {
+		f, err := cl.Create(fmt.Sprintf("/f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lis.Close()
+	srv.Close()
+	data.Close()
+	metaDev.Close()
+	close(stop)
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tracer.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Dropped() != 0 {
+		t.Fatalf("ring overflowed (%d dropped): grow the cap so runs compare fully", tracer.Dropped())
+	}
+	return buf.Bytes()
+}
+
+// TestTraceRunTwiceByteIdentical is the determinism acceptance test: two
+// runs of the same seeded cluster export byte-identical trace JSON.
+func TestTraceRunTwiceByteIdentical(t *testing.T) {
+	a := tracedRun(t)
+	b := tracedRun(t)
+	if len(a) == 0 || !bytes.Contains(a, []byte(obs.SpanCommitRPC)) {
+		t.Fatalf("trace missing commit spans:\n%.400s", a)
+	}
+	if !bytes.Equal(a, b) {
+		la, lb := bytes.Split(a, []byte(",")), bytes.Split(b, []byte(","))
+		n := min(len(la), len(lb))
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("trace exports differ (first divergence at field %d):\n  run1: %s\n  run2: %s", i, la[i], lb[i])
+			}
+		}
+		t.Fatalf("trace exports differ in length: %d vs %d fields", len(la), len(lb))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4). Output is deterministic: metrics sort by (name, labels)
+// and floats use shortest-round-trip formatting.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteSnapshotPrometheus(w, r.Snapshot())
+}
+
+// WriteSnapshotPrometheus renders an already-taken snapshot (used to export
+// a Diff between two snapshots).
+func WriteSnapshotPrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastName {
+			if m.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Kind)
+			lastName = m.Name
+		}
+		switch m.Kind {
+		case KindHistogram:
+			if m.Hist == nil {
+				continue
+			}
+			for _, b := range m.Hist.Buckets {
+				fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n", m.Name, labelPrefix(m.Labels), formatFloat(b.LE), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n", m.Name, labelPrefix(m.Labels), m.Hist.Count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", m.Name, labelBlock(m.Labels), formatFloat(m.Hist.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.Name, labelBlock(m.Labels), m.Hist.Count)
+		default:
+			fmt.Fprintf(bw, "%s%s %d\n", m.Name, labelBlock(m.Labels), m.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// labelBlock renders `{a="b"}` or "" for a rendered label string.
+func labelBlock(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// labelPrefix renders `a="b",` or "" — for merging with a le label.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the registry snapshot as indented JSON (the
+// /metrics.json payload cmd/redbud-top polls).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return WriteSnapshotJSON(w, r.Snapshot())
+}
+
+// WriteSnapshotJSON renders an already-taken snapshot as indented JSON.
+func WriteSnapshotJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("redbud_ops_total", "operations", Labels{"client": "c0"}).Add(12)
+	r.NewGauge("redbud_depth", "", nil).Set(-3)
+	h := r.NewHistogram("redbud_lat_seconds", "latency", nil)
+	h.Observe(0.001)
+	h.Observe(0.001)
+	h.Observe(200) // overflow: above the 100s histogram range
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP redbud_ops_total operations",
+		"# TYPE redbud_ops_total counter",
+		`redbud_ops_total{client="c0"} 12`,
+		"# TYPE redbud_depth gauge",
+		"redbud_depth -3",
+		"# TYPE redbud_lat_seconds histogram",
+		`redbud_lat_seconds_bucket{le="+Inf"} 3`,
+		"redbud_lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and non-decreasing.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "redbud_lat_seconds_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscan(line, &n); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = n
+	}
+}
+
+// fmtSscan pulls the trailing integer off a Prometheus sample line.
+func fmtSscan(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v, err := json.Number(line[i+1:]).Int64()
+	*n = v
+	return 1, err
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "help text", Labels{"k": "v"}).Add(5)
+	r.NewHistogram("h_seconds", "", nil).Observe(0.01)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if len(s.Metrics) != 2 {
+		t.Fatalf("round-trip metrics = %d, want 2", len(s.Metrics))
+	}
+	if m, _ := s.Get("a_total"); m.Value != 5 || m.Labels != `k="v"` || m.Help != "help text" {
+		t.Fatalf("round-trip counter = %+v", m)
+	}
+	if m, _ := s.Get("h_seconds"); m.Hist == nil || m.Hist.Count != 1 {
+		t.Fatalf("round-trip histogram = %+v", m)
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.NewCounter("b_total", "", Labels{"x": "2"}).Add(1)
+		r.NewCounter("a_total", "", nil).Add(2)
+		r.NewCounter("b_total", "", Labels{"x": "1"}).Add(3)
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		return b.String()
+	}
+	if build() != build() {
+		t.Fatal("identical registries export different bytes")
+	}
+}

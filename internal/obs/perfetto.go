@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" thread_name metadata), which Perfetto and chrome://tracing
+// both load. Timestamps are microseconds relative to the earliest span.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"`
+	Dur  float64     `json:"dur"`
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Commit uint64 `json:"commit,omitempty"`
+	Name   string `json:"name,omitempty"` // thread_name payload
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace exports spans as Chrome trace-event JSON: one trace
+// "thread" per span track (client commit daemon, device head, MDS worker,
+// …), spans as complete events carrying their CommitID.
+//
+// Output is deterministic for a deterministic span multiset: spans are
+// sorted by (Start, End, Track, Name, CommitID) before track IDs are
+// assigned, so the racy interleaving of concurrent recorders cannot leak
+// into the bytes.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if !a.End.Equal(b.End) {
+			return a.End.Before(b.End)
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.CommitID < b.CommitID
+	})
+
+	var base time.Time
+	if len(sorted) > 0 {
+		base = sorted[0].Start
+	}
+	tids := make(map[string]int)
+	var tracks []string
+	for _, s := range sorted {
+		if _, ok := tids[s.Track]; !ok {
+			tids[s.Track] = len(tids) + 1
+			tracks = append(tracks, s.Track)
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(sorted)+len(tracks))
+	for _, tr := range tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tids[tr],
+			Args: &chromeArgs{Name: tr},
+		})
+	}
+	for _, s := range sorted {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  spanCategory(s.Name),
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(base)) / float64(time.Microsecond),
+			Dur:  float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tids[s.Track],
+		}
+		if s.CommitID != 0 {
+			ev.Args = &chromeArgs{Commit: s.CommitID}
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+// spanCategory derives the event category from the span name prefix
+// ("dev.seek" → "dev"), giving Perfetto one color per subsystem.
+func spanCategory(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}

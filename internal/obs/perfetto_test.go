@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Track: "client-0/commit", Name: SpanCommitRPC, CommitID: 1, Start: at(100), End: at(300)},
+		{Track: "mds", Name: SpanMDSCommit, CommitID: 1, Start: at(150), End: at(250)},
+		{Track: "dev0", Name: SpanDevTransfer, Start: at(20), End: at(90)},
+		{Track: "client-0/commit", Name: SpanCommitQueue, CommitID: 1, Start: at(0), End: at(100)},
+	}
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			Args *struct {
+				Commit uint64 `json:"commit"`
+				Name   string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tr); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var meta, complete int
+	threads := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			threads[ev.Args.Name] = true
+		case "X":
+			complete++
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("negative ts/dur on %s: %v/%v", ev.Name, ev.TS, ev.Dur)
+			}
+			if ev.Name == SpanCommitRPC {
+				if ev.Args == nil || ev.Args.Commit != 1 {
+					t.Errorf("commit.rpc missing commit arg: %+v", ev.Args)
+				}
+				if ev.Cat != "commit" {
+					t.Errorf("commit.rpc category = %q", ev.Cat)
+				}
+				// Earliest span starts at 0µs; this one at 100µs for 200µs.
+				if ev.TS != 100 || ev.Dur != 200 {
+					t.Errorf("commit.rpc ts/dur = %v/%v, want 100/200", ev.TS, ev.Dur)
+				}
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if meta != 3 || !threads["client-0/commit"] || !threads["mds"] || !threads["dev0"] {
+		t.Fatalf("thread metadata = %v", threads)
+	}
+}
+
+// TestChromeTraceOrderIndependent pins the determinism contract: the export
+// bytes depend only on the span multiset, not on recording order.
+func TestChromeTraceOrderIndependent(t *testing.T) {
+	spans := sampleSpans()
+	render := func(s []Span) string {
+		var b strings.Builder
+		if err := WriteChromeTrace(&b, s); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	want := render(spans)
+	perm := []Span{spans[2], spans[0], spans[3], spans[1]}
+	if got := render(perm); got != want {
+		t.Fatalf("permuted spans change the export:\n%s\nvs\n%s", got, want)
+	}
+	if render(nil) == "" {
+		t.Fatal("empty trace should still emit a JSON document")
+	}
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"redbud/internal/stats"
+)
+
+// Labels attaches dimensions to a metric ({"client": "client-0"}). Labels
+// are rendered to a canonical sorted form at registration time, so two
+// registrations with the same name and label set collide deterministically.
+type Labels map[string]string
+
+// render produces the canonical `k1="v1",k2="v2"` form, keys sorted.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+// metric kinds.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// metric is one registered source.
+type metric struct {
+	name   string
+	labels string // canonical rendered labels, "" if none
+	help   string
+	kind   string
+	intFn  func() int64 // counter / gauge value source
+	hist   *stats.Histogram
+}
+
+// Registry is a named collection of metric sources. Sources are read lazily
+// at snapshot time, so adopting an existing atomic counter costs one
+// closure; nothing is double-counted. All methods are safe for concurrent
+// use, and every registration method is a no-op on a nil receiver (the
+// value-returning ones hand back a working but unregistered primitive), so
+// call sites can register unconditionally.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	seen    map[string]bool // name + "{" + labels + "}" dedup
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{seen: make(map[string]bool)} }
+
+// add registers one source, panicking on an exact (name, labels) duplicate —
+// a registration bug, caught deterministically at wiring time.
+func (r *Registry) add(m *metric) {
+	key := m.name + "{" + m.labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[key] {
+		panic("obs: duplicate metric registration: " + key)
+	}
+	r.seen[key] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// CounterFunc registers a monotonic counter read from fn.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.add(&metric{name: name, labels: labels.render(), help: help, kind: KindCounter, intFn: fn})
+}
+
+// GaugeFunc registers an instantaneous value read from fn.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.add(&metric{name: name, labels: labels.render(), help: help, kind: KindGauge, intFn: fn})
+}
+
+// NewCounter creates, registers, and returns an owned counter.
+func (r *Registry) NewCounter(name, help string, labels Labels) *stats.Counter {
+	c := &stats.Counter{}
+	if r != nil {
+		r.CounterFunc(name, help, labels, c.Load)
+	}
+	return c
+}
+
+// NewGauge creates, registers, and returns an owned gauge.
+func (r *Registry) NewGauge(name, help string, labels Labels) *stats.Gauge {
+	g := &stats.Gauge{}
+	if r != nil {
+		r.GaugeFunc(name, help, labels, g.Load)
+	}
+	return g
+}
+
+// NewHistogram creates, registers, and returns an owned latency histogram
+// (1 µs .. 100 s, observations in seconds).
+func (r *Registry) NewHistogram(name, help string, labels Labels) *stats.Histogram {
+	h := stats.NewLatencyHistogram()
+	r.RegisterHistogram(name, help, labels, h)
+	return h
+}
+
+// RegisterHistogram adopts an existing histogram.
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *stats.Histogram) {
+	if r == nil {
+		return
+	}
+	r.add(&metric{name: name, labels: labels.render(), help: help, kind: KindHistogram, hist: h})
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+// BucketValue is one cumulative histogram bucket.
+type BucketValue struct {
+	LE    float64 `json:"le"` // upper bound; +Inf encoded as the JSON string handled by exporters
+	Count int64   `json:"count"`
+}
+
+// HistValue is a point-in-time histogram reading.
+type HistValue struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Mean    float64       `json:"mean"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketValue `json:"buckets,omitempty"` // cumulative, excludes overflow
+}
+
+// MetricValue is one metric in a snapshot.
+type MetricValue struct {
+	Name   string     `json:"name"`
+	Labels string     `json:"labels,omitempty"`
+	Help   string     `json:"help,omitempty"`
+	Kind   string     `json:"kind"`
+	Value  int64      `json:"value"` // counter / gauge reading
+	Hist   *HistValue `json:"histogram,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of every registered metric, sorted by
+// (name, labels) so exports are deterministic.
+type Snapshot struct {
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// Get returns the first metric with the given name (any label set).
+func (s Snapshot) Get(name string) (MetricValue, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricValue{}, false
+}
+
+// Snapshot reads every source. Safe on a nil registry (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+
+	out := Snapshot{Metrics: make([]MetricValue, 0, len(ms))}
+	for _, m := range ms {
+		mv := MetricValue{Name: m.name, Labels: m.labels, Help: m.help, Kind: m.kind}
+		if m.hist != nil {
+			mv.Hist = histValue(m.hist)
+		} else if m.intFn != nil {
+			mv.Value = m.intFn()
+		}
+		out.Metrics = append(out.Metrics, mv)
+	}
+	sort.Slice(out.Metrics, func(i, j int) bool {
+		a, b := out.Metrics[i], out.Metrics[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
+	return out
+}
+
+// histValue snapshots one histogram, converting per-bucket counts to the
+// cumulative form Prometheus expects.
+func histValue(h *stats.Histogram) *HistValue {
+	bounds, counts := h.Buckets()
+	hv := &HistValue{
+		Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+	var cum int64
+	hv.Buckets = make([]BucketValue, 0, len(bounds))
+	for i, b := range bounds {
+		cum += counts[i]
+		hv.Buckets = append(hv.Buckets, BucketValue{LE: b, Count: cum})
+	}
+	return hv
+}
+
+// Diff subtracts before from after: counters and histogram counts become
+// deltas, gauges keep their after value (a gauge delta is meaningless), and
+// histogram quantiles are recomputed from the diffed buckets. Min/Max carry
+// the after reading — extremes cannot be un-observed. Metrics present only
+// in after pass through unchanged.
+func Diff(before, after Snapshot) Snapshot {
+	prev := make(map[string]MetricValue, len(before.Metrics))
+	for _, m := range before.Metrics {
+		prev[m.Name+"{"+m.Labels+"}"] = m
+	}
+	out := Snapshot{Metrics: make([]MetricValue, 0, len(after.Metrics))}
+	for _, m := range after.Metrics {
+		p, ok := prev[m.Name+"{"+m.Labels+"}"]
+		if ok {
+			switch m.Kind {
+			case KindCounter:
+				m.Value -= p.Value
+			case KindHistogram:
+				if m.Hist != nil && p.Hist != nil {
+					m.Hist = diffHist(p.Hist, m.Hist)
+				}
+			}
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+// diffHist subtracts two cumulative-bucket readings of the same histogram.
+func diffHist(before, after *HistValue) *HistValue {
+	d := &HistValue{
+		Count: after.Count - before.Count,
+		Sum:   after.Sum - before.Sum,
+		Min:   after.Min,
+		Max:   after.Max,
+	}
+	if d.Count > 0 {
+		d.Mean = d.Sum / float64(d.Count)
+	}
+	if len(before.Buckets) == len(after.Buckets) {
+		d.Buckets = make([]BucketValue, len(after.Buckets))
+		for i := range after.Buckets {
+			d.Buckets[i] = BucketValue{LE: after.Buckets[i].LE, Count: after.Buckets[i].Count - before.Buckets[i].Count}
+		}
+		d.P50 = quantileFromBuckets(d.Buckets, d.Count, 0.50)
+		d.P90 = quantileFromBuckets(d.Buckets, d.Count, 0.90)
+		d.P99 = quantileFromBuckets(d.Buckets, d.Count, 0.99)
+	}
+	return d
+}
+
+// quantileFromBuckets estimates a quantile from cumulative bucket counts,
+// mirroring stats.Histogram.Quantile (bucket upper bound, max for overflow).
+func quantileFromBuckets(buckets []BucketValue, n int64, q float64) float64 {
+	if n <= 0 || len(buckets) == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	for _, b := range buckets {
+		if b.Count >= target {
+			return b.LE
+		}
+	}
+	return buckets[len(buckets)-1].LE
+}

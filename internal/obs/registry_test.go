@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zzz_total", "", nil).Add(3)
+	r.NewGauge("aaa", "", Labels{"b": "2"}).Set(7)
+	r.NewGauge("aaa", "", Labels{"b": "1"}).Set(5)
+	s := r.Snapshot()
+	var got []string
+	for _, m := range s.Metrics {
+		got = append(got, m.Name+"{"+m.Labels+"}")
+	}
+	want := []string{`aaa{b="1"}`, `aaa{b="2"}`, `zzz_total{}`}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("snapshot order = %v, want %v", got, want)
+	}
+	if m, ok := s.Get("zzz_total"); !ok || m.Value != 3 {
+		t.Fatalf("Get(zzz_total) = %+v, %v", m, ok)
+	}
+}
+
+func TestRegistryAdoptsExternalSource(t *testing.T) {
+	r := NewRegistry()
+	backing := int64(0)
+	r.CounterFunc("ext_total", "adopted", nil, func() int64 { return backing })
+	backing = 41
+	if m, _ := r.Snapshot().Get("ext_total"); m.Value != 41 {
+		t.Fatalf("lazy source read %d, want 41", m.Value)
+	}
+	backing++
+	if m, _ := r.Snapshot().Get("ext_total"); m.Value != 42 {
+		t.Fatal("snapshot does not re-read the source")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "", Labels{"a": "1"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup_total", "", Labels{"a": "1"})
+}
+
+func TestRegistrySameNameDifferentLabelsOK(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "", Labels{"a": "1"})
+	r.NewCounter("c_total", "", Labels{"a": "2"}) // must not panic
+	if n := len(r.Snapshot().Metrics); n != 2 {
+		t.Fatalf("got %d metrics, want 2", n)
+	}
+}
+
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	r.CounterFunc("x", "", nil, func() int64 { return 0 })
+	r.GaugeFunc("x", "", nil, func() int64 { return 0 })
+	c := r.NewCounter("x", "", nil)
+	c.Inc() // returned primitive must work unregistered
+	g := r.NewGauge("x", "", nil)
+	g.Set(1)
+	h := r.NewHistogram("x", "", nil)
+	h.Observe(1)
+	if len(r.Snapshot().Metrics) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	m, ok := r.Snapshot().Get("lat_seconds")
+	if !ok || m.Hist == nil {
+		t.Fatalf("histogram missing: %+v", m)
+	}
+	if m.Hist.Count != 100 {
+		t.Fatalf("count = %d, want 100", m.Hist.Count)
+	}
+	if m.Hist.P50 <= 0 || m.Hist.P50 > 0.01 {
+		t.Fatalf("p50 = %g, want ~1ms bucket bound", m.Hist.P50)
+	}
+	if len(m.Hist.Buckets) == 0 {
+		t.Fatal("no buckets exported")
+	}
+	// Cumulative: last bucket should hold every in-range observation.
+	if last := m.Hist.Buckets[len(m.Hist.Buckets)-1]; last.Count != 100 {
+		t.Fatalf("cumulative tail = %d, want 100", last.Count)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ops_total", "", nil)
+	g := r.NewGauge("depth", "", nil)
+	h := r.NewHistogram("lat_seconds", "", nil)
+	c.Add(10)
+	g.Set(5)
+	h.Observe(0.001)
+	before := r.Snapshot()
+	c.Add(7)
+	g.Set(9)
+	h.Observe(0.004)
+	h.Observe(0.004)
+	d := Diff(before, r.Snapshot())
+
+	if m, _ := d.Get("ops_total"); m.Value != 7 {
+		t.Fatalf("counter delta = %d, want 7", m.Value)
+	}
+	if m, _ := d.Get("depth"); m.Value != 9 {
+		t.Fatalf("gauge after-value = %d, want 9", m.Value)
+	}
+	m, _ := d.Get("lat_seconds")
+	if m.Hist == nil || m.Hist.Count != 2 {
+		t.Fatalf("hist delta count = %+v, want 2", m.Hist)
+	}
+	// Both interval observations are 4ms; the delta p50 must land in that
+	// bucket, not the 1ms one observed before the interval.
+	if m.Hist.P50 < 0.004 || m.Hist.P50 > 0.01 {
+		t.Fatalf("delta p50 = %g, want ≈4ms bucket bound", m.Hist.P50)
+	}
+}

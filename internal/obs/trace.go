@@ -1,0 +1,165 @@
+// Package obs is the observability substrate of the simulator: a causal
+// span tracer that follows every metadata update through its full lifecycle
+// (client write → device elevator → durability → commit-queue wait →
+// compound batching → wire → MDS dispatch → reply), a named metrics
+// Registry adopting the internal/stats primitives, a per-commit
+// critical-path analyzer, and Chrome-trace/Perfetto + Prometheus/JSON
+// exporters.
+//
+// Spans are correlated across layers by the CommitID every commit request
+// carries, and timestamped exclusively on the injected simulated clock
+// (internal/clock), so a trace of a seeded run is deterministic: the same
+// seed produces a byte-identical export. The simclock lint enforces the
+// rule; this package never reads the wall clock itself — callers pass
+// times in.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one traced interval on a named track. Track identifies the
+// executor (a client's commit daemon, a device head, an MDS worker);
+// CommitID correlates spans of the same logical update across tracks, with
+// 0 meaning "not attributable to a single commit" (e.g. raw device I/O
+// dispatched before the commit exists).
+type Span struct {
+	Track    string
+	Name     string
+	CommitID uint64
+	Start    time.Time
+	End      time.Time
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// DefaultTraceCap is the ring size NewTracer uses for cap <= 0.
+const DefaultTraceCap = 1 << 16
+
+// Tracer collects spans into a bounded ring buffer. A nil *Tracer is valid
+// and records nothing: every exported method nil-checks the receiver, so
+// instrumented hot paths pay a single predictable branch when tracing is
+// off and zero allocations either way (Record copies values into a
+// pre-allocated slot).
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int   // ring write cursor
+	filled  bool  // ring has wrapped at least once
+	total   int64 // spans ever recorded
+	dropped int64 // spans evicted by the ring
+}
+
+// NewTracer returns a tracer retaining at most cap spans (DefaultTraceCap
+// when cap <= 0).
+func NewTracer(cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Span, 0, cap)}
+}
+
+// Enabled reports whether the tracer records anything. Callers building
+// span inputs that are themselves costly should guard on it (or on t !=
+// nil) before reading clocks.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Record appends one span. Safe on a nil receiver (no-op) and for
+// concurrent use. A span whose End precedes its Start (a rare read-order
+// race between two clock samples) is clamped to zero length rather than
+// exported with negative duration.
+func (t *Tracer) Record(track, name string, commitID uint64, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, Span{Track: track, Name: name, CommitID: commitID, Start: start, End: end})
+	} else {
+		t.buf[t.next] = Span{Track: track, Name: name, CommitID: commitID, Start: start, End: end}
+		t.next++
+		if t.next == cap(t.buf) {
+			t.next = 0
+			t.filled = true
+		}
+		t.dropped++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) < cap(t.buf) && !t.filled {
+		out := make([]Span, len(t.buf))
+		copy(out, t.buf)
+		return out
+	}
+	// Wrapped: oldest span sits at the write cursor.
+	out := make([]Span, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Len returns the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Cap returns the ring capacity (0 for a nil tracer).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.buf)
+}
+
+// Total returns the number of spans ever recorded, including evicted ones.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many spans the ring has evicted.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all retained spans and zeroes the counters.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.filled = false
+	t.total = 0
+	t.dropped = 0
+	t.mu.Unlock()
+}

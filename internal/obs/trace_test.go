@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0).UTC()
+
+func at(us int64) time.Time { return t0.Add(time.Duration(us) * time.Microsecond) }
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	if got := tr.Cap(); got != 4 {
+		t.Fatalf("Cap = %d, want 4", got)
+	}
+	for i := 0; i < 6; i++ {
+		tr.Record("trk", "s", uint64(i+1), at(int64(i)), at(int64(i)+1))
+	}
+	if tr.Len() != 4 || tr.Total() != 6 || tr.Dropped() != 2 {
+		t.Fatalf("Len/Total/Dropped = %d/%d/%d, want 4/6/2", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("Spans len = %d, want 4", len(spans))
+	}
+	// Oldest first: commits 3,4,5,6 survive.
+	for i, s := range spans {
+		if want := uint64(i + 3); s.CommitID != want {
+			t.Errorf("span %d commit = %d, want %d", i, s.CommitID, want)
+		}
+	}
+}
+
+func TestTracerDefaultCap(t *testing.T) {
+	if got := NewTracer(0).Cap(); got != DefaultTraceCap {
+		t.Fatalf("Cap = %d, want DefaultTraceCap %d", got, DefaultTraceCap)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	tr.Record("trk", "s", 1, at(0), at(1)) // must not panic
+	tr.Reset()
+	if tr.Spans() != nil || tr.Len() != 0 || tr.Cap() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer accessors not zero")
+	}
+}
+
+func TestRecordClampsReversedSpan(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record("trk", "s", 1, at(10), at(5))
+	s := tr.Spans()[0]
+	if s.Duration() != 0 || !s.End.Equal(s.Start) {
+		t.Fatalf("reversed span not clamped: %+v", s)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Record("trk", "s", 1, at(0), at(1))
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 || len(tr.Spans()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	tr.Record("trk", "s", 1, at(0), at(1))
+	if tr.Len() != 1 || tr.Total() != 1 || tr.Dropped() != 0 {
+		t.Fatal("tracer unusable after Reset")
+	}
+}
+
+// TestTraceDisabledZeroAllocs pins the acceptance criterion: the disabled
+// (nil-tracer) path must not allocate.
+func TestTraceDisabledZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record("client-0/commit", SpanCommitRPC, 42, t0, t0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Record allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkTraceDisabled measures the cost instrumented code pays with
+// tracing off: one nil check. Must report 0 allocs/op.
+func BenchmarkTraceDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record("client-0/commit", SpanCommitRPC, uint64(i), t0, t0)
+	}
+}
+
+// BenchmarkTraceEnabled measures the bounded-ring recording cost.
+func BenchmarkTraceEnabled(b *testing.B) {
+	tr := NewTracer(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record("client-0/commit", SpanCommitRPC, uint64(i), t0, t0)
+	}
+}

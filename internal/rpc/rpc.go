@@ -19,6 +19,7 @@ import (
 
 	"redbud/internal/clock"
 	"redbud/internal/netsim"
+	"redbud/internal/obs"
 	"redbud/internal/stats"
 	"redbud/internal/wire"
 )
@@ -161,6 +162,11 @@ type ServerConfig struct {
 	// paper sees going from 8 to 16 daemons.
 	ContentionPerDaemon float64
 	Clock               clock.Clock
+	// Tracer, if non-nil, records rpc.queue / rpc.process spans for every
+	// frame on per-worker tracks "<TraceTrack>/worker-<i>".
+	Tracer *obs.Tracer
+	// TraceTrack is the span track prefix (default "rpc").
+	TraceTrack string
 }
 
 // call is one queued request.
@@ -169,6 +175,7 @@ type call struct {
 	msgID uint64
 	op    uint16
 	body  []byte
+	enq   time.Time // enqueue time; stamped only when tracing is on
 }
 
 // Server dispatches decoded requests to a fixed pool of daemon goroutines.
@@ -180,6 +187,8 @@ type Server struct {
 	once   sync.Once
 	wg     sync.WaitGroup
 	connWG sync.WaitGroup
+
+	tracks []string // per-worker span track names
 
 	inflight  stats.Gauge
 	processed stats.Counter
@@ -200,10 +209,17 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real(1)
 	}
+	if cfg.TraceTrack == "" {
+		cfg.TraceTrack = "rpc"
+	}
 	s := &Server{cfg: cfg, clk: cfg.Clock, queue: make(chan call, cfg.QueueCap), done: make(chan struct{})}
+	s.tracks = make([]string, cfg.Daemons)
+	for i := range s.tracks {
+		s.tracks[i] = fmt.Sprintf("%s/worker-%d", cfg.TraceTrack, i)
+	}
 	for i := 0; i < cfg.Daemons; i++ {
 		s.wg.Add(1)
-		go s.daemon()
+		go s.daemon(i)
 	}
 	return s
 }
@@ -236,6 +252,20 @@ func (s *Server) SubOps() int64 { return s.subOps.Load() }
 
 // QueueLen returns the instantaneous request queue length.
 func (s *Server) QueueLen() int { return len(s.queue) }
+
+// RegisterMetrics exposes the server's counters in a metrics registry.
+func (s *Server) RegisterMetrics(r *obs.Registry, labels obs.Labels) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("redbud_rpc_processed_total", "RPC frames completed (a compound counts once)", labels, s.processed.Load)
+	r.CounterFunc("redbud_rpc_subops_total", "operations executed, counting compound sub-ops", labels, s.subOps.Load)
+	r.GaugeFunc("redbud_rpc_queue_len", "instantaneous request queue length", labels,
+		func() int64 { return int64(s.QueueLen()) })
+	r.GaugeFunc("redbud_rpc_inflight", "requests currently on a daemon thread", labels, s.inflight.Load)
+	r.GaugeFunc("redbud_rpc_load", "server load estimate in [0,255]", labels,
+		func() int64 { return int64(s.Load()) })
+}
 
 // Serve accepts connections from l until the listener or server closes.
 func (s *Server) Serve(l *netsim.Listener) {
@@ -270,8 +300,12 @@ func (s *Server) ServeConn(conn netsim.Conn) {
 			continue // drop malformed frame
 		}
 		body := frame[len(frame)-r.Remaining():]
+		c := call{conn: conn, msgID: msgID, op: op, body: body}
+		if s.cfg.Tracer.Enabled() {
+			c.enq = s.clk.Now()
+		}
 		select {
-		case s.queue <- call{conn: conn, msgID: msgID, op: op, body: body}:
+		case s.queue <- c:
 		case <-s.done:
 			return
 		}
@@ -279,13 +313,21 @@ func (s *Server) ServeConn(conn netsim.Conn) {
 }
 
 // daemon is one worker of the pool.
-func (s *Server) daemon() {
+func (s *Server) daemon(i int) {
 	defer s.wg.Done()
+	track := s.tracks[i]
 	for {
 		select {
 		case c := <-s.queue:
 			s.inflight.Add(1)
-			s.process(c)
+			if s.cfg.Tracer.Enabled() && !c.enq.IsZero() {
+				deq := s.clk.Now()
+				s.cfg.Tracer.Record(track, obs.SpanRPCQueue, 0, c.enq, deq)
+				s.process(c)
+				s.cfg.Tracer.Record(track, obs.SpanRPCProcess, 0, deq, s.clk.Now())
+			} else {
+				s.process(c)
+			}
 			s.inflight.Add(-1)
 		case <-s.done:
 			return
@@ -652,6 +694,17 @@ func (c *Client) ServerLoad() uint8 { return uint8(c.busy.Load()) }
 
 // Calls returns the number of completed RPCs.
 func (c *Client) Calls() int64 { return c.calls.Load() }
+
+// RegisterMetrics exposes the client-side call counters in a metrics
+// registry.
+func (c *Client) RegisterMetrics(r *obs.Registry, labels obs.Labels) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("redbud_rpc_client_calls_total", "RPCs completed by this client connection", labels, c.calls.Load)
+	r.CounterFunc("redbud_rpc_client_bad_frames_total", "malformed response frames received", labels, c.badFrames.Load)
+	r.GaugeFunc("redbud_rpc_client_rtt_ns", "smoothed call round-trip time in nanoseconds", labels, c.rttNs.Load)
+}
 
 // Close tears down the connection, failing outstanding calls.
 func (c *Client) Close() error { return c.conn.Close() }

@@ -185,6 +185,61 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Buckets returns copies of the bucket upper bounds and per-bucket counts.
+// counts has len(bounds)+1 entries; the last is the overflow bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts = make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return bounds, counts
+}
+
+// Merge folds other's observations into h. Both histograms must share the
+// same bucket bounds (same constructor arguments); Merge panics otherwise.
+// other is snapshotted under its own lock first, so the two histograms'
+// locks are never held together.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.bounds) != len(other.bounds) {
+		panic("stats: Merge on histograms with different bucket layouts")
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			panic("stats: Merge on histograms with different bucket layouts")
+		}
+	}
+	other.mu.Lock()
+	counts := make([]int64, len(other.counts))
+	copy(counts, other.counts)
+	sum, min, max, n := other.sum, other.min, other.max, other.n
+	other.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.sum += sum
+	h.n += n
+	if min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.mu.Unlock()
+}
+
 // String summarizes the histogram for reports.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.6g p50=%.6g p99=%.6g max=%.6g",

@@ -233,3 +233,98 @@ func TestSeriesSamplesIsCopy(t *testing.T) {
 		t.Fatal("Samples returned a view, not a copy")
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %g, want 0", q, got)
+		}
+	}
+	if h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram moments not zero")
+	}
+	bounds, counts := h.Buckets()
+	if len(counts) != len(bounds)+1 {
+		t.Fatalf("counts len = %d, want bounds+1 = %d", len(counts), len(bounds)+1)
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0.003)
+	p0, p50, p99 := h.Quantile(0), h.Quantile(0.5), h.Quantile(0.99)
+	if p0 != p50 || p50 != p99 {
+		t.Fatalf("single-sample quantiles differ: %g %g %g", p0, p50, p99)
+	}
+	if p50 < 0.003 {
+		t.Fatalf("quantile %g below the observation's bucket", p50)
+	}
+}
+
+func TestHistogramQuantileP99TwoBuckets(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 99; i++ {
+		h.Observe(1e-6) // first bucket
+	}
+	h.Observe(10) // much higher bucket
+	// target = ceil(0.99*100) = 99 lands exactly on the low bucket's
+	// cumulative count: p99 must stay low, p100 must jump.
+	if p99 := h.Quantile(0.99); p99 > 1e-5 {
+		t.Fatalf("p99 = %g, want low bucket bound", p99)
+	}
+	if p100 := h.Quantile(1); p100 < 10 {
+		t.Fatalf("p100 = %g, want >= 10", p100)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	a.Observe(0.001)
+	a.Observe(0.002)
+	b.Observe(0.5)
+	b.Observe(200) // overflow bucket: above the 100s range
+
+	a.Merge(b)
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	if got, want := a.Sum(), 0.001+0.002+0.5+200; got != want {
+		t.Fatalf("merged sum = %g, want %g", got, want)
+	}
+	if a.Min() != 0.001 || a.Max() != 200 {
+		t.Fatalf("merged min/max = %g/%g", a.Min(), a.Max())
+	}
+	// b is read-only during Merge.
+	if b.Count() != 2 {
+		t.Fatalf("source histogram mutated: count %d", b.Count())
+	}
+	// The overflow observation survives the merge: p100 resolves to max.
+	if p100 := a.Quantile(1); p100 != 200 {
+		t.Fatalf("merged p100 = %g, want 200", p100)
+	}
+}
+
+func TestHistogramMergeEmptySource(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	a.Observe(0.01)
+	a.Merge(b)
+	if a.Count() != 1 || a.Min() != 0.01 || a.Max() != 0.01 {
+		t.Fatal("merging an empty histogram changed the target")
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	check := func(name string, other *Histogram) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("mismatched Merge did not panic")
+				}
+			}()
+			NewLatencyHistogram().Merge(other)
+		})
+	}
+	check("different-bucket-count", NewHistogram(1e-6, 100, 32))
+	check("same-count-different-bounds", NewHistogram(1e-3, 1000, 64))
+}
