@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, obs or all (obs runs only when named)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, autoscale, obs or all (autoscale and obs run only when named)")
 		clients = flag.Int("clients", 7, "number of client nodes")
 		scale   = flag.Float64("scale", 0.02, "virtual-time compression in (0, 1]")
 		size    = flag.Float64("size", 0.5, "workload size factor in (0, 1]")
@@ -88,6 +88,18 @@ func main() {
 				return err
 			}
 			bench.PrintFig6(os.Stdout, traces)
+			return nil
+		})
+	}
+	// The autoscale comparison is opt-in ("-fig autoscale"), not part of
+	// "all": it runs each pressure workload twice (static vs controller).
+	if *fig == "autoscale" {
+		run("Autoscale", func() error {
+			rows, err := bench.FigAutoscale(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintFigAutoscale(os.Stdout, rows)
 			return nil
 		})
 	}

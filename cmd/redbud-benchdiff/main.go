@@ -1,0 +1,69 @@
+// Command redbud-benchdiff gates benchmark regressions: it compares a fresh
+// BENCH_*.json report against the baseline committed under bench/baselines/
+// and exits non-zero if any metric is worse than the baseline by more than
+// the tolerance band.
+//
+//	redbud-benchdiff -baseline bench/baselines/BENCH_mds.json -current BENCH_mds.json
+//	redbud-benchdiff -baseline bench/baselines/BENCH_obs.json -current BENCH_obs.json -tol 0.15
+//	redbud-benchdiff -baseline bench/baselines/BENCH_mds.json -current BENCH_mds.json -update
+//
+// Reports are matched by their "figure" field (the Figure 7 MDS sweep and the
+// obs critical-path report are supported). All compared numbers are
+// virtual-time, so a laptop run and a CI run of the same parameters are
+// directly comparable. -update rewrites the baseline with the current report
+// after a deliberate performance change — commit the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redbud/internal/bench"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "committed baseline report (required)")
+		current  = flag.String("current", "", "freshly generated report (required)")
+		tol      = flag.Float64("tol", 0.10, "relative tolerance band; 0.10 allows metrics 10% worse than baseline")
+		update   = flag.Bool("update", false, "overwrite the baseline with the current report instead of diffing")
+	)
+	flag.Parse()
+
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "usage: redbud-benchdiff -baseline <committed.json> -current <fresh.json> [-tol 0.10] [-update]")
+		os.Exit(2)
+	}
+	cur, err := os.ReadFile(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *update {
+		if err := os.WriteFile(*baseline, cur, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("baseline %s updated from %s\n", *baseline, *current)
+		return
+	}
+	base, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	regs, err := bench.CompareReports(base, cur, *tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "%d benchmark regression(s) against %s (tol %.0f%%):\n", len(regs), *baseline, *tol*100)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("%s: no regressions against %s (tol %.0f%%)\n", *current, *baseline, *tol*100)
+}

@@ -103,6 +103,13 @@ type Options struct {
 	SpaceNoPrefetch    bool
 	CommitEvenIfClean  bool
 	DisableMerge       bool
+
+	// Autoscale switches Redbud clients from the paper's static
+	// commit-thread formula to the autoscaler v2 control loop.
+	Autoscale bool
+	// JournalMaxDelay enables journal group-commit v2 with this adaptive
+	// deadline bound (0 keeps v1 flush-as-soon-as-the-leader-runs).
+	JournalMaxDelay time.Duration
 }
 
 // DefaultOptions mirrors the paper's testbed at simulation scale.
@@ -280,6 +287,9 @@ func buildRedbud(sys System, opt Options) *Cluster {
 	c.MetaDev = metaDev
 	c.AGTotal = meta.TotalSpace(ags)
 	journal := meta.NewJournal(metaDev, 0, 2<<30)
+	if opt.JournalMaxDelay > 0 {
+		journal.SetBatchPolicy(meta.BatchPolicy{MaxDelay: opt.JournalMaxDelay, Clock: clk})
+	}
 	c.Store = meta.NewStore(meta.Config{AGs: ags, Journal: journal, Clock: clk, Tracer: c.Tracer})
 
 	c.MDS = mds.New(mds.Config{
@@ -338,6 +348,7 @@ func buildRedbud(sys System, opt Options) *Cluster {
 			FixedCommitThreads: opt.FixedCommitThreads,
 			SpaceNoPrefetch:    opt.SpaceNoPrefetch,
 			CommitEvenIfClean:  opt.CommitEvenIfClean,
+			Autoscale:          opt.Autoscale,
 			Tracer:             c.Tracer,
 		})
 		c.Redbud = append(c.Redbud, cl)

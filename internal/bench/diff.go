@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// diff.go compares a freshly generated benchmark report against the baseline
+// committed under bench/baselines/, so a commit that slows the commit path
+// fails CI instead of silently resetting the bar. Reports are matched by
+// their "figure" field; all numbers are virtual-time, so runs are comparable
+// across machines as long as the run parameters (clients, scale, size) agree.
+
+// CompareReports diffs current against baseline with a relative tolerance
+// band tol (0.10 = a metric may be up to 10% worse than the baseline before
+// it counts). It returns one human-readable line per regression; an empty
+// slice means the run is at least as good as the baseline everywhere, within
+// tolerance. Comparing reports of different kinds or run parameters is an
+// error, not a regression — the numbers would be meaningless.
+func CompareReports(baseline, current []byte, tol float64) ([]string, error) {
+	kindOf := func(data []byte, label string) (string, error) {
+		var probe struct {
+			Figure string `json:"figure"`
+		}
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return "", fmt.Errorf("%s: %w", label, err)
+		}
+		if probe.Figure == "" {
+			return "", fmt.Errorf("%s: no \"figure\" field", label)
+		}
+		return probe.Figure, nil
+	}
+	bk, err := kindOf(baseline, "baseline")
+	if err != nil {
+		return nil, err
+	}
+	ck, err := kindOf(current, "current")
+	if err != nil {
+		return nil, err
+	}
+	if bk != ck {
+		return nil, fmt.Errorf("kind mismatch: baseline is figure %q, current is figure %q", bk, ck)
+	}
+	switch bk {
+	case "7":
+		return compareMDS(baseline, current, tol)
+	case "obs":
+		return compareObs(baseline, current, tol)
+	default:
+		return nil, fmt.Errorf("no comparator for figure %q", bk)
+	}
+}
+
+// checkParams rejects comparisons across different run shapes.
+func checkParams(what string, base, cur float64) error {
+	if base != cur {
+		return fmt.Errorf("run parameter mismatch: %s is %g in baseline, %g in current", what, base, cur)
+	}
+	return nil
+}
+
+// compareMDS checks every Figure 7 cell: ops/sec and per-client MB/s are
+// higher-is-better and must stay within tol of the baseline.
+func compareMDS(baseline, current []byte, tol float64) ([]string, error) {
+	var base, cur MDSReport
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if err := checkParams("clients", float64(base.Clients), float64(cur.Clients)); err != nil {
+		return nil, err
+	}
+	if err := checkParams("size_factor", base.Size, cur.Size); err != nil {
+		return nil, err
+	}
+	type key struct{ daemons, degree int }
+	cells := map[key]Fig7Cell{}
+	for _, c := range cur.Cells {
+		cells[key{c.Daemons, c.Degree}] = c
+	}
+	var regs []string
+	for _, b := range base.Cells {
+		c, ok := cells[key{b.Daemons, b.Degree}]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("cell daemons=%d degree=%d: missing from current report", b.Daemons, b.Degree))
+			continue
+		}
+		if floor := b.OpsPerSec * (1 - tol); c.OpsPerSec < floor {
+			regs = append(regs, fmt.Sprintf("cell daemons=%d degree=%d: ops/sec %.1f < %.1f (baseline %.1f - %.0f%%)",
+				b.Daemons, b.Degree, c.OpsPerSec, floor, b.OpsPerSec, tol*100))
+		}
+		if floor := b.PerClient * (1 - tol); c.PerClient < floor {
+			regs = append(regs, fmt.Sprintf("cell daemons=%d degree=%d: per-client MB/s %.2f < %.2f (baseline %.2f - %.0f%%)",
+				b.Daemons, b.Degree, c.PerClient, floor, b.PerClient, tol*100))
+		}
+	}
+	return regs, nil
+}
+
+// compareObs checks the observability report: mean end-to-end commit latency
+// and tracing overhead are lower-is-better. The overhead comparison carries a
+// five-percentage-point absolute floor on top of the relative band: the
+// overhead measurement is a wall-clock difference between two runs and
+// jitters by a few points at CI scale, and the gate is there to catch
+// order-of-magnitude tracing regressions (an always-on allocation in the
+// span path), not scheduler noise.
+func compareObs(baseline, current []byte, tol float64) ([]string, error) {
+	var base, cur ObsJSONReport
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if err := checkParams("clients", float64(base.Clients), float64(cur.Clients)); err != nil {
+		return nil, err
+	}
+	if err := checkParams("size_factor", base.Size, cur.Size); err != nil {
+		return nil, err
+	}
+	var regs []string
+	if ceil := base.MeanE2EUS * (1 + tol); cur.MeanE2EUS > ceil {
+		regs = append(regs, fmt.Sprintf("mean e2e commit latency %.1fus > %.1fus (baseline %.1fus + %.0f%%)",
+			cur.MeanE2EUS, ceil, base.MeanE2EUS, tol*100))
+	}
+	if ceil := base.OverheadPct*(1+tol) + 5.0; cur.OverheadPct > ceil {
+		regs = append(regs, fmt.Sprintf("trace overhead %.2f%% > %.2f%% (baseline %.2f%% + %.0f%% + 5pp)",
+			cur.OverheadPct, ceil, base.OverheadPct, tol*100))
+	}
+	return regs, nil
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mdsJSON(t *testing.T, rep MDSReport) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func baselineMDS() MDSReport {
+	return MDSReport{
+		Figure:  "7",
+		Clients: 3,
+		Scale:   0.005,
+		Size:    0.1,
+		Cells: []Fig7Cell{
+			{Daemons: 1, Degree: 1, PerClient: 1.0, OpsPerSec: 40},
+			{Daemons: 8, Degree: 3, PerClient: 2.5, OpsPerSec: 100},
+			{Daemons: 16, Degree: 6, PerClient: 3.0, OpsPerSec: 120},
+		},
+	}
+}
+
+// TestCompareMDSSyntheticRegression is the proof the gate works: a 50% ops/sec
+// drop in one cell must be reported, and the report must name the cell.
+func TestCompareMDSSyntheticRegression(t *testing.T) {
+	base := baselineMDS()
+	cur := baselineMDS()
+	cur.Cells[1].OpsPerSec *= 0.5
+	regs, err := CompareReports(mdsJSON(t, base), mdsJSON(t, cur), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly one", regs)
+	}
+	if !strings.Contains(regs[0], "daemons=8 degree=3") || !strings.Contains(regs[0], "ops/sec") {
+		t.Fatalf("regression does not name the failing cell and metric: %q", regs[0])
+	}
+}
+
+func TestCompareMDSWithinTolerancePasses(t *testing.T) {
+	base := baselineMDS()
+	cur := baselineMDS()
+	for i := range cur.Cells {
+		cur.Cells[i].OpsPerSec *= 0.95 // 5% noise, inside the 10% band
+		cur.Cells[i].PerClient *= 1.02 // improvements never regress
+	}
+	regs, err := CompareReports(mdsJSON(t, base), mdsJSON(t, cur), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+}
+
+func TestCompareMDSMissingCell(t *testing.T) {
+	base := baselineMDS()
+	cur := baselineMDS()
+	cur.Cells = cur.Cells[:2]
+	regs, err := CompareReports(mdsJSON(t, base), mdsJSON(t, cur), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("dropped cell not flagged: %v", regs)
+	}
+}
+
+func TestCompareRejectsMismatchedRuns(t *testing.T) {
+	base := baselineMDS()
+	cur := baselineMDS()
+	cur.Clients = 7
+	if _, err := CompareReports(mdsJSON(t, base), mdsJSON(t, cur), 0.10); err == nil {
+		t.Fatal("comparing runs with different client counts did not error")
+	}
+
+	obs, err := json.Marshal(ObsJSONReport{Figure: "obs", Clients: 3, Size: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareReports(mdsJSON(t, base), obs, 0.10); err == nil {
+		t.Fatal("comparing figure 7 against obs did not error")
+	}
+}
+
+func TestCompareObsRegression(t *testing.T) {
+	mk := func(mean, overhead float64) []byte {
+		data, err := json.Marshal(ObsJSONReport{
+			Figure: "obs", Clients: 3, Scale: 0.005, Size: 0.1,
+			MeanE2EUS: mean, OverheadPct: overhead,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	// Latency regression beyond the band is flagged.
+	regs, err := CompareReports(mk(1000, 2.0), mk(1500, 2.0), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "e2e") {
+		t.Fatalf("latency regression not flagged: %v", regs)
+	}
+	// Overhead noise under the 5pp absolute floor is not.
+	regs, err = CompareReports(mk(1000, 0.1), mk(1000, 4.9), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-floor overhead noise flagged: %v", regs)
+	}
+	// A real overhead jump is.
+	regs, err = CompareReports(mk(1000, 1.0), mk(1000, 12.0), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "overhead") {
+		t.Fatalf("overhead regression not flagged: %v", regs)
+	}
+}

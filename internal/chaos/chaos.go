@@ -109,6 +109,11 @@ type Config struct {
 	// LeaseTimeout enables MDS lease expiry (0 disables).
 	LeaseTimeout time.Duration
 
+	// Autoscale runs the clients' commit pools under the obs-driven
+	// control loop (autoscaler v2) instead of the static formula — the
+	// knob the no-deadlock-across-restart test uses.
+	Autoscale bool
+
 	// Clock overrides the simulation clock (default clock.Real(1)).
 	Clock clock.Clock
 
@@ -314,6 +319,7 @@ func Run(cfg Config) (*Report, error) {
 			Mode:            cfg.Mode,
 			DelegationChunk: deleg,
 			PoolInterval:    time.Millisecond,
+			Autoscale:       cfg.Autoscale,
 			Tracer:          cfg.Tracer,
 		})
 	}

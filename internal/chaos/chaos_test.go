@@ -127,6 +127,38 @@ func TestChaosMDSRestart(t *testing.T) {
 	t.Logf("ops=%d opErrors=%d dedupHits=%d recovery=%+v", ops, rep.OpErrors, rep.DedupHits, rep.Recovery)
 }
 
+// TestChaosAutoscaleMDSRestart is the MDS-restart scenario with the commit
+// autoscaler v2 engaged: the control loop samples queue wait and RPC
+// in-flight while connections die and sessions rebuild, and must never
+// deadlock the commit path — every thread finishes its ops and the store
+// fscks clean, exactly as under the static formula.
+func TestChaosAutoscaleMDSRestart(t *testing.T) {
+	cfg := invariantConfig(31415)
+	cfg.Net = netsim.FaultPlan{}
+	cfg.Disk = DiskFaults{}
+	cfg.Ops = 40
+	cfg.Think = time.Millisecond // stretch the workload across the restarts
+	cfg.Restarts = 2
+	cfg.RestartEvery = 15 * time.Millisecond
+	cfg.Autoscale = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 2 {
+		t.Fatalf("completed %d restarts, want 2", rep.Restarts)
+	}
+	assertClean(t, rep)
+	var ops int64
+	for _, r := range rep.Results {
+		ops += r.Ops
+	}
+	if want := int64(cfg.Clients * cfg.Threads * cfg.Ops); ops != want {
+		t.Fatalf("measured %d ops, want %d: a commit thread deadlocked instead of retrying", ops, want)
+	}
+	t.Logf("ops=%d opErrors=%d recovery=%+v", ops, rep.OpErrors, rep.Recovery)
+}
+
 // TestChaosDeterminism runs the same seed and fault plan twice and requires
 // byte-identical per-thread event logs. The plan is delay-only and retries
 // are disabled: delays never change an operation's outcome, so the op

@@ -94,6 +94,16 @@ type Config struct {
 	QueueLenMax int
 	// PoolInterval is the pool resize period.
 	PoolInterval time.Duration
+	// Autoscale replaces the static ρ = MaxCommitThreads/QueueLenMax pool
+	// formula with the obs-driven control loop (core.AutoscaleConfig):
+	// commit-queue wait and RPC in-flight feed scale decisions, with
+	// hysteresis on scale-down. FixedCommitThreads still pins the pool.
+	Autoscale bool
+	// AutoscaleTuning overrides the control-loop constants; nil picks the
+	// defaults (TargetLatency 4×PoolInterval, HighWater 4, LowWater 1,
+	// StepUp 2, HoldTicks 3). The QueueLatency and Inflight samplers are
+	// always wired by the client and cannot be overridden here.
+	AutoscaleTuning *core.AutoscaleConfig
 	// CommitInterval optionally paces each commit daemon to one batch per
 	// period ("commit requests are handled periodically by background
 	// commit daemons", §III-A). Zero (the default) lets the commit RPC
@@ -186,6 +196,11 @@ type Client struct {
 	// commitLat is the client-observed commit latency (enqueue/build →
 	// reply), always collected for redbud-top and the obs bench.
 	commitLat *stats.Histogram
+
+	// queueWaitNs is the smoothed time commits spend in the queue before a
+	// daemon checks them out (EWMA, alpha 1/4) — the autoscaler's latency
+	// signal. Maintained whenever autoscaling or tracing is on.
+	queueWaitNs atomic.Int64
 }
 
 type clientStats struct {
@@ -278,7 +293,7 @@ func New(cfg Config) *Client {
 	}
 	if cfg.Mode == DelayedCommit {
 		c.queue = core.NewQueue[meta.FileID]()
-		c.pool = core.NewPool(core.PoolConfig{
+		pc := core.PoolConfig{
 			Max:         cfg.MaxCommitThreads,
 			QueueLenMax: cfg.QueueLenMax,
 			QueueLen:    c.queue.Len,
@@ -287,10 +302,46 @@ func New(cfg Config) *Client {
 			OnResize:    cfg.OnPoolResize,
 			Fixed:       cfg.FixedCommitThreads,
 			Clock:       cfg.Clock,
-		})
+		}
+		if cfg.Autoscale {
+			as := core.AutoscaleConfig{}
+			if cfg.AutoscaleTuning != nil {
+				as = *cfg.AutoscaleTuning
+			}
+			as.QueueLatency = c.queueWait
+			as.Inflight = c.rpcInflight
+			pc.Autoscale = &as
+		}
+		c.pool = core.NewPool(pc)
 		c.pool.Start()
 	}
 	return c
+}
+
+// queueWait returns the smoothed commit-queue wait (autoscaler signal).
+func (c *Client) queueWait() time.Duration { return time.Duration(c.queueWaitNs.Load()) }
+
+// observeQueueWait folds one queue-residency sample into the EWMA.
+func (c *Client) observeQueueWait(d time.Duration) {
+	for {
+		old := c.queueWaitNs.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/4
+		}
+		if c.queueWaitNs.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// rpcInflight samples outstanding calls on the live MDS connection
+// (autoscaler saturation guard).
+func (c *Client) rpcInflight() int {
+	c.connMu.Lock()
+	mds := c.mds
+	c.connMu.Unlock()
+	return mds.Inflight()
 }
 
 // delegate is the SpacePool's refill function. Not retried: a duplicate
@@ -601,9 +652,10 @@ func (c *Client) ReadDir(path string) ([]fsapi.Info, error) {
 // commits it synchronously (sync mode).
 func (c *Client) enqueueCommit(fs *fileState) error {
 	if c.cfg.Mode == DelayedCommit {
-		if c.tracer.Enabled() {
+		if c.tracer.Enabled() || c.cfg.Autoscale {
 			// Stamp the queue-entry time once per queue residency; the
-			// commit daemon that builds the request consumes it.
+			// commit daemon that builds the request consumes it (tracing
+			// records a span, autoscaling feeds the queue-wait EWMA).
 			now := c.clk.Now()
 			fs.mu.Lock()
 			if fs.enqAt.IsZero() {
@@ -706,7 +758,7 @@ func (c *Client) observeCommitRPC(start time.Time, commitID uint64) {
 func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
 	traced := c.tracer.Enabled()
 	var waitStart time.Time
-	if traced {
+	if traced || c.cfg.Autoscale {
 		waitStart = c.clk.Now()
 	}
 	fs.mu.Lock()
@@ -715,6 +767,9 @@ func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
 	}
 	enqAt := fs.enqAt
 	fs.enqAt = time.Time{}
+	if c.cfg.Autoscale && !enqAt.IsZero() {
+		c.observeQueueWait(waitStart.Sub(enqAt))
+	}
 	if fs.writeErr != nil || (!fs.dirtyMeta && !c.cfg.CommitEvenIfClean) {
 		fs.mu.Unlock()
 		return nil
@@ -743,6 +798,14 @@ func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
 	return req
 }
 
+// extentKey identifies one extent of a file: the committed-extent match in
+// finishCommit needs the device and file offset too, because volume offsets
+// alone are not unique across the array.
+type extentKey struct {
+	fileOff, volOff int64
+	dev             uint32
+}
+
 // finishCommit marks the committed extents and wakes fsync waiters. A
 // "not found" rejection means the file was removed (possibly by another
 // client) while the commit was in flight; there is nothing left to order,
@@ -760,15 +823,22 @@ func (c *Client) finishCommit(fs *fileState, req *proto.CommitReq, err error) {
 	if err != nil {
 		fs.commitErr = err
 	} else {
-		committed := make(map[int64]bool, len(req.Extents))
+		// Match acked extents by full identity, not VolOff alone: volume
+		// offsets repeat across devices (every device starts its AGs at the
+		// same bases), so a VolOff-only match can mark an extent written
+		// concurrently with this RPC as committed even though it was never
+		// sent — the MDS then never learns about it and cross-client reads
+		// see a hole.
+		committed := make(map[extentKey]bool, len(req.Extents))
 		for _, e := range req.Extents {
-			committed[e.VolOff] = true
+			committed[extentKey{e.FileOff, e.VolOff, e.Dev}] = true
 		}
 		stillDirty := false
 		for i := range fs.extents {
-			if committed[fs.extents[i].VolOff] {
-				fs.extents[i].State = meta.StateCommitted
-			} else if fs.extents[i].State == meta.StateUncommitted {
+			e := &fs.extents[i]
+			if committed[extentKey{e.FileOff, e.VolOff, e.Dev}] {
+				e.State = meta.StateCommitted
+			} else if e.State == meta.StateUncommitted {
 				stillDirty = true
 			}
 		}
@@ -977,4 +1047,22 @@ func (c *Client) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("redbud_client_compound_degree", "current adaptive compound degree", l,
 		func() int64 { return int64(c.CompoundDegree()) })
 	r.RegisterHistogram("redbud_client_commit_latency_seconds", "client-observed commit RPC latency", l, c.commitLat)
+	r.GaugeFunc("redbud_client_commit_queue_wait_ns", "smoothed commit queue wait (autoscaler latency signal)", l, c.queueWaitNs.Load)
+	if c.pool != nil {
+		r.CounterFunc("redbud_client_autoscale_ups_total", "autoscaler scale-up decisions", l,
+			func() int64 { return c.pool.AutoscaleStats().Ups })
+		r.CounterFunc("redbud_client_autoscale_downs_total", "autoscaler scale-down decisions", l,
+			func() int64 { return c.pool.AutoscaleStats().Downs })
+		r.CounterFunc("redbud_client_autoscale_holds_total", "autoscaler hold decisions", l,
+			func() int64 { return c.pool.AutoscaleStats().Holds })
+	}
+}
+
+// AutoscaleStats exposes the commit pool's control-loop decision counters
+// (zeros in sync mode or under the v1 formula).
+func (c *Client) AutoscaleStats() core.AutoscaleStats {
+	if c.pool == nil {
+		return core.AutoscaleStats{}
+	}
+	return c.pool.AutoscaleStats()
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -593,17 +594,30 @@ func TestFixedCommitThreadsPinned(t *testing.T) {
 		t.Fatal(err)
 	}
 	devs := map[uint32]BlockDevice{0: tc.devices[0]}
+	// The client gets its own manual clock so the pool's resize ticks are
+	// driven explicitly — no wall-clock polling. (Data-path waits go
+	// through the devices, which run on the cluster clock.)
+	mclk := clock.NewManual()
 	c := New(Config{
-		Name: host, MDS: rpc.NewClient(conn, tc.clk), Devices: devs, Clock: tc.clk,
+		Name: host, MDS: rpc.NewClient(conn, tc.clk), Devices: devs, Clock: mclk,
 		Mode: DelayedCommit, FixedCommitThreads: 4, PoolInterval: time.Millisecond,
 	})
 	defer c.Close()
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) && c.CommitThreads() != 4 {
-		time.Sleep(time.Millisecond)
-	}
+	// A pinned pool is sized synchronously in New.
 	if got := c.CommitThreads(); got != 4 {
 		t.Fatalf("pinned pool size = %d, want 4", got)
+	}
+	// Drive several resize ticks; the pin must hold through each.
+	for i := 0; i < 3; i++ {
+		for mclk.Waiters() == 0 {
+			// The resizer re-arms its timer between ticks; yield until
+			// it is parked on the clock again.
+			runtime.Gosched()
+		}
+		mclk.Advance(time.Millisecond)
+		if got := c.CommitThreads(); got != 4 {
+			t.Fatalf("tick %d: pinned pool size = %d, want 4", i+1, got)
+		}
 	}
 	// Still functional.
 	writeFile(t, c, "/pinned", pattern(4096, 1))

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"redbud/internal/meta"
+	"redbud/internal/proto"
 )
 
 // TestGapsLockedVsBitmap property-checks the extent-coverage gap computation
@@ -98,5 +99,48 @@ func TestUncachedRangesVsBitmap(t *testing.T) {
 				t.Fatalf("trial %d: cached byte %d reported as missing (got=%v)", trial, j, got)
 			}
 		}
+	}
+}
+
+// TestFinishCommitMatchesFullExtentIdentity regresses the phantom-commit
+// bug: volume offsets repeat across devices (every device lays its AGs out
+// from the same bases), so finishCommit must match the acked extents by
+// (FileOff, Dev, VolOff), not VolOff alone. With the old VolOff-only match,
+// an extent written concurrently with an in-flight commit — same VolOff on
+// a different device — was marked committed without ever being sent, the
+// MDS never learned about it, and cross-client reads saw a hole (the flaky
+// NPB BT conflict-read failure).
+func TestFinishCommitMatchesFullExtentIdentity(t *testing.T) {
+	c := &Client{}
+	fs := newFileState(1, 0)
+	sent := meta.Extent{FileOff: 0, Len: 4096, Dev: 0, VolOff: 8192, State: meta.StateUncommitted}
+	fs.insertExtentLocked(sent)
+	req := &proto.CommitReq{File: fs.id, Size: 4096, Extents: []meta.Extent{sent}}
+
+	// While the commit RPC is "in flight", a new write lands on another
+	// device at the same volume offset.
+	racer := meta.Extent{FileOff: 8192, Len: 4096, Dev: 1, VolOff: 8192, State: meta.StateUncommitted}
+	fs.insertExtentLocked(racer)
+	fs.dirtyMeta = true
+
+	c.finishCommit(fs, req, nil)
+
+	var gotSent, gotRacer meta.Extent
+	for _, e := range fs.extents {
+		switch e.FileOff {
+		case sent.FileOff:
+			gotSent = e
+		case racer.FileOff:
+			gotRacer = e
+		}
+	}
+	if gotSent.State != meta.StateCommitted {
+		t.Errorf("sent extent not marked committed: %+v", gotSent)
+	}
+	if gotRacer.State != meta.StateUncommitted {
+		t.Errorf("unsent extent spuriously marked committed: %+v", gotRacer)
+	}
+	if !fs.dirtyMeta {
+		t.Error("dirtyMeta cleared while an unsent extent is outstanding")
 	}
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redbud/internal/clock"
+)
+
+// autoscalePool builds a pool on a manual clock with explicit control-law
+// constants so the tests document exactly what they exercise.
+func autoscalePool(t *testing.T, clk *clock.Manual, as *AutoscaleConfig, qlen *atomic.Int64, fixed int) *Pool {
+	t.Helper()
+	p := NewPool(PoolConfig{
+		Max: 9, QueueLenMax: 45,
+		QueueLen:  func() int { return int(qlen.Load()) },
+		Worker:    func(stop <-chan struct{}) { <-stop },
+		Interval:  time.Millisecond,
+		Fixed:     fixed,
+		Autoscale: as,
+		Clock:     clk,
+	})
+	p.Start()
+	t.Cleanup(p.Stop)
+	return p
+}
+
+// tick advances the manual clock by one pool interval and returns once the
+// resizer has applied its decision (signalled by it re-arming its timer).
+// Everything observable is driven by the simulated clock; the wall-clock
+// spin only waits for goroutine handoff.
+func tick(t *testing.T, clk *clock.Manual) {
+	t.Helper()
+	waitFor(t, func() bool { return clk.Waiters() > 0 })
+	clk.Advance(time.Millisecond)
+	waitFor(t, func() bool { return clk.Waiters() > 0 })
+}
+
+func TestAutoscaleScaleUpUnderQueueGrowth(t *testing.T) {
+	clk := clock.NewManual()
+	var qlen atomic.Int64
+	qlen.Store(50) // far above HighWater × size
+	as := &AutoscaleConfig{HighWater: 4, LowWater: 1, StepUp: 2, HoldTicks: 3, TargetLatency: 10 * time.Millisecond}
+	p := autoscalePool(t, clk, as, &qlen, 0)
+
+	if p.Size() != 1 {
+		t.Fatalf("initial size = %d, want 1", p.Size())
+	}
+	// StepUp 2 per hot tick: 1 → 3 → 5 → 7 → 9, then clamps at Max.
+	for i, want := range []int{3, 5, 7, 9, 9} {
+		tick(t, clk)
+		if got := p.Size(); got != want {
+			t.Fatalf("after tick %d: size = %d, want %d", i+1, got, want)
+		}
+	}
+	st := p.AutoscaleStats()
+	if st.Ups != 4 {
+		t.Errorf("ups = %d, want 4", st.Ups)
+	}
+	if st.Downs != 0 {
+		t.Errorf("downs = %d, want 0", st.Downs)
+	}
+}
+
+func TestAutoscaleScaleDownHysteresis(t *testing.T) {
+	clk := clock.NewManual()
+	var qlen atomic.Int64
+	qlen.Store(50)
+	as := &AutoscaleConfig{HighWater: 4, LowWater: 1, StepUp: 2, HoldTicks: 3, TargetLatency: 10 * time.Millisecond}
+	p := autoscalePool(t, clk, as, &qlen, 0)
+
+	tick(t, clk) // 1 → 3
+	if p.Size() != 3 {
+		t.Fatalf("warmup size = %d, want 3", p.Size())
+	}
+
+	// Queue drains: the pool must hold HoldTicks-1 cold ticks before
+	// retiring one thread, and only one thread per cycle — no flapping.
+	qlen.Store(0)
+	for i, want := range []int{3, 3, 2, 2, 2, 1, 1, 1, 1} {
+		tick(t, clk)
+		if got := p.Size(); got != want {
+			t.Fatalf("cold tick %d: size = %d, want %d", i+1, got, want)
+		}
+	}
+	st := p.AutoscaleStats()
+	if st.Downs != 2 {
+		t.Errorf("downs = %d, want 2", st.Downs)
+	}
+
+	// A hot tick mid-countdown resets the hysteresis window.
+	qlen.Store(50)
+	tick(t, clk) // 1 → 3
+	qlen.Store(0)
+	tick(t, clk) // cold 1
+	tick(t, clk) // cold 2
+	qlen.Store(50)
+	tick(t, clk) // hot: resets countdown, scales 3 → 5
+	qlen.Store(0)
+	tick(t, clk) // cold 1 again
+	tick(t, clk) // cold 2 again
+	if p.Size() != 5 {
+		t.Fatalf("size = %d, want 5 (countdown must restart after a hot tick)", p.Size())
+	}
+	tick(t, clk) // cold 3: now retire one
+	if p.Size() != 4 {
+		t.Fatalf("size = %d, want 4", p.Size())
+	}
+}
+
+func TestAutoscaleLatencySignal(t *testing.T) {
+	clk := clock.NewManual()
+	var qlen atomic.Int64 // stays 0: only the latency term can trigger
+	var waitNs atomic.Int64
+	waitNs.Store(int64(50 * time.Millisecond))
+	as := &AutoscaleConfig{
+		HighWater: 4, LowWater: 1, StepUp: 1, HoldTicks: 3,
+		TargetLatency: 10 * time.Millisecond,
+		QueueLatency:  func() time.Duration { return time.Duration(waitNs.Load()) },
+	}
+	p := autoscalePool(t, clk, as, &qlen, 0)
+
+	tick(t, clk)
+	if p.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (queue wait above target must scale up)", p.Size())
+	}
+	// Wait back under target/2 with an empty queue: cold path engages.
+	waitNs.Store(int64(time.Millisecond))
+	tick(t, clk)
+	tick(t, clk)
+	tick(t, clk)
+	if p.Size() != 1 {
+		t.Fatalf("size = %d, want 1 after hysteresis window", p.Size())
+	}
+}
+
+func TestAutoscaleSaturationGuard(t *testing.T) {
+	clk := clock.NewManual()
+	var qlen atomic.Int64
+	qlen.Store(50)
+	as := &AutoscaleConfig{
+		HighWater: 4, LowWater: 1, StepUp: 2, HoldTicks: 3,
+		TargetLatency:        10 * time.Millisecond,
+		MaxInflightPerThread: 4,
+		Inflight:             func() int { return 1000 }, // RPC path saturated
+	}
+	p := autoscalePool(t, clk, as, &qlen, 0)
+
+	tick(t, clk)
+	tick(t, clk)
+	if p.Size() != 1 {
+		t.Fatalf("size = %d, want 1 (saturated RPC path must suppress scale-up)", p.Size())
+	}
+	st := p.AutoscaleStats()
+	if st.Ups != 0 || st.Holds != 2 {
+		t.Errorf("stats = %+v, want 0 ups and 2 holds", st)
+	}
+}
+
+func TestAutoscaleFixedStillPins(t *testing.T) {
+	clk := clock.NewManual()
+	var qlen atomic.Int64
+	qlen.Store(50)
+	as := &AutoscaleConfig{HighWater: 4, LowWater: 1, StepUp: 2, HoldTicks: 3, TargetLatency: 10 * time.Millisecond}
+	p := autoscalePool(t, clk, as, &qlen, 4)
+
+	if p.Size() != 4 {
+		t.Fatalf("initial size = %d, want pinned 4", p.Size())
+	}
+	for i := 0; i < 5; i++ {
+		tick(t, clk)
+		if p.Size() != 4 {
+			t.Fatalf("tick %d: size = %d, want pinned 4", i+1, p.Size())
+		}
+	}
+	if st := p.AutoscaleStats(); st.Ups != 0 || st.Downs != 0 {
+		t.Errorf("pinned pool recorded decisions: %+v", st)
+	}
+}

@@ -1,6 +1,6 @@
 // Package lint is redbud's static-analysis suite: a small, dependency-free
 // equivalent of golang.org/x/tools/go/analysis (which cannot be vendored
-// here) plus four project-specific analyzers that mechanically enforce the
+// here) plus five project-specific analyzers that mechanically enforce the
 // invariants DESIGN.md states in prose:
 //
 //   - lockorder: the namespace → inode-stripe → delegation → journal lock
@@ -14,6 +14,10 @@
 //   - senterr: errors returned from internal/meta, internal/rpc and
 //     internal/blockdev wrap package sentinel errors (errors.Is-able)
 //     instead of being bare fmt.Errorf strings.
+//   - hotpath: functions annotated `//redbud:hotpath` (the 0-allocs/op
+//     frame send/recv and journal append paths) stay free of
+//     heap-allocating constructs — fmt formatting, unsized append growth,
+//     capturing closures.
 //
 // The analyzers run over type-checked packages loaded either from the module
 // tree (standalone `redbud-lint ./...`), from a `go vet -vettool` config, or
@@ -88,7 +92,7 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 
 // Analyzers is the full suite in the order the driver runs them.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockOrder, Durability, SimClock, SentErr}
+	return []*Analyzer{LockOrder, Durability, SimClock, SentErr, Hotpath}
 }
 
 // Run executes the analyzers over one loaded package and returns the

@@ -88,3 +88,4 @@ func TestSimClockFixture(t *testing.T)   { runFixture(t, SimClock, "simclock") }
 // run must produce zero diagnostics.
 func TestSimClockDebugHTTPAllowed(t *testing.T) { runFixture(t, SimClock, "debughttp") }
 func TestSentErrFixture(t *testing.T)           { runFixture(t, SentErr, "senterr") }
+func TestHotpathFixture(t *testing.T)           { runFixture(t, Hotpath, "hotpath") }

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotpath enforces the zero-allocation discipline of functions annotated
+// `//redbud:hotpath` (the steady-state frame send/recv and journal append
+// paths, which CI gates at 0 allocs/op via benchmem). Inside an annotated
+// function it flags the heap-allocating constructs that have historically
+// crept into these paths:
+//
+//   - fmt formatting (Sprintf and friends): every argument is boxed into an
+//     interface and the result string is heap-allocated. Hot paths return
+//     wrapped sentinel errors built off the hot path instead.
+//   - append growth on a slice the function declared without capacity: the
+//     runtime reallocates as it grows. Hot paths take buffers from the wire
+//     frame pool or pre-size with a 3-argument make.
+//   - closures capturing local variables: the captured variables (and
+//     usually the closure itself) escape to the heap. Hot paths pass state
+//     explicitly.
+//
+// Deliberate exceptions carry `//lint:allow hotpath` with a justification.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "ban heap-allocating constructs in //redbud:hotpath functions",
+	Run:  runHotpath,
+}
+
+// hotpathMark is the annotation that opts a function into the check.
+const hotpathMark = "//redbud:hotpath"
+
+// fmtAllocFuncs are fmt functions whose call sites always allocate (interface
+// boxing of the arguments, plus the formatted result).
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Errorf":   true,
+	"Appendf":  true,
+	"Fprintf":  true,
+	"Fprint":   true,
+	"Fprintln": true,
+	"Printf":   true,
+	"Print":    true,
+	"Println":  true,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpathFunc(fd) {
+				continue
+			}
+			checkHotpathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotpathFunc reports whether fd's doc comment carries the hotpath mark.
+func isHotpathFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMark {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	unsized := collectUnsizedSlices(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkgPath, name, ok := pkgFuncCall(pass.Info, n); ok && isFmtPkg(pkgPath) && fmtAllocFuncs[name] {
+				pass.Reportf(n.Pos(),
+					"%s.%s allocates (boxes arguments, builds a string) in a //redbud:hotpath function", pkgPath, name)
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass.Info, id) {
+				if base, ok := n.Args[0].(*ast.Ident); ok {
+					if v, ok := pass.Info.Uses[base].(*types.Var); ok && unsized[v] {
+						pass.Reportf(n.Pos(),
+							"append grows %s, declared without capacity, in a //redbud:hotpath function: pre-size with make(..., 0, cap) or use a pooled frame", base.Name)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if name, pos, ok := capturedVar(pass, fd, n); ok {
+				pass.Reportf(n.Pos(),
+					"closure captures %s (declared at %s) and escapes to the heap in a //redbud:hotpath function: pass state explicitly", name, pos)
+			}
+			return false // captures inside nested literals are charged to the outer one
+		}
+		return true
+	})
+}
+
+// collectUnsizedSlices finds local slice variables fd declares with no
+// capacity — `var s []T`, `s := []T{}`, or a 2-argument make — whose growth
+// via append reallocates.
+func collectUnsizedSlices(pass *Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		v, ok := pass.Info.Defs[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		switch rhs := rhs.(type) {
+		case nil: // var s []T
+			out[v] = true
+		case *ast.CompositeLit:
+			out[v] = true
+		case *ast.CallExpr:
+			if id, ok := rhs.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pass.Info, id) && len(rhs.Args) < 3 {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && i < len(n.Rhs) {
+					mark(id, n.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					mark(id, rhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVar reports the first variable lit captures from the enclosing
+// function fd — a variable used inside lit but declared in fd outside it.
+func capturedVar(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) (name string, declaredAt string, ok bool) {
+	var found *ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		v, isVar := pass.Info.Uses[id].(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			found = id
+		}
+		return true
+	})
+	if found == nil {
+		return "", "", false
+	}
+	v := pass.Info.Uses[found].(*types.Var)
+	return found.Name, pass.Fset.Position(v.Pos()).String(), true
+}
+
+// isFmtPkg matches the real fmt package and fixture mirrors of it.
+func isFmtPkg(path string) bool {
+	return path == "fmt" || strings.HasSuffix(path, "/fmt")
+}
+
+// isBuiltin reports whether id resolves to a universe-scope builtin (append,
+// make) rather than a shadowing local.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,100 @@
+// Package hotpath exercises the hotpath analyzer: functions annotated
+// //redbud:hotpath must avoid heap-allocating constructs; unannotated
+// functions may do as they please.
+package hotpath
+
+import "fmt"
+
+// badSprintf formats an error on the hot path.
+//
+//redbud:hotpath
+func badSprintf(op uint16) string {
+	return fmt.Sprintf("op %d", op) // want `fmt.Sprintf allocates`
+}
+
+// badErrorf builds an error string per call.
+//
+//redbud:hotpath
+func badErrorf(op uint16) error {
+	return fmt.Errorf("bad op %d", op) // want `fmt.Errorf allocates`
+}
+
+// badAppendVar grows a nil slice record by record.
+//
+//redbud:hotpath
+func badAppendVar(frames [][]byte) []byte {
+	var out []byte
+	for _, f := range frames {
+		out = append(out, f...) // want `append grows out, declared without capacity`
+	}
+	return out
+}
+
+// badAppendMake grows a 2-argument make (capacity == length, so every append
+// reallocates).
+//
+//redbud:hotpath
+func badAppendMake(n int) []int {
+	s := make([]int, 0)
+	for i := 0; i < n; i++ {
+		s = append(s, i) // want `append grows s, declared without capacity`
+	}
+	return s
+}
+
+// badClosure captures a local and ships it to the heap.
+//
+//redbud:hotpath
+func badClosure(n int) func() int {
+	total := n * 2
+	return func() int { // want `closure captures total`
+		return total
+	}
+}
+
+// goodPresized appends within a 3-argument make.
+//
+//redbud:hotpath
+func goodPresized(frames [][]byte) []byte {
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	out := make([]byte, 0, total)
+	for _, f := range frames {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// goodParamAppend appends into a caller-owned buffer; the callee cannot see
+// its capacity and does not get blamed for it.
+//
+//redbud:hotpath
+func goodParamAppend(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// goodNoCapture is a closure over nothing: no captured state escapes.
+//
+//redbud:hotpath
+func goodNoCapture() func() int {
+	return func() int { return 42 }
+}
+
+// goodAllowed documents a deliberate cold-path allocation inside a hot
+// function via the standard escape hatch.
+//
+//redbud:hotpath
+func goodAllowed(op uint16) error {
+	//lint:allow hotpath — error path, never taken at steady state
+	return fmt.Errorf("bad op %d", op)
+}
+
+// unannotated is free to allocate: the discipline is opt-in.
+func unannotated(op uint16) string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("op %d", op))
+	f := func() string { return parts[0] }
+	return f()
+}

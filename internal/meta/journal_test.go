@@ -2,6 +2,8 @@ package meta
 
 import (
 	"errors"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -93,6 +95,141 @@ func TestJournalAppendReplay(t *testing.T) {
 	if count != 4 {
 		t.Fatalf("after continuation, %d records", count)
 	}
+}
+
+// waitClockWaiters spins until exactly n goroutines are parked on the manual
+// clock — the deterministic handoff point between test and journal/device
+// goroutines.
+func waitClockWaiters(t *testing.T, clk *clock.Manual, n int) {
+	t.Helper()
+	for i := 0; i < 1e8; i++ {
+		if clk.Waiters() == n {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("never reached %d clock waiters (have %d)", n, clk.Waiters())
+}
+
+// TestJournalBatchPolicyAdaptiveDeadline drives group-commit v2 through one
+// burst and one singleton on a manual clock and checks the deadline adapts
+// exactly as specified: growth to MaxDelay/16 after a full batch, halving
+// after a batch of one.
+func TestJournalBatchPolicyAdaptiveDeadline(t *testing.T) {
+	mclk := clock.NewManual()
+	dev := blockdev.New(blockdev.Config{
+		Size:         64 << 20,
+		Model:        blockdev.DiskModel{PerRequest: time.Millisecond},
+		DisableMerge: true,
+		Clock:        mclk,
+	})
+	t.Cleanup(dev.Close)
+	j := NewJournal(dev, 0, 32<<20)
+	j.SetBatchPolicy(BatchPolicy{MaxDelay: 800 * time.Microsecond, GrowAt: 4, Clock: mclk})
+	if d := j.BatchDeadline(); d != 0 {
+		t.Fatalf("initial deadline = %v, want 0 (MinDelay)", d)
+	}
+
+	rec := &Record{Type: RecCommit, File: 1, Size: 1}
+	// The first append leads with a zero deadline: it writes immediately
+	// and the device parks on its 1ms service time.
+	ch0 := j.Append(rec)
+	waitClockWaiters(t, mclk, 1)
+	// Four more appends pile into the next batch while the write is in
+	// flight.
+	var chans []<-chan error
+	for i := 0; i < 4; i++ {
+		chans = append(chans, j.Append(rec))
+	}
+	mclk.Advance(time.Millisecond)
+	if err := <-ch0; err != nil {
+		t.Fatal(err)
+	}
+	// The leader swaps the 4-record batch (fill ≥ GrowAt): the deadline
+	// grows from 0 to MaxDelay/16, and the batch write parks the device.
+	waitClockWaiters(t, mclk, 1)
+	mclk.Advance(time.Millisecond)
+	for _, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, bt := j.GroupCommitStats(); a != 5 || bt != 2 {
+		t.Fatalf("stats = %d appends / %d batches, want 5/2", a, bt)
+	}
+	want := 800 * time.Microsecond / 16
+	if d := j.BatchDeadline(); d != want {
+		t.Fatalf("deadline after burst = %v, want %v", d, want)
+	}
+
+	// A singleton append now waits out the deadline before writing, and
+	// its fill of 1 halves the deadline.
+	ch5 := j.Append(rec)
+	waitClockWaiters(t, mclk, 1) // leader parked on the deadline
+	mclk.Advance(want)
+	waitClockWaiters(t, mclk, 1) // device parked on the write
+	mclk.Advance(time.Millisecond)
+	if err := <-ch5; err != nil {
+		t.Fatal(err)
+	}
+	if d := j.BatchDeadline(); d != want/2 {
+		t.Fatalf("deadline after singleton = %v, want %v", d, want/2)
+	}
+}
+
+// TestJournalBatchPolicyReplayOrdered runs concurrent appenders under v2 and
+// checks the log is complete, amortized, and replayable — the write-ahead
+// guarantees must not change with the policy.
+func TestJournalBatchPolicyReplayOrdered(t *testing.T) {
+	dev := blockdev.New(blockdev.Config{
+		Size:         64 << 20,
+		Model:        blockdev.DiskModel{PerRequest: 30 * time.Microsecond, BandwidthMBps: 4000},
+		DisableMerge: true,
+		Clock:        clock.Real(1),
+	})
+	t.Cleanup(dev.Close)
+	j := NewJournal(dev, 0, 32<<20)
+	j.SetBatchPolicy(BatchPolicy{MaxDelay: 200 * time.Microsecond})
+
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*per)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				errs <- <-j.Append(&Record{Type: RecCommit, File: FileID(w*per + i), Size: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	appends, batches := j.GroupCommitStats()
+	if appends != writers*per {
+		t.Fatalf("appends = %d, want %d", appends, writers*per)
+	}
+	if batches >= appends {
+		t.Fatalf("no amortization: %d batches for %d appends", batches, appends)
+	}
+	seen := map[FileID]bool{}
+	torn, err := NewJournal(dev, 0, 32<<20).Replay(func(r *Record) error {
+		seen[r.File] = true
+		return nil
+	})
+	if err != nil || torn {
+		t.Fatalf("replay: torn=%v err=%v", torn, err)
+	}
+	if len(seen) != writers*per {
+		t.Fatalf("replayed %d distinct records, want %d", len(seen), writers*per)
+	}
+	t.Logf("appends=%d batches=%d (%.1fx amortization), final deadline=%v",
+		appends, batches, float64(appends)/float64(batches), j.BatchDeadline())
 }
 
 func TestJournalFull(t *testing.T) {

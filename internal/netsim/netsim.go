@@ -23,6 +23,7 @@ import (
 	"redbud/internal/clock"
 	"redbud/internal/obs"
 	"redbud/internal/stats"
+	"redbud/internal/wire"
 )
 
 // Errors returned by connections and the fabric.
@@ -37,6 +38,11 @@ const maxFrame = 64 << 20
 
 // Conn is a frame-oriented, bidirectional, message-preserving connection.
 // Send and Recv are each safe for concurrent use.
+//
+// Frames returned by Recv are backed by wire.GetFrame buffers: the final
+// consumer may hand them back with wire.PutFrame once decoded, closing the
+// messaging path's allocation loop. Consumers that keep a frame simply must
+// not return it.
 type Conn interface {
 	// Send transmits one frame, blocking for its simulated transmission
 	// time (plus any queueing on the destination's ingress link).
@@ -45,6 +51,32 @@ type Conn interface {
 	Recv() ([]byte, error)
 	// Close tears down both directions.
 	Close() error
+}
+
+// VectorConn is implemented by connections that can gather a frame header
+// and payload into one frame without an intermediate concatenation — the
+// zero-copy seam the RPC framing hot path uses.
+type VectorConn interface {
+	// SendVec transmits hdr followed by payload as a single frame.
+	// Either segment may be empty.
+	SendVec(hdr, payload []byte) error
+}
+
+// SendVec transmits hdr+payload as one frame, gathering the segments
+// directly when c supports it and falling back to a pooled concatenation
+// otherwise.
+//
+//redbud:hotpath
+func SendVec(c Conn, hdr, payload []byte) error {
+	if vc, ok := c.(VectorConn); ok {
+		return vc.SendVec(hdr, payload)
+	}
+	f := wire.GetFrame(len(hdr) + len(payload))
+	copy(f, hdr)
+	copy(f[len(hdr):], payload)
+	err := c.Send(f)
+	wire.PutFrame(f)
+	return err
 }
 
 // LinkConfig describes one host's ingress link.
@@ -333,18 +365,47 @@ func newPair(n *Network, fromHost, toHost string, src, dst *link) (client, serve
 	return client, server
 }
 
+//redbud:hotpath
 func (c *simConn) Send(frame []byte) error {
 	if len(frame) > maxFrame {
+		//lint:allow hotpath — oversize-frame error path, never taken at steady state
 		return fmt.Errorf("%w: %d bytes", ErrFrameSize, len(frame))
 	}
+	// Copy: the caller may reuse the buffer after Send returns. The copy
+	// comes from the frame pool; the receiving RPC loop returns it.
+	f := wire.GetFrame(len(frame))
+	copy(f, frame)
+	return c.sendOwned(f)
+}
+
+// SendVec gathers hdr+payload into one pooled frame — a single copy with no
+// intermediate concatenation buffer.
+//
+//redbud:hotpath
+func (c *simConn) SendVec(hdr, payload []byte) error {
+	n := len(hdr) + len(payload)
+	if n > maxFrame {
+		//lint:allow hotpath — oversize-frame error path, never taken at steady state
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	f := wire.GetFrame(n)
+	copy(f, hdr)
+	copy(f[len(hdr):], payload)
+	return c.sendOwned(f)
+}
+
+// sendOwned transmits f, taking ownership: f must be a pooled frame the
+// caller will not touch again. It is either delivered to the peer (whose
+// consumer recycles it) or returned to the pool here.
+//
+//redbud:hotpath
+func (c *simConn) sendOwned(f []byte) error {
 	select {
 	case <-c.done:
+		wire.PutFrame(f)
 		return ErrClosed
 	default:
 	}
-	// Copy: the caller may reuse the buffer after Send returns.
-	f := make([]byte, len(frame))
-	copy(f, frame)
 	var d Decision
 	if c.net != nil {
 		if inj := c.net.inj.Load(); inj != nil {
@@ -358,6 +419,7 @@ func (c *simConn) Send(frame []byte) error {
 		c.net.clk.Sleep(d.Delay)
 	}
 	if d.Drop {
+		wire.PutFrame(f)
 		return nil
 	}
 	if d.Hold {
@@ -372,13 +434,23 @@ func (c *simConn) Send(frame []byte) error {
 		// one frame per connection is ever parked.
 		c.holdMu.Unlock()
 	}
+	// Take the duplicate's copy before handing f to the peer: once
+	// delivered, the peer may decode and recycle f at any moment.
+	var g []byte
+	if d.Dup {
+		g = wire.GetFrame(len(f))
+		copy(g, f)
+	}
 	if err := c.deliver(f); err != nil {
+		wire.PutFrame(f)
+		if g != nil {
+			wire.PutFrame(g)
+		}
 		return err
 	}
-	if d.Dup {
-		g := make([]byte, len(f))
-		copy(g, f)
+	if g != nil {
 		if err := c.deliver(g); err != nil {
+			wire.PutFrame(g)
 			return err
 		}
 	}
@@ -445,6 +517,11 @@ type tcpConn struct {
 	c   net.Conn
 	rmu sync.Mutex
 	wmu sync.Mutex
+	// SendVec scratch, guarded by wmu: the length-prefix bytes and the
+	// gather-list backing array, kept on the conn so neither escapes per
+	// call. WriteTo advances the slice header it is given, never the array.
+	pfx  [4]byte
+	vecs [3][]byte
 }
 
 // FrameConn wraps a stream connection in the frame-oriented Conn interface.
@@ -465,6 +542,29 @@ func (t *tcpConn) Send(frame []byte) error {
 	return err
 }
 
+// SendVec writes the length prefix, header and payload as one gathered
+// writev-style burst (net.Buffers uses writev on platforms that have it),
+// avoiding both a concatenation buffer and extra syscalls.
+func (t *tcpConn) SendVec(hdr, payload []byte) error {
+	n := len(hdr) + len(payload)
+	if n > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	binary.LittleEndian.PutUint32(t.pfx[:], uint32(n))
+	bufs := net.Buffers(append(t.vecs[:0], t.pfx[:]))
+	if len(hdr) > 0 {
+		bufs = append(bufs, hdr)
+	}
+	if len(payload) > 0 {
+		bufs = append(bufs, payload)
+	}
+	_, err := bufs.WriteTo(t.c)
+	t.vecs = [3][]byte{} // drop the references; the array itself is reused
+	return err
+}
+
 func (t *tcpConn) Recv() ([]byte, error) {
 	t.rmu.Lock()
 	defer t.rmu.Unlock()
@@ -476,8 +576,9 @@ func (t *tcpConn) Recv() ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
 	}
-	f := make([]byte, n)
+	f := wire.GetFrame(int(n))
 	if _, err := io.ReadFull(t.c, f); err != nil {
+		wire.PutFrame(f)
 		return nil, err
 	}
 	return f, nil

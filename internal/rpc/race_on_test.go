@@ -1,0 +1,7 @@
+//go:build race
+
+package rpc
+
+// raceEnabled reports whether the race detector is active; its shadow-memory
+// bookkeeping allocates, so zero-alloc assertions are skipped under -race.
+const raceEnabled = true

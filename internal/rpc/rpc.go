@@ -174,7 +174,8 @@ type call struct {
 	conn  netsim.Conn
 	msgID uint64
 	op    uint16
-	body  []byte
+	body  []byte    // aliases frame
+	frame []byte    // pooled receive buffer; recycled after processing
 	enq   time.Time // enqueue time; stamped only when tracing is on
 }
 
@@ -284,6 +285,8 @@ func (s *Server) Serve(l *netsim.Listener) {
 
 // ServeConn reads frames from one connection until it fails or the server
 // closes.
+//
+//redbud:hotpath
 func (s *Server) ServeConn(conn netsim.Conn) {
 	defer conn.Close()
 	for {
@@ -297,16 +300,18 @@ func (s *Server) ServeConn(conn netsim.Conn) {
 		kind := r.U8()
 		op := r.U16()
 		if r.Err() != nil || kind != kindRequest {
+			wire.PutFrame(frame)
 			continue // drop malformed frame
 		}
 		body := frame[len(frame)-r.Remaining():]
-		c := call{conn: conn, msgID: msgID, op: op, body: body}
+		c := call{conn: conn, msgID: msgID, op: op, body: body, frame: frame}
 		if s.cfg.Tracer.Enabled() {
 			c.enq = s.clk.Now()
 		}
 		select {
 		case s.queue <- c:
 		case <-s.done:
+			wire.PutFrame(frame)
 			return
 		}
 	}
@@ -335,7 +340,10 @@ func (s *Server) daemon(i int) {
 	}
 }
 
-// process executes one call and sends the response.
+// process executes one call and sends the response. It owns c.frame and
+// returns it to the pool once the response is on the wire.
+//
+//redbud:hotpath
 func (s *Server) process(c call) {
 	var payload []byte
 	var status uint16
@@ -371,6 +379,11 @@ func (s *Server) process(c call) {
 	}
 	s.processed.Inc()
 
+	// Gather-write framing: the 12-byte response header plus the length
+	// prefix go in a pooled buffer, the payload rides as the second
+	// segment — one copy into the (pooled) network frame, no
+	// concatenation. A failed send means the connection died; the client
+	// will see its own error.
 	b := wire.GetBuffer()
 	b.PutU64(c.msgID)
 	b.PutU8(kindResponse)
@@ -378,14 +391,15 @@ func (s *Server) process(c call) {
 	b.PutU8(s.Load())
 	if status != 0 {
 		b.PutString(errMsg)
+		_ = netsim.SendVec(c.conn, b.Bytes(), nil)
 	} else {
-		b.PutBytes(payload)
+		b.PutU32(uint32(len(payload)))
+		_ = netsim.SendVec(c.conn, b.Bytes(), payload)
 	}
-	// A failed send means the connection died; the client will see its
-	// own error. Nothing to do here. Send copies the frame before
-	// returning, so the buffer goes straight back to the pool.
-	_ = c.conn.Send(b.Bytes())
 	wire.PutBuffer(b)
+	// The payload may alias the request frame (echo-style handlers); it is
+	// dead once the send copied it out.
+	wire.PutFrame(c.frame)
 }
 
 // execCost burns the simulated CPU time of one operation.
@@ -417,7 +431,8 @@ var callPool = sync.Pool{New: func() any { return &pendingCall{ch: make(chan res
 type response struct {
 	status  uint16
 	busy    uint8
-	payload []byte
+	payload []byte // aliases frame when non-nil
+	frame   []byte // pooled receive buffer, handed to the waiter
 	err     error
 }
 
@@ -499,11 +514,13 @@ func (c *Client) take(id uint64) *pendingCall {
 	return p
 }
 
+//redbud:hotpath
 func (c *Client) readLoop() {
 	var r wire.Reader
 	for {
 		frame, err := c.conn.Recv()
 		if err != nil {
+			//lint:allow hotpath — connection-teardown path, never taken at steady state
 			c.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
 			return
 		}
@@ -520,8 +537,10 @@ func (c *Client) readLoop() {
 			// the frame so the condition is observable.
 			c.badFrames.Add(1)
 			if p := c.take(msgID); p != nil {
+				//lint:allow hotpath — malformed-frame error path, never taken at steady state
 				p.ch <- response{err: fmt.Errorf("%w: %d-byte response frame, kind %d", ErrBadFrame, len(frame), kind)}
 			}
+			wire.PutFrame(frame)
 			continue
 		}
 		c.busy.Store(uint32(busy))
@@ -537,11 +556,26 @@ func (c *Client) readLoop() {
 		}
 		if err := r.Err(); err != nil {
 			c.badFrames.Add(1)
+			//lint:allow hotpath — malformed-frame error path, never taken at steady state
 			resp.err = fmt.Errorf("%w: %v", ErrBadFrame, err)
 			resp.payload = nil
 		}
+		if resp.payload != nil {
+			// The waiter owns the frame from here: it recycles it
+			// after decoding (Call/Compound) or pins it for as long
+			// as the reply is referenced (CallRaw).
+			resp.frame = frame
+		} else {
+			// Error responses copy everything they keep (the remote
+			// message string); the frame is already dead.
+			wire.PutFrame(frame)
+		}
 		if p := c.take(msgID); p != nil {
 			p.ch <- resp
+		} else if resp.frame != nil {
+			// Late response for a timed-out or failed call: no waiter
+			// will ever see it.
+			wire.PutFrame(frame)
 		}
 	}
 }
@@ -581,39 +615,56 @@ func (c *Client) SetCallTimeout(d time.Duration) { c.timeoutNs.Store(int64(d)) }
 
 // CallRaw issues op with an already-encoded body and returns the raw reply.
 // The reply slice may alias the client's receive buffer for that call; it is
-// owned by the caller and stays valid indefinitely, but callers needing to
-// mutate it should copy.
+// owned by the caller and stays valid indefinitely (the buffer is pinned,
+// not recycled), but callers needing to mutate it should copy. Hot paths
+// should prefer Call or Compound, which return the receive buffer to the
+// frame pool after decoding.
 func (c *Client) CallRaw(op uint16, body []byte) ([]byte, error) {
+	payload, _, err := c.call(op, body)
+	return payload, err
+}
+
+// call issues op and returns the reply payload together with the pooled
+// receive frame backing it. The caller owns the frame: it must either
+// wire.PutFrame it once done with the payload, or let it be garbage
+// collected if the payload escapes. On error the frame is already released.
+//
+//redbud:hotpath
+func (c *Client) call(op uint16, body []byte) (payload, frame []byte, err error) {
 	id := c.nextID.Add(1)
 	p := callPool.Get().(*pendingCall)
 	if err := c.register(id, p); err != nil {
 		callPool.Put(p)
-		return nil, err
+		return nil, nil, err
 	}
 
+	// Gather-write framing: the 11-byte request header goes in a pooled
+	// buffer and the body rides as the second segment, so the body is
+	// copied exactly once — into the pooled network frame.
 	b := wire.GetBuffer()
 	b.PutU64(id)
 	b.PutU8(kindRequest)
 	b.PutU16(op)
-	b.PutRaw(body)
 
 	start := c.clk.Now()
-	err := c.conn.Send(b.Bytes()) // Send copies; recycle immediately
+	err = netsim.SendVec(c.conn, b.Bytes(), body)
 	wire.PutBuffer(b)
 	if err != nil {
 		// A transport that cannot carry the request is as dead as one
 		// whose read side failed: surface the same sentinel.
+		//lint:allow hotpath — send-failure path, never taken at steady state
 		err = fmt.Errorf("%w: send: %v", ErrConnClosed, err)
 		if c.take(id) != nil {
 			// We removed the call ourselves; nothing can send on it.
 			callPool.Put(p)
-			return nil, err
+			return nil, nil, err
 		}
 		// A racing response or failAll owns the call and will send
 		// exactly once; drain before recycling.
-		<-p.ch
+		resp := <-p.ch
+		wire.PutFrame(resp.frame)
 		callPool.Put(p)
-		return nil, err
+		return nil, nil, err
 	}
 	var resp response
 	if d := time.Duration(c.timeoutNs.Load()); d > 0 {
@@ -623,9 +674,11 @@ func (c *Client) CallRaw(op uint16, body []byte) ([]byte, error) {
 			if c.take(id) != nil {
 				// We own the call again: no response can reach it, so
 				// the handle is safe to recycle. A late response for
-				// this ID will find no pending entry and be dropped.
+				// this ID will find no pending entry and be recycled by
+				// the read loop.
 				callPool.Put(p)
-				return nil, fmt.Errorf("%w: op %d after %v", ErrTimeout, op, d)
+				//lint:allow hotpath — timeout path, never taken at steady state
+				return nil, nil, fmt.Errorf("%w: op %d after %v", ErrTimeout, op, d)
 			}
 			// A response or failAll won the race; its send is imminent.
 			resp = <-p.ch
@@ -637,39 +690,81 @@ func (c *Client) CallRaw(op uint16, body []byte) ([]byte, error) {
 	c.observeRTT(c.clk.Since(start))
 	c.calls.Inc()
 	if resp.err != nil {
-		return nil, resp.err
+		wire.PutFrame(resp.frame)
+		return nil, nil, resp.err
 	}
-	return resp.payload, nil
+	return resp.payload, resp.frame, nil
 }
 
 // Call issues op, encoding req and decoding the reply into resp. Either may
-// be nil for empty bodies.
+// be nil for empty bodies. Request and response buffers are pooled: the
+// steady-state call path performs no heap allocation of its own.
+//
+//redbud:hotpath
 func (c *Client) Call(op uint16, req wire.Marshaler, resp wire.Unmarshaler) error {
 	var body []byte
+	var eb *wire.Buffer
 	if req != nil {
-		body = wire.Encode(req)
+		eb = wire.GetBuffer()
+		req.MarshalWire(eb)
+		body = eb.Bytes()
 	}
-	payload, err := c.CallRaw(op, body)
+	payload, frame, err := c.call(op, body)
+	if eb != nil {
+		// The transport copied the body into its own frame before the
+		// call round-tripped; the encode buffer is long dead.
+		wire.PutBuffer(eb)
+	}
 	if err != nil {
 		return err
 	}
-	if resp == nil {
-		return nil
+	if resp != nil {
+		// Decoders copy everything they keep (wire strings and Bytes are
+		// copies; only BytesRef aliases, and no message decoder uses it),
+		// so the frame can be recycled as soon as Decode returns.
+		err = wire.Decode(payload, resp)
 	}
-	return wire.Decode(payload, resp)
+	wire.PutFrame(frame)
+	return err
 }
 
 // Compound sends the sub-operations as a single network frame and returns
 // per-operation results in order.
+//
+//redbud:hotpath
 func (c *Client) Compound(ops []SubOp) ([]SubResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	payload, err := c.CallRaw(OpCompound, encodeCompound(ops))
+	b := wire.GetBuffer()
+	b.PutU16(uint16(len(ops)))
+	for _, o := range ops {
+		b.PutU16(o.Op)
+		b.PutBytes(o.Body)
+	}
+	payload, frame, err := c.call(OpCompound, b.Bytes())
+	wire.PutBuffer(b)
 	if err != nil {
 		return nil, err
 	}
-	return decodeCompoundReply(payload, ops)
+	// decodeCompoundReply copies every body and error string out of the
+	// frame, so it can be recycled immediately after.
+	results, err := decodeCompoundReply(payload, ops)
+	wire.PutFrame(frame)
+	return results, err
+}
+
+// Inflight returns the number of calls currently awaiting a response. The
+// commit autoscaler reads it as a saturation signal.
+func (c *Client) Inflight() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // observeRTT folds one sample into the RTT EWMA (alpha = 1/8).

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"time"
 )
@@ -257,6 +258,90 @@ func PutBuffer(b *Buffer) {
 		return
 	}
 	bufPool.Put(b)
+}
+
+// ---------------------------------------------------------------------------
+// Frame pool
+//
+// Network frames are the other recurring allocation of the messaging hot
+// path: every Send copies the caller's buffer (the caller may reuse it), and
+// every Recv hands that copy to exactly one consumer. The pool below closes
+// the loop — transports take their copy buffers from GetFrame, and the final
+// consumer (the RPC read loops) returns them with PutFrame once the frame's
+// bytes have been decoded or copied out.
+//
+// The pool is a set of power-of-two capacity classes, each a buffered
+// channel used as a free list. Channels rather than sync.Pool because a
+// []byte moving through an interface{} is boxed — sync.Pool.Put would
+// allocate the very header the pool exists to avoid — while channel sends of
+// slice values copy only the header. Misuse degrades gracefully: a frame
+// that is never Put is garbage collected; a consumer that keeps a frame
+// simply must not Put it.
+
+const (
+	minFrameBits    = 8  // smallest pooled class: 256 B
+	maxFrameBits    = 16 // largest pooled class: 64 KiB
+	frameClassCount = maxFrameBits - minFrameBits + 1
+)
+
+var framePools [frameClassCount]chan []byte
+
+func init() {
+	for i := range framePools {
+		// Deeper free lists for the small classes that dominate RPC
+		// traffic; a few entries suffice for the rare large frames.
+		entries := 1024 >> i
+		if entries < 16 {
+			entries = 16
+		}
+		framePools[i] = make(chan []byte, entries)
+	}
+}
+
+// frameClass maps a capacity to its pool index. Caller guarantees n is
+// within the pooled range.
+func frameClass(n int) int {
+	b := bits.Len(uint(n - 1))
+	if b < minFrameBits {
+		b = minFrameBits
+	}
+	return b - minFrameBits
+}
+
+// GetFrame returns a frame buffer of length n, reusing a pooled buffer when
+// one is available. Frames longer than the largest class are allocated
+// directly and silently ignored by PutFrame.
+//
+//redbud:hotpath
+func GetFrame(n int) []byte {
+	if n > 1<<maxFrameBits {
+		return make([]byte, n)
+	}
+	cls := frameClass(n)
+	select {
+	case f := <-framePools[cls]:
+		return f[:n]
+	default:
+		return make([]byte, n, 1<<(cls+minFrameBits))
+	}
+}
+
+// PutFrame recycles a buffer obtained from GetFrame. Only the frame's final
+// consumer may call it, and the frame (or anything aliasing it) must not be
+// touched afterwards. Buffers whose capacity is not a pool class — including
+// every slice not minted by GetFrame — are dropped, so stray Puts cannot
+// poison the pool.
+//
+//redbud:hotpath
+func PutFrame(f []byte) {
+	c := cap(f)
+	if c < 1<<minFrameBits || c > 1<<maxFrameBits || c&(c-1) != 0 {
+		return
+	}
+	select {
+	case framePools[frameClass(c)] <- f[:c]:
+	default: // class full; let the GC have it
+	}
 }
 
 // Encode marshals m into a fresh byte slice.
