@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, autoscale, obs or all (autoscale and obs run only when named)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, autoscale, obs, visibility or all (autoscale, obs and visibility run only when named)")
 		clients = flag.Int("clients", 7, "number of client nodes")
 		scale   = flag.Float64("scale", 0.02, "virtual-time compression in (0, 1]")
 		size    = flag.Float64("size", 0.5, "workload size factor in (0, 1]")
@@ -29,6 +29,7 @@ func main() {
 		mdsJSON = flag.String("json", "BENCH_mds.json", "path for the machine-readable Figure 7 report (empty disables)")
 		obsJSON = flag.String("obs-json", "BENCH_obs.json", "path for the observability report when -fig obs (empty disables)")
 		obsOut  = flag.String("obs-trace", "", "path for the Chrome/Perfetto trace JSON when -fig obs (empty disables)")
+		visJSON = flag.String("visibility-json", "BENCH_visibility.json", "path for the visibility report when -fig visibility (empty disables)")
 	)
 	flag.Parse()
 
@@ -131,6 +132,26 @@ func main() {
 					return err
 				}
 				fmt.Printf("   wrote %s (load in ui.perfetto.dev)\n", *obsOut)
+			}
+			return nil
+		})
+	}
+
+	// The visibility figure is opt-in ("-fig visibility"), not part of
+	// "all": it runs the conflict-read and varmail workloads twice (early
+	// visibility off vs on).
+	if *fig == "visibility" {
+		run("Visibility", func() error {
+			rows, err := bench.FigVisibility(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintFigVisibility(os.Stdout, rows)
+			if *visJSON != "" {
+				if err := bench.WriteVisibilityJSON(*visJSON, opt, rows); err != nil {
+					return err
+				}
+				fmt.Printf("   wrote %s\n", *visJSON)
 			}
 			return nil
 		})

@@ -112,7 +112,7 @@ func main() {
 		if err != nil {
 			continue
 		}
-		lay, _ := recovered.GetLayout(attr.ID, 0, 8192, true)
+		lay, _ := recovered.GetLayout(attr.ID, 0, 8192, 0)
 		if attr.Size == 8192 && len(lay.Extents) > 0 {
 			survivors++
 		}

@@ -223,3 +223,35 @@ func TestBTConflictReadsAcrossSystems(t *testing.T) {
 		}
 	}
 }
+
+// TestFigVisibilityShape runs the visibility figure at smoke scale. Unlike
+// most smoke assertions, the headline property is checked here too: the
+// conflict-read gap between committed-only and early visibility is the
+// commit pipeline's latency, orders of magnitude above scheduler noise even
+// at this scale.
+func TestFigVisibilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	opt := smokeOptions()
+	opt.SizeFactor = 0.1
+	rows, err := FigVisibility(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintFigVisibility(&buf, rows)
+	t.Log("\n" + buf.String())
+	if len(rows) != 2 || rows[0].Visibility || !rows[1].Visibility {
+		t.Fatalf("rows = %+v, want off then on", rows)
+	}
+	for _, r := range rows {
+		if r.Blocks <= 0 || r.ConflictMeanUS <= 0 || r.VarmailOpsPerSec <= 0 {
+			t.Errorf("empty measurement: %+v", r)
+		}
+	}
+	if rows[1].ConflictMeanUS >= rows[0].ConflictMeanUS {
+		t.Errorf("early visibility did not lower conflict-read latency: on %.1fus vs off %.1fus",
+			rows[1].ConflictMeanUS, rows[0].ConflictMeanUS)
+	}
+}

@@ -107,6 +107,10 @@ type Options struct {
 	// Autoscale switches Redbud clients from the paper's static
 	// commit-thread formula to the autoscaler v2 control loop.
 	Autoscale bool
+	// EarlyVisibility lets Redbud clients read peers' durable-but-
+	// uncommitted extents through the layout-v2 intent path instead of
+	// stalling conflict reads until the commit lands.
+	EarlyVisibility bool
 	// JournalMaxDelay enables journal group-commit v2 with this adaptive
 	// deadline bound (0 keeps v1 flush-as-soon-as-the-leader-runs).
 	JournalMaxDelay time.Duration
@@ -349,6 +353,7 @@ func buildRedbud(sys System, opt Options) *Cluster {
 			SpaceNoPrefetch:    opt.SpaceNoPrefetch,
 			CommitEvenIfClean:  opt.CommitEvenIfClean,
 			Autoscale:          opt.Autoscale,
+			EarlyVisibility:    opt.EarlyVisibility,
 			Tracer:             c.Tracer,
 		})
 		c.Redbud = append(c.Redbud, cl)

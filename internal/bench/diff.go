@@ -46,6 +46,8 @@ func CompareReports(baseline, current []byte, tol float64) ([]string, error) {
 		return compareMDS(baseline, current, tol)
 	case "obs":
 		return compareObs(baseline, current, tol)
+	case "visibility":
+		return compareVisibility(baseline, current, tol)
 	default:
 		return nil, fmt.Errorf("no comparator for figure %q", bk)
 	}
@@ -94,6 +96,68 @@ func compareMDS(baseline, current []byte, tol float64) ([]string, error) {
 		if floor := b.PerClient * (1 - tol); c.PerClient < floor {
 			regs = append(regs, fmt.Sprintf("cell daemons=%d degree=%d: per-client MB/s %.2f < %.2f (baseline %.2f - %.0f%%)",
 				b.Daemons, b.Degree, c.PerClient, floor, b.PerClient, tol*100))
+		}
+	}
+	return regs, nil
+}
+
+// minConflictSpeedup is the floor on off/on conflict-read mean latency the
+// visibility gate enforces. The observed separation is well over an order of
+// magnitude; the floor is set far below it so only a broken early-visibility
+// path (which collapses the ratio to ~1) trips the gate, not run-to-run
+// queue-depth noise.
+const minConflictSpeedup = 4.0
+
+// compareVisibility checks the early-visibility report. Varmail throughput
+// is higher-is-better and banded against the baseline per knob setting. The
+// conflict-read columns are deliberately NOT banded against the baseline:
+// both rows measure a commit-queue stall whose depth swings with scheduler
+// noise well beyond any useful tolerance. What is stable — and what the
+// feature promises — is the separation between the rows, so the gate is the
+// speedup itself: with visibility on, conflict reads must stay at least
+// minConflictSpeedup times faster than committed-only.
+func compareVisibility(baseline, current []byte, tol float64) ([]string, error) {
+	var base, cur VisibilityReport
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if err := checkParams("clients", float64(base.Clients), float64(cur.Clients)); err != nil {
+		return nil, err
+	}
+	if err := checkParams("size_factor", base.Size, cur.Size); err != nil {
+		return nil, err
+	}
+	rows := map[bool]VisibilityRow{}
+	for _, r := range cur.Rows {
+		rows[r.Visibility] = r
+	}
+	name := func(vis bool) string {
+		if vis {
+			return "on"
+		}
+		return "off"
+	}
+	var regs []string
+	for _, b := range base.Rows {
+		c, ok := rows[b.Visibility]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("visibility=%s: missing from current report", name(b.Visibility)))
+			continue
+		}
+		if floor := b.VarmailOpsPerSec * (1 - tol); c.VarmailOpsPerSec < floor {
+			regs = append(regs, fmt.Sprintf("visibility=%s: varmail ops/sec %.1f < %.1f (baseline %.1f - %.0f%%)",
+				name(b.Visibility), c.VarmailOpsPerSec, floor, b.VarmailOpsPerSec, tol*100))
+		}
+	}
+	on, okOn := rows[true]
+	off, okOff := rows[false]
+	if okOn && okOff && on.ConflictMeanUS > 0 {
+		if speedup := off.ConflictMeanUS / on.ConflictMeanUS; speedup < minConflictSpeedup {
+			regs = append(regs, fmt.Sprintf("early visibility conflict-read speedup %.1fx < required %.0fx (on %.1fus vs off %.1fus)",
+				speedup, minConflictSpeedup, on.ConflictMeanUS, off.ConflictMeanUS))
 		}
 	}
 	return regs, nil

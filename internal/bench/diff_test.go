@@ -129,3 +129,85 @@ func TestCompareObsRegression(t *testing.T) {
 		t.Fatalf("overhead regression not flagged: %v", regs)
 	}
 }
+
+func baselineVisibility() VisibilityReport {
+	return VisibilityReport{
+		Figure:  "visibility",
+		Clients: 3,
+		Scale:   0.005,
+		Size:    0.1,
+		Rows: []VisibilityRow{
+			{Visibility: false, Blocks: 16, ConflictMeanUS: 5000, ConflictMaxUS: 9000, VarmailOpsPerSec: 800},
+			{Visibility: true, Blocks: 16, ConflictMeanUS: 900, ConflictMaxUS: 2000, VarmailOpsPerSec: 790},
+		},
+	}
+}
+
+func visJSON(t *testing.T, rep VisibilityReport) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCompareVisibilityRegression(t *testing.T) {
+	base := baselineVisibility()
+	cur := baselineVisibility()
+	cur.Rows[1].ConflictMeanUS *= 2 // speedup collapses to 2.8x, below the 4x floor
+	cur.Rows[0].VarmailOpsPerSec *= 0.5
+	regs, err := CompareReports(visJSON(t, base), visJSON(t, cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want two", regs)
+	}
+	if !strings.Contains(regs[0], "visibility=off") || !strings.Contains(regs[0], "varmail") {
+		t.Fatalf("first regression does not name row and metric: %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "conflict-read speedup") {
+		t.Fatalf("second regression is not the speedup gate: %q", regs[1])
+	}
+}
+
+func TestCompareVisibilityWithinTolerancePasses(t *testing.T) {
+	base := baselineVisibility()
+	cur := baselineVisibility()
+	// Conflict-read stalls swing with queue depth: a 1.3x drift on both rows
+	// must not trip the gate as long as the separation holds.
+	cur.Rows[0].ConflictMeanUS *= 1.3
+	cur.Rows[1].ConflictMeanUS *= 1.3
+	cur.Rows[0].VarmailOpsPerSec *= 0.9
+	regs, err := CompareReports(visJSON(t, base), visJSON(t, cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+// TestCompareVisibilityCrossCheck pins the report-internal invariant: a run
+// where visibility-on latency climbs to the committed-only level is flagged
+// regardless of how the baseline rows were positioned.
+func TestCompareVisibilityCrossCheck(t *testing.T) {
+	base := baselineVisibility()
+	base.Rows[1].ConflictMeanUS = 4500 // tight baseline gap
+	cur := baselineVisibility()
+	cur.Rows[1].ConflictMeanUS = 5500 // on > off: the knob stopped helping
+	regs, err := CompareReports(visJSON(t, base), visJSON(t, cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "conflict-read speedup") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("speedup gate missing from regressions: %v", regs)
+	}
+}

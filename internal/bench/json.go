@@ -35,6 +35,33 @@ func WriteMDSJSON(path string, opt Options, cells []Fig7Cell) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// VisibilityReport is the machine-readable form of the visibility figure,
+// written by cmd/redbud-bench for CI and regression tracking.
+type VisibilityReport struct {
+	Figure  string          `json:"figure"`
+	Clients int             `json:"clients"`
+	Scale   float64         `json:"scale"`
+	Size    float64         `json:"size_factor"`
+	Rows    []VisibilityRow `json:"rows"`
+}
+
+// WriteVisibilityJSON serializes the visibility rows (conflict-read latency
+// and varmail throughput, knob off/on) to path as indented JSON.
+func WriteVisibilityJSON(path string, opt Options, rows []VisibilityRow) error {
+	rep := VisibilityReport{
+		Figure:  "visibility",
+		Clients: opt.Clients,
+		Scale:   opt.Scale,
+		Size:    opt.SizeFactor,
+		Rows:    rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // ObsStageJSON is one row of the critical-path table in the obs report.
 type ObsStageJSON struct {
 	Name    string  `json:"name"`

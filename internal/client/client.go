@@ -122,6 +122,17 @@ type Config struct {
 	// (paper: 16 MiB); 0 disables it.
 	DelegationChunk int64
 
+	// EarlyVisibility opts conflict reads in to the layout protocol v2
+	// early-visibility path: reads that find holes (or reach past the
+	// locally known size) ask the MDS for uncommitted extents too —
+	// other clients' published write intents — and fetch their data
+	// directly from the devices instead of stalling until the writer's
+	// commit lands. Safe by construction: devices only ever serve durable
+	// (or stale) bytes. Requires the MDS to speak protocol v2; against an
+	// older MDS the client transparently falls back to committed-only
+	// reads.
+	EarlyVisibility bool
+
 	// ReadAhead enables sequential read-ahead with this window (bytes);
 	// 0 disables it. The paper's §II motivates "active" file systems by
 	// noting a passive one cannot prefetch on its own — with file-system
@@ -173,6 +184,10 @@ type Client struct {
 	rng            *rand.Rand // backoff jitter; guarded by connMu
 
 	commitSeq atomic.Uint64 // CommitID generator
+
+	// protoVersion is the protocol version negotiated by the last OpHello
+	// (0 until the first handshake succeeds, which reads as v1 behaviour).
+	protoVersion atomic.Uint32
 
 	queue    *core.Queue[meta.FileID]
 	pool     *core.Pool
@@ -285,10 +300,12 @@ func New(cfg Config) *Client {
 	if cfg.DelegationChunk > 0 {
 		c.space.Store(c.newSpacePool())
 	}
-	if cfg.Redial != nil {
-		// Learn the MDS incarnation up front so a later reconnect can tell
-		// a restart from a mere connection blip. Best effort: a pre-Hello
-		// MDS build simply leaves sawIncarnation unset.
+	if cfg.Redial != nil || cfg.EarlyVisibility {
+		// Learn the MDS incarnation — and negotiate the protocol version —
+		// up front so a later reconnect can tell a restart from a mere
+		// connection blip, and so early visibility knows whether the MDS
+		// speaks v2. Best effort: a pre-Hello MDS build simply leaves
+		// sawIncarnation unset (and the session at v1).
 		c.hello(cfg.MDS)
 	}
 	if cfg.Mode == DelayedCommit {
@@ -507,6 +524,12 @@ func (c *Client) fileStateLocked(id meta.FileID, size int64) *fileState {
 	fs.mu.Lock()
 	if size > fs.size {
 		fs.size = size
+	}
+	// size comes from a committed attr (Create/Open), never from a visible
+	// size, so it also raises the committed watermark: a re-opened handle
+	// must be able to probe for the layout backing the growth it just saw.
+	if size > fs.committedSize {
+		fs.committedSize = size
 	}
 	fs.mu.Unlock()
 	return fs

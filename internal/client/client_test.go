@@ -16,6 +16,7 @@ import (
 	"redbud/internal/mds"
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
+	"redbud/internal/proto"
 	"redbud/internal/rpc"
 )
 
@@ -78,6 +79,12 @@ func newCluster(t *testing.T) *testCluster {
 // client mounts a new client with the given mode and delegation setting.
 func (tc *testCluster) client(mode Mode, delegation int64) *Client {
 	tc.t.Helper()
+	return tc.clientEV(mode, delegation, false)
+}
+
+// clientEV is client with the early-visibility knob exposed.
+func (tc *testCluster) clientEV(mode Mode, delegation int64, early bool) *Client {
+	tc.t.Helper()
 	tc.nextID++
 	host := fmt.Sprintf("client-%d", tc.nextID)
 	tc.net.AddHost(host, netsim.Instant())
@@ -97,6 +104,7 @@ func (tc *testCluster) client(mode Mode, delegation int64) *Client {
 		Mode:            mode,
 		DelegationChunk: delegation,
 		PoolInterval:    time.Millisecond,
+		EarlyVisibility: early,
 	})
 }
 
@@ -267,7 +275,7 @@ func TestDelegationAllocatesLocally(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lay, err := tc.store.GetLayout(attr.ID, 0, 4096, true)
+		lay, err := tc.store.GetLayout(attr.ID, 0, 4096, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -674,4 +682,122 @@ func TestStatReflectsLocalUncommittedSize(t *testing.T) {
 		t.Fatalf("stat = %+v, %v", info, err)
 	}
 	f.Close()
+}
+
+// uncommittedWriter simulates a delayed-commit writer frozen in the window
+// between data durability and metadata commit: it creates a file over raw
+// RPC, allocates extents, and writes durable data into them — but never
+// sends the commit. Returns the pattern written and the allocated extents.
+func uncommittedWriter(t *testing.T, tc *testCluster, path string, n int) ([]byte, []meta.Extent) {
+	t.Helper()
+	tc.net.AddHost("rawwriter", netsim.Instant())
+	conn, err := tc.net.Dial("rawwriter", "mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rpc.NewClient(conn, tc.clk)
+	t.Cleanup(func() { w.Close() })
+	var attr proto.AttrResp
+	if err := w.Call(proto.OpCreate, &proto.CreateReq{Parent: meta.RootID, Name: path, Type: meta.TypeFile}, &attr); err != nil {
+		t.Fatal(err)
+	}
+	var lay proto.LayoutResp
+	req := &proto.LayoutGetReq{Owner: "rawwriter", File: attr.ID, Off: 0, Len: int64(n), Flags: meta.LayoutWrite}
+	if err := w.Call(proto.OpLayoutGet, req, &lay); err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(n, 21)
+	for _, e := range lay.Extents {
+		if err := <-tc.devices[e.Dev].WriteAsync(e.VolOff, data[e.FileOff:e.FileOff+e.Len]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return data, lay.Extents
+}
+
+// TestEarlyVisibilityConflictRead is the tentpole behavior: with the knob on,
+// a reader observes a peer's durable-but-uncommitted bytes without waiting
+// for the commit; with the knob off, the same read returns nothing.
+func TestEarlyVisibilityConflictRead(t *testing.T) {
+	tc := newCluster(t)
+	data, _ := uncommittedWriter(t, tc, "conflict.dat", 8192)
+
+	// Committed-only reader: the file exists but appears empty.
+	plain := tc.client(SyncCommit, 0)
+	defer plain.Close()
+	pf, err := plain.Open("/conflict.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8192)
+	if n, err := pf.ReadAt(buf, 0); err != nil || n != 0 {
+		t.Fatalf("committed-only read = %d, %v; want 0 bytes", n, err)
+	}
+	pf.Close()
+
+	// Early-visibility reader: sees the uncommitted bytes immediately.
+	ev := tc.clientEV(SyncCommit, 0, true)
+	defer ev.Close()
+	ef, err := ev.Open("/conflict.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ef.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8192 || !bytes.Equal(buf[:n], data) {
+		t.Fatalf("early-visible read: n=%d, mismatch=%v", n, !bytes.Equal(buf[:n], data))
+	}
+	// The foreign uncommitted extents stayed transient: the reader's cached
+	// layout holds no uncommitted entries it could ever sweep into a commit.
+	fs := ef.(*File).fs
+	fs.mu.Lock()
+	for _, e := range fs.extents {
+		if e.State == meta.StateUncommitted {
+			fs.mu.Unlock()
+			t.Fatalf("foreign uncommitted extent cached in fs.extents: %+v", e)
+		}
+	}
+	fs.mu.Unlock()
+	ef.Close()
+	if err := ev.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// The MDS still shows the file uncommitted: reading did not commit.
+	id, err := tc.store.Lookup(meta.RootID, "conflict.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Size != 0 {
+		t.Fatalf("reader side-effect: committed size = %d", id.Size)
+	}
+	lay, err := tc.store.GetLayout(id.ID, 0, 8192, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lay.Extents) != 0 {
+		t.Fatalf("reader committed foreign extents: %+v", lay.Extents)
+	}
+}
+
+// TestEarlyVisibilityDisabledWithoutV2 pins the downgrade path end to end: a
+// client with the knob on but a v1 session (the MDS never negotiated v2)
+// must behave exactly like a committed-only reader.
+func TestEarlyVisibilityDisabledWithoutV2(t *testing.T) {
+	tc := newCluster(t)
+	uncommittedWriter(t, tc, "conflict.dat", 4096)
+	ev := tc.clientEV(SyncCommit, 0, true)
+	defer ev.Close()
+	// Force the session back to v1, as if the handshake had been lost.
+	ev.protoVersion.Store(proto.ProtoV1)
+	f, err := ev.Open("/conflict.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	if n, err := f.ReadAt(buf, 0); err != nil || n != 0 {
+		t.Fatalf("v1-session early-visibility read = %d, %v; want 0 bytes", n, err)
+	}
 }

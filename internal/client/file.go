@@ -85,12 +85,20 @@ func (fs *fileState) gapsLocked(off, end int64) [][2]int64 {
 	return out
 }
 
-// insertExtentLocked merges a new extent, skipping overlaps with known ones.
-func (fs *fileState) insertExtentLocked(e meta.Extent) {
+// overlapsKnownLocked reports whether e overlaps any locally known extent.
+func (fs *fileState) overlapsKnownLocked(e meta.Extent) bool {
 	for _, have := range fs.extents {
 		if e.FileOff < have.End() && have.FileOff < e.End() {
-			return // already covered (MDS reuses extents on overwrite)
+			return true
 		}
+	}
+	return false
+}
+
+// insertExtentLocked merges a new extent, skipping overlaps with known ones.
+func (fs *fileState) insertExtentLocked(e meta.Extent) {
+	if fs.overlapsKnownLocked(e) {
+		return // already covered (MDS reuses extents on overwrite)
 	}
 	i := 0
 	for i < len(fs.extents) && fs.extents[i].FileOff < e.FileOff {
@@ -290,7 +298,7 @@ func (c *Client) ensureExtents(fs *fileState, off, end int64) error {
 	// Idempotent retry is safe: re-allocating the same range returns the
 	// extents the first attempt created.
 	err := c.callIdem(proto.OpLayoutGet, &proto.LayoutGetReq{
-		Owner: c.cfg.Name, File: fs.id, Off: off, Len: end - off, Write: true,
+		Owner: c.cfg.Name, File: fs.id, Off: off, Len: end - off, Flags: meta.LayoutWrite,
 	}, &lay)
 	fs.mu.Lock()
 	if err != nil {
@@ -350,45 +358,90 @@ func (f *File) Append(p []byte) (int64, error) {
 // ReadAt serves reads from the page cache, falling back to the shared array
 // through the extent map; holes read as zeros. Reads of this client's own
 // uncommitted writes are satisfied locally (conflict reads, §V-C NPB).
+//
+// With EarlyVisibility on (and protocol v2 negotiated), a conflict read
+// that finds layout holes — or reaches past the locally known size — asks
+// the MDS for uncommitted extents too: other clients' published write
+// intents, served directly from the devices instead of stalling until the
+// writer's commit lands.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	c, fs := f.c, f.fs
 	if off < 0 {
 		return 0, fmt.Errorf("client: negative offset %d", off)
 	}
+	wantVis := c.earlyVisible()
 	fs.mu.Lock()
-	if off >= fs.size {
+	limit := fs.size
+	reqEnd := off + int64(len(p))
+
+	// vis holds other writers' uncommitted extents, for this call only.
+	// They must never enter fs.extents: the commit builder sweeps every
+	// uncommitted extent it finds there, and a reader must neither commit
+	// a foreign writer's intent nor cache it past its possible rollback.
+	var vis []meta.Extent
+
+	// Decide whether to consult the MDS before serving locally: part of
+	// the in-bounds range is neither cached nor covered by known extents.
+	probe := false
+	if len(fs.uncachedRanges(off, min64(reqEnd, limit))) > 0 {
+		if holes := fs.gapsLocked(off, min64(reqEnd, limit)); len(holes) > 0 && (fs.committedSizeMayCover(holes) || wantVis) {
+			probe = true
+		}
+	}
+	if wantVis && reqEnd > limit {
+		probe = true // the file may have grown via a visible intent
+	}
+	if off >= limit && !probe {
 		fs.mu.Unlock()
 		return 0, nil
 	}
-	n := min64(int64(len(p)), fs.size-off)
-	end := off + n
-
-	// Fast path: whole range cached.
-	missing := fs.uncachedRanges(off, end)
-	if len(missing) > 0 {
-		// Extents unknown for part of the range? Fetch the committed
-		// layout from the MDS (cross-client read).
-		if holes := fs.gapsLocked(off, end); len(holes) > 0 && fs.committedSizeMayCover(holes) {
+	if probe {
+		flags := meta.LayoutFlags(0)
+		if wantVis {
+			flags |= meta.LayoutWantUncommitted
+		}
+		fs.mu.Unlock()
+		var lay proto.LayoutResp
+		err := c.callIdem(proto.OpLayoutGet, &proto.LayoutGetReq{
+			Owner: c.cfg.Name, File: fs.id, Off: off, Len: reqEnd - off, Flags: flags,
+		}, &lay)
+		fs.mu.Lock()
+		if err != nil {
 			fs.mu.Unlock()
-			var lay proto.LayoutResp
-			err := c.callIdem(proto.OpLayoutGet, &proto.LayoutGetReq{File: fs.id, Off: off, Len: n}, &lay)
-			fs.mu.Lock()
-			if err != nil {
-				fs.mu.Unlock()
-				return 0, mapRemote(err)
-			}
-			for _, e := range lay.Extents {
+			return 0, mapRemote(err)
+		}
+		for _, e := range lay.Extents {
+			if e.State == meta.StateCommitted {
 				fs.insertExtentLocked(e)
-			}
-			if lay.Size > fs.committedSize {
-				fs.committedSize = lay.Size
+			} else if !fs.overlapsKnownLocked(e) {
+				vis = append(vis, e)
 			}
 		}
+		if wantVis {
+			// lay.Size is the visible size (committed size plus published
+			// intents): it bounds this read but is not a committed size.
+			if lay.Size > limit {
+				limit = lay.Size
+			}
+		} else if lay.Size > fs.committedSize {
+			fs.committedSize = lay.Size
+		}
+	}
+	if off >= limit {
+		fs.mu.Unlock()
+		return 0, nil
+	}
+	n := min64(int64(len(p)), limit-off)
+	end := off + n
+
+	missing := fs.uncachedRanges(off, end)
+	if len(missing) > 0 {
 		// Device reads must observe completed writes: quiesce first.
 		fs.waitWritesLocked()
 		missing = fs.uncachedRanges(off, end)
 	}
-	// Snapshot what each missing range maps to.
+	// Snapshot what each missing range maps to: the known layout plus this
+	// call's transient uncommitted extents.
 	type fetch struct {
 		dev         uint32
 		volOff      int64
@@ -396,13 +449,14 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	}
 	var fetches []fetch
 	for _, m := range missing {
-		cur := m[0]
-		for _, e := range fs.extents {
-			if e.End() <= cur || e.FileOff >= m[1] {
-				continue
+		for _, exts := range [][]meta.Extent{fs.extents, vis} {
+			for _, e := range exts {
+				if e.End() <= m[0] || e.FileOff >= m[1] {
+					continue
+				}
+				s, t := max64(e.FileOff, m[0]), min64(e.End(), m[1])
+				fetches = append(fetches, fetch{dev: e.Dev, volOff: e.VolOff + (s - e.FileOff), fileOff: s, ln: t - s})
 			}
-			s, t := max64(e.FileOff, cur), min64(e.End(), m[1])
-			fetches = append(fetches, fetch{dev: e.Dev, volOff: e.VolOff + (s - e.FileOff), fileOff: s, ln: t - s})
 		}
 	}
 	// Copy the cached portion while still locked.

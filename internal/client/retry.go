@@ -155,15 +155,18 @@ func (c *Client) recoverConn(old *rpc.Client, gen uint64, cause error) error {
 	return nil
 }
 
-// hello (re)introduces the client to the MDS and learns its incarnation. A
-// changed incarnation means the MDS restarted and recovered: every
-// delegation and uncommitted allocation of this client was reclaimed, so
-// the local session state must be re-established.
+// hello (re)introduces the client to the MDS, learns its incarnation, and
+// negotiates the protocol version (the client offers ProtoLatest; the MDS
+// answers with the version the session will speak). A changed incarnation
+// means the MDS restarted and recovered: every delegation and uncommitted
+// allocation of this client was reclaimed, so the local session state must
+// be re-established.
 func (c *Client) hello(mds *rpc.Client) {
 	var h proto.HelloResp
-	if err := mds.Call(proto.OpHello, &proto.HelloReq{Owner: c.cfg.Name}, &h); err != nil {
+	if err := mds.Call(proto.OpHello, &proto.HelloReq{Owner: c.cfg.Name, ProtoVersion: proto.ProtoLatest}, &h); err != nil {
 		return // next failure will retry the handshake
 	}
+	c.protoVersion.Store(h.ProtoVersion)
 	c.connMu.Lock()
 	restarted := c.sawIncarnation && h.Incarnation != c.incarnation
 	c.incarnation = h.Incarnation
@@ -172,6 +175,12 @@ func (c *Client) hello(mds *rpc.Client) {
 	if restarted {
 		c.reestablish()
 	}
+}
+
+// earlyVisible reports whether conflict reads may ask for uncommitted
+// extents: the knob is on and the MDS negotiated protocol v2.
+func (c *Client) earlyVisible() bool {
+	return c.cfg.EarlyVisibility && c.protoVersion.Load() >= proto.ProtoV2
 }
 
 // reestablish rolls the client session back to what the recovered MDS still

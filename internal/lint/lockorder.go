@@ -8,23 +8,25 @@ import (
 
 // Lock classes of the MDS metadata hierarchy, in acquisition order. The
 // levels mirror DESIGN.md "Concurrency model": namespace → inode stripe →
-// delegation → journal slot reservation.
+// intent table → delegation → journal slot reservation.
 const (
 	lockNS         = 1 // meta.Store.ns (RWMutex)
 	lockStripe     = 2 // meta.Store.stripes[i] (RWMutex), usually via Store.stripe(id)
-	lockDelegation = 3 // meta.delegation.mu (Mutex)
-	lockJournal    = 4 // meta.Journal.Append / Store.journalAppend (slot reservation)
+	lockIntent     = 3 // meta.intentTable.mu (Mutex), taken under a stripe lock
+	lockDelegation = 4 // meta.delegation.mu (Mutex)
+	lockJournal    = 5 // meta.Journal.Append / Store.journalAppend (slot reservation)
 )
 
 var lockClassName = map[int]string{
 	lockNS:         "namespace (Store.ns)",
 	lockStripe:     "inode stripe (Store.stripes)",
+	lockIntent:     "intent table (intentTable.mu)",
 	lockDelegation: "delegation (delegation.mu)",
 	lockJournal:    "journal reservation (Journal.Append)",
 }
 
 // LockOrder verifies the documented lock hierarchy of the metadata hot path.
-// It walks every function, tracking acquisitions and releases of the four
+// It walks every function, tracking acquisitions and releases of the five
 // tracked lock classes through straight-line control flow (branches are
 // analyzed sequentially; a branch ending in return/panic does not leak its
 // lock state into the fallthrough path), and reports:
@@ -40,7 +42,7 @@ var lockClassName = map[int]string{
 // which the closure-based journalAppend pattern guarantees.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "check the namespace → stripe → delegation → journal lock hierarchy and forbid blocking ops under tracked locks",
+	Doc:  "check the namespace → stripe → intent → delegation → journal lock hierarchy and forbid blocking ops under tracked locks",
 	Run:  runLockOrder,
 }
 
@@ -365,6 +367,8 @@ func (lo *lockOrderWalker) lockClass(x ast.Expr) (int, bool) {
 		switch {
 		case e.Sel.Name == "ns" && isNamedType(recv.Recv(), "meta", "Store"):
 			return lockNS, true
+		case e.Sel.Name == "mu" && isNamedType(recv.Recv(), "meta", "intentTable"):
+			return lockIntent, true
 		case e.Sel.Name == "mu" && isNamedType(recv.Recv(), "meta", "delegation"):
 			return lockDelegation, true
 		}
@@ -392,7 +396,7 @@ func (lo *lockOrderWalker) apply(held []heldLock, ev lockEvent) []heldLock {
 		for _, h := range held {
 			if h.class > ev.class {
 				lo.pass.Reportf(ev.pos,
-					"acquiring %s while holding %s inverts the lock hierarchy (namespace → stripe → delegation → journal)",
+					"acquiring %s while holding %s inverts the lock hierarchy (namespace → stripe → intent → delegation → journal)",
 					lockClassName[ev.class], lockClassName[h.class])
 				break
 			}

@@ -13,6 +13,12 @@ type delegation struct {
 	mu sync.Mutex
 }
 
+// intentTable mirrors meta.intentTable: the early-visibility intent lock
+// sits between the stripe and delegation levels.
+type intentTable struct {
+	mu sync.Mutex
+}
+
 // Journal mirrors meta.Journal; Append is the instantaneous slot
 // reservation at the bottom of the hierarchy.
 type Journal struct{}
@@ -22,6 +28,7 @@ func (j *Journal) Append(rec []byte) func() error { return nil }
 type Store struct {
 	ns      sync.RWMutex
 	stripes [4]sync.RWMutex
+	intents *intentTable
 	deleg   delegation
 	journal *Journal
 }
@@ -65,6 +72,42 @@ func goodIndexed(s *Store, i int) {
 	s.stripes[i].Lock()
 	s.stripes[i].Unlock()
 	s.ns.RUnlock()
+}
+
+// goodIntentUnderStripe publishes intents under a stripe lock and takes the
+// delegation lock only after the intent lock is released — the documented
+// order for the early-visibility path.
+func goodIntentUnderStripe(s *Store, id uint64) {
+	st := s.stripe(id)
+	st.Lock()
+	s.intents.mu.Lock()
+	s.intents.mu.Unlock()
+	s.deleg.mu.Lock()
+	s.deleg.mu.Unlock()
+	st.Unlock()
+}
+
+// badStripeUnderIntent acquires a stripe while holding the intent lock.
+func badStripeUnderIntent(s *Store, id uint64) {
+	s.intents.mu.Lock()
+	s.stripe(id).Lock() // want `inverts the lock hierarchy`
+	s.stripe(id).Unlock()
+	s.intents.mu.Unlock()
+}
+
+// badIntentUnderDeleg acquires the intent lock under the delegation lock.
+func badIntentUnderDeleg(s *Store) {
+	s.deleg.mu.Lock()
+	s.intents.mu.Lock() // want `inverts the lock hierarchy`
+	s.intents.mu.Unlock()
+	s.deleg.mu.Unlock()
+}
+
+// badRPCUnderIntent holds the intent lock across an RPC round trip.
+func badRPCUnderIntent(s *Store, c *rpc.Client) {
+	s.intents.mu.Lock()
+	c.Call(1, nil, nil) // want `RPC Call while holding`
+	s.intents.mu.Unlock()
 }
 
 // badInversion takes the namespace lock while holding a stripe.

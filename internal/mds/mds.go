@@ -120,6 +120,12 @@ type Server struct {
 	// than every daemon serializing on one mutex.
 	lastSeen sync.Map
 
+	// sessions maps owner -> uint32, the protocol version negotiated by the
+	// owner's last OpHello. Owners that never said hello are ProtoV1 and
+	// transparently get committed-only layout behaviour; lease expiry ends
+	// the session and drops the entry.
+	sessions sync.Map
+
 	dedup     dedupTable
 	dedupHits atomic.Int64
 
@@ -204,11 +210,22 @@ func (s *Server) ExpireLeases() int64 {
 	for _, owner := range expired {
 		s.lastSeen.Delete(owner)
 		// An expired client's session is over; its commit IDs can never be
-		// legitimately retransmitted.
+		// legitimately retransmitted, and its negotiated protocol version
+		// no longer applies (a reconnecting client re-hellos).
 		s.dedup.drop(owner)
+		s.sessions.Delete(owner)
 		reclaimed += s.store.ClientGone(owner)
 	}
 	return reclaimed
+}
+
+// sessionVersion returns the protocol version owner negotiated via OpHello;
+// unknown (or empty) owners are v1.
+func (s *Server) sessionVersion(owner string) uint32 {
+	if v, ok := s.sessions.Load(owner); ok {
+		return v.(uint32)
+	}
+	return proto.ProtoV1
 }
 
 // DedupHits reports how many retransmitted commits were answered from the
@@ -299,14 +316,23 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		s.touch(req.Owner)
+		flags := req.Flags
+		// Downgrade rule: only a session that negotiated v2 may see
+		// uncommitted extents. A genuine v1 client cannot even express the
+		// bit (its bool encodes 0 or 1), but a pre-hello or misbehaving
+		// sender must still get committed-only behaviour.
+		if flags.Has(meta.LayoutWantUncommitted) && s.sessionVersion(req.Owner) < proto.ProtoV2 {
+			flags &^= meta.LayoutWantUncommitted
+		}
 		var lay meta.Layout
 		var err error
-		if req.Write {
+		if flags.Has(meta.LayoutWrite) {
 			lay, err = s.store.AllocLayout(req.Owner, req.File, req.Off, req.Len)
 		} else {
-			// Readers only see committed extents: the ordered-write
-			// guarantee means uncommitted data may not exist yet.
-			lay, err = s.store.GetLayout(req.File, req.Off, req.Len, true)
+			// Without LayoutWantUncommitted readers only see committed
+			// extents: the ordered-write guarantee means uncommitted data
+			// may not exist yet.
+			lay, err = s.store.GetLayout(req.File, req.Off, req.Len, flags)
 		}
 		if err != nil {
 			return nil, err
@@ -315,7 +341,13 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp := proto.LayoutResp{File: lay.File, Size: attr.Size, Extents: lay.Extents}
+		size := attr.Size
+		if lay.VisibleEnd > size {
+			// Early visibility: published intents extend the visible size
+			// past the committed one for v2 readers that asked.
+			size = lay.VisibleEnd
+		}
+		resp := proto.LayoutResp{File: lay.File, Size: size, Extents: lay.Extents}
 		return wire.Encode(&resp), nil
 
 	case proto.OpCommit:
@@ -392,7 +424,17 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		s.touch(req.Owner)
-		resp := proto.HelloResp{Incarnation: s.cfg.Incarnation}
+		ver := req.ProtoVersion
+		if ver < proto.ProtoV1 {
+			ver = proto.ProtoV1
+		}
+		if ver > proto.ProtoLatest {
+			ver = proto.ProtoLatest
+		}
+		if req.Owner != "" {
+			s.sessions.Store(req.Owner, ver)
+		}
+		resp := proto.HelloResp{Incarnation: s.cfg.Incarnation, ProtoVersion: ver}
 		return wire.Encode(&resp), nil
 
 	case proto.OpStat:

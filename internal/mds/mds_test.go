@@ -121,7 +121,7 @@ func TestLayoutGetWriteAllocates(t *testing.T) {
 	e := newEnv(t, Config{})
 	a := e.create(t, meta.RootID, "f", meta.TypeFile)
 	var lay proto.LayoutResp
-	err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 8192, Write: true}, &lay)
+	err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 8192, Flags: meta.LayoutWrite}, &lay)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestCommitOverRPC(t *testing.T) {
 	e := newEnv(t, Config{})
 	a := e.create(t, meta.RootID, "f", meta.TypeFile)
 	var lay proto.LayoutResp
-	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Write: true}, &lay); err != nil {
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Flags: meta.LayoutWrite}, &lay); err != nil {
 		t.Fatal(err)
 	}
 	mt := time.Unix(1000, 0).UTC()
@@ -175,7 +175,7 @@ func TestCommitCheckHookRejects(t *testing.T) {
 	e := newEnv(t, Config{CommitCheck: func([]meta.Extent) error { return boom }})
 	a := e.create(t, meta.RootID, "f", meta.TypeFile)
 	var lay proto.LayoutResp
-	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Write: true}, &lay); err != nil {
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Flags: meta.LayoutWrite}, &lay); err != nil {
 		t.Fatal(err)
 	}
 	err := e.cli.Call(proto.OpCommit, &proto.CommitReq{Owner: "c1", File: a.ID, Size: 4096, MTime: time.Now(), Extents: lay.Extents}, nil)
@@ -223,7 +223,7 @@ func TestCompoundCommitsThroughMDS(t *testing.T) {
 	for _, name := range []string{"a", "b", "c"} {
 		a := e.create(t, meta.RootID, name, meta.TypeFile)
 		var lay proto.LayoutResp
-		if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Write: true}, &lay); err != nil {
+		if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Flags: meta.LayoutWrite}, &lay); err != nil {
 			t.Fatal(err)
 		}
 		req := proto.CommitReq{Owner: "c1", File: a.ID, Size: 4096, MTime: time.Now().UTC(), Extents: lay.Extents}
@@ -272,6 +272,145 @@ func TestLeaseExpiryReclaimsOrphans(t *testing.T) {
 	}
 	if store.Delegations("c1") != 0 {
 		t.Fatal("expired delegation survived")
+	}
+}
+
+func TestHelloNegotiatesProtocolVersion(t *testing.T) {
+	e := newEnv(t, Config{})
+	var h proto.HelloResp
+	if err := e.cli.Call(proto.OpHello, &proto.HelloReq{Owner: "c1", ProtoVersion: proto.ProtoLatest}, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ProtoVersion != proto.ProtoLatest {
+		t.Fatalf("negotiated v%d, want v%d", h.ProtoVersion, proto.ProtoLatest)
+	}
+	// An over-eager offer is clamped to what the server speaks.
+	if err := e.cli.Call(proto.OpHello, &proto.HelloReq{Owner: "c1", ProtoVersion: 99}, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ProtoVersion != proto.ProtoLatest {
+		t.Fatalf("offer 99 negotiated v%d, want clamp to v%d", h.ProtoVersion, proto.ProtoLatest)
+	}
+	// A v1 hello (no version field on the wire) pins the session to v1.
+	if err := e.cli.Call(proto.OpHello, &proto.HelloReq{Owner: "old"}, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ProtoVersion != proto.ProtoV1 {
+		t.Fatalf("version-less hello negotiated v%d, want v%d", h.ProtoVersion, proto.ProtoV1)
+	}
+}
+
+// TestV1SessionNeverSeesUncommitted is the downgrade regression: whatever
+// flag bits a pre-v2 client's frames happen to carry (a v1 `Write bool`
+// re-encoded, a corrupted byte), the MDS must strip the uncommitted-
+// visibility request for any session that did not negotiate v2 — including
+// clients that never said hello at all.
+func TestV1SessionNeverSeesUncommitted(t *testing.T) {
+	e := newEnv(t, Config{})
+	a := e.create(t, meta.RootID, "f", meta.TypeFile)
+	// A writer publishes intents for 8 KiB it has not committed.
+	var lay proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "w", File: a.ID, Off: 0, Len: 8192, Flags: meta.LayoutWrite}, &lay); err != nil {
+		t.Fatal(err)
+	}
+	for _, owner := range []string{"", "v1c"} {
+		if owner != "" {
+			// Session pinned to v1 by a version-less hello.
+			if err := e.cli.Call(proto.OpHello, &proto.HelloReq{Owner: owner}, &proto.HelloResp{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var rlay proto.LayoutResp
+		req := &proto.LayoutGetReq{Owner: owner, File: a.ID, Off: 0, Len: 8192, Flags: meta.LayoutWantUncommitted}
+		if err := e.cli.Call(proto.OpLayoutGet, req, &rlay); err != nil {
+			t.Fatal(err)
+		}
+		for _, ext := range rlay.Extents {
+			if ext.State == meta.StateUncommitted {
+				t.Fatalf("owner %q (v1 session) saw uncommitted extent %+v", owner, ext)
+			}
+		}
+		if rlay.Size != 0 {
+			t.Fatalf("owner %q (v1 session) saw visible size %d, want committed size 0", owner, rlay.Size)
+		}
+	}
+}
+
+func TestV2SessionSeesUncommittedAndVisibleSize(t *testing.T) {
+	e := newEnv(t, Config{})
+	a := e.create(t, meta.RootID, "f", meta.TypeFile)
+	if err := e.cli.Call(proto.OpHello, &proto.HelloReq{Owner: "r", ProtoVersion: proto.ProtoLatest}, &proto.HelloResp{}); err != nil {
+		t.Fatal(err)
+	}
+	var lay proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "w", File: a.ID, Off: 0, Len: 8192, Flags: meta.LayoutWrite}, &lay); err != nil {
+		t.Fatal(err)
+	}
+	var rlay proto.LayoutResp
+	req := &proto.LayoutGetReq{Owner: "r", File: a.ID, Off: 0, Len: 8192, Flags: meta.LayoutWantUncommitted}
+	if err := e.cli.Call(proto.OpLayoutGet, req, &rlay); err != nil {
+		t.Fatal(err)
+	}
+	var uncommitted int64
+	for _, ext := range rlay.Extents {
+		if ext.State == meta.StateUncommitted {
+			uncommitted += ext.Len
+		}
+	}
+	if uncommitted != 8192 {
+		t.Fatalf("v2 session saw %d uncommitted bytes, want 8192", uncommitted)
+	}
+	if rlay.Size != 8192 {
+		t.Fatalf("visible size = %d, want 8192 (committed size still 0)", rlay.Size)
+	}
+	// Without the flag the same session still gets the committed-only view.
+	var plain proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "r", File: a.ID, Off: 0, Len: 8192}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Extents) != 0 || plain.Size != 0 {
+		t.Fatalf("committed-only view leaked intents: %+v", plain)
+	}
+}
+
+func TestLeaseExpiryRollsBackIntentsAndSession(t *testing.T) {
+	mc := clock.NewManual()
+	ags := alloc.NewUniformAGSet(alloc.RoundRobin, 0, 256<<20, 4)
+	store := meta.NewStore(meta.Config{AGs: ags, Clock: mc})
+	e := newEnv(t, Config{Store: store, Clock: mc, LeaseTimeout: time.Minute})
+	a := e.create(t, meta.RootID, "f", meta.TypeFile)
+	if err := e.cli.Call(proto.OpHello, &proto.HelloReq{Owner: "w", ProtoVersion: proto.ProtoLatest}, &proto.HelloResp{}); err != nil {
+		t.Fatal(err)
+	}
+	var lay proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "w", File: a.ID, Off: 0, Len: 4096, Flags: meta.LayoutWrite}, &lay); err != nil {
+		t.Fatal(err)
+	}
+	mc.Advance(2 * time.Minute)
+	if got := e.srv.ExpireLeases(); got == 0 {
+		t.Fatal("expiry reclaimed nothing")
+	}
+	// The published intents are rolled back: a v2 reader sees no extents.
+	if err := e.cli.Call(proto.OpHello, &proto.HelloReq{Owner: "r", ProtoVersion: proto.ProtoLatest}, &proto.HelloResp{}); err != nil {
+		t.Fatal(err)
+	}
+	var rlay proto.LayoutResp
+	req := &proto.LayoutGetReq{Owner: "r", File: a.ID, Off: 0, Len: 4096, Flags: meta.LayoutWantUncommitted}
+	if err := e.cli.Call(proto.OpLayoutGet, req, &rlay); err != nil {
+		t.Fatal(err)
+	}
+	if len(rlay.Extents) != 0 || rlay.Size != 0 {
+		t.Fatalf("rolled-back intents still visible: %+v", rlay)
+	}
+	// The writer's session version was dropped with its lease: until it says
+	// hello again it is treated as v1 and cannot request uncommitted extents.
+	var wlay proto.LayoutResp
+	wreq := &proto.LayoutGetReq{Owner: "w", File: a.ID, Off: 0, Len: 4096, Flags: meta.LayoutWantUncommitted}
+	if err := e.cli.Call(proto.OpLayoutGet, wreq, &wlay); err != nil {
+		t.Fatal(err)
+	}
+	if len(wlay.Extents) != 0 {
+		t.Fatalf("expired session still negotiated: %+v", wlay.Extents)
 	}
 }
 

@@ -1,0 +1,212 @@
+package meta
+
+import "sync"
+
+// LayoutFlags selects the behaviour of a layout lookup. It replaces the v1
+// protocol's bare `Write bool`: bit 0 occupies the byte the bool used on the
+// wire, so v1 frames decode unchanged and a v1 decoder accepts any v2 frame
+// that only uses bit 0.
+type LayoutFlags uint8
+
+const (
+	// LayoutWrite declares write intent: the MDS allocates extents for the
+	// uncovered sub-ranges and publishes them in the intent table.
+	LayoutWrite LayoutFlags = 1 << 0
+	// LayoutWantUncommitted opts a reader in to early visibility: the
+	// lookup may return extents still in StateUncommitted (another
+	// client's published write intents) instead of hiding them until the
+	// commit lands. Only protocol-v2 sessions may set it; the MDS strips
+	// the bit for anyone else.
+	LayoutWantUncommitted LayoutFlags = 1 << 1
+)
+
+// Has reports whether every bit in bits is set.
+func (f LayoutFlags) Has(bits LayoutFlags) bool { return f&bits == bits }
+
+// String renders the flag set for diagnostics.
+func (f LayoutFlags) String() string {
+	switch {
+	case f.Has(LayoutWrite | LayoutWantUncommitted):
+		return "write|want-uncommitted"
+	case f.Has(LayoutWrite):
+		return "write"
+	case f.Has(LayoutWantUncommitted):
+		return "want-uncommitted"
+	case f == 0:
+		return "committed-only"
+	}
+	return "invalid"
+}
+
+// intent is one published write intent: an uncommitted extent of a file,
+// attributed to the client that allocated it.
+type intent struct {
+	owner string
+	ext   Extent
+}
+
+// intentTable indexes every live write intent — uncommitted extents handed
+// out by AllocLayout — by file and by owner. It is what a layout lookup with
+// LayoutWantUncommitted consults for the file's visible size, and what makes
+// rollback (lease expiry, client crash, recovery GC) a direct lookup instead
+// of a scan over every inode.
+//
+// Lifecycle: publish (AllocLayout / RecAlloc replay) → either graduate
+// (commit flips the extent to committed) or roll back (ClientGone removes
+// the owner's intents and frees the space; Remove drops a dead file's).
+//
+// Lock hierarchy: mu ranks between the inode stripe locks and delegation.mu
+// (namespace → stripe → intent table → delegation → journal reservation).
+// It is always taken while holding at least the shared namespace lock and is
+// never held across a blocking operation.
+type intentTable struct {
+	mu      sync.Mutex
+	files   map[FileID][]intent
+	byOwner map[string]map[FileID]struct{}
+}
+
+func newIntentTable() *intentTable {
+	return &intentTable{
+		files:   make(map[FileID][]intent),
+		byOwner: make(map[string]map[FileID]struct{}),
+	}
+}
+
+// sameExtent matches on identity — (FileOff, Len, Dev, VolOff) — ignoring
+// State, so a commit's committed copy matches the published uncommitted one.
+func sameExtent(a, b Extent) bool {
+	return a.FileOff == b.FileOff && a.Len == b.Len && a.Dev == b.Dev && a.VolOff == b.VolOff
+}
+
+// publish records owner's freshly allocated extents for id.
+func (t *intentTable) publish(id FileID, owner string, exts []Extent) {
+	if len(exts) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range exts {
+		t.files[id] = append(t.files[id], intent{owner: owner, ext: e})
+	}
+	set := t.byOwner[owner]
+	if set == nil {
+		set = make(map[FileID]struct{})
+		t.byOwner[owner] = set
+	}
+	set[id] = struct{}{}
+}
+
+// graduate removes the intent matching e (a commit flipped it to committed).
+// Unknown extents — delegation-carved space the table never saw — are a
+// no-op.
+func (t *intentTable) graduate(id FileID, e Extent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.files[id]
+	for i, in := range list {
+		if !sameExtent(in.ext, e) {
+			continue
+		}
+		list[i] = list[len(list)-1]
+		list = list[:len(list)-1]
+		if len(list) == 0 {
+			delete(t.files, id)
+		} else {
+			t.files[id] = list
+		}
+		t.dropOwnerRefLocked(in.owner, id, list)
+		return
+	}
+}
+
+// dropOwnerRefLocked clears owner's per-file index entry once no intent of
+// theirs remains on the file. Caller holds t.mu.
+func (t *intentTable) dropOwnerRefLocked(owner string, id FileID, remaining []intent) {
+	for _, in := range remaining {
+		if in.owner == owner {
+			return
+		}
+	}
+	if set := t.byOwner[owner]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(t.byOwner, owner)
+		}
+	}
+}
+
+// rollbackOwner removes every intent owner holds and returns them per file.
+func (t *intentTable) rollbackOwner(owner string) map[FileID][]Extent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := t.byOwner[owner]
+	if len(set) == 0 {
+		delete(t.byOwner, owner)
+		return nil
+	}
+	out := make(map[FileID][]Extent, len(set))
+	for id := range set {
+		kept := t.files[id][:0:0]
+		for _, in := range t.files[id] {
+			if in.owner == owner {
+				out[id] = append(out[id], in.ext)
+				continue
+			}
+			kept = append(kept, in)
+		}
+		if len(kept) == 0 {
+			delete(t.files, id)
+		} else {
+			t.files[id] = kept
+		}
+	}
+	delete(t.byOwner, owner)
+	return out
+}
+
+// dropFile discards all intents of a removed file.
+func (t *intentTable) dropFile(id FileID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, in := range t.files[id] {
+		t.dropOwnerRefLocked(in.owner, id, nil)
+	}
+	delete(t.files, id)
+}
+
+// ownerOf returns who published the intent matching e on id.
+func (t *intentTable) ownerOf(id FileID, e Extent) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, in := range t.files[id] {
+		if sameExtent(in.ext, e) {
+			return in.owner, true
+		}
+	}
+	return "", false
+}
+
+// visibleEnd returns the highest file offset any published intent of id
+// reaches — the early-visibility size contribution — or 0 if none.
+func (t *intentTable) visibleEnd(id FileID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var end int64
+	for _, in := range t.files[id] {
+		if e := in.ext.End(); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// owners lists every client holding at least one intent (recovery GC).
+func (t *intentTable) owners() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.byOwner))
+	for o := range t.byOwner {
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package meta
+
+import (
+	"testing"
+	"time"
+)
+
+// TestIntentLifecycleThroughStore drives the intent table through its three
+// exits — graduation on commit, rollback on client death, drop on file
+// removal — via the public Store API.
+func TestIntentLifecycleThroughStore(t *testing.T) {
+	s := newStore(t)
+	a := mustCreate(t, s, RootID, "f", TypeFile)
+
+	lay, err := s.AllocLayout("w", a.ID, 0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published intents are visible to WantUncommitted lookups, hidden from
+	// committed-only ones, and extend the visible size.
+	vis, err := s.GetLayout(a.ID, 0, 8192, LayoutWantUncommitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vis.Extents) != len(lay.Extents) {
+		t.Fatalf("visible extents = %d, want %d", len(vis.Extents), len(lay.Extents))
+	}
+	if vis.VisibleEnd != 8192 {
+		t.Fatalf("visible end = %d, want 8192", vis.VisibleEnd)
+	}
+	plain, err := s.GetLayout(a.ID, 0, 8192, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Extents) != 0 || plain.VisibleEnd != 0 {
+		t.Fatalf("committed-only layout leaked intents: %+v", plain)
+	}
+	if owner, ok := s.intents.ownerOf(a.ID, lay.Extents[0]); !ok || owner != "w" {
+		t.Fatalf("ownerOf = %q, %v", owner, ok)
+	}
+
+	// Commit graduates the intents: they leave the table but the extents stay.
+	if err := s.Commit("w", a.ID, lay.Extents, 8192, time.Unix(1, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.intents.ownerOf(a.ID, lay.Extents[0]); ok {
+		t.Fatal("committed extent still tracked as an intent")
+	}
+	if got := s.intents.visibleEnd(a.ID); got != 0 {
+		t.Fatalf("visible end after graduation = %d", got)
+	}
+	after, err := s.GetLayout(a.ID, 0, 8192, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Extents) == 0 {
+		t.Fatal("committed extents vanished")
+	}
+}
+
+func TestIntentRollbackOnClientGone(t *testing.T) {
+	s := newStore(t)
+	a := mustCreate(t, s, RootID, "f", TypeFile)
+	b := mustCreate(t, s, RootID, "g", TypeFile)
+	if _, err := s.AllocLayout("dead", a.ID, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllocLayout("dead", b.ID, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	live, err := s.AllocLayout("live", a.ID, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ClientGone("dead"); got != 8192 {
+		t.Fatalf("ClientGone reclaimed %d, want 8192", got)
+	}
+	for _, id := range []FileID{a.ID, b.ID} {
+		lay, err := s.GetLayout(id, 0, 8192, LayoutWantUncommitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range lay.Extents {
+			if owner, _ := s.intents.ownerOf(id, e); owner == "dead" {
+				t.Fatalf("file %d still has dead client's intent %+v", id, e)
+			}
+		}
+	}
+	// The surviving client's intents are untouched and still committable.
+	if owner, ok := s.intents.ownerOf(a.ID, live.Extents[0]); !ok || owner != "live" {
+		t.Fatalf("live intent lost: %q, %v", owner, ok)
+	}
+	if err := s.Commit("live", a.ID, live.Extents, 8192, time.Unix(1, 0).UTC()); err != nil {
+		t.Fatalf("surviving client's commit failed: %v", err)
+	}
+}
+
+func TestIntentDropOnRemove(t *testing.T) {
+	s := newStore(t)
+	a := mustCreate(t, s, RootID, "f", TypeFile)
+	if _, err := s.AllocLayout("w", a.ID, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(RootID, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.intents.visibleEnd(a.ID); got != 0 {
+		t.Fatalf("removed file still has intents (visible end %d)", got)
+	}
+	if owners := s.intents.owners(); len(owners) != 0 {
+		t.Fatalf("owner index not cleaned: %v", owners)
+	}
+}

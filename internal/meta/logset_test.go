@@ -116,7 +116,7 @@ func verifyWorld(t *testing.T, s *Store, expectPending bool) {
 	if err != nil || a.Size != 8192 {
 		t.Fatalf("committed.bin: %+v, %v", a, err)
 	}
-	lay, err := s.GetLayout(a.ID, 0, 8192, true)
+	lay, err := s.GetLayout(a.ID, 0, 8192, 0)
 	if err != nil || len(lay.Extents) == 0 {
 		t.Fatalf("committed.bin layout: %+v, %v", lay, err)
 	}
@@ -128,7 +128,7 @@ func verifyWorld(t *testing.T, s *Store, expectPending bool) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blay, _ := s.GetLayout(b.ID, 0, 4096, false)
+	blay, _ := s.GetLayout(b.ID, 0, 4096, LayoutWantUncommitted)
 	if expectPending && len(blay.Extents) != 1 {
 		t.Fatalf("pending extent lost: %+v", blay.Extents)
 	}

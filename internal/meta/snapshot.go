@@ -117,7 +117,7 @@ func (s *Store) snapshotLocked() []*Record {
 			}
 			owner := ""
 			if e.State == StateUncommitted {
-				owner = ino.pendingOwner[e.VolOff]
+				owner, _ = s.intents.ownerOf(fid, e)
 			}
 			ae := e
 			ae.State = StateUncommitted

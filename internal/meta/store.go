@@ -135,8 +135,8 @@ const inodeStripes = 64
 // and the method only returns once the record is durable (write-ahead rule:
 // clients never observe an acknowledgement that a crash can roll back).
 //
-// Concurrency model (lock order: namespace -> inode stripe -> delegation ->
-// journal reservation):
+// Concurrency model (lock order: namespace -> inode stripe -> intent table
+// -> delegation -> journal reservation):
 //
 //   - ns guards the map structure (inodes, dirents, nextID, delegations) and
 //     is the operation-ordering lock. Namespace mutations (Create, Remove,
@@ -145,9 +145,13 @@ const inodeStripes = 64
 //     operations — the commit hot path — take it shared, so commits to
 //     different files never queue behind one another on it.
 //   - stripes[id%inodeStripes] guards one inode's mutable content (extents,
-//     pendingOwner, size, mtime). It is only acquired while holding ns;
-//     because every content mutator holds at least ns.RLock, an exclusive
-//     ns holder owns all inode content and skips stripe locks entirely.
+//     size, mtime). It is only acquired while holding ns; because every
+//     content mutator holds at least ns.RLock, an exclusive ns holder owns
+//     all inode content and skips stripe locks entirely.
+//   - intents.mu guards the write-intent table (uncommitted-extent
+//     ownership and the early-visibility size index). It may be taken under
+//     a stripe lock (publish/graduate during alloc/commit) and is never
+//     held across a blocking operation.
 //   - delegation.mu guards the delegation's used list against concurrent
 //     commits (see the field comment).
 //
@@ -168,6 +172,11 @@ type Store struct {
 	dirents     map[FileID]map[string]FileID
 	nextID      FileID
 	delegations map[string][]*delegation
+
+	// intents indexes live write intents (uncommitted extents) by file and
+	// owner; see intentTable for the lifecycle and its lock's place in the
+	// hierarchy.
+	intents *intentTable
 }
 
 // stripe returns the content lock of inode id.
@@ -187,6 +196,7 @@ func NewStore(cfg Config) *Store {
 		dirents:     make(map[FileID]map[string]FileID),
 		nextID:      RootID + 1,
 		delegations: make(map[string][]*delegation),
+		intents:     newIntentTable(),
 	}
 	s.inodes[RootID] = &inode{id: RootID, typ: TypeDir, mtime: s.clk.Now(), nlink: 1}
 	s.dirents[RootID] = make(map[string]FileID)
@@ -258,7 +268,7 @@ func (s *Store) Create(parent FileID, name string, typ FileType) (Attr, error) {
 
 // applyCreate mutates state; caller holds ns exclusively.
 func (s *Store) applyCreate(id, parent FileID, name string, typ FileType, mtime time.Time) {
-	ino := &inode{id: id, typ: typ, mtime: mtime, nlink: 1, pendingOwner: make(map[int64]string)}
+	ino := &inode{id: id, typ: typ, mtime: mtime, nlink: 1}
 	s.inodes[id] = ino
 	s.dirents[parent][name] = id
 	if typ == TypeDir {
@@ -363,6 +373,7 @@ func (s *Store) applyRemove(parent FileID, name string, id FileID) []alloc.Span 
 	if ino.nlink > 0 {
 		return nil
 	}
+	s.intents.dropFile(id)
 	var freed []alloc.Span
 	for _, e := range ino.extents {
 		if d := s.findDelegationAny(e); d != nil {
@@ -384,10 +395,15 @@ func (s *Store) applyRemove(parent FileID, name string, id FileID) []alloc.Span 
 // ---------------------------------------------------------------------------
 // Layouts and commits
 
-// GetLayout returns the extents of file overlapping [off, off+n). When
-// committedOnly is set (reads from other clients), uncommitted extents are
-// hidden — the ordered-write guarantee means their data may not exist.
-func (s *Store) GetLayout(id FileID, off, n int64, committedOnly bool) (Layout, error) {
+// GetLayout returns the extents of file overlapping [off, off+n). By
+// default only committed extents are visible — the ordered-write guarantee
+// means uncommitted data may not exist yet. A lookup carrying
+// LayoutWantUncommitted (early visibility, protocol v2) also returns
+// published write intents, tagged StateUncommitted, and fills in the file's
+// visible end from the intent table; the caller fetches their data directly
+// from the devices, which by construction serve only durable (or stale)
+// bytes.
+func (s *Store) GetLayout(id FileID, off, n int64, flags LayoutFlags) (Layout, error) {
 	s.ns.RLock()
 	defer s.ns.RUnlock()
 	ino, ok := s.inodes[id]
@@ -397,10 +413,14 @@ func (s *Store) GetLayout(id FileID, off, n int64, committedOnly bool) (Layout, 
 	if ino.typ != TypeFile {
 		return Layout{}, fmt.Errorf("%w: inode %d", ErrIsDir, id)
 	}
+	wantUncommitted := flags.Has(LayoutWantUncommitted)
 	st := s.stripe(id)
 	st.RLock()
-	lay := Layout{File: id, Extents: ino.extentsIn(off, n, committedOnly)}
+	lay := Layout{File: id, Extents: ino.extentsIn(off, n, !wantUncommitted)}
 	st.RUnlock()
+	if wantUncommitted {
+		lay.VisibleEnd = s.intents.visibleEnd(id)
+	}
 	return lay, nil
 }
 
@@ -472,16 +492,13 @@ func (s *Store) AllocLayout(owner string, id FileID, off, n int64) (Layout, erro
 	return lay, nil
 }
 
-// applyAlloc inserts uncommitted extents. Caller holds the inode's stripe
-// lock or ns exclusively.
+// applyAlloc inserts uncommitted extents and publishes them as owner's
+// write intents. Caller holds the inode's stripe lock or ns exclusively.
 func (s *Store) applyAlloc(ino *inode, owner string, exts []Extent) {
 	for _, e := range exts {
 		ino.extents = insertExtent(ino.extents, e)
-		if ino.pendingOwner == nil {
-			ino.pendingOwner = make(map[int64]string)
-		}
-		ino.pendingOwner[e.VolOff] = owner
 	}
+	s.intents.publish(ino.id, owner, exts)
 }
 
 // insertExtent inserts e keeping the list sorted by FileOff.
@@ -593,7 +610,7 @@ func (s *Store) applyCommit(ino *inode, owner string, exts []Extent, size int64,
 	for _, a := range acts {
 		if a.idx >= 0 {
 			ino.extents[a.idx].State = StateCommitted
-			delete(ino.pendingOwner, a.ext.VolOff)
+			s.intents.graduate(ino.id, a.ext)
 		} else {
 			e := a.ext
 			e.State = StateCommitted
@@ -690,6 +707,10 @@ func (s *Store) ClientGone(owner string) (orphanBytes int64) {
 }
 
 // applyClientGone collects the spans to free. Caller holds ns exclusively.
+// Rolling back the owner's write intents removes their uncommitted extents
+// from the affected files, so readers that saw them under early visibility
+// simply stop seeing them — the bytes they may have fetched were durable
+// (the device never serves anything else), just never committed.
 func (s *Store) applyClientGone(owner string) []alloc.Span {
 	var freed []alloc.Span
 	for _, d := range s.delegations[owner] {
@@ -698,15 +719,24 @@ func (s *Store) applyClientGone(owner string) []alloc.Span {
 		}
 	}
 	delete(s.delegations, owner)
-	for _, ino := range s.inodes {
-		if len(ino.pendingOwner) == 0 {
+	for fid, exts := range s.intents.rollbackOwner(owner) {
+		ino, ok := s.inodes[fid]
+		if !ok {
 			continue
 		}
 		kept := ino.extents[:0]
 		for _, e := range ino.extents {
-			if e.State == StateUncommitted && ino.pendingOwner[e.VolOff] == owner {
+			dropped := false
+			if e.State == StateUncommitted {
+				for _, re := range exts {
+					if sameExtent(re, e) {
+						dropped = true
+						break
+					}
+				}
+			}
+			if dropped {
 				freed = append(freed, alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len})
-				delete(ino.pendingOwner, e.VolOff)
 				continue
 			}
 			kept = append(kept, e)
@@ -769,10 +799,8 @@ func Recover(cfg Config) (*Store, RecoveryStats, error) {
 	for _, o := range owners {
 		ownerSet[o] = true
 	}
-	for _, ino := range s.inodes {
-		for _, o := range ino.pendingOwner {
-			ownerSet[o] = true
-		}
+	for _, o := range s.intents.owners() {
+		ownerSet[o] = true
 	}
 	s.ns.Unlock()
 

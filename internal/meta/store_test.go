@@ -126,7 +126,7 @@ func TestAllocLayoutAndCommit(t *testing.T) {
 		t.Fatal("fresh extent not uncommitted")
 	}
 	// Reads from other clients see nothing yet.
-	ro, err := s.GetLayout(a.ID, 0, 4096, true)
+	ro, err := s.GetLayout(a.ID, 0, 4096, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestAllocLayoutAndCommit(t *testing.T) {
 	if err := s.Commit("c1", a.ID, lay.Extents, 4096, mt); err != nil {
 		t.Fatal(err)
 	}
-	ro, _ = s.GetLayout(a.ID, 0, 4096, true)
+	ro, _ = s.GetLayout(a.ID, 0, 4096, 0)
 	if len(ro.Extents) != len(lay.Extents) || ro.Extents[0].State != StateCommitted {
 		t.Fatalf("committed layout = %+v", ro.Extents)
 	}
@@ -208,7 +208,7 @@ func TestCommitErrors(t *testing.T) {
 	if _, err := s.AllocLayout("c1", RootID, 0, 10); !errors.Is(err, ErrIsDir) {
 		t.Fatalf("dir alloc err = %v", err)
 	}
-	if _, err := s.GetLayout(999, 0, 10, false); !errors.Is(err, ErrNotFound) {
+	if _, err := s.GetLayout(999, 0, 10, LayoutWantUncommitted); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing getlayout err = %v", err)
 	}
 }
@@ -288,7 +288,7 @@ func TestClientGoneReclaimsOrphans(t *testing.T) {
 		t.Fatalf("free = %d, want %d", got, free0-4096)
 	}
 	// The committed extent survives; the uncommitted one is gone.
-	lay, _ := s.GetLayout(a.ID, 0, 1<<20, false)
+	lay, _ := s.GetLayout(a.ID, 0, 1<<20, LayoutWantUncommitted)
 	if len(lay.Extents) != 1 || lay.Extents[0].State != StateCommitted {
 		t.Fatalf("extents after GC = %+v", lay.Extents)
 	}
@@ -390,7 +390,7 @@ func TestRecoverCommittedExtentsSurvive(t *testing.T) {
 	if attr.Size != 8192 {
 		t.Fatalf("size = %d", attr.Size)
 	}
-	lay2, err := s2.GetLayout(attr.ID, 0, 8192, true)
+	lay2, err := s2.GetLayout(attr.ID, 0, 8192, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +427,7 @@ func TestRecoverGCsOrphans(t *testing.T) {
 		t.Fatalf("free after GC = %d, want all", got)
 	}
 	// File exists but has no extents: the orphan data is unreachable.
-	lay, _ := s2.GetLayout(a.ID, 0, 1<<20, false)
+	lay, _ := s2.GetLayout(a.ID, 0, 1<<20, LayoutWantUncommitted)
 	if len(lay.Extents) != 0 {
 		t.Fatalf("orphan extents visible: %+v", lay.Extents)
 	}
@@ -450,7 +450,7 @@ func TestRecoverDelegationUsedSpansSurvive(t *testing.T) {
 	if st.OrphanBytes != 1<<20-4096 {
 		t.Fatalf("orphan bytes = %d", st.OrphanBytes)
 	}
-	lay, _ := s2.GetLayout(2, 0, 1<<20, true)
+	lay, _ := s2.GetLayout(2, 0, 1<<20, 0)
 	if len(lay.Extents) != 1 || lay.Extents[0].VolOff != sp.Off+4096 {
 		t.Fatalf("committed delegation extent lost: %+v", lay.Extents)
 	}

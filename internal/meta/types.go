@@ -99,6 +99,12 @@ func GetExtents(r *wire.Reader) []Extent {
 type Layout struct {
 	File    FileID
 	Extents []Extent
+	// VisibleEnd is the highest file offset any published write intent of
+	// the file reaches, filled in only for lookups that asked for
+	// uncommitted extents (LayoutWantUncommitted). Readers that opted in
+	// to early visibility use max(committed size, VisibleEnd) as the
+	// file's visible size; committed-only lookups leave it 0.
+	VisibleEnd int64
 }
 
 // Attr is the caller-visible attribute set of an inode.
@@ -117,7 +123,8 @@ type DirEnt struct {
 	Size int64
 }
 
-// inode is the MDS-internal per-file record.
+// inode is the MDS-internal per-file record. Ownership of uncommitted
+// extents lives in the store's intent table, not here.
 type inode struct {
 	id    FileID
 	typ   FileType
@@ -125,10 +132,7 @@ type inode struct {
 	mtime time.Time
 	// extents are sorted by FileOff and non-overlapping.
 	extents []Extent
-	// owner of each uncommitted extent (parallel bookkeeping for GC by
-	// client); committed extents have no owner.
-	pendingOwner map[int64]string // VolOff -> owner
-	nlink        int              // directory entries referencing this inode
+	nlink   int // directory entries referencing this inode
 }
 
 func (ino *inode) attr() Attr {

@@ -29,6 +29,20 @@ const (
 	OpHello
 )
 
+// Protocol versions, negotiated via OpHello. A session that never says
+// hello — or says a v1 hello, which simply omits the version field — is v1
+// and transparently gets committed-only layout behaviour.
+const (
+	// ProtoV1 is the original protocol: a bare `Write bool` on layout
+	// gets, committed-only reads, version-less hello.
+	ProtoV1 uint32 = 1
+	// ProtoV2 adds layout flags (early visibility of uncommitted extents)
+	// and hello version negotiation.
+	ProtoV2 uint32 = 2
+	// ProtoLatest is the highest version this build speaks.
+	ProtoLatest = ProtoV2
+)
+
 // PingReq is an empty liveness probe.
 type PingReq struct{}
 
@@ -205,7 +219,11 @@ type LayoutGetReq struct {
 	File  meta.FileID
 	Off   int64
 	Len   int64
-	Write bool // allocate missing extents
+	// Flags replaces the v1 `Write bool`. meta.LayoutWrite (bit 0)
+	// occupies the byte the bool used, so v1 frames decode unchanged; the
+	// remaining bits (meta.LayoutWantUncommitted) are only honoured for
+	// sessions that negotiated ProtoV2 via OpHello.
+	Flags meta.LayoutFlags
 }
 
 func (m *LayoutGetReq) MarshalWire(b *wire.Buffer) {
@@ -213,7 +231,7 @@ func (m *LayoutGetReq) MarshalWire(b *wire.Buffer) {
 	b.PutU64(uint64(m.File))
 	b.PutI64(m.Off)
 	b.PutI64(m.Len)
-	b.PutBool(m.Write)
+	b.PutU8(uint8(m.Flags))
 }
 
 func (m *LayoutGetReq) UnmarshalWire(r *wire.Reader) error {
@@ -221,7 +239,7 @@ func (m *LayoutGetReq) UnmarshalWire(r *wire.Reader) error {
 	m.File = meta.FileID(r.U64())
 	m.Off = r.I64()
 	m.Len = r.I64()
-	m.Write = r.Bool()
+	m.Flags = meta.LayoutFlags(r.U8())
 	return r.Err()
 }
 
@@ -347,22 +365,59 @@ func (m *DelegReturnReq) UnmarshalWire(r *wire.Reader) error {
 // connect and after every reconnect; comparing the returned incarnation with
 // the last one seen tells the client whether the MDS restarted (and thus
 // recovered, revoking its delegations and uncommitted allocations).
-type HelloReq struct{ Owner string }
+//
+// ProtoVersion is the highest protocol version the client speaks, carried as
+// a trailing-optional field: a v1 client simply does not send it, and the
+// decoder treats its absence as ProtoV1. The marshaller mirrors that — it
+// only appends the field for v2 and later — so a v2 client that downgrades
+// produces frames a v1 server decodes cleanly (the wire layer rejects
+// trailing bytes it does not expect).
+type HelloReq struct {
+	Owner        string
+	ProtoVersion uint32
+}
 
-func (m *HelloReq) MarshalWire(b *wire.Buffer) { b.PutString(m.Owner) }
+func (m *HelloReq) MarshalWire(b *wire.Buffer) {
+	b.PutString(m.Owner)
+	if m.ProtoVersion >= ProtoV2 {
+		b.PutU32(m.ProtoVersion)
+	}
+}
 
 func (m *HelloReq) UnmarshalWire(r *wire.Reader) error {
 	m.Owner = r.String()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.ProtoVersion = r.U32()
+	} else {
+		m.ProtoVersion = ProtoV1
+	}
 	return r.Err()
 }
 
-// HelloResp carries the MDS incarnation number, bumped on every restart.
-type HelloResp struct{ Incarnation uint64 }
+// HelloResp carries the MDS incarnation number, bumped on every restart, and
+// the negotiated protocol version: min(client's offer, ProtoLatest). The
+// version is trailing-optional with the same rule as HelloReq, so a v1
+// client — which never offered a version and expects the v1 frame — gets
+// exactly the v1 frame back.
+type HelloResp struct {
+	Incarnation  uint64
+	ProtoVersion uint32
+}
 
-func (m *HelloResp) MarshalWire(b *wire.Buffer) { b.PutU64(m.Incarnation) }
+func (m *HelloResp) MarshalWire(b *wire.Buffer) {
+	b.PutU64(m.Incarnation)
+	if m.ProtoVersion >= ProtoV2 {
+		b.PutU32(m.ProtoVersion)
+	}
+}
 
 func (m *HelloResp) UnmarshalWire(r *wire.Reader) error {
 	m.Incarnation = r.U64()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.ProtoVersion = r.U32()
+	} else {
+		m.ProtoVersion = ProtoV1
+	}
 	return r.Err()
 }
 

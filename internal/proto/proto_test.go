@@ -80,11 +80,87 @@ func TestLayoutRoundTrip(t *testing.T) {
 }
 
 func TestLayoutGetReqRoundTrip(t *testing.T) {
-	in := &LayoutGetReq{Owner: "c9", File: 11, Off: 100, Len: 200, Write: true}
+	for _, flags := range []meta.LayoutFlags{0, meta.LayoutWrite, meta.LayoutWantUncommitted, meta.LayoutWrite | meta.LayoutWantUncommitted} {
+		in := &LayoutGetReq{Owner: "c9", File: 11, Off: 100, Len: 200, Flags: flags}
+		var out LayoutGetReq
+		roundTrip(t, in, &out)
+		if out != *in {
+			t.Fatalf("got %+v", out)
+		}
+	}
+}
+
+// TestLayoutGetReqV1WireCompat proves the Flags byte occupies exactly the
+// position the v1 `Write bool` used: a frame hand-encoded the v1 way decodes
+// into the v2 struct with only the write bit set, and a v2 frame using only
+// the write bit is byte-identical to the v1 encoding.
+func TestLayoutGetReqV1WireCompat(t *testing.T) {
+	var b wire.Buffer
+	b.PutString("c9")
+	b.PutU64(11)
+	b.PutI64(100)
+	b.PutI64(200)
+	b.PutBool(true) // v1 Write field
+	v1 := append([]byte(nil), b.Bytes()...)
+
 	var out LayoutGetReq
+	if err := wire.Decode(v1, &out); err != nil {
+		t.Fatalf("decode v1 frame: %v", err)
+	}
+	if out.Flags != meta.LayoutWrite {
+		t.Fatalf("v1 Write bool decoded as flags %v, want %v", out.Flags, meta.LayoutWrite)
+	}
+	v2 := wire.Encode(&LayoutGetReq{Owner: "c9", File: 11, Off: 100, Len: 200, Flags: meta.LayoutWrite})
+	if string(v2) != string(v1) {
+		t.Fatalf("v2 write-only frame differs from v1 encoding:\n v1 % x\n v2 % x", v1, v2)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := &HelloReq{Owner: "c3", ProtoVersion: ProtoV2}
+	var out HelloReq
 	roundTrip(t, in, &out)
 	if out != *in {
 		t.Fatalf("got %+v", out)
+	}
+	rin := &HelloResp{Incarnation: 7, ProtoVersion: ProtoV2}
+	var rout HelloResp
+	roundTrip(t, rin, &rout)
+	if rout != *rin {
+		t.Fatalf("got %+v", rout)
+	}
+}
+
+// TestHelloVersionDowngrade pins the trailing-optional encoding both ways:
+// a v1 frame (no version field) decodes as ProtoV1, and a struct whose
+// version is v1 (or unset) marshals to exactly the v1 frame — so a v1 peer
+// on either side of the handshake never sees bytes it cannot decode.
+func TestHelloVersionDowngrade(t *testing.T) {
+	var b wire.Buffer
+	b.PutString("old")
+	var req HelloReq
+	if err := wire.Decode(b.Bytes(), &req); err != nil {
+		t.Fatalf("decode v1 hello: %v", err)
+	}
+	if req.ProtoVersion != ProtoV1 {
+		t.Fatalf("version-less hello decoded as v%d, want v%d", req.ProtoVersion, ProtoV1)
+	}
+	for _, ver := range []uint32{0, ProtoV1} {
+		if got := wire.Encode(&HelloReq{Owner: "old", ProtoVersion: ver}); string(got) != string(b.Bytes()) {
+			t.Fatalf("v%d hello not encoded as the v1 frame: % x", ver, got)
+		}
+	}
+	var rb wire.Buffer
+	rb.PutU64(9)
+	var resp HelloResp
+	if err := wire.Decode(rb.Bytes(), &resp); err != nil {
+		t.Fatalf("decode v1 hello resp: %v", err)
+	}
+	if resp.Incarnation != 9 || resp.ProtoVersion != ProtoV1 {
+		t.Fatalf("got %+v", resp)
+	}
+	if got := wire.Encode(&HelloResp{Incarnation: 9, ProtoVersion: ProtoV1}); string(got) != string(rb.Bytes()) {
+		t.Fatalf("v1 hello resp encoding: % x", got)
 	}
 }
 
@@ -165,6 +241,8 @@ func TestQuickDecodersNeverPanic(t *testing.T) {
 		func() wire.Unmarshaler { return &DelegateReq{} },
 		func() wire.Unmarshaler { return &DelegReturnReq{} },
 		func() wire.Unmarshaler { return &StatResp{} },
+		func() wire.Unmarshaler { return &HelloReq{} },
+		func() wire.Unmarshaler { return &HelloResp{} },
 	}
 	f := func(raw []byte, pick uint8) bool {
 		_ = wire.Decode(raw, targets[int(pick)%len(targets)]())

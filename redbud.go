@@ -22,12 +22,14 @@ package redbud
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"redbud/internal/bench"
 	"redbud/internal/blockdev"
 	"redbud/internal/client"
 	"redbud/internal/fsapi"
+	"redbud/internal/meta"
 )
 
 // Re-exported file-system types: the API every mount speaks.
@@ -46,6 +48,36 @@ var (
 	ErrExist    = fsapi.ErrExist
 	ErrIsDir    = fsapi.ErrIsDir
 	ErrClosed   = fsapi.ErrClosed
+)
+
+// Layout protocol (v2) types, re-exported so tooling outside the module's
+// internal packages has one public entry point to the extent map.
+type (
+	// LayoutFlags selects what a layout lookup returns (and whether it
+	// allocates).
+	LayoutFlags = meta.LayoutFlags
+	// ExtentState is an extent's commit status.
+	ExtentState = meta.ExtentState
+	// Extent is one <file offset, length, device, volume offset, state>
+	// mapping.
+	Extent = meta.Extent
+	// Layout is the extent collection covering a file range, plus the
+	// visible end published by write intents.
+	Layout = meta.Layout
+)
+
+// Layout lookup flags and extent states of the v2 protocol.
+const (
+	// LayoutWrite allocates backing space for the range (a write layout).
+	LayoutWrite = meta.LayoutWrite
+	// LayoutWantUncommitted additionally returns other clients'
+	// published-but-uncommitted write intents — the early-visibility view.
+	LayoutWantUncommitted = meta.LayoutWantUncommitted
+
+	// StateUncommitted marks an extent whose commit has not landed yet.
+	StateUncommitted = meta.StateUncommitted
+	// StateCommitted marks a durably committed extent.
+	StateCommitted = meta.StateCommitted
 )
 
 // Mode selects the update protocol.
@@ -81,6 +113,13 @@ type Config struct {
 	// FastDevices swaps the realistic 2012-era HDD model for a light one,
 	// for functional use where latency realism is not wanted.
 	FastDevices bool
+	// EarlyVisibility lets clients read other writers' durable-but-
+	// uncommitted extents through the layout-v2 intent path instead of
+	// stalling conflict reads until the writer's delayed commit lands.
+	// Intents are published when the MDS allocates, so the knob shows its
+	// effect with SpaceDelegation off (a delegated writer allocates
+	// locally and discloses extents only at commit).
+	EarlyVisibility bool
 }
 
 // Cluster is a running simulated deployment.
@@ -112,6 +151,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	opt.CompoundDegree = cfg.CompoundDegree
 	opt.DelegationChunk = cfg.SpaceDelegation
+	opt.EarlyVisibility = cfg.EarlyVisibility
 	if cfg.FastDevices {
 		opt.Disk = blockdev.FastHDD()
 		opt.MDSOpCost = 0
@@ -138,6 +178,30 @@ func (c *Cluster) Client(i int) *client.Client { return c.inner.Redbud[i] }
 
 // Drain blocks until every pending delayed commit has been applied.
 func (c *Cluster) Drain() { c.inner.Drain() }
+
+// FileLayout resolves path on the metadata server and returns the extent
+// layout of [off, off+n). Flags follow the v2 layout protocol: 0 is the
+// committed-only view; LayoutWantUncommitted additionally returns published
+// write intents with State == StateUncommitted and sets the layout's
+// VisibleEnd. It never allocates — LayoutWrite is rejected.
+func (c *Cluster) FileLayout(path string, off, n int64, flags LayoutFlags) (Layout, error) {
+	if flags&LayoutWrite != 0 {
+		return Layout{}, fmt.Errorf("redbud: FileLayout is read-only; LayoutWrite not allowed")
+	}
+	st := c.inner.Store
+	id := meta.RootID
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		attr, err := st.Lookup(id, part)
+		if err != nil {
+			return Layout{}, err
+		}
+		id = attr.ID
+	}
+	return st.GetLayout(id, off, n, flags)
+}
 
 // Stats summarizes cluster-wide activity.
 type Stats struct {
