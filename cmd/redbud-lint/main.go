@@ -1,5 +1,6 @@
 // Command redbud-lint runs redbud's static-analysis suite (internal/lint):
-// lockorder, durability, simclock and senterr.
+// lockorder, durability, simclock, senterr, hotpath, wiresym, wireevolve and
+// wirealias.
 //
 // It speaks two protocols:
 //
@@ -11,6 +12,13 @@
 //     same unit-checker protocol used by golang.org/x/tools analyzers. This
 //     is the mode CI uses: the go command handles package discovery, export
 //     data and caching.
+//
+// A third mode gates the wire schema: `redbud-lint -wireschema` extracts the
+// canonical put/get schema of every wire message in the module and diffs it
+// against the committed lockfile internal/lint/testdata/wire_schema.golden,
+// failing on any frame-layout drift; `-wireschema -update` regenerates the
+// lockfile after an intentional change (bump proto.ProtoVersion first if the
+// change is visible on the wire).
 //
 // Exit status: 0 for no findings, 1 for an internal error, 2 if any
 // diagnostic was reported.
@@ -37,8 +45,11 @@ import (
 func main() {
 	versionFlag := flag.String("V", "", "print version and exit (the go command probes with -V=full)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON (go vet probe)")
+	wireschemaFlag := flag.Bool("wireschema", false, "diff the module's extracted wire schema against the committed lockfile")
+	updateFlag := flag.Bool("update", false, "with -wireschema: regenerate the lockfile instead of diffing")
+	goldenFlag := flag.String("golden", "", "with -wireschema: lockfile path (default internal/lint/testdata/wire_schema.golden)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: redbud-lint [packages]\n   or: go vet -vettool=$(command -v redbud-lint) [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: redbud-lint [packages]\n   or: redbud-lint -wireschema [-update]\n   or: go vet -vettool=$(command -v redbud-lint) [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -70,6 +81,9 @@ func main() {
 		return
 	}
 
+	if *wireschemaFlag {
+		os.Exit(runWireSchema(*updateFlag, *goldenFlag))
+	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runUnit(args[0]))
 	}
@@ -130,6 +144,103 @@ func runStandalone(args []string) int {
 		}
 	}
 	return exit
+}
+
+// ---------------------------------------------------------------------------
+// Wire-schema lockfile mode
+
+// runWireSchema extracts the canonical wire schema of every module package,
+// renders the deterministic lockfile text, and either diffs it against the
+// committed golden (exit 2 on drift) or rewrites the golden (-update).
+func runWireSchema(update bool, goldenPath string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var schemas []*lint.MessageSchema
+	protoVersion := "unknown"
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		schemas = append(schemas, lint.ExtractWireSchemas(pkg.Fset, pkg.Files, pkg.Info, pkg.Types)...)
+		if pkg.Types.Name() == "proto" {
+			if v := protoLatestValue(pkg.Types); v != "" {
+				protoVersion = v
+			}
+		}
+	}
+	got := lint.RenderWireSchemas(schemas, protoVersion)
+
+	if goldenPath == "" {
+		goldenPath = filepath.Join(root, "internal", "lint", "testdata", "wire_schema.golden")
+	}
+	if update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("redbud-lint: wrote %s (%d messages)\n", goldenPath, len(schemas))
+		return 0
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		fatalf("reading lockfile: %v (generate it with -wireschema -update)", err)
+	}
+	if string(want) == got {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "redbud-lint: wire schema drifted from %s:\n", goldenPath)
+	printLineDiff(os.Stderr, string(want), got)
+	fmt.Fprintf(os.Stderr, "\nThe frame layout no longer matches the committed lockfile. If the change\nis intentional: bump proto.ProtoVersion for any wire-visible change (and\ngate the new fields as trailing optionals), then regenerate with\n`redbud-lint -wireschema -update`.\n")
+	return 2
+}
+
+// protoLatestValue reads the proto package's ProtoLatest constant, rendered
+// as "v<N>" for the lockfile header.
+func protoLatestValue(pkg *types.Package) string {
+	c, ok := pkg.Scope().Lookup("ProtoLatest").(*types.Const)
+	if !ok {
+		return ""
+	}
+	return "v" + c.Val().ExactString()
+}
+
+// printLineDiff prints a set-style diff of two sorted-line documents:
+// `-` lines only in the lockfile, `+` lines only in the extracted schema.
+func printLineDiff(w io.Writer, want, got string) {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	inWant := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		inWant[l] = true
+	}
+	inGot := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		inGot[l] = true
+	}
+	for _, l := range wantLines {
+		if !inGot[l] {
+			fmt.Fprintf(w, "  - %s\n", l)
+		}
+	}
+	for _, l := range gotLines {
+		if !inWant[l] {
+			fmt.Fprintf(w, "  + %s\n", l)
+		}
+	}
 }
 
 func findModuleRoot(dir string) (string, error) {

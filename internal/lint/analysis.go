@@ -1,6 +1,6 @@
 // Package lint is redbud's static-analysis suite: a small, dependency-free
 // equivalent of golang.org/x/tools/go/analysis (which cannot be vendored
-// here) plus five project-specific analyzers that mechanically enforce the
+// here) plus eight project-specific analyzers that mechanically enforce the
 // invariants DESIGN.md states in prose:
 //
 //   - lockorder: the namespace → inode-stripe → delegation → journal lock
@@ -18,6 +18,15 @@
 //     frame send/recv and journal append paths) stay free of
 //     heap-allocating constructs — fmt formatting, unsized append growth,
 //     capturing closures.
+//   - wiresym: every MarshalWire/UnmarshalWire pair (and PutX/GetX helper
+//     pair) produces identical field sequences — order, width, loop and
+//     optional nesting — per the wire-schema extractor.
+//   - wireevolve: optional wire fields are trailing and guarded by
+//     r.Remaining(); v2-gated capability flags are version-clamped before
+//     the MDS acts on them.
+//   - wirealias: slices from r.BytesRef() alias a pooled receive frame and
+//     must not be stored through receivers/parameters/globals or sent on
+//     channels without a copy.
 //
 // The analyzers run over type-checked packages loaded either from the module
 // tree (standalone `redbud-lint ./...`), from a `go vet -vettool` config, or
@@ -92,7 +101,7 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 
 // Analyzers is the full suite in the order the driver runs them.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockOrder, Durability, SimClock, SentErr, Hotpath}
+	return []*Analyzer{LockOrder, Durability, SimClock, SentErr, Hotpath, WireSym, WireEvolve, WireAlias}
 }
 
 // Run executes the analyzers over one loaded package and returns the

@@ -89,3 +89,10 @@ func TestSimClockFixture(t *testing.T)   { runFixture(t, SimClock, "simclock") }
 func TestSimClockDebugHTTPAllowed(t *testing.T) { runFixture(t, SimClock, "debughttp") }
 func TestSentErrFixture(t *testing.T)           { runFixture(t, SentErr, "senterr") }
 func TestHotpathFixture(t *testing.T)           { runFixture(t, Hotpath, "hotpath") }
+func TestWireSymFixture(t *testing.T)           { runFixture(t, WireSym, "wiresym") }
+func TestWireEvolveFixture(t *testing.T)        { runFixture(t, WireEvolve, "wireevolve") }
+
+// TestWireEvolveClampFixture checks rule 3 against a fixture MDS: consuming
+// the v2-gated LayoutWantUncommitted flag without a session-version clamp.
+func TestWireEvolveClampFixture(t *testing.T) { runFixture(t, WireEvolve, "mds") }
+func TestWireAliasFixture(t *testing.T)       { runFixture(t, WireAlias, "wirealias") }

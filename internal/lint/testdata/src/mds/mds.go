@@ -1,0 +1,36 @@
+// Package mds exercises the wireevolve version-clamp rule: any function
+// consuming the v2-gated LayoutWantUncommitted flag must strip it for
+// sessions that negotiated less than v2.
+package mds
+
+import (
+	"meta"
+	"proto"
+)
+
+// Server mirrors the MDS session surface.
+type Server struct {
+	versions map[string]uint32
+}
+
+func (s *Server) sessionVersion(owner string) uint32 {
+	if v, ok := s.versions[owner]; ok {
+		return v
+	}
+	return 1
+}
+
+// handleClamped is the sanctioned downgrade: the v2 bit is stripped before
+// anything acts on it.
+func (s *Server) handleClamped(owner string, flags meta.LayoutFlags) meta.LayoutFlags {
+	if flags.Has(meta.LayoutWantUncommitted) && s.sessionVersion(owner) < proto.ProtoV2 {
+		flags &^= meta.LayoutWantUncommitted
+	}
+	return flags
+}
+
+// handleUnclamped honours the v2 capability for every session, including v1
+// peers that cannot even have requested it legitimately.
+func (s *Server) handleUnclamped(owner string, flags meta.LayoutFlags) bool {
+	return flags.Has(meta.LayoutWantUncommitted) // want `consumed without a protocol-version clamp`
+}

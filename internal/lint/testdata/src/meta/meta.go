@@ -1,0 +1,16 @@
+// Package meta mirrors the layout-flag surface of redbud's internal/meta
+// for the wireevolve version-clamp fixtures. Only the names matter.
+package meta
+
+// LayoutFlags selects the behaviour of a layout lookup.
+type LayoutFlags uint8
+
+const (
+	// LayoutWrite declares write intent.
+	LayoutWrite LayoutFlags = 1 << 0
+	// LayoutWantUncommitted is the v2-gated early-visibility capability.
+	LayoutWantUncommitted LayoutFlags = 1 << 1
+)
+
+// Has reports whether every bit in bits is set.
+func (f LayoutFlags) Has(bits LayoutFlags) bool { return f&bits == bits }

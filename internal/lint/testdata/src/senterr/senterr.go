@@ -23,3 +23,40 @@ func badBare(name string) error {
 func badLeaf() error {
 	return errors.New("meta: transient") // want `unmatchable leaf error`
 }
+
+// The intent-table shapes: error paths added to the write-intent table must
+// wrap a sentinel exactly like every other meta error.
+
+// ErrIntentConflict mirrors the real table's corruption sentinel.
+var ErrIntentConflict = errors.New("meta: conflicting write intent")
+
+type intentTable struct {
+	owners map[uint64]string
+}
+
+// publishGood rejects a cross-owner collision with the wrapped sentinel.
+func (t *intentTable) publishGood(id uint64, owner string) error {
+	if prev, ok := t.owners[id]; ok && prev != owner {
+		return fmt.Errorf("%w: file %d held by %q, republished by %q", ErrIntentConflict, id, prev, owner)
+	}
+	t.owners[id] = owner
+	return nil
+}
+
+// publishBareWrap formats the collision without %w: errors.Is can't see it.
+func (t *intentTable) publishBareWrap(id uint64, owner string) error {
+	if prev, ok := t.owners[id]; ok && prev != owner {
+		return fmt.Errorf("intent conflict on file %d: %s vs %s", id, prev, owner) // want `without %w is not errors.Is-able`
+	}
+	t.owners[id] = owner
+	return nil
+}
+
+// publishLeaf mints a fresh unmatchable error per call site.
+func (t *intentTable) publishLeaf(id uint64, owner string) error {
+	if prev, ok := t.owners[id]; ok && prev != owner {
+		return errors.New("meta: intent conflict") // want `unmatchable leaf error`
+	}
+	t.owners[id] = owner
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package wire mirrors the codec surface of redbud's internal/wire for
+// analyzer fixtures: the Buffer/Reader method sets the wire-schema extractor
+// keys on, with no-op bodies. Only names and signatures matter.
+package wire
+
+// Buffer is the fixture stand-in for the append-only encode buffer.
+type Buffer struct{ buf []byte }
+
+func (b *Buffer) PutU8(v uint8)      {}
+func (b *Buffer) PutBool(v bool)     {}
+func (b *Buffer) PutU16(v uint16)    {}
+func (b *Buffer) PutU32(v uint32)    {}
+func (b *Buffer) PutU64(v uint64)    {}
+func (b *Buffer) PutI64(v int64)     {}
+func (b *Buffer) PutF64(v float64)   {}
+func (b *Buffer) PutBytes(p []byte)  {}
+func (b *Buffer) PutString(s string) {}
+
+// Reader is the fixture stand-in for the bounds-checked decode cursor.
+type Reader struct{ off int }
+
+func (r *Reader) U8() uint8        { return 0 }
+func (r *Reader) Bool() bool       { return false }
+func (r *Reader) U16() uint16      { return 0 }
+func (r *Reader) U32() uint32      { return 0 }
+func (r *Reader) U64() uint64      { return 0 }
+func (r *Reader) I64() int64       { return 0 }
+func (r *Reader) F64() float64     { return 0 }
+func (r *Reader) Bytes() []byte    { return nil }
+func (r *Reader) BytesRef() []byte { return nil }
+func (r *Reader) String() string   { return "" }
+func (r *Reader) Remaining() int   { return 0 }
+func (r *Reader) Err() error       { return nil }

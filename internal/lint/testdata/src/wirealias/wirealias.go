@@ -1,0 +1,77 @@
+// Package wirealias exercises the pooled-frame aliasing analyzer: slices
+// from r.BytesRef() must not be retained past the decode/handler return.
+package wirealias
+
+import "wire"
+
+// Retained stores the alias through the receiver — the classic leak: the
+// message outlives the pooled frame the slice points into.
+type Retained struct {
+	Off  int64
+	Data []byte
+}
+
+func (m *Retained) UnmarshalWire(r *wire.Reader) error {
+	m.Off = r.I64()
+	m.Data = r.BytesRef() // want `stores a frame-aliasing BytesRef slice through non-local m`
+	return r.Err()
+}
+
+// Copied uses the copying accessor — fine.
+type Copied struct{ Data []byte }
+
+func (m *Copied) UnmarshalWire(r *wire.Reader) error {
+	m.Data = r.Bytes()
+	return r.Err()
+}
+
+// AppendCopy materialises a private copy before the store — fine: append
+// onto a nil destination allocates fresh backing.
+type AppendCopy struct{ Data []byte }
+
+func (m *AppendCopy) UnmarshalWire(r *wire.Reader) error {
+	m.Data = append([]byte(nil), r.BytesRef()...)
+	return r.Err()
+}
+
+// Allowed is a deliberate zero-copy handoff, certified by annotation.
+type Allowed struct{ Data []byte }
+
+func (m *Allowed) UnmarshalWire(r *wire.Reader) error {
+	m.Data = r.BytesRef() //lint:allow wirealias — consumer copies before the frame is recycled
+	return r.Err()
+}
+
+// sink demonstrates the package-level escape.
+var sink []byte
+
+func stash(r *wire.Reader) {
+	sink = r.BytesRef() // want `package-level sink`
+}
+
+// transient keeps the alias purely local — fine.
+func transient(r *wire.Reader) int {
+	p := r.BytesRef()
+	return len(p)
+}
+
+// response mirrors the rpc readLoop shape: the alias is laundered through a
+// local struct, a slice-of, and then escapes on a channel.
+type response struct {
+	payload []byte
+}
+
+func relay(r *wire.Reader, ch chan response) {
+	var resp response
+	resp.payload = r.BytesRef()
+	head := resp.payload[:4]
+	_ = head
+	ch <- resp // want `sends a frame-aliasing BytesRef slice on a channel`
+}
+
+// relayCopy breaks the alias before the send — fine.
+func relayCopy(r *wire.Reader, ch chan response) {
+	var resp response
+	resp.payload = append([]byte(nil), r.BytesRef()...)
+	ch <- resp
+}

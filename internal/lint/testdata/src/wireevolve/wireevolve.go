@@ -1,0 +1,98 @@
+// Package wireevolve exercises the protocol-evolution analyzer's sequence
+// rules: optionals must be trailing and decoder-side Remaining()-guarded.
+package wireevolve
+
+import "wire"
+
+// Evolvable is the sanctioned v2 idiom: the optional field is last, the
+// encoder gates on the negotiated version, the decoder on r.Remaining().
+type Evolvable struct {
+	Owner   string
+	Version uint32
+}
+
+func (m *Evolvable) MarshalWire(b *wire.Buffer) {
+	b.PutString(m.Owner)
+	if m.Version >= 2 {
+		b.PutU32(m.Version)
+	}
+}
+
+func (m *Evolvable) UnmarshalWire(r *wire.Reader) error {
+	m.Owner = r.String()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Version = r.U32()
+	} else {
+		m.Version = 1
+	}
+	return r.Err()
+}
+
+// MidOptional inserts the optional before a required field: a peer that
+// omits it shifts everything after.
+type MidOptional struct {
+	Owner   string
+	Version uint32
+	File    uint64
+}
+
+func (m *MidOptional) MarshalWire(b *wire.Buffer) {
+	b.PutString(m.Owner)
+	if m.Version >= 2 { // want `optional field group is not trailing`
+		b.PutU32(m.Version)
+	}
+	b.PutU64(m.File)
+}
+
+func (m *MidOptional) UnmarshalWire(r *wire.Reader) error {
+	m.Owner = r.String()
+	if r.Err() == nil && r.Remaining() > 12 { // want `optional field group is not trailing`
+		m.Version = r.U32()
+	}
+	m.File = r.U64()
+	return r.Err()
+}
+
+// Unguarded gates the decoder-side optional on decoded data instead of
+// r.Remaining(): a short v1 frame becomes a decode error instead of
+// "field absent".
+type Unguarded struct {
+	Kind    uint8
+	Version uint32
+}
+
+func (m *Unguarded) MarshalWire(b *wire.Buffer) {
+	b.PutU8(m.Kind)
+	if m.Version >= 2 {
+		b.PutU32(m.Version)
+	}
+}
+
+func (m *Unguarded) UnmarshalWire(r *wire.Reader) error {
+	m.Kind = r.U8()
+	if m.Kind >= 2 { // want `not guarded by r.Remaining\(\)`
+		m.Version = r.U32()
+	}
+	return r.Err()
+}
+
+// LoopOptional buries an optional inside a repeated element, where
+// concatenation leaves no boundary to detect absence from.
+type LoopOptional struct {
+	Tags []Tag
+}
+
+type Tag struct {
+	Key  string
+	Note string
+}
+
+func (m *LoopOptional) MarshalWire(b *wire.Buffer) {
+	b.PutU32(uint32(len(m.Tags)))
+	for _, t := range m.Tags {
+		b.PutString(t.Key)
+		if t.Note != "" { // want `inside a repeated element is not evolvable`
+			b.PutString(t.Note)
+		}
+	}
+}

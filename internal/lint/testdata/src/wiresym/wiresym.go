@@ -1,0 +1,157 @@
+// Package wiresym exercises the Marshal/Unmarshal symmetry analyzer.
+package wiresym
+
+import "wire"
+
+// Good round-trips: field order, widths, loop and optional structure all
+// line up, including a nested message and a helper pair.
+type Good struct {
+	A uint64
+	B string
+	C []uint32
+	E Elem
+	P []Pair
+	V uint32 // v2 trailing optional
+}
+
+type Elem struct{ X int64 }
+
+func (m *Elem) MarshalWire(b *wire.Buffer)         { b.PutI64(m.X) }
+func (m *Elem) UnmarshalWire(r *wire.Reader) error { m.X = r.I64(); return r.Err() }
+
+type Pair struct{ K, V uint32 }
+
+// PutPairs/GetPairs is a helper pair, like meta.PutExtents/GetExtents.
+func PutPairs(b *wire.Buffer, ps []Pair) {
+	b.PutU32(uint32(len(ps)))
+	for _, p := range ps {
+		b.PutU32(p.K)
+		b.PutU32(p.V)
+	}
+}
+
+func GetPairs(r *wire.Reader) []Pair {
+	n := int(r.U32())
+	if r.Err() != nil || n > 1<<20 {
+		return nil
+	}
+	out := make([]Pair, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Pair{K: r.U32(), V: r.U32()})
+	}
+	return out
+}
+
+func (m *Good) MarshalWire(b *wire.Buffer) {
+	b.PutU64(m.A)
+	b.PutString(m.B)
+	b.PutU32(uint32(len(m.C)))
+	for _, v := range m.C {
+		b.PutU32(v)
+	}
+	m.E.MarshalWire(b)
+	PutPairs(b, m.P)
+	if m.V != 0 {
+		b.PutU32(m.V)
+	}
+}
+
+func (m *Good) UnmarshalWire(r *wire.Reader) error {
+	m.A = r.U64()
+	m.B = r.String()
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		m.C = append(m.C, r.U32())
+	}
+	if err := m.E.UnmarshalWire(r); err != nil {
+		return err
+	}
+	m.P = GetPairs(r)
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.V = r.U32()
+	}
+	return r.Err()
+}
+
+// Swapped decodes its two fields in the wrong order.
+type Swapped struct {
+	A uint64
+	B string
+}
+
+func (m *Swapped) MarshalWire(b *wire.Buffer) {
+	b.PutU64(m.A)
+	b.PutString(m.B)
+}
+
+func (m *Swapped) UnmarshalWire(r *wire.Reader) error {
+	m.B = r.String() // want `field 0: encoder writes u64, decoder reads str`
+	m.A = r.U64()
+	return r.Err()
+}
+
+// Narrow writes 4 bytes and reads back 8.
+type Narrow struct{ N uint32 }
+
+func (m *Narrow) MarshalWire(b *wire.Buffer) { b.PutU32(m.N) }
+
+func (m *Narrow) UnmarshalWire(r *wire.Reader) error {
+	m.N = uint32(r.U64()) // want `width mismatch: encoder writes u32 \(4 bytes\), decoder reads u64 \(8 bytes\)`
+	return r.Err()
+}
+
+// Short reads fewer fields than the encoder writes.
+type Short struct{ A, B uint64 }
+
+func (m *Short) MarshalWire(b *wire.Buffer) {
+	b.PutU64(m.A)
+	b.PutU64(m.B)
+}
+
+func (m *Short) UnmarshalWire(r *wire.Reader) error { // want `encoder writes 2 fields, decoder reads 1`
+	m.A = r.U64()
+	return r.Err()
+}
+
+// Flat encodes a repeated group but decodes it as flat fields.
+type Flat struct{ C []uint32 }
+
+func (m *Flat) MarshalWire(b *wire.Buffer) {
+	b.PutU32(uint32(len(m.C)))
+	for _, v := range m.C {
+		b.PutU32(v)
+	}
+}
+
+func (m *Flat) UnmarshalWire(r *wire.Reader) error {
+	n := r.U32()
+	_ = n
+	m.C = append(m.C, r.U32()) // want `field 1: encoder writes loop\[u32\], decoder reads u32`
+	return r.Err()
+}
+
+// LoopBody has matching loop structure but mismatched element layout.
+type LoopBody struct{ P []Pair }
+
+func (m *LoopBody) MarshalWire(b *wire.Buffer) {
+	b.PutU32(uint32(len(m.P)))
+	for _, p := range m.P {
+		b.PutU32(p.K)
+		b.PutU32(p.V)
+	}
+}
+
+func (m *LoopBody) UnmarshalWire(r *wire.Reader) error {
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		k := r.U32()
+		v := r.U64() // want `inside repeated group at field 1: field 1: width mismatch`
+		m.P = append(m.P, Pair{K: k, V: uint32(v)})
+	}
+	return r.Err()
+}
+
+// Orphan has an encoder and no decoder.
+type Orphan struct{ A uint64 }
+
+func (m *Orphan) MarshalWire(b *wire.Buffer) { b.PutU64(m.A) } // want `has an encoder but no matching decoder`

@@ -1,0 +1,192 @@
+package lint
+
+// wirealias: a slice obtained from wire.Reader.BytesRef() aliases a pooled
+// receive frame (wire.GetFrame). The frame is recycled when the handler
+// returns (server) or immediately after decode (client), so a BytesRef slice
+// may only be consumed before that point. Retaining it — storing it through
+// a receiver/parameter/global or sending it on a channel — races with frame
+// reuse and corrupts unrelated traffic.
+//
+// The check is an intraprocedural taint walk: BytesRef results (and locals,
+// slices-of, and composites built from them) are tainted; a store that lets
+// a tainted value escape the function is reported. Returning a tainted value
+// is allowed — it is an explicit ownership handoff the caller must audit.
+// Deliberate zero-copy handoffs are annotated `//lint:allow wirealias`, and
+// that annotation certifies the message's consumers were audited too: taint
+// does not flow across function boundaries.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WireAlias checks that frame-aliasing BytesRef slices do not outlive the
+// decode.
+var WireAlias = &Analyzer{
+	Name: "wirealias",
+	Doc:  "r.BytesRef() slices alias a pooled frame and must not be retained past handler return",
+	Run:  runWireAlias,
+}
+
+func runWireAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAliasEscapes(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+type aliasWalker struct {
+	pass    *Pass
+	body    *ast.BlockStmt
+	tainted map[types.Object]bool
+}
+
+// checkAliasEscapes walks one function body in source order (which matches
+// statement order for the shapes decoders and handlers use) propagating
+// taint and reporting escapes.
+func checkAliasEscapes(pass *Pass, body *ast.BlockStmt) {
+	w := &aliasWalker{pass: pass, body: body, tainted: make(map[types.Object]bool)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal gets its own scope and its own walk; locals of the
+			// enclosing function captured by it stay visible via w.tainted
+			// of the outer walker being separate — conservative but the
+			// codecs never close over frame slices.
+			checkAliasEscapes(w.pass, n.Body)
+			return false
+		case *ast.AssignStmt:
+			w.assign(n)
+		case *ast.SendStmt:
+			if w.exprTainted(n.Value) {
+				w.pass.Reportf(n.Pos(), "sends a frame-aliasing BytesRef slice on a channel: the receiver outlives the pooled frame; copy with r.Bytes() or annotate //lint:allow wirealias after auditing the receiver")
+			}
+		}
+		return true
+	})
+}
+
+func (w *aliasWalker) assign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		// Multi-value form (`a, b := f()`): BytesRef is single-valued, and
+		// no codec-adjacent multi-value call returns frame aliases.
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if !w.exprTainted(n.Rhs[i]) {
+			continue
+		}
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := w.pass.Info.Defs[target]
+			if obj == nil {
+				obj = w.pass.Info.Uses[target]
+			}
+			if obj == nil {
+				continue
+			}
+			if w.isLocal(obj) {
+				w.tainted[obj] = true
+			} else {
+				w.pass.Reportf(n.Pos(), "stores a frame-aliasing BytesRef slice in package-level %s: it outlives the pooled frame; copy with r.Bytes() or annotate //lint:allow wirealias", target.Name)
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			root := rootIdent(target)
+			if root == nil {
+				continue
+			}
+			obj := w.pass.Info.Uses[root]
+			if obj != nil && w.isLocal(obj) {
+				// Field/element store into a purely local value: the
+				// container is now tainted (it may later escape whole).
+				w.tainted[obj] = true
+				continue
+			}
+			w.pass.Reportf(n.Pos(), "stores a frame-aliasing BytesRef slice through non-local %s, which outlives the call: the pooled frame is recycled at handler return; copy with r.Bytes() or annotate //lint:allow wirealias after auditing every consumer", root.Name)
+		}
+	}
+}
+
+// isLocal reports whether obj is declared inside the walked body — i.e. not
+// a receiver, parameter, or package-level variable, all of which outlive the
+// call.
+func (w *aliasWalker) isLocal(obj types.Object) bool {
+	return obj.Pos() >= w.body.Pos() && obj.Pos() < w.body.End()
+}
+
+// rootIdent returns the base identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprTainted reports whether e evaluates to a frame-aliasing value.
+func (w *aliasWalker) exprTainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pass.Info.Uses[e]
+		return obj != nil && w.tainted[obj]
+	case *ast.SelectorExpr:
+		// Reading a field of a tainted container yields (possibly) the
+		// alias back.
+		if root := rootIdent(e); root != nil {
+			obj := w.pass.Info.Uses[root]
+			return obj != nil && w.tainted[obj]
+		}
+	case *ast.SliceExpr:
+		return w.exprTainted(e.X)
+	case *ast.IndexExpr:
+		return w.exprTainted(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if w.exprTainted(el) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		return w.exprTainted(e.X)
+	case *ast.CallExpr:
+		if isBytesRefCall(w.pass.Info, e) {
+			return true
+		}
+		// append(dst, ...) keeps dst's backing array: tainted iff the
+		// destination is. append([]byte(nil), ref...) is the sanctioned
+		// copy and comes out clean, as do string(ref) and copy().
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" &&
+			w.pass.Info.Uses[id] != nil && w.pass.Info.Uses[id].Pkg() == nil && len(e.Args) > 0 {
+			return w.exprTainted(e.Args[0])
+		}
+	}
+	return false
+}
+
+// isBytesRefCall matches r.BytesRef() on a wire.Reader.
+func isBytesRefCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "BytesRef" {
+		return false
+	}
+	return isNamedType(recvTypeOf(info, call), "wire", "Reader")
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadModuleSchemas extracts the wire schema of every package in the
+// enclosing module, returning the schemas, the loaded proto package (for the
+// mutation subtest) and the rendered lockfile text.
+func loadModuleSchemas(t *testing.T) ([]*MessageSchema, *Package, string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schemas []*MessageSchema
+	var protoPkg *Package
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		schemas = append(schemas, ExtractWireSchemas(pkg.Fset, pkg.Files, pkg.Info, pkg.Types)...)
+		if pkg.Types.Name() == "proto" {
+			protoPkg = pkg
+		}
+	}
+	return schemas, protoPkg, RenderWireSchemas(schemas, "v2")
+}
+
+// TestWireSchemaGolden is the in-process version of the `redbud-lint
+// -wireschema` CI gate plus the mutation check the gate's value rests on.
+func TestWireSchemaGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	schemas, protoPkg, rendered := loadModuleSchemas(t)
+	if len(schemas) == 0 {
+		t.Fatal("no wire schemas extracted from the module")
+	}
+	if protoPkg == nil {
+		t.Fatal("internal/proto not found in module packages")
+	}
+	goldenBytes, err := os.ReadFile(filepath.Join("testdata", "wire_schema.golden"))
+	if err != nil {
+		t.Fatalf("reading lockfile: %v (generate with `redbud-lint -wireschema -update`)", err)
+	}
+	golden := string(goldenBytes)
+
+	// The committed lockfile must match the tree exactly (modulo the header
+	// comment block and protocol-version line, which the CLI derives from
+	// proto.ProtoLatest — compare the schema lines only so this test does
+	// not hard-code the version rendering twice).
+	if got, want := schemaLines(rendered), schemaLines(golden); got != want {
+		t.Errorf("wire schema drifted from testdata/wire_schema.golden:\n--- lockfile ---\n%s\n--- tree ---\n%s\nRegenerate with `redbud-lint -wireschema -update` (bump proto.ProtoVersion first for wire-visible changes)", want, got)
+	}
+
+	// Mutation check: reordering two real fields of proto.CommitReq's
+	// encoder must change the rendered schema and no longer match the
+	// lockfile — i.e. the gate actually catches layout drift. The AST is
+	// mutated in place (types.Info survives statement reordering) and
+	// restored afterwards.
+	t.Run("mutation-detected", func(t *testing.T) {
+		body := marshalBody(t, protoPkg, "CommitReq")
+		if len(body.List) < 2 {
+			t.Fatalf("CommitReq.MarshalWire has %d statements, need >= 2", len(body.List))
+		}
+		body.List[0], body.List[1] = body.List[1], body.List[0]
+		defer func() { body.List[0], body.List[1] = body.List[1], body.List[0] }()
+
+		mutated := ExtractWireSchemas(protoPkg.Fset, protoPkg.Files, protoPkg.Info, protoPkg.Types)
+		line := schemaLineFor(RenderWireSchemas(mutated, "v2"), "redbud/internal/proto.CommitReq")
+		if line == "" {
+			t.Fatal("CommitReq missing from mutated schema render")
+		}
+		if goldenLine := schemaLineFor(golden, "redbud/internal/proto.CommitReq"); line == goldenLine {
+			t.Errorf("reordered CommitReq fields still render as the committed schema %q — the lockfile gate would miss real drift", goldenLine)
+		}
+		if !strings.Contains(golden, schemaLineFor(rendered, "redbud/internal/proto.CommitReq")) {
+			t.Error("pre-mutation CommitReq line missing from lockfile; golden comparison is vacuous")
+		}
+	})
+}
+
+// schemaLines strips the header (comments, protocol-version, blanks) down to
+// the sorted schema lines.
+func schemaLines(doc string) string {
+	var out []string
+	for _, l := range strings.Split(doc, "\n") {
+		if l == "" || strings.HasPrefix(l, "#") || strings.HasPrefix(l, "protocol-version") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// schemaLineFor returns the lockfile line for the qualified message name.
+func schemaLineFor(doc, name string) string {
+	for _, l := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(l, name+" ") {
+			return l
+		}
+	}
+	return ""
+}
+
+// marshalBody finds typeName's MarshalWire body in the loaded package.
+func marshalBody(t *testing.T, pkg *Package, typeName string) *ast.BlockStmt {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "MarshalWire" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			name, _, _, ok := classifyCodecDecl(pkg.Info, fd)
+			if ok && name == typeName {
+				return fd.Body
+			}
+		}
+	}
+	t.Fatalf("%s.MarshalWire not found", typeName)
+	return nil
+}

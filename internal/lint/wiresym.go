@@ -1,0 +1,119 @@
+package lint
+
+// wiresym: every wire message's encoder and decoder must agree on the frame
+// layout — same field sequence, same widths, same loop/optional nesting.
+//
+// A MarshalWire/UnmarshalWire pair (or a PutX/GetX helper pair) is two
+// hand-written views of one schema; nothing in the type system ties them
+// together, so a swapped pair of fields or a PutU32 read back with U64
+// compiles fine and corrupts every frame. wiresym extracts both sides with
+// the wire-schema interpreter and diffs them structurally, reporting the
+// first divergence at the decoder site.
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// WireSym checks Marshal/Unmarshal symmetry.
+var WireSym = &Analyzer{
+	Name: "wiresym",
+	Doc:  "encoder and decoder of a wire message must produce identical field sequences",
+	Run:  runWireSym,
+}
+
+func runWireSym(pass *Pass) error {
+	for _, s := range ExtractPassSchemas(pass) {
+		reportUnsupportedOps(pass, s, s.Enc)
+		reportUnsupportedOps(pass, s, s.Dec)
+		switch {
+		case s.HasEnc && !s.HasDec:
+			pass.Reportf(s.EncPos, "%s has an encoder but no matching decoder (%s)",
+				s.DisplayName(), counterpartName(s, true))
+		case s.HasDec && !s.HasEnc:
+			pass.Reportf(s.DecPos, "%s has a decoder but no matching encoder (%s)",
+				s.DisplayName(), counterpartName(s, false))
+		default:
+			if msg, pos, ok := wireSeqDiff(s.Enc, s.Dec); !ok {
+				if !pos.IsValid() {
+					pos = s.DecPos
+				}
+				pass.Reportf(pos, "wire symmetry broken for %s: %s", s.DisplayName(), msg)
+			}
+		}
+	}
+	return nil
+}
+
+func counterpartName(s *MessageSchema, haveEnc bool) string {
+	if s.Helper {
+		if haveEnc {
+			return "missing Get" + s.Name
+		}
+		return "missing Put" + s.Name
+	}
+	if haveEnc {
+		return "missing UnmarshalWire"
+	}
+	return "missing MarshalWire"
+}
+
+// reportUnsupportedOps surfaces extraction failures: control flow the schema
+// interpreter cannot model means the symmetry check is blind there.
+func reportUnsupportedOps(pass *Pass, s *MessageSchema, ops []WireOp) {
+	for _, op := range ops {
+		if op.Kind == "unsupported" {
+			pass.Reportf(op.Pos, "%s uses an encoding construct the wire-schema extractor cannot model; restructure into straight-line puts/gets, a single loop, or one optional branch", s.DisplayName())
+			continue
+		}
+		reportUnsupportedOps(pass, s, op.Body)
+	}
+}
+
+// wireSeqDiff structurally compares an encoder and decoder sequence. On
+// mismatch it returns a description and the decoder-side position to report
+// at (invalid Pos means "use the decoder declaration").
+func wireSeqDiff(enc, dec []WireOp) (msg string, pos token.Pos, ok bool) {
+	n := len(enc)
+	if len(dec) < n {
+		n = len(dec)
+	}
+	for i := 0; i < n; i++ {
+		e, d := enc[i], dec[i]
+		if e.Kind != d.Kind {
+			return kindMismatch(i, e, d), d.Pos, false
+		}
+		if e.Kind == "loop" || e.Kind == "opt" {
+			if m, p, ok := wireSeqDiff(e.Body, d.Body); !ok {
+				if !p.IsValid() {
+					p = d.Pos
+				}
+				return fmt.Sprintf("inside %s group at field %d: %s", groupNoun(e.Kind), i, m), p, false
+			}
+		}
+	}
+	if len(enc) != len(dec) {
+		var p token.Pos
+		if len(dec) > len(enc) {
+			p = dec[len(enc)].Pos
+		}
+		return fmt.Sprintf("encoder writes %d fields, decoder reads %d", len(enc), len(dec)), p, false
+	}
+	return "", token.NoPos, true
+}
+
+func groupNoun(kind string) string {
+	if kind == "loop" {
+		return "repeated"
+	}
+	return "optional"
+}
+
+func kindMismatch(i int, e, d WireOp) string {
+	ew, dw := wireOpWidth(e.Kind), wireOpWidth(d.Kind)
+	if ew > 0 && dw > 0 && ew != dw {
+		return fmt.Sprintf("field %d: width mismatch: encoder writes %s (%d bytes), decoder reads %s (%d bytes)",
+			i, e.Kind, ew, d.Kind, dw)
+	}
+	return fmt.Sprintf("field %d: encoder writes %s, decoder reads %s", i, e, d)
+}

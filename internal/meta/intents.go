@@ -1,6 +1,9 @@
 package meta
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // LayoutFlags selects the behaviour of a layout lookup. It replaces the v1
 // protocol's bare `Write bool`: bit 0 occupies the byte the bool used on the
@@ -78,13 +81,25 @@ func sameExtent(a, b Extent) bool {
 	return a.FileOff == b.FileOff && a.Len == b.Len && a.Dev == b.Dev && a.VolOff == b.VolOff
 }
 
-// publish records owner's freshly allocated extents for id.
-func (t *intentTable) publish(id FileID, owner string, exts []Extent) {
+// publish records owner's freshly allocated extents for id. An extent that
+// duplicates a live intent of a different owner is rejected with a wrapped
+// ErrIntentConflict before anything is recorded: the allocator must never
+// hand the same space to two clients, so a collision here means accounting
+// corruption and the allocation must not proceed.
+func (t *intentTable) publish(id FileID, owner string, exts []Extent) error {
 	if len(exts) == 0 {
-		return
+		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	for _, e := range exts {
+		for _, in := range t.files[id] {
+			if in.owner != owner && sameExtent(in.ext, e) {
+				return fmt.Errorf("%w: file %d extent [%d,+%d) on dev %d held by %q, republished by %q",
+					ErrIntentConflict, id, e.FileOff, e.Len, e.Dev, in.owner, owner)
+			}
+		}
+	}
 	for _, e := range exts {
 		t.files[id] = append(t.files[id], intent{owner: owner, ext: e})
 	}
@@ -94,6 +109,7 @@ func (t *intentTable) publish(id FileID, owner string, exts []Extent) {
 		t.byOwner[owner] = set
 	}
 	set[id] = struct{}{}
+	return nil
 }
 
 // graduate removes the intent matching e (a commit flipped it to committed).

@@ -1,9 +1,39 @@
 package meta
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
+
+// TestIntentPublishConflict pins the table's corruption guard: republishing
+// a live extent under a different owner is rejected with a wrapped
+// ErrIntentConflict and leaves the table untouched, while the same owner
+// republishing (an idempotent replay shape) and disjoint extents both pass.
+func TestIntentPublishConflict(t *testing.T) {
+	tab := newIntentTable()
+	e := Extent{FileOff: 0, Len: 4096, Dev: 1, VolOff: 8192, State: StateUncommitted}
+	if err := tab.publish(7, "alice", []Extent{e}); err != nil {
+		t.Fatalf("first publish: %v", err)
+	}
+	if err := tab.publish(7, "alice", []Extent{e}); err != nil {
+		t.Fatalf("same-owner republish: %v", err)
+	}
+	err := tab.publish(7, "bob", []Extent{e})
+	if !errors.Is(err, ErrIntentConflict) {
+		t.Fatalf("cross-owner republish error = %v, want ErrIntentConflict", err)
+	}
+	if owner, ok := tab.ownerOf(7, e); !ok || owner != "alice" {
+		t.Fatalf("after rejected publish, ownerOf = %q, %v; want alice", owner, ok)
+	}
+	if _, ok := tab.byOwner["bob"]; ok {
+		t.Fatal("rejected publish left bob in the owner index")
+	}
+	other := Extent{FileOff: 4096, Len: 4096, Dev: 1, VolOff: 16384, State: StateUncommitted}
+	if err := tab.publish(7, "bob", []Extent{other}); err != nil {
+		t.Fatalf("disjoint publish: %v", err)
+	}
+}
 
 // TestIntentLifecycleThroughStore drives the intent table through its three
 // exits — graduation on commit, rollback on client death, drop on file

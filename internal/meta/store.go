@@ -25,6 +25,10 @@ var (
 	ErrLoop         = errors.New("meta: directory would become its own ancestor")
 	ErrNoJournal    = errors.New("meta: recovery requires a journal")
 	ErrLogTooLarge  = errors.New("meta: log set does not fit on device")
+	// ErrIntentConflict reports a write-intent publish that would duplicate
+	// a live intent held by a different owner — allocator accounting
+	// corruption, since no two clients may ever be handed the same space.
+	ErrIntentConflict = errors.New("meta: conflicting write intent")
 )
 
 // Config configures a Store.
@@ -476,7 +480,14 @@ func (s *Store) AllocLayout(owner string, id FileID, off, n int64) (Layout, erro
 		return Layout{}, fmt.Errorf("%w: inode %d removed during allocation", ErrNotFound, id)
 	}
 	st.Lock()
-	s.applyAlloc(ino, owner, newExts)
+	if err := s.applyAlloc(ino, owner, newExts); err != nil {
+		st.Unlock()
+		s.ns.RUnlock()
+		for _, e := range newExts {
+			_ = s.cfg.AGs.FreeSpan(alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len})
+		}
+		return Layout{}, err
+	}
 	lay := Layout{File: id, Extents: ino.extentsIn(off, n, false)}
 	var wait func() error
 	if len(newExts) > 0 {
@@ -492,13 +503,18 @@ func (s *Store) AllocLayout(owner string, id FileID, off, n int64) (Layout, erro
 	return lay, nil
 }
 
-// applyAlloc inserts uncommitted extents and publishes them as owner's
-// write intents. Caller holds the inode's stripe lock or ns exclusively.
-func (s *Store) applyAlloc(ino *inode, owner string, exts []Extent) {
+// applyAlloc publishes exts as owner's write intents and inserts them as
+// uncommitted extents. Caller holds the inode's stripe lock or ns
+// exclusively. Publication goes first: a conflicting intent (wrapped
+// ErrIntentConflict) rejects the allocation before the inode is touched.
+func (s *Store) applyAlloc(ino *inode, owner string, exts []Extent) error {
+	if err := s.intents.publish(ino.id, owner, exts); err != nil {
+		return err
+	}
 	for _, e := range exts {
 		ino.extents = insertExtent(ino.extents, e)
 	}
-	s.intents.publish(ino.id, owner, exts)
+	return nil
 }
 
 // insertExtent inserts e keeping the list sorted by FileOff.
@@ -844,7 +860,7 @@ func (s *Store) applyRecord(rec *Record) error {
 				return err
 			}
 		}
-		s.applyAlloc(ino, rec.Owner, rec.Extents)
+		return s.applyAlloc(ino, rec.Owner, rec.Extents)
 	case RecCommit:
 		ino, ok := s.inodes[rec.File]
 		if !ok {

@@ -186,7 +186,9 @@ func (m *writeReq) MarshalWire(b *wire.Buffer) {
 func (m *writeReq) UnmarshalWire(r *wire.Reader) error {
 	m.ID = r.U64()
 	m.Off = r.I64()
-	m.Data = r.Bytes()
+	// Zero-copy: decoded server-side only; writePages copies Data into the
+	// file's page cache before the handler returns the pooled frame.
+	m.Data = r.BytesRef() //lint:allow wirealias — writePages copies before the handler returns
 	return r.Err()
 }
 
@@ -211,7 +213,10 @@ func (m *readReq) UnmarshalWire(r *wire.Reader) error {
 
 type dataResp struct{ Data []byte }
 
-func (m *dataResp) MarshalWire(b *wire.Buffer)         { b.PutBytes(m.Data) }
+func (m *dataResp) MarshalWire(b *wire.Buffer) { b.PutBytes(m.Data) }
+
+// UnmarshalWire must copy: decoded client-side, Data escapes to the reader
+// while rpc.Client recycles the response frame right after wire.Decode.
 func (m *dataResp) UnmarshalWire(r *wire.Reader) error { m.Data = r.Bytes(); return r.Err() }
 
 type readDirResp struct {

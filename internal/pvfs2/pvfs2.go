@@ -161,7 +161,10 @@ func (m *dataWriteReq) MarshalWire(b *wire.Buffer) {
 func (m *dataWriteReq) UnmarshalWire(r *wire.Reader) error {
 	m.File = r.U64()
 	m.Off = r.I64()
-	m.Data = r.Bytes()
+	// Zero-copy: decoded server-side only; the data-server handler writes
+	// Data through blockdev.Device.Write (which copies into the device
+	// queue) before returning the pooled frame.
+	m.Data = r.BytesRef() //lint:allow wirealias — disk.Write copies before the handler returns
 	return r.Err()
 }
 
@@ -186,7 +189,10 @@ func (m *dataReadReq) UnmarshalWire(r *wire.Reader) error {
 
 type dataResp struct{ Data []byte }
 
-func (m *dataResp) MarshalWire(b *wire.Buffer)         { b.PutBytes(m.Data) }
+func (m *dataResp) MarshalWire(b *wire.Buffer) { b.PutBytes(m.Data) }
+
+// UnmarshalWire must copy: decoded client-side, Data escapes to the reader
+// while rpc.Client recycles the response frame right after wire.Decode.
 func (m *dataResp) UnmarshalWire(r *wire.Reader) error { m.Data = r.Bytes(); return r.Err() }
 
 // ---------------------------------------------------------------------------

@@ -571,6 +571,7 @@ func (c *Client) readLoop() {
 			wire.PutFrame(frame)
 		}
 		if p := c.take(msgID); p != nil {
+			//lint:allow wirealias — deliberate ownership handoff: exactly one waiter receives the frame-aliasing payload and recycles the frame
 			p.ch <- resp
 		} else if resp.frame != nil {
 			// Late response for a timed-out or failed call: no waiter
@@ -719,9 +720,11 @@ func (c *Client) Call(op uint16, req wire.Marshaler, resp wire.Unmarshaler) erro
 		return err
 	}
 	if resp != nil {
-		// Decoders copy everything they keep (wire strings and Bytes are
-		// copies; only BytesRef aliases, and no message decoder uses it),
-		// so the frame can be recycled as soon as Decode returns.
+		// Response decoders must copy everything they keep (wire strings
+		// and Bytes are copies): the frame is recycled as soon as Decode
+		// returns. The wirealias analyzer enforces this; the only zero-copy
+		// BytesRef decoders in the tree are server-side request messages,
+		// whose pooled frame outlives the handler instead.
 		err = wire.Decode(payload, resp)
 	}
 	wire.PutFrame(frame)

@@ -33,7 +33,10 @@ func (m *writeReq) MarshalWire(b *wire.Buffer) {
 
 func (m *writeReq) UnmarshalWire(r *wire.Reader) error {
 	m.Off = r.I64()
-	m.Data = r.Bytes()
+	// Zero-copy: decoded server-side only, and the handler hands Data to
+	// blockdev.Device.Write, which copies it into the device queue before
+	// returning — the slice never outlives the pooled request frame.
+	m.Data = r.BytesRef() //lint:allow wirealias — dev.Write copies before the handler returns
 	return r.Err()
 }
 
@@ -55,7 +58,11 @@ func (m *readReq) UnmarshalWire(r *wire.Reader) error {
 
 type dataResp struct{ Data []byte }
 
-func (m *dataResp) MarshalWire(b *wire.Buffer)         { b.PutBytes(m.Data) }
+func (m *dataResp) MarshalWire(b *wire.Buffer) { b.PutBytes(m.Data) }
+
+// UnmarshalWire must copy: dataResp is decoded client-side and Data escapes
+// to the caller (RemoteDevice.Read returns it) while rpc.Client recycles the
+// response frame immediately after wire.Decode.
 func (m *dataResp) UnmarshalWire(r *wire.Reader) error { m.Data = r.Bytes(); return r.Err() }
 
 // Server exports one device.

@@ -35,6 +35,33 @@ func FuzzFrameDecode(f *testing.F) {
 	good.PutBytes([]byte("payload"))
 	f.Add(good.Bytes())
 
+	// A v2 Hello frame: the payload is proto.HelloReq's v2 encoding —
+	// owner string plus the trailing-optional ProtoVersion field (built by
+	// hand; proto imports wire, so wire's tests cannot import proto).
+	var helloBody Buffer
+	helloBody.PutString("owner-1")
+	helloBody.PutU32(2) // ProtoV2
+	var hello Buffer
+	hello.PutU64(43)
+	hello.PutU8(1)
+	hello.PutU16(0)
+	hello.PutU8(0)
+	hello.PutBytes(helloBody.Bytes())
+	f.Add(hello.Bytes())
+
+	// The same Hello truncated exactly at the optional boundary: the
+	// payload stops where ProtoVersion would begin — the v1 frame shape a
+	// v2 decoder must read as "field absent", not as an error.
+	var helloV1Body Buffer
+	helloV1Body.PutString("owner-1")
+	var helloV1 Buffer
+	helloV1.PutU64(44)
+	helloV1.PutU8(1)
+	helloV1.PutU16(0)
+	helloV1.PutU8(0)
+	helloV1.PutBytes(helloV1Body.Bytes())
+	f.Add(helloV1.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(data)
 		id := r.U64()
