@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, autoscale, obs, visibility or all (autoscale, obs and visibility run only when named)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7, autoscale, obs, visibility, shards or all (autoscale, obs, visibility and shards run only when named)")
 		clients = flag.Int("clients", 7, "number of client nodes")
 		scale   = flag.Float64("scale", 0.02, "virtual-time compression in (0, 1]")
 		size    = flag.Float64("size", 0.5, "workload size factor in (0, 1]")
@@ -30,6 +30,7 @@ func main() {
 		obsJSON = flag.String("obs-json", "BENCH_obs.json", "path for the observability report when -fig obs (empty disables)")
 		obsOut  = flag.String("obs-trace", "", "path for the Chrome/Perfetto trace JSON when -fig obs (empty disables)")
 		visJSON = flag.String("visibility-json", "BENCH_visibility.json", "path for the visibility report when -fig visibility (empty disables)")
+		shJSON  = flag.String("shards-json", "BENCH_shards.json", "path for the namespace-sharding report when -fig shards (empty disables)")
 	)
 	flag.Parse()
 
@@ -152,6 +153,25 @@ func main() {
 					return err
 				}
 				fmt.Printf("   wrote %s\n", *visJSON)
+			}
+			return nil
+		})
+	}
+
+	// The sharding figure is opt-in ("-fig shards"), not part of "all": it
+	// builds and tears down four whole clusters (1, 2, 4, 8 shards).
+	if *fig == "shards" {
+		run("Shards", func() error {
+			rows, err := bench.FigShards(opt)
+			if err != nil {
+				return err
+			}
+			bench.PrintFigShards(os.Stdout, rows)
+			if *shJSON != "" {
+				if err := bench.WriteShardsJSON(*shJSON, opt, rows); err != nil {
+					return err
+				}
+				fmt.Printf("   wrote %s\n", *shJSON)
 			}
 			return nil
 		})

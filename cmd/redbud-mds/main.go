@@ -38,8 +38,17 @@ func main() {
 		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "journal checkpoint period (0 disables)")
 		debugAddr  = flag.String("debug", "", "debug HTTP listen address (/metrics, /debug/trace, pprof; empty disables)")
 		traceCap   = flag.Int("trace-cap", 0, "commit-span ring capacity with -debug (0 = default)")
+		shard      = flag.String("shard", "", "shard coordinates i/N of a sharded namespace (e.g. 0/4; empty runs the single MDS)")
 	)
 	flag.Parse()
+
+	shardIdx, shardCount := 0, 1
+	if *shard != "" {
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &shardIdx, &shardCount); err != nil ||
+			shardCount < 1 || shardIdx < 0 || shardIdx >= shardCount {
+			log.Fatalf("-shard %q: want i/N with 0 <= i < N", *shard)
+		}
+	}
 
 	clk := clock.Real(1)
 	reg := obs.NewRegistry()
@@ -47,16 +56,28 @@ func main() {
 	if *debugAddr != "" {
 		tracer = obs.NewTracer(*traceCap)
 	}
+	// With -shard i/N each shard owns a disjoint slice of every data
+	// device: shards are independent metadata authorities over one shared
+	// array, and their allocators must never hand out overlapping extents.
 	mkAGs := func() *alloc.AGSet {
 		var groups []*alloc.Group
 		for d := 0; d < *devices; d++ {
-			per := *devSize / int64(*agsPer)
-			for a := 0; a < *agsPer; a++ {
-				end := int64(a+1) * per
-				if a == *agsPer-1 {
-					end = *devSize
+			lo, hi := int64(0), *devSize
+			if shardCount > 1 {
+				per := *devSize / int64(shardCount)
+				lo = int64(shardIdx) * per
+				hi = lo + per
+				if shardIdx == shardCount-1 {
+					hi = *devSize
 				}
-				groups = append(groups, alloc.NewGroup(d, int64(a)*per, end))
+			}
+			per := (hi - lo) / int64(*agsPer)
+			for a := 0; a < *agsPer; a++ {
+				end := lo + int64(a+1)*per
+				if a == *agsPer-1 {
+					end = hi
+				}
+				groups = append(groups, alloc.NewGroup(d, lo+int64(a)*per, end))
 			}
 		}
 		return alloc.NewAGSet(alloc.RoundRobin, groups...)
@@ -69,7 +90,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, rstats, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: journal, Clock: clk, Tracer: tracer})
+	store, rstats, err := meta.Recover(meta.Config{
+		AGs: mkAGs(), Journal: journal, Clock: clk, Tracer: tracer,
+		Shard: shardIdx, ShardCount: shardCount,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +102,10 @@ func main() {
 			rstats.Records, rstats.Files, rstats.OrphanBytes, rstats.Torn)
 	}
 
-	srv := mds.New(mds.Config{Store: store, Clock: clk, Daemons: *daemons, LeaseTimeout: *lease, Tracer: tracer})
+	srv := mds.New(mds.Config{
+		Store: store, Clock: clk, Daemons: *daemons, LeaseTimeout: *lease, Tracer: tracer,
+		ShardIndex: uint32(shardIdx), ShardCount: uint32(shardCount),
+	})
 	defer srv.Close()
 	srv.RegisterMetrics(reg)
 	metaDev.RegisterMetrics(reg)
@@ -119,8 +146,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("redbud-mds listening on %s (%d devices, %d daemons, gen %d)\n",
-		l.Addr(), *devices, *daemons, logset.Generation())
+	fmt.Printf("redbud-mds listening on %s (%d devices, %d daemons, shard %d/%d, gen %d)\n",
+		l.Addr(), *devices, *daemons, shardIdx, shardCount, logset.Generation())
 	for {
 		conn, err := l.Accept()
 		if err != nil {

@@ -255,3 +255,39 @@ func TestFigVisibilityShape(t *testing.T) {
 			rows[1].ConflictMeanUS, rows[0].ConflictMeanUS)
 	}
 }
+
+// TestFigShardsShape runs the namespace-sharding figure at smoke scale. The
+// headline property is checked here too: four shards — four journals, four
+// daemon pools, no shared lock — must at least double single-shard commit
+// throughput. The acceptance floor is 2x; the observed scaling is well
+// above it, so the assertion survives scheduler noise at this scale.
+func TestFigShardsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	opt := smokeOptions()
+	opt.SizeFactor = 0.1
+	rows, err := FigShards(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintFigShards(&buf, rows)
+	t.Log("\n" + buf.String())
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (shards 1, 2, 4, 8)", len(rows))
+	}
+	for i, want := range []int{1, 2, 4, 8} {
+		r := rows[i]
+		if r.Shards != want {
+			t.Fatalf("row %d is shards=%d, want %d", i, r.Shards, want)
+		}
+		if r.Commits <= 0 || r.CommitsPerSec <= 0 || r.MeanUS <= 0 {
+			t.Errorf("empty measurement: %+v", r)
+		}
+	}
+	if speedup := rows[2].CommitsPerSec / rows[0].CommitsPerSec; speedup < 2 {
+		t.Errorf("4-shard commit throughput only %.2fx of 1 shard, want >= 2x (%.0f/s vs %.0f/s)",
+			speedup, rows[2].CommitsPerSec, rows[0].CommitsPerSec)
+	}
+}

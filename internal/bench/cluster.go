@@ -114,6 +114,14 @@ type Options struct {
 	// JournalMaxDelay enables journal group-commit v2 with this adaptive
 	// deadline bound (0 keeps v1 flush-as-soon-as-the-leader-runs).
 	JournalMaxDelay time.Duration
+
+	// Shards partitions the metadata namespace across this many MDS
+	// instances (<= 1 keeps the classic single MDS). Each shard runs its
+	// own daemon pool, store and journal device, and splits the shared
+	// array's allocation groups with the others; clients route per inode
+	// via the hash partition. Incompatible with space delegation (the
+	// client refuses the combination).
+	Shards int
 }
 
 // DefaultOptions mirrors the paper's testbed at simulation scale.
@@ -151,13 +159,19 @@ type Cluster struct {
 	Devices []*blockdev.Device
 	Rec     *iotrace.Recorder
 
-	// Redbud-only handles (nil otherwise).
-	Redbud  []*client.Client
-	MDS     *mds.Server
-	Store   *meta.Store
-	Net     *netsim.Network
-	MetaDev *blockdev.Device
-	AGTotal int64 // capacity the AG set spans (fsck identity)
+	// Redbud-only handles (nil otherwise). MDS / Store / MetaDev / AGTotal
+	// are shard 0's (the whole cluster when Options.Shards <= 1); the
+	// slices hold every shard of a sharded namespace in shard order.
+	Redbud   []*client.Client
+	MDS      *mds.Server
+	Store    *meta.Store
+	Net      *netsim.Network
+	MetaDev  *blockdev.Device
+	AGTotal  int64 // capacity shard 0's AG set spans (fsck identity)
+	MDSs     []*mds.Server
+	Stores   []*meta.Store
+	MetaDevs []*blockdev.Device
+	AGTotals []int64
 
 	// Tracer is the commit-lifecycle span ring (nil unless Options.SpanTrace;
 	// Redbud systems only). Registry names every counter of a Redbud cluster
@@ -260,6 +274,16 @@ func newDevices(opt Options, clk clock.Clock, rec *iotrace.Recorder, tr *obs.Tra
 // buildRedbud assembles MDS + shared array + Redbud clients in the given
 // commit mode.
 func buildRedbud(sys System, opt Options) *Cluster {
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > 1 && sys == SysRedbudDCSD {
+		// A delegated writer allocates from a private space pool with no
+		// shard affinity; the client refuses the combination, so fail the
+		// build loudly instead of handing out a cluster that panics later.
+		panic("bench: space delegation is incompatible with a sharded namespace")
+	}
 	clk := clock.Real(opt.Scale)
 	c := &Cluster{System: sys, Clock: clk}
 	if opt.Trace {
@@ -275,47 +299,84 @@ func buildRedbud(sys System, opt Options) *Cluster {
 		c.closers = append(c.closers, dev.Close)
 	}
 
-	// One AG set spanning the array: AGs partition each device.
-	var groups []*alloc.Group
-	for _, d := range c.Devices {
-		half := d.Size() / 2
-		groups = append(groups,
-			alloc.NewGroup(d.ID(), 0, half),
-			alloc.NewGroup(d.ID(), half, d.Size()))
+	// Each shard gets its own AG set over the shared array: with one shard
+	// the AGs partition each device in halves (the classic layout); with
+	// more, the shards split every device into disjoint slices, so extent
+	// spaces never overlap across metadata authorities.
+	mkAGs := func(shard int) *alloc.AGSet {
+		var groups []*alloc.Group
+		for _, d := range c.Devices {
+			if shards == 1 {
+				half := d.Size() / 2
+				groups = append(groups,
+					alloc.NewGroup(d.ID(), 0, half),
+					alloc.NewGroup(d.ID(), half, d.Size()))
+				continue
+			}
+			per := d.Size() / int64(shards)
+			start := int64(shard) * per
+			end := start + per
+			if shard == shards-1 {
+				end = d.Size()
+			}
+			groups = append(groups, alloc.NewGroup(d.ID(), start, end))
+		}
+		return alloc.NewAGSet(alloc.RoundRobin, groups...)
 	}
-	ags := alloc.NewAGSet(alloc.RoundRobin, groups...)
 
-	// Metadata device (journal) on its own disk.
-	metaDev := blockdev.New(blockdev.Config{ID: 1000, Size: 4 << 30, Model: opt.Disk, Clock: clk})
-	c.closers = append(c.closers, metaDev.Close)
-	c.MetaDev = metaDev
-	c.AGTotal = meta.TotalSpace(ags)
-	journal := meta.NewJournal(metaDev, 0, 2<<30)
-	if opt.JournalMaxDelay > 0 {
-		journal.SetBatchPolicy(meta.BatchPolicy{MaxDelay: opt.JournalMaxDelay, Clock: clk})
+	hostOf := func(shard int) string {
+		if shards == 1 {
+			return "mds"
+		}
+		return fmt.Sprintf("mds%d", shard)
 	}
-	c.Store = meta.NewStore(meta.Config{AGs: ags, Journal: journal, Clock: clk, Tracer: c.Tracer})
-
-	c.MDS = mds.New(mds.Config{
-		Store:               c.Store,
-		Clock:               clk,
-		Daemons:             opt.MDSDaemons,
-		OpCost:              opt.MDSOpCost,
-		FrameCost:           opt.MDSFrameCost,
-		ContentionPerDaemon: 0.05,
-		Tracer:              c.Tracer,
-	})
-	c.closers = append(c.closers, c.MDS.Close)
 
 	c.Net = netsim.NewNetwork(clk)
 	c.Net.SetTracer(c.Tracer)
-	c.Net.AddHost("mds", opt.Net)
-	lis, err := c.Net.Listen("mds")
-	if err != nil {
-		panic(err)
+
+	for i := 0; i < shards; i++ {
+		// Metadata device (journal) on its own disk per shard.
+		metaDev := blockdev.New(blockdev.Config{ID: 1000 + i, Size: 4 << 30, Model: opt.Disk, Clock: clk})
+		c.closers = append(c.closers, metaDev.Close)
+		c.MetaDevs = append(c.MetaDevs, metaDev)
+		ags := mkAGs(i)
+		c.AGTotals = append(c.AGTotals, meta.TotalSpace(ags))
+		journal := meta.NewJournal(metaDev, 0, 2<<30)
+		if opt.JournalMaxDelay > 0 {
+			journal.SetBatchPolicy(meta.BatchPolicy{MaxDelay: opt.JournalMaxDelay, Clock: clk})
+		}
+		store := meta.NewStore(meta.Config{
+			AGs: ags, Journal: journal, Clock: clk, Tracer: c.Tracer,
+			Shard: i, ShardCount: shards,
+		})
+		c.Stores = append(c.Stores, store)
+
+		srv := mds.New(mds.Config{
+			Store:               store,
+			Clock:               clk,
+			Daemons:             opt.MDSDaemons,
+			OpCost:              opt.MDSOpCost,
+			FrameCost:           opt.MDSFrameCost,
+			ContentionPerDaemon: 0.05,
+			ShardIndex:          uint32(i),
+			ShardCount:          uint32(shards),
+			Tracer:              c.Tracer,
+		})
+		c.MDSs = append(c.MDSs, srv)
+		c.closers = append(c.closers, srv.Close)
+
+		c.Net.AddHost(hostOf(i), opt.Net)
+		lis, err := c.Net.Listen(hostOf(i))
+		if err != nil {
+			panic(err)
+		}
+		go srv.Serve(lis)
+		c.closers = append(c.closers, func() { lis.Close() })
 	}
-	go c.MDS.Serve(lis)
-	c.closers = append(c.closers, func() { lis.Close() })
+	c.MDS = c.MDSs[0]
+	c.Store = c.Stores[0]
+	c.MetaDev = c.MetaDevs[0]
+	c.AGTotal = c.AGTotals[0]
 
 	devMap := make(map[uint32]client.BlockDevice, len(c.Devices))
 	for _, d := range c.Devices {
@@ -333,20 +394,15 @@ func buildRedbud(sys System, opt Options) *Cluster {
 	for i := 0; i < opt.Clients; i++ {
 		host := fmt.Sprintf("client-%d", i)
 		c.Net.AddHost(host, opt.Net)
-		conn, err := c.Net.Dial(host, "mds")
-		if err != nil {
-			panic(err)
-		}
 		net := c.Net
-		cl := client.New(client.Config{
+		ccfg := client.Config{
 			Name:               host,
-			MDS:                rpc.NewClient(conn, clk),
 			Devices:            devMap,
 			Clock:              clk,
 			Mode:               mode,
 			CompoundDegree:     opt.CompoundDegree,
 			DelegationChunk:    deleg,
-			NetCongestion:      func() time.Duration { return net.CongestionWait("mds") },
+			NetCongestion:      func() time.Duration { return net.CongestionWait(hostOf(0)) },
 			PoolInterval:       2 * time.Millisecond,
 			ReadAhead:          opt.ReadAhead,
 			FixedCommitThreads: opt.FixedCommitThreads,
@@ -355,16 +411,36 @@ func buildRedbud(sys System, opt Options) *Cluster {
 			Autoscale:          opt.Autoscale,
 			EarlyVisibility:    opt.EarlyVisibility,
 			Tracer:             c.Tracer,
-		})
+		}
+		if shards == 1 {
+			conn, err := c.Net.Dial(host, "mds")
+			if err != nil {
+				panic(err)
+			}
+			ccfg.MDS = rpc.NewClient(conn, clk)
+		} else {
+			conns := make([]*rpc.Client, shards)
+			for s := 0; s < shards; s++ {
+				conn, err := c.Net.Dial(host, hostOf(s))
+				if err != nil {
+					panic(err)
+				}
+				conns[s] = rpc.NewClient(conn, clk)
+			}
+			ccfg.Shards = conns
+		}
+		cl := client.New(ccfg)
 		c.Redbud = append(c.Redbud, cl)
 		c.Mounts = append(c.Mounts, cl)
 	}
 
-	// Name every counter in the cluster-wide registry.
+	// Name every counter in the cluster-wide registry. Only shard 0's MDS
+	// is exported: the server metrics carry fixed names, and a second
+	// registration would collide.
 	for _, d := range c.Devices {
 		d.RegisterMetrics(c.Registry)
 	}
-	metaDev.RegisterMetrics(c.Registry)
+	c.MetaDev.RegisterMetrics(c.Registry)
 	c.Net.RegisterMetrics(c.Registry)
 	c.MDS.RegisterMetrics(c.Registry)
 	for _, cl := range c.Redbud {

@@ -48,6 +48,8 @@ func CompareReports(baseline, current []byte, tol float64) ([]string, error) {
 		return compareObs(baseline, current, tol)
 	case "visibility":
 		return compareVisibility(baseline, current, tol)
+	case "shards":
+		return compareShards(baseline, current, tol)
 	default:
 		return nil, fmt.Errorf("no comparator for figure %q", bk)
 	}
@@ -158,6 +160,61 @@ func compareVisibility(baseline, current []byte, tol float64) ([]string, error) 
 		if speedup := off.ConflictMeanUS / on.ConflictMeanUS; speedup < minConflictSpeedup {
 			regs = append(regs, fmt.Sprintf("early visibility conflict-read speedup %.1fx < required %.0fx (on %.1fus vs off %.1fus)",
 				speedup, minConflictSpeedup, on.ConflictMeanUS, off.ConflictMeanUS))
+		}
+	}
+	return regs, nil
+}
+
+// minShardSpeedup is the floor on the 4-shard/1-shard commit-throughput
+// ratio the sharding gate enforces. A working multi-MDS partition scales
+// near-linearly up to four shards at this committer population (observed
+// well above 3x); the floor is set at the acceptance bar so only a sharding
+// path that has collapsed back to a shared bottleneck — one journal, one
+// daemon pool, a global lock — trips the gate, not scheduler noise.
+const minShardSpeedup = 2.0
+
+// compareShards checks the namespace-sharding report. Per-shard-count
+// commit throughput is higher-is-better and banded against the baseline.
+// On top of the relative bands, the scaling floor itself is asserted on the
+// current report: four shards must deliver at least minShardSpeedup times
+// the single-shard throughput, whatever the baseline says — a baseline
+// captured on a slow runner must not launder away the figure's one claim.
+func compareShards(baseline, current []byte, tol float64) ([]string, error) {
+	var base, cur ShardsReport
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if err := checkParams("clients", float64(base.Clients), float64(cur.Clients)); err != nil {
+		return nil, err
+	}
+	if err := checkParams("size_factor", base.Size, cur.Size); err != nil {
+		return nil, err
+	}
+	rows := map[int]ShardsRow{}
+	for _, r := range cur.Rows {
+		rows[r.Shards] = r
+	}
+	var regs []string
+	for _, b := range base.Rows {
+		c, ok := rows[b.Shards]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("shards=%d: missing from current report", b.Shards))
+			continue
+		}
+		if floor := b.CommitsPerSec * (1 - tol); c.CommitsPerSec < floor {
+			regs = append(regs, fmt.Sprintf("shards=%d: commits/sec %.1f < %.1f (baseline %.1f - %.0f%%)",
+				b.Shards, c.CommitsPerSec, floor, b.CommitsPerSec, tol*100))
+		}
+	}
+	one, okOne := rows[1]
+	four, okFour := rows[4]
+	if okOne && okFour && one.CommitsPerSec > 0 {
+		if speedup := four.CommitsPerSec / one.CommitsPerSec; speedup < minShardSpeedup {
+			regs = append(regs, fmt.Sprintf("sharding speedup %.2fx at 4 shards < required %.1fx (1 shard %.0f/s vs 4 shards %.0f/s)",
+				speedup, minShardSpeedup, one.CommitsPerSec, four.CommitsPerSec))
 		}
 	}
 	return regs, nil

@@ -189,6 +189,80 @@ func TestCompareVisibilityWithinTolerancePasses(t *testing.T) {
 	}
 }
 
+func baselineShards() ShardsReport {
+	return ShardsReport{
+		Figure:  "shards",
+		Clients: 3,
+		Scale:   0.005,
+		Size:    0.1,
+		Rows: []ShardsRow{
+			{Shards: 1, Commits: 1200, CommitsPerSec: 100, MeanUS: 1800000, Speedup: 1},
+			{Shards: 2, Commits: 1200, CommitsPerSec: 210, MeanUS: 830000, Speedup: 2.1},
+			{Shards: 4, Commits: 1200, CommitsPerSec: 450, MeanUS: 380000, Speedup: 4.5},
+			{Shards: 8, Commits: 1200, CommitsPerSec: 880, MeanUS: 200000, Speedup: 8.8},
+		},
+	}
+}
+
+func shardsJSON(t *testing.T, rep ShardsReport) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCompareShardsRegression(t *testing.T) {
+	base := baselineShards()
+	cur := baselineShards()
+	cur.Rows[3].CommitsPerSec *= 0.5 // 8-shard row falls out of the band
+	regs, err := CompareReports(shardsJSON(t, base), shardsJSON(t, cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "shards=8") {
+		t.Fatalf("8-shard throughput drop not flagged: %v", regs)
+	}
+}
+
+// TestCompareShardsScalingFloor pins the report-internal invariant: a run
+// whose 4-shard throughput collapses toward the single-shard level — the
+// signature of a sharding path that re-serialized on a shared resource — is
+// flagged even when a shifted baseline would band it as acceptable.
+func TestCompareShardsScalingFloor(t *testing.T) {
+	base := baselineShards()
+	for i := range base.Rows {
+		base.Rows[i].CommitsPerSec = 100 // baseline itself never scaled
+	}
+	cur := baselineShards()
+	for i := range cur.Rows {
+		cur.Rows[i].CommitsPerSec = 120 // above the bands everywhere...
+	}
+	regs, err := CompareReports(shardsJSON(t, base), shardsJSON(t, cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "sharding speedup") {
+		t.Fatalf("collapsed 4-shard scaling not flagged: %v", regs)
+	}
+}
+
+func TestCompareShardsWithinTolerancePasses(t *testing.T) {
+	base := baselineShards()
+	cur := baselineShards()
+	for i := range cur.Rows {
+		cur.Rows[i].CommitsPerSec *= 0.85 // 15% noise, inside the 25% band
+	}
+	regs, err := CompareReports(shardsJSON(t, base), shardsJSON(t, cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+}
+
 // TestCompareVisibilityCrossCheck pins the report-internal invariant: a run
 // where visibility-on latency climbs to the committed-only level is flagged
 // regardless of how the baseline rows were positioned.

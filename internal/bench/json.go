@@ -62,6 +62,33 @@ func WriteVisibilityJSON(path string, opt Options, rows []VisibilityRow) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// ShardsReport is the machine-readable form of the namespace-sharding
+// figure, written by cmd/redbud-bench for CI and regression tracking.
+type ShardsReport struct {
+	Figure  string      `json:"figure"`
+	Clients int         `json:"clients"`
+	Scale   float64     `json:"scale"`
+	Size    float64     `json:"size_factor"`
+	Rows    []ShardsRow `json:"rows"`
+}
+
+// WriteShardsJSON serializes the sharding rows (commit throughput per shard
+// count) to path as indented JSON.
+func WriteShardsJSON(path string, opt Options, rows []ShardsRow) error {
+	rep := ShardsReport{
+		Figure:  "shards",
+		Clients: opt.Clients,
+		Scale:   opt.Scale,
+		Size:    opt.SizeFactor,
+		Rows:    rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // ObsStageJSON is one row of the critical-path table in the obs report.
 type ObsStageJSON struct {
 	Name    string  `json:"name"`

@@ -24,6 +24,7 @@ package chaos
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -63,6 +64,16 @@ type DiskFaults struct {
 type Config struct {
 	// Seed drives every random stream in the run.
 	Seed int64
+
+	// Shards runs the metadata service as this many independent MDS
+	// shards (default 1), each with its own store, journal device, data
+	// device, and listener host ("mds0".."mdsN-1"). Clients mount the
+	// whole shard set and route per-inode; creates and removes whose
+	// placement hash lands a child away from its parent's shard exercise
+	// the two-phase cross-shard protocols under the fault plan. Restarts
+	// crash a seed-chosen shard each time. Space delegation is
+	// single-shard only and is forced off when Shards > 1.
+	Shards int
 
 	// Clients file-system clients (default 2), each running Threads
 	// application threads (default 2) of Ops measured operations
@@ -140,13 +151,24 @@ type Report struct {
 	Inconsistent []meta.Extent
 	// Fsck checks the live store at end of run; RecoveredFsck re-runs the
 	// check on a store recovered from the journal afterwards (the
-	// crash-at-end scenario).
+	// crash-at-end scenario). In a sharded run these are shard 0's
+	// reports; ShardFscks/RecoveredShardFscks carry every shard's.
 	Fsck          meta.FsckReport
 	RecoveredFsck meta.FsckReport
-	// Recovery reports the final recovery's replay statistics.
+	// ShardFscks and RecoveredShardFscks hold the per-shard fsck reports
+	// (index = shard); ClusterIssues and RecoveredClusterIssues list
+	// cross-shard referential problems found by FsckCluster after the
+	// end-of-run intent resolution. All must stay clean.
+	ShardFscks             []meta.FsckReport
+	RecoveredShardFscks    []meta.FsckReport
+	ClusterIssues          []string
+	RecoveredClusterIssues []string
+	// Recovery reports the final recovery's replay statistics (shard 0).
 	Recovery meta.RecoveryStats
 	// Restarts counts completed mid-run MDS restarts.
 	Restarts int
+	// RestartedShards records which shard each completed restart hit.
+	RestartedShards []int
 	// DedupHits counts commit retransmissions answered from the MDS dedup
 	// table, summed across incarnations.
 	DedupHits int64
@@ -220,30 +242,46 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.RestartEvery <= 0 {
 		cfg.RestartEvery = 10 * time.Millisecond
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > 1 {
+		deleg = 0 // space delegation is single-shard only
+	}
 
 	rep := &Report{}
 
-	// Shared data device, optionally faulty; fault-free metadata device
-	// carrying the journal.
+	// One data device per shard (shard i allocates from device index i, so
+	// the shards' data spaces are disjoint by construction), optionally
+	// faulty; one fault-free metadata device per shard carrying its
+	// journal.
 	var faultFn blockdev.WriteFaultFunc
 	if cfg.Disk.ErrProb > 0 || cfg.Disk.TornProb > 0 {
 		faultFn = blockdev.ProbFaults(cfg.Seed^0x5eed, cfg.Disk.ErrProb, cfg.Disk.TornProb)
 	}
-	data := blockdev.New(blockdev.Config{Size: dataSpace, Model: blockdev.ZeroLatency(), Clock: clk, WriteFault: faultFn, Tracer: cfg.Tracer})
-	defer data.Close()
-	metaDev := blockdev.New(blockdev.Config{Size: metaSpace, Model: blockdev.ZeroLatency(), Clock: clk})
-	defer metaDev.Close()
+	dataDevs := make([]*blockdev.Device, shards)
+	metaDevs := make([]*blockdev.Device, shards)
+	stores := make([]*meta.Store, shards)
+	mkAGs := func(i int) *alloc.AGSet { return alloc.NewUniformAGSet(alloc.RoundRobin, i, dataSpace, allocGroups) }
+	for i := 0; i < shards; i++ {
+		dataDevs[i] = blockdev.New(blockdev.Config{ID: i, Size: dataSpace, Model: blockdev.ZeroLatency(), Clock: clk, WriteFault: faultFn, Tracer: cfg.Tracer})
+		defer dataDevs[i].Close()
+		metaDevs[i] = blockdev.New(blockdev.Config{Size: metaSpace, Model: blockdev.ZeroLatency(), Clock: clk})
+		defer metaDevs[i].Close()
+		stores[i] = meta.NewStore(meta.Config{
+			AGs: mkAGs(i), Journal: meta.NewJournal(metaDevs[i], 0, journalSize), Clock: clk, Tracer: cfg.Tracer,
+			Shard: i, ShardCount: shards,
+		})
+	}
 
-	mkAGs := func() *alloc.AGSet { return alloc.NewUniformAGSet(alloc.RoundRobin, 0, dataSpace, allocGroups) }
-	store := meta.NewStore(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk, Tracer: cfg.Tracer})
-
-	// The durability oracle: every commit the MDS applies is audited
-	// against what the data device has actually made durable, and an
+	// The durability oracle: every commit any shard applies is audited
+	// against what its data device has actually made durable, and an
 	// undurable commit is both recorded and rejected.
 	var vmu sync.Mutex
 	check := func(exts []meta.Extent) error {
 		for _, e := range exts {
-			if e.Dev != 0 || !data.IsDurable(e.VolOff, e.Len) {
+			if int(e.Dev) >= shards || !dataDevs[e.Dev].IsDurable(e.VolOff, e.Len) {
 				msg := fmt.Sprintf("commit references non-durable extent dev%d [%d,+%d)", e.Dev, e.VolOff, e.Len)
 				vmu.Lock()
 				rep.Violations = append(rep.Violations, msg)
@@ -254,31 +292,50 @@ func Run(cfg Config) (*Report, error) {
 		return nil
 	}
 
+	// Host naming: the single-shard topology keeps the historical "mds"
+	// host (fault plans and determinism fixtures address it by name);
+	// sharded runs use "mds0".."mdsN-1".
+	hostOf := func(i int) string {
+		if shards == 1 {
+			return "mds"
+		}
+		return fmt.Sprintf("mds%d", i)
+	}
+
 	net := netsim.NewNetwork(clk)
 	net.SetTracer(cfg.Tracer)
-	net.AddHost("mds", netsim.Instant())
+	for i := 0; i < shards; i++ {
+		net.AddHost(hostOf(i), netsim.Instant())
+	}
 
-	incarnation := uint64(1)
-	startServer := func() (*mds.Server, *netsim.Listener, error) {
+	incarnations := make([]uint64, shards)
+	srvs := make([]*mds.Server, shards)
+	liss := make([]*netsim.Listener, shards)
+	startServer := func(i int) error {
+		incarnations[i]++
 		srv := mds.New(mds.Config{
-			Store:        store,
+			Store:        stores[i],
 			Clock:        clk,
 			Daemons:      4,
 			CommitCheck:  check,
 			LeaseTimeout: cfg.LeaseTimeout,
-			Incarnation:  incarnation,
+			Incarnation:  incarnations[i],
+			ShardIndex:   uint32(i),
+			ShardCount:   uint32(shards),
 			Tracer:       cfg.Tracer,
 		})
-		lis, err := net.Listen("mds")
+		lis, err := net.Listen(hostOf(i))
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		go srv.Serve(lis)
-		return srv, lis, nil
+		srvs[i], liss[i] = srv, lis
+		return nil
 	}
-	srv, lis, err := startServer()
-	if err != nil {
-		return rep, err
+	for i := 0; i < shards; i++ {
+		if err := startServer(i); err != nil {
+			return rep, err
+		}
 	}
 
 	plan := cfg.Net
@@ -290,38 +347,56 @@ func Run(cfg Config) (*Report, error) {
 	}
 	defer net.ClearFaults()
 
+	devices := make(map[uint32]client.BlockDevice, shards)
+	for i := 0; i < shards; i++ {
+		devices[uint32(i)] = dataDevs[i]
+	}
 	clients := make([]*client.Client, cfg.Clients)
 	for i := range clients {
 		host := fmt.Sprintf("c%d", i)
 		net.AddHost(host, netsim.Instant())
-		dial := func() (*rpc.Client, error) {
-			conn, err := net.Dial(host, "mds")
+		dialShard := func(s int) (*rpc.Client, error) {
+			conn, err := net.Dial(host, hostOf(s))
 			if err != nil {
 				return nil, err
 			}
 			return rpc.NewClient(conn, clk), nil
 		}
-		first, err := dial()
-		if err != nil {
-			return rep, err
-		}
 		pol := cfg.Retry
 		if pol.Seed == 0 {
 			pol.Seed = cfg.Seed + int64(i)*31 + 1
 		}
-		clients[i] = client.New(client.Config{
+		ccfg := client.Config{
 			Name:            host,
-			MDS:             first,
-			Redial:          dial,
 			Retry:           pol,
-			Devices:         map[uint32]client.BlockDevice{0: data},
+			Devices:         devices,
 			Clock:           clk,
 			Mode:            cfg.Mode,
 			DelegationChunk: deleg,
 			PoolInterval:    time.Millisecond,
 			Autoscale:       cfg.Autoscale,
 			Tracer:          cfg.Tracer,
-		})
+		}
+		if shards == 1 {
+			first, err := dialShard(0)
+			if err != nil {
+				return rep, err
+			}
+			ccfg.MDS = first
+			ccfg.Redial = func() (*rpc.Client, error) { return dialShard(0) }
+		} else {
+			conns := make([]*rpc.Client, shards)
+			for s := 0; s < shards; s++ {
+				conn, err := dialShard(s)
+				if err != nil {
+					return rep, err
+				}
+				conns[s] = conn
+			}
+			ccfg.Shards = conns
+			ccfg.RedialShard = dialShard
+		}
+		clients[i] = client.New(ccfg)
 	}
 
 	// Fan the workloads out, one namespace subtree per client.
@@ -357,28 +432,36 @@ func Run(cfg Config) (*Report, error) {
 		}()
 	}
 
-	// Scheduled crash-restarts while the workloads run. Closing the server
-	// drains in-flight operations (so the journal is quiescent), then the
-	// survivors' connections die underneath them and the retry layer takes
-	// over: redial, OpHello, incarnation bump, session re-establishment.
+	// Scheduled crash-restarts while the workloads run, each hitting a
+	// seed-chosen shard. Closing the server drains in-flight operations
+	// (so the journal is quiescent), then the survivors' connections die
+	// underneath them and the retry layer takes over: redial, OpHello,
+	// incarnation bump, per-shard session re-establishment. A shard killed
+	// mid-cross-shard-protocol leaves journaled intents the end-of-run
+	// resolution settles.
+	restartRng := rand.New(rand.NewSource(cfg.Seed ^ 0x7e57a7))
 	var restartErr error
 	for r := 0; r < cfg.Restarts; r++ {
 		clk.Sleep(cfg.RestartEvery)
-		lis.Close()
-		srv.Close()
-		rep.DedupHits += srv.DedupHits()
-		rec, _, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk, Tracer: cfg.Tracer})
+		i := restartRng.Intn(shards)
+		liss[i].Close()
+		srvs[i].Close()
+		rep.DedupHits += srvs[i].DedupHits()
+		rec, _, err := meta.Recover(meta.Config{
+			AGs: mkAGs(i), Journal: meta.NewJournal(metaDevs[i], 0, journalSize), Clock: clk, Tracer: cfg.Tracer,
+			Shard: i, ShardCount: shards,
+		})
 		if err != nil {
-			restartErr = fmt.Errorf("chaos: recovery at restart %d: %w", r+1, err)
+			restartErr = fmt.Errorf("chaos: recovery of shard %d at restart %d: %w", i, r+1, err)
 			break
 		}
-		store = rec
-		incarnation++
-		if srv, lis, err = startServer(); err != nil {
+		stores[i] = rec
+		if err := startServer(i); err != nil {
 			restartErr = err
 			break
 		}
 		rep.Restarts++
+		rep.RestartedShards = append(rep.RestartedShards, i)
 	}
 
 	wg.Wait()
@@ -393,7 +476,9 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	for i := range clients {
-		store.ClientGone(fmt.Sprintf("c%d", i))
+		for _, st := range stores {
+			st.ClientGone(fmt.Sprintf("c%d", i))
+		}
 	}
 	for _, res := range rep.Results {
 		rep.OpErrors += res.Errors
@@ -402,22 +487,59 @@ func Run(cfg Config) (*Report, error) {
 		return rep, restartErr
 	}
 
-	rep.Inconsistent = store.CheckConsistent(func(dev int, off, n int64) bool {
-		return dev == 0 && data.IsDurable(off, n)
-	})
-	rep.Fsck = store.Fsck(dataSpace)
-	rep.DiskFaults = data.InjectedFaults()
-
-	// Crash-at-end: abandon the live store, recover once more from the
-	// journal, and fsck the recovered image.
-	lis.Close()
-	srv.Close()
-	rep.DedupHits += srv.DedupHits()
-	rec, rst, err := meta.Recover(meta.Config{AGs: mkAGs(), Journal: meta.NewJournal(metaDev, 0, journalSize), Clock: clk})
-	if err != nil {
-		return rep, fmt.Errorf("chaos: final recovery: %w", err)
+	// The cluster is quiesced (clients closed, leases reaped): drive every
+	// cross-shard namespace intent a fault or crash stranded to its unique
+	// outcome before auditing the namespace.
+	if shards > 1 {
+		if err := meta.ResolveNSIntents(stores); err != nil {
+			return rep, fmt.Errorf("chaos: intent resolution: %w", err)
+		}
 	}
-	rep.Recovery = rst
-	rep.RecoveredFsck = rec.Fsck(dataSpace)
+
+	durable := func(dev int, off, n int64) bool {
+		return dev >= 0 && dev < shards && dataDevs[dev].IsDurable(off, n)
+	}
+	for i, st := range stores {
+		rep.Inconsistent = append(rep.Inconsistent, st.CheckConsistent(durable)...)
+		rep.ShardFscks = append(rep.ShardFscks, st.Fsck(dataSpace))
+		rep.DiskFaults += dataDevs[i].InjectedFaults()
+	}
+	rep.Fsck = rep.ShardFscks[0]
+	if shards > 1 {
+		rep.ClusterIssues = meta.FsckCluster(stores)
+	}
+
+	// Crash-at-end: abandon every live store, recover each shard from its
+	// journal, re-resolve stranded intents on the recovered cluster, and
+	// fsck the recovered image — shard by shard and across shards.
+	recovered := make([]*meta.Store, shards)
+	for i := 0; i < shards; i++ {
+		liss[i].Close()
+		srvs[i].Close()
+		rep.DedupHits += srvs[i].DedupHits()
+		rec, rst, err := meta.Recover(meta.Config{
+			AGs: mkAGs(i), Journal: meta.NewJournal(metaDevs[i], 0, journalSize), Clock: clk,
+			Shard: i, ShardCount: shards,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("chaos: final recovery of shard %d: %w", i, err)
+		}
+		recovered[i] = rec
+		if i == 0 {
+			rep.Recovery = rst
+		}
+	}
+	if shards > 1 {
+		if err := meta.ResolveNSIntents(recovered); err != nil {
+			return rep, fmt.Errorf("chaos: post-recovery intent resolution: %w", err)
+		}
+	}
+	for _, rec := range recovered {
+		rep.RecoveredShardFscks = append(rep.RecoveredShardFscks, rec.Fsck(dataSpace))
+	}
+	rep.RecoveredFsck = rep.RecoveredShardFscks[0]
+	if shards > 1 {
+		rep.RecoveredClusterIssues = meta.FsckCluster(recovered)
+	}
 	return rep, nil
 }

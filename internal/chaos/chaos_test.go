@@ -16,6 +16,7 @@ import (
 	"redbud/internal/mds"
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
+	"redbud/internal/proto"
 	"redbud/internal/rpc"
 	"redbud/internal/workload"
 )
@@ -56,7 +57,9 @@ func invariantConfig(seed int64) Config {
 	}
 }
 
-// assertClean checks the two paper invariants and both fsck passes.
+// assertClean checks the two paper invariants and every fsck pass: each
+// shard's live and recovered image, plus the cross-shard referential checks
+// in a sharded run.
 func assertClean(t *testing.T, rep *Report) {
 	t.Helper()
 	if len(rep.Violations) != 0 {
@@ -65,11 +68,21 @@ func assertClean(t *testing.T, rep *Report) {
 	if len(rep.Inconsistent) != 0 {
 		t.Errorf("committed-but-not-durable extents at end of run: %+v", rep.Inconsistent)
 	}
-	if !rep.Fsck.OK() {
-		t.Errorf("live fsck: %s", rep.Fsck)
+	for i, f := range rep.ShardFscks {
+		if !f.OK() {
+			t.Errorf("live fsck, shard %d: %s", i, f)
+		}
 	}
-	if !rep.RecoveredFsck.OK() {
-		t.Errorf("post-recovery fsck: %s", rep.RecoveredFsck)
+	for i, f := range rep.RecoveredShardFscks {
+		if !f.OK() {
+			t.Errorf("post-recovery fsck, shard %d: %s", i, f)
+		}
+	}
+	if len(rep.ClusterIssues) != 0 {
+		t.Errorf("cross-shard fsck: %s", strings.Join(rep.ClusterIssues, "; "))
+	}
+	if len(rep.RecoveredClusterIssues) != 0 {
+		t.Errorf("post-recovery cross-shard fsck: %s", strings.Join(rep.RecoveredClusterIssues, "; "))
 	}
 }
 
@@ -438,6 +451,340 @@ func TestChaosWriterCrashEarlyVisibility(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			writerCrashRun(t, seed)
+		})
+	}
+}
+
+// shardedConfig is the sharded counterpart of invariantConfig: four MDS
+// shards under the full fault menu — drops, duplicates, delays, reorders, a
+// timed partition of one shard, probabilistic data-device faults — plus two
+// mid-run crash-restarts of seed-chosen shards. Creates and removes whose
+// placement hash separates child from parent run the two-phase cross-shard
+// protocols under all of it.
+func shardedConfig(seed int64) Config {
+	cfg := invariantConfig(seed)
+	cfg.Shards = 4
+	cfg.Think = 500 * time.Microsecond // stretch the workload across the restarts
+	cfg.Restarts = 2
+	cfg.RestartEvery = 10 * time.Millisecond
+	cfg.Net.Partitions = []netsim.Partition{
+		{From: "*", To: "mds1", Start: 20 * time.Millisecond, End: 35 * time.Millisecond},
+	}
+	return cfg
+}
+
+// TestChaosShardedInvariants sweeps seeded fault plans over the sharded
+// topology: no plan — including killing a random shard mid-run, possibly
+// mid-cross-shard-protocol — may yield an undurable commit, an inconsistent
+// shard, a cross-shard referential break, or an unrecoverable journal.
+func TestChaosShardedInvariants(t *testing.T) {
+	for s := 0; s < *seeds; s++ {
+		seed := int64(s)*6151 + 11
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(shardedConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertClean(t, rep)
+			var ops int64
+			for _, r := range rep.Results {
+				ops += r.Ops
+			}
+			if ops > 0 && rep.OpErrors >= ops {
+				t.Errorf("every one of %d ops failed; the fault plan starved the workload", ops)
+			}
+			t.Logf("ops=%d opErrors=%d restartedShards=%v netFaults=%+v diskFaults=%d dedupHits=%d",
+				ops, rep.OpErrors, rep.RestartedShards, rep.Faults, rep.DiskFaults, rep.DedupHits)
+		})
+	}
+}
+
+// TestChaosShardedRestart crash-restarts seed-chosen shards three times
+// mid-workload with no other faults: clients must redial the dead shard,
+// observe its incarnation bump, re-establish only the session state homed
+// there, and keep making progress on every shard; all shards must fsck clean
+// individually and against each other.
+func TestChaosShardedRestart(t *testing.T) {
+	cfg := shardedConfig(2026)
+	cfg.Net = netsim.FaultPlan{}
+	cfg.Disk = DiskFaults{}
+	cfg.Ops = 40
+	cfg.Think = time.Millisecond
+	cfg.Restarts = 3
+	cfg.RestartEvery = 15 * time.Millisecond
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 3 {
+		t.Fatalf("completed %d restarts, want 3", rep.Restarts)
+	}
+	assertClean(t, rep)
+	var ops int64
+	for _, r := range rep.Results {
+		ops += r.Ops
+	}
+	if want := int64(cfg.Clients * cfg.Threads * cfg.Ops); ops != want {
+		t.Fatalf("measured %d ops, want %d: a thread died instead of retrying", ops, want)
+	}
+	if rep.OpErrors >= ops {
+		t.Fatalf("all %d ops failed across the restarts; sessions never re-established", ops)
+	}
+	t.Logf("ops=%d opErrors=%d restartedShards=%v dedupHits=%d", ops, rep.OpErrors, rep.RestartedShards, rep.DedupHits)
+}
+
+// TestChaosShardedDeterminism is the run-twice determinism check for the
+// sharded topology: same seed, delay-only plan, no retries — the per-thread
+// event logs of two runs must be byte-identical even though ops now fan out
+// over two shards and the cross-shard protocols.
+func TestChaosShardedDeterminism(t *testing.T) {
+	eventLog := func() (string, int64) {
+		var mu sync.Mutex
+		logs := map[int][]string{}
+		cfg := Config{
+			Seed:    271,
+			Shards:  2,
+			Clients: 2,
+			Threads: 2,
+			Ops:     20,
+			Prefill: 2,
+			Mode:    client.DelayedCommit,
+			Fsync:   true,
+			Retry:   client.RetryPolicy{MaxAttempts: 1},
+			Net: netsim.FaultPlan{
+				Default: netsim.LinkFaults{DelayProb: 0.3, DelaySpike: 300 * time.Microsecond},
+			},
+			OnOp: func(clientID, tid int, kind workload.OpKind, path string, n int64) {
+				key := clientID*1000 + tid
+				mu.Lock()
+				logs[key] = append(logs[key], fmt.Sprintf("%d %s %s %d", key, kind, path, n))
+				mu.Unlock()
+			},
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertClean(t, rep)
+		keys := make([]int, 0, len(logs))
+		for k := range logs {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			for _, line := range logs[k] {
+				sb.WriteString(line)
+				sb.WriteByte('\n')
+			}
+		}
+		return sb.String(), rep.OpErrors
+	}
+	logA, errsA := eventLog()
+	logB, errsB := eventLog()
+	if errsA != 0 || errsB != 0 {
+		t.Fatalf("delay-only sharded runs had op errors (%d, %d): an outcome-affecting fault leaked into the determinism fixture", errsA, errsB)
+	}
+	if logA == "" {
+		t.Fatal("event log is empty; OnOp never fired")
+	}
+	if logA != logB {
+		t.Fatalf("same seed and plan produced different event logs:\nrun A:\n%srun B:\n%s", logA, logB)
+	}
+}
+
+// TestChaosShardedRenameBothShardsCrash drives a cross-shard rename over the
+// wire phase by phase and crashes BOTH shards after each prefix of the
+// protocol: the client mounts a two-shard cluster and builds the namespace,
+// then the test issues the four rename phases as raw RPCs, kills both
+// servers, recovers both stores from their journals, and runs intent
+// resolution. At every crash point the file must converge to exactly one of
+// its two names — the old one before the commit point (phase 3, the source
+// dirent delete), the new one after — never both and never neither, with
+// both shards fsck-clean and the file's data intact.
+func TestChaosShardedRenameBothShardsCrash(t *testing.T) {
+	const n = 2
+	for stage := 0; stage <= 4; stage++ {
+		t.Run(fmt.Sprintf("phases=%d", stage), func(t *testing.T) {
+			clk := clock.Real(1)
+			net := netsim.NewNetwork(clk)
+			dataDevs := make([]*blockdev.Device, n)
+			metaDevs := make([]*blockdev.Device, n)
+			stores := make([]*meta.Store, n)
+			srvs := make([]*mds.Server, n)
+			liss := make([]*netsim.Listener, n)
+			for i := 0; i < n; i++ {
+				dataDevs[i] = blockdev.New(blockdev.Config{ID: i, Size: dataSpace, Model: blockdev.ZeroLatency(), Clock: clk})
+				defer dataDevs[i].Close()
+				metaDevs[i] = blockdev.New(blockdev.Config{Size: metaSpace, Model: blockdev.ZeroLatency(), Clock: clk})
+				defer metaDevs[i].Close()
+				stores[i] = meta.NewStore(meta.Config{
+					AGs:     alloc.NewUniformAGSet(alloc.RoundRobin, i, dataSpace, allocGroups),
+					Journal: meta.NewJournal(metaDevs[i], 0, journalSize), Clock: clk,
+					Shard: i, ShardCount: n,
+				})
+				host := fmt.Sprintf("mds%d", i)
+				net.AddHost(host, netsim.Instant())
+				srvs[i] = mds.New(mds.Config{Store: stores[i], Clock: clk, Daemons: 2, ShardIndex: uint32(i), ShardCount: n})
+				lis, err := net.Listen(host)
+				if err != nil {
+					t.Fatal(err)
+				}
+				liss[i] = lis
+				go srvs[i].Serve(lis)
+			}
+			dial := func(from string, shard int) *rpc.Client {
+				conn, err := net.Dial(from, fmt.Sprintf("mds%d", shard))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rpc.NewClient(conn, clk)
+			}
+
+			// Mount a client and build the fixture: two directories homed on
+			// different shards and a synced file under the source one.
+			net.AddHost("c0", netsim.Instant())
+			conns := make([]*rpc.Client, n)
+			for i := range conns {
+				conns[i] = dial("c0", i)
+			}
+			cl := client.New(client.Config{
+				Name:   "c0",
+				Shards: conns,
+				Devices: map[uint32]client.BlockDevice{
+					0: dataDevs[0], 1: dataDevs[1],
+				},
+				Clock: clk,
+				Mode:  client.SyncCommit,
+			})
+			rootStore := stores[meta.ShardOf(meta.RootID, n)]
+			var srcID, dstID meta.FileID
+			var srcName string
+			for i := 0; i < 32 && (srcID == 0 || dstID == 0); i++ {
+				name := fmt.Sprintf("d%d", i)
+				if err := cl.Mkdir("/" + name); err != nil {
+					t.Fatal(err)
+				}
+				attr, err := rootStore.Lookup(meta.RootID, name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if meta.ShardOf(attr.ID, n) == 0 && srcID == 0 {
+					srcID, srcName = attr.ID, name
+				} else if meta.ShardOf(attr.ID, n) == 1 && dstID == 0 {
+					dstID = attr.ID
+				}
+			}
+			if srcID == 0 || dstID == 0 {
+				t.Fatal("placement hash never separated two directories; fixture broken")
+			}
+			pat := make([]byte, 4096)
+			for i := range pat {
+				pat[i] = byte(i*13 + stage)
+			}
+			wf, err := cl.Create("/" + srcName + "/f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := wf.WriteAt(pat, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := wf.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Close(); err != nil {
+				t.Fatal(err)
+			}
+			fattr, err := stores[meta.ShardOf(srcID, n)].Lookup(srcID, "f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fid := fattr.ID
+
+			// The four phases of renaming src/f -> dst/g, as the client
+			// would issue them, against the live servers.
+			net.AddHost("probe", netsim.Instant())
+			sp, dp := dial("probe", 0), dial("probe", 1)
+			phases := []func() error{
+				func() error {
+					return sp.Call(proto.OpNSPrepare, &proto.NSPrepareReq{
+						File: fid, Kind: meta.NSRenameSrc, Type: meta.TypeFile, Parent: srcID, Name: "f"}, nil)
+				},
+				func() error {
+					return dp.Call(proto.OpNSPrepare, &proto.NSPrepareReq{
+						File: fid, Kind: meta.NSRenameDst, Type: meta.TypeFile, Parent: srcID, Name: "f",
+						DstParent: dstID, DstName: "g"}, nil)
+				},
+				func() error {
+					return sp.Call(proto.OpNSCommit, &proto.NSCommitReq{File: fid, Kind: meta.NSRenameSrc}, nil)
+				},
+				func() error {
+					return dp.Call(proto.OpNSCommit, &proto.NSCommitReq{File: fid, Kind: meta.NSRenameDst}, nil)
+				},
+			}
+			for i := 0; i < stage; i++ {
+				if err := phases[i](); err != nil {
+					t.Fatalf("phase %d: %v", i+1, err)
+				}
+			}
+
+			// Crash BOTH shards, recover each from its journal, resolve.
+			for i := 0; i < n; i++ {
+				liss[i].Close()
+				srvs[i].Close()
+			}
+			sp.Close()
+			dp.Close()
+			recovered := make([]*meta.Store, n)
+			for i := 0; i < n; i++ {
+				rec, _, err := meta.Recover(meta.Config{
+					AGs:     alloc.NewUniformAGSet(alloc.RoundRobin, i, dataSpace, allocGroups),
+					Journal: meta.NewJournal(metaDevs[i], 0, journalSize), Clock: clk,
+					Shard: i, ShardCount: n,
+				})
+				if err != nil {
+					t.Fatalf("shard %d recovery: %v", i, err)
+				}
+				recovered[i] = rec
+			}
+			if err := meta.ResolveNSIntents(recovered); err != nil {
+				t.Fatalf("intent resolution: %v", err)
+			}
+
+			wantNew := stage >= 3 // the commit point is the source-dirent delete
+			_, oldErr := recovered[meta.ShardOf(srcID, n)].Lookup(srcID, "f")
+			_, newErr := recovered[meta.ShardOf(dstID, n)].Lookup(dstID, "g")
+			if wantNew {
+				if newErr != nil || oldErr == nil {
+					t.Fatalf("after %d phases want only dst/g: src err=%v dst err=%v", stage, oldErr, newErr)
+				}
+			} else {
+				if oldErr != nil || newErr == nil {
+					t.Fatalf("after %d phases want only src/f: src err=%v dst err=%v", stage, oldErr, newErr)
+				}
+			}
+			attr, err := recovered[meta.ShardOf(fid, n)].GetAttr(fid)
+			if err != nil {
+				t.Fatalf("file inode lost: %v", err)
+			}
+			if attr.Size != int64(len(pat)) {
+				t.Fatalf("file size %d after recovery, want %d", attr.Size, len(pat))
+			}
+			for i, rec := range recovered {
+				if rep := rec.Fsck(dataSpace); !rep.OK() {
+					t.Fatalf("shard %d fsck: %s", i, rep)
+				}
+			}
+			if probs := meta.FsckCluster(recovered); len(probs) != 0 {
+				t.Fatalf("cluster fsck: %s", strings.Join(probs, "; "))
+			}
+			for _, in := range recovered[0].NSIntents() {
+				t.Errorf("shard 0 intent survived resolution: %+v", in)
+			}
+			for _, in := range recovered[1].NSIntents() {
+				t.Errorf("shard 1 intent survived resolution: %+v", in)
+			}
 		})
 	}
 }

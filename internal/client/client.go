@@ -78,6 +78,14 @@ type Config struct {
 	// current one dies; combined with Retry it makes the client survive
 	// connection loss and MDS restarts.
 	Redial func() (*rpc.Client, error)
+	// Shards supplies one connected RPC client per MDS shard (index =
+	// shard number) of a sharded namespace; when set it replaces MDS. The
+	// client routes every inode by meta.ShardOf and verifies each server's
+	// hello-advertised shard coordinates against this topology.
+	Shards []*rpc.Client
+	// RedialShard re-establishes the connection to one shard after it
+	// dies; with Shards set it replaces Redial.
+	RedialShard func(shard int) (*rpc.Client, error)
 	// Retry governs RPC timeouts and idempotent-retry backoff.
 	Retry RetryPolicy
 	// Devices maps device IDs to the shared disk array members.
@@ -172,16 +180,13 @@ type Client struct {
 	clk  clock.Clock
 	devs map[uint32]BlockDevice
 
-	// connMu guards the MDS connection, which Redial may replace, plus the
-	// reconnect bookkeeping. connGen counts replacements so concurrent
-	// failures reconnect once, not once per caller.
-	connMu         sync.Mutex
-	mds            *rpc.Client
-	connGen        uint64
-	totalCalls     int64 // RPCs issued on connections already closed
-	incarnation    uint64
-	sawIncarnation bool
-	rng            *rand.Rand // backoff jitter; guarded by connMu
+	// links holds one connection per MDS shard (a single element for the
+	// unsharded topology). Slice immutable after New; each link carries its
+	// own reconnect bookkeeping.
+	links []*mdsLink
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter; guarded by rngMu
 
 	commitSeq atomic.Uint64 // CommitID generator
 
@@ -246,10 +251,25 @@ type Stats struct {
 	CommitThreads             int
 }
 
-// New mounts a client. The MDS connection must be established.
+// New mounts a client. The MDS connection(s) must be established.
 func New(cfg Config) *Client {
-	if cfg.MDS == nil {
-		panic("client: nil MDS connection")
+	conns := cfg.Shards
+	if len(conns) == 0 {
+		if cfg.MDS == nil {
+			panic("client: nil MDS connection")
+		}
+		conns = []*rpc.Client{cfg.MDS}
+	}
+	for i, mc := range conns {
+		if mc == nil {
+			panic(fmt.Sprintf("client: nil connection for shard %d", i))
+		}
+	}
+	if cfg.DelegationChunk > 0 && len(conns) > 1 {
+		// Delegated spans are granted by one shard's allocator, but a write
+		// may land in any shard's file; carving a shard-0 span for a
+		// shard-2 inode would corrupt both allocators' books.
+		panic("client: space delegation is not supported with a sharded MDS")
 	}
 	if len(cfg.Devices) == 0 {
 		panic("client: no data devices")
@@ -273,7 +293,6 @@ func New(cfg Config) *Client {
 	c := &Client{
 		cfg:         cfg,
 		clk:         cfg.Clock,
-		mds:         cfg.MDS,
 		devs:        cfg.Devices,
 		files:       make(map[meta.FileID]*fileState),
 		dcache:      make(map[string]meta.FileID),
@@ -282,15 +301,18 @@ func New(cfg Config) *Client {
 		trackCommit: cfg.Name + "/commit",
 		commitLat:   stats.NewLatencyHistogram(),
 	}
+	for i, mc := range conns {
+		if d := cfg.Retry.CallTimeout; d > 0 {
+			mc.SetCallTimeout(d)
+		}
+		c.links = append(c.links, &mdsLink{shard: i, mds: mc})
+	}
 	c.commitSeq.Store(commitIDBase(cfg.Name))
 	seed := cfg.Retry.Seed
 	if seed == 0 {
 		seed = retrySeed(cfg.Name)
 	}
 	c.rng = rand.New(rand.NewSource(seed))
-	if d := cfg.Retry.CallTimeout; d > 0 {
-		cfg.MDS.SetCallTimeout(d)
-	}
 	c.compound = core.NewCompound(core.CompoundConfig{
 		Fixed:         cfg.CompoundDegree,
 		Max:           cfg.MaxCompoundDegree,
@@ -300,13 +322,17 @@ func New(cfg Config) *Client {
 	if cfg.DelegationChunk > 0 {
 		c.space.Store(c.newSpacePool())
 	}
-	if cfg.Redial != nil || cfg.EarlyVisibility {
-		// Learn the MDS incarnation — and negotiate the protocol version —
-		// up front so a later reconnect can tell a restart from a mere
-		// connection blip, and so early visibility knows whether the MDS
-		// speaks v2. Best effort: a pre-Hello MDS build simply leaves
-		// sawIncarnation unset (and the session at v1).
-		c.hello(cfg.MDS)
+	if cfg.Redial != nil || cfg.RedialShard != nil || cfg.EarlyVisibility || len(c.links) > 1 {
+		// Learn each shard's incarnation — and negotiate the protocol
+		// version — up front so a later reconnect can tell a restart from a
+		// mere connection blip, and so early visibility knows whether the
+		// MDS speaks v2. A sharded mount always handshakes: the hello reply
+		// is also the shard-map verification. Best effort otherwise: a
+		// pre-Hello MDS build simply leaves sawIncarnation unset (and the
+		// session at v1).
+		for _, l := range c.links {
+			c.hello(l, l.mds)
+		}
 	}
 	if cfg.Mode == DelayedCommit {
 		c.queue = core.NewQueue[meta.FileID]()
@@ -352,19 +378,22 @@ func (c *Client) observeQueueWait(d time.Duration) {
 	}
 }
 
-// rpcInflight samples outstanding calls on the live MDS connection
+// rpcInflight samples outstanding calls on the live MDS connections
 // (autoscaler saturation guard).
 func (c *Client) rpcInflight() int {
-	c.connMu.Lock()
-	mds := c.mds
-	c.connMu.Unlock()
-	return mds.Inflight()
+	total := 0
+	for _, l := range c.links {
+		mds, _ := l.conn()
+		total += mds.Inflight()
+	}
+	return total
 }
 
 // delegate is the SpacePool's refill function. Not retried: a duplicate
 // grant whose first reply was lost would leak a span on the server.
+// Delegation is single-shard only (enforced in New), so shard 0 it is.
 func (c *Client) delegate(size int64) (alloc.Span, error) {
-	mds, _ := c.conn()
+	mds, _ := c.links[0].conn()
 	var sp proto.SpanMsg
 	if err := mds.Call(proto.OpDelegate, &proto.DelegateReq{Owner: c.cfg.Name, Size: size}, &sp); err != nil {
 		return alloc.Span{}, err
@@ -399,8 +428,9 @@ func (c *Client) resolve(path string) (meta.FileID, error) {
 
 	cur := meta.RootID
 	for _, name := range parts {
+		// Each component's dirent lives on its parent's home shard.
 		var resp proto.AttrResp
-		if err := c.callIdem(proto.OpLookup, &proto.LookupReq{Parent: cur, Name: name}, &resp); err != nil {
+		if err := c.callIdem(c.shardFor(cur), proto.OpLookup, &proto.LookupReq{Parent: cur, Name: name}, &resp); err != nil {
 			return 0, mapRemote(err)
 		}
 		cur = resp.ID
@@ -474,10 +504,9 @@ func (c *Client) Create(path string) (fsapi.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	mds, _ := c.conn()
-	var resp proto.AttrResp
-	if err := mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: meta.TypeFile}, &resp); err != nil {
-		return nil, mapRemote(err)
+	resp, err := c.createEntry(dir, leaf, meta.TypeFile)
+	if err != nil {
+		return nil, err
 	}
 	c.st.creates.Inc()
 	c.mu.Lock()
@@ -497,7 +526,7 @@ func (c *Client) Open(path string) (fsapi.File, error) {
 		return nil, err
 	}
 	var attr proto.AttrResp
-	if err := c.callIdem(proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
+	if err := c.callIdem(c.shardFor(id), proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
 		return nil, mapRemote(err)
 	}
 	if attr.Type == meta.TypeDir {
@@ -535,16 +564,33 @@ func (c *Client) fileStateLocked(id meta.FileID, size int64) *fileState {
 	return fs
 }
 
+// createEntry makes a new namespace entry, routing by the placement hash:
+// when the new inode homes on the parent's own shard it is a classic
+// one-shard create; otherwise the two-phase cross-shard protocol runs.
+func (c *Client) createEntry(dir meta.FileID, leaf string, typ meta.FileType) (proto.AttrResp, error) {
+	target := meta.PlaceShard(dir, leaf, len(c.links))
+	if target == c.shardOf(dir) {
+		// Not retried: a duplicate create whose first reply was lost would
+		// fail with ErrExists against the first execution's entry.
+		mds, _ := c.links[target].conn()
+		var resp proto.AttrResp
+		if err := mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: typ}, &resp); err != nil {
+			return resp, mapRemote(err)
+		}
+		return resp, nil
+	}
+	return c.createCrossShard(dir, leaf, typ, target)
+}
+
 // Mkdir creates a directory.
 func (c *Client) Mkdir(path string) error {
 	dir, leaf, err := c.resolveParent(path)
 	if err != nil {
 		return err
 	}
-	mds, _ := c.conn()
-	var resp proto.AttrResp
-	if err := mds.Call(proto.OpCreate, &proto.CreateReq{Parent: dir, Name: leaf, Type: meta.TypeDir}, &resp); err != nil {
-		return mapRemote(err)
+	resp, err := c.createEntry(dir, leaf, meta.TypeDir)
+	if err != nil {
+		return err
 	}
 	c.mu.Lock()
 	c.dcache[path] = resp.ID
@@ -573,9 +619,18 @@ func (c *Client) Remove(path string) error {
 			}
 		}
 	}
-	mds, _ := c.conn()
-	if err := mds.Call(proto.OpRemove, &proto.RemoveReq{Parent: dir, Name: leaf}, nil); err != nil {
-		return mapRemote(err)
+	if resolveErr == nil && c.shardOf(id) != c.shardOf(dir) {
+		// The dirent and the inode live on different shards: run the
+		// two-phase remove (prepare on home, unlink on parent, commit on
+		// home).
+		if err := c.removeCrossShard(dir, leaf, id); err != nil {
+			return err
+		}
+	} else {
+		mds, _ := c.shardFor(dir).conn()
+		if err := mds.Call(proto.OpRemove, &proto.RemoveReq{Parent: dir, Name: leaf}, nil); err != nil {
+			return mapRemote(err)
+		}
 	}
 	c.st.removes.Inc()
 	c.mu.Lock()
@@ -598,10 +653,17 @@ func (c *Client) Rename(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	req := proto.RenameReq{SrcParent: srcDir, SrcName: srcLeaf, DstParent: dstDir, DstName: dstLeaf}
-	mds, _ := c.conn()
-	if err := mds.Call(proto.OpRename, &req, nil); err != nil {
-		return mapRemote(err)
+	if c.shardOf(srcDir) != c.shardOf(dstDir) {
+		// The two dirent tables live on different shards: two-phase rename.
+		if err := c.renameCrossShard(srcDir, srcLeaf, dstDir, dstLeaf); err != nil {
+			return err
+		}
+	} else {
+		req := proto.RenameReq{SrcParent: srcDir, SrcName: srcLeaf, DstParent: dstDir, DstName: dstLeaf}
+		mds, _ := c.shardFor(srcDir).conn()
+		if err := mds.Call(proto.OpRename, &req, nil); err != nil {
+			return mapRemote(err)
+		}
 	}
 	// Path-keyed cache entries under the old name (and, for directories,
 	// the whole subtree) are stale: drop the dentry cache wholesale —
@@ -625,8 +687,10 @@ func (c *Client) Stat(path string) (fsapi.Info, error) {
 	if err != nil {
 		return fsapi.Info{}, err
 	}
+	// Attributes come from the inode's home shard — the parent shard's
+	// remote-edge record knows only name and type.
 	var attr proto.AttrResp
-	if err := c.callIdem(proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
+	if err := c.callIdem(c.shardFor(id), proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
 		return fsapi.Info{}, mapRemote(err)
 	}
 	info := fsapi.Info{Name: lastPart(path), Size: attr.Size, Dir: attr.Type == meta.TypeDir, MTime: attr.MTime}
@@ -658,11 +722,13 @@ func (c *Client) ReadDir(path string) ([]fsapi.Info, error) {
 		return nil, err
 	}
 	var resp proto.ReadDirResp
-	if err := c.callIdem(proto.OpReadDir, &proto.ReadDirReq{ID: id}, &resp); err != nil {
+	if err := c.callIdem(c.shardFor(id), proto.OpReadDir, &proto.ReadDirReq{ID: id}, &resp); err != nil {
 		return nil, mapRemote(err)
 	}
 	out := make([]fsapi.Info, 0, len(resp.Entries))
 	for _, e := range resp.Entries {
+		// Remote-homed children list with Size 0 (the parent shard does not
+		// track sizes); Stat the path for the authoritative size.
 		out = append(out, fsapi.Info{Name: e.Name, Dir: e.Type == meta.TypeDir, Size: e.Size})
 	}
 	return out, nil
@@ -715,7 +781,9 @@ func (c *Client) commitDaemon(stop <-chan struct{}) {
 }
 
 // commitBatch waits for the files' data writes, then sends one compound RPC
-// carrying every non-empty commit.
+// per shard carrying every non-empty commit. Commits route to the inode's
+// home shard, so a batch spanning shards splits into one frame each — files
+// of one shard still share their frame.
 func (c *Client) commitBatch(ids []meta.FileID) {
 	var reqs []*proto.CommitReq
 	var states []*fileState
@@ -733,6 +801,29 @@ func (c *Client) commitBatch(ids []meta.FileID) {
 		reqs = append(reqs, req)
 		states = append(states, fs)
 	}
+	if len(c.links) > 1 {
+		byShard := make(map[int][]int)
+		for i, fs := range states {
+			s := c.shardOf(fs.id)
+			byShard[s] = append(byShard[s], i)
+		}
+		for _, idxs := range byShard {
+			gr := make([]*proto.CommitReq, 0, len(idxs))
+			gs := make([]*fileState, 0, len(idxs))
+			for _, i := range idxs {
+				gr = append(gr, reqs[i])
+				gs = append(gs, states[i])
+			}
+			c.sendCommitGroup(gs, gr)
+		}
+		return
+	}
+	c.sendCommitGroup(states, reqs)
+}
+
+// sendCommitGroup ships one group of commits — all homed on the same shard —
+// as a single RPC or compound frame.
+func (c *Client) sendCommitGroup(states []*fileState, reqs []*proto.CommitReq) {
 	if len(reqs) == 0 {
 		return
 	}
@@ -919,7 +1010,7 @@ func (c *Client) Close() error {
 		c.pool.Stop()
 	}
 	if pool := c.space.Load(); pool != nil {
-		mds, _ := c.conn()
+		mds, _ := c.links[0].conn()
 		for _, sp := range pool.Close() {
 			msg := proto.SpanMsg{Dev: uint32(sp.Dev), Off: sp.Off, Len: sp.Len}
 			if err := mds.Call(proto.OpDelegReturn, &proto.DelegReturnReq{Owner: c.cfg.Name, Span: msg}, nil); err != nil && firstErr == nil {
@@ -927,8 +1018,10 @@ func (c *Client) Close() error {
 			}
 		}
 	}
-	mds, _ := c.conn()
-	mds.Close()
+	for _, l := range c.links {
+		mds, _ := l.conn()
+		mds.Close()
+	}
 	return firstErr
 }
 
@@ -942,8 +1035,10 @@ func (c *Client) Crash() {
 		c.queue.Close()
 		c.pool.Stop()
 	}
-	mds, _ := c.conn()
-	mds.Close()
+	for _, l := range c.links {
+		mds, _ := l.conn()
+		mds.Close()
+	}
 }
 
 // Drain blocks until the commit queue is empty and all dirty files are
@@ -1029,18 +1124,24 @@ func (c *Client) Stats() Stats {
 	return s
 }
 
-// rpcCalls totals RPCs across the live connection and any it replaced.
+// rpcCalls totals RPCs across every shard's live connection and any each
+// replaced.
 func (c *Client) rpcCalls() int64 {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	return c.totalCalls + c.mds.Calls()
+	var total int64
+	for _, l := range c.links {
+		total += l.calls()
+	}
+	return total
 }
 
-// badFrames reads the live connection's malformed-frame counter.
+// badFrames sums the live connections' malformed-frame counters.
 func (c *Client) badFrames() int64 {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	return c.mds.BadFrames()
+	var total int64
+	for _, l := range c.links {
+		mds, _ := l.conn()
+		total += mds.BadFrames()
+	}
+	return total
 }
 
 // CommitLatency exposes the client-observed commit latency histogram

@@ -75,7 +75,7 @@ func TestMDSConnectionLossFailsOps(t *testing.T) {
 	if _, err := c.Create("/pre"); err != nil {
 		t.Fatal(err)
 	}
-	c.mds.Close()
+	func() { mds, _ := c.links[0].conn(); mds.Close() }()
 	done := make(chan error, 1)
 	go func() {
 		_, err := c.Create("/post")

@@ -297,7 +297,7 @@ func (c *Client) ensureExtents(fs *fileState, off, end int64) error {
 	var lay proto.LayoutResp
 	// Idempotent retry is safe: re-allocating the same range returns the
 	// extents the first attempt created.
-	err := c.callIdem(proto.OpLayoutGet, &proto.LayoutGetReq{
+	err := c.callIdem(c.shardFor(fs.id), proto.OpLayoutGet, &proto.LayoutGetReq{
 		Owner: c.cfg.Name, File: fs.id, Off: off, Len: end - off, Flags: meta.LayoutWrite,
 	}, &lay)
 	fs.mu.Lock()
@@ -402,7 +402,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		}
 		fs.mu.Unlock()
 		var lay proto.LayoutResp
-		err := c.callIdem(proto.OpLayoutGet, &proto.LayoutGetReq{
+		err := c.callIdem(c.shardFor(fs.id), proto.OpLayoutGet, &proto.LayoutGetReq{
 			Owner: c.cfg.Name, File: fs.id, Off: off, Len: reqEnd - off, Flags: flags,
 		}, &lay)
 		fs.mu.Lock()

@@ -100,80 +100,75 @@ func commitIDBase(name string) uint64 {
 
 // sleepBackoff sleeps the backoff delay for one retry attempt.
 func (c *Client) sleepBackoff(attempt int) {
-	c.connMu.Lock()
+	c.rngMu.Lock()
 	d := backoffDelay(attempt, c.cfg.Retry.BaseDelay, c.cfg.Retry.MaxDelay, c.rng)
-	c.connMu.Unlock()
+	c.rngMu.Unlock()
 	c.clk.Sleep(d)
 }
 
-// conn returns the current MDS connection and its generation; the
-// generation lets a failed caller detect that another goroutine already
-// replaced the connection.
-func (c *Client) conn() (*rpc.Client, uint64) {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	return c.mds, c.connGen
-}
-
-// serverLoad reads the load byte piggybacked on the current connection.
+// serverLoad reads the load byte piggybacked on the shard-0 connection (the
+// compound controller tracks one representative server).
 func (c *Client) serverLoad() uint8 {
-	m, _ := c.conn()
+	m, _ := c.links[0].conn()
 	return m.ServerLoad()
 }
 
-// recoverConn reacts to a retriable failure of a call issued on the
+// recoverConn reacts to a retriable failure of a call issued on link l's
 // connection with generation gen. It returns nil when the caller may retry,
 // or an error when the fault cannot be recovered (no redial configured and
 // the connection is dead).
-func (c *Client) recoverConn(old *rpc.Client, gen uint64, cause error) error {
-	if c.cfg.Redial == nil {
+func (c *Client) recoverConn(l *mdsLink, old *rpc.Client, gen uint64, cause error) error {
+	redial := c.redialFor(l.shard)
+	if redial == nil {
 		if errors.Is(cause, rpc.ErrTimeout) {
 			return nil // connection still usable; retry in place
 		}
 		return cause
 	}
-	c.connMu.Lock()
-	if c.connGen != gen {
+	l.mu.Lock()
+	if l.gen != gen {
 		// Another goroutine already replaced the connection.
-		c.connMu.Unlock()
+		l.mu.Unlock()
 		return nil
 	}
-	nc, err := c.cfg.Redial()
+	nc, err := redial()
 	if err != nil {
-		c.connMu.Unlock()
+		l.mu.Unlock()
 		return err
 	}
 	if d := c.cfg.Retry.CallTimeout; d > 0 {
 		nc.SetCallTimeout(d)
 	}
-	c.totalCalls += old.Calls()
+	l.totalCalls += old.Calls()
 	old.Close()
-	c.mds = nc
-	c.connGen++
-	c.connMu.Unlock()
-	c.hello(nc)
+	l.mds = nc
+	l.gen++
+	l.mu.Unlock()
+	c.hello(l, nc)
 	return nil
 }
 
-// hello (re)introduces the client to the MDS, learns its incarnation, and
-// negotiates the protocol version (the client offers ProtoLatest; the MDS
-// answers with the version the session will speak). A changed incarnation
-// means the MDS restarted and recovered: every delegation and uncommitted
-// allocation of this client was reclaimed, so the local session state must
-// be re-established.
-func (c *Client) hello(mds *rpc.Client) {
+// hello (re)introduces the client to one MDS shard, learns its incarnation,
+// and negotiates the protocol version (the client offers ProtoLatest; the
+// MDS answers with the version the session will speak). A changed
+// incarnation means that shard restarted and recovered: every delegation and
+// uncommitted allocation this client homed there was reclaimed, so the local
+// session state for that shard must be re-established.
+func (c *Client) hello(l *mdsLink, mds *rpc.Client) {
 	var h proto.HelloResp
 	if err := mds.Call(proto.OpHello, &proto.HelloReq{Owner: c.cfg.Name, ProtoVersion: proto.ProtoLatest}, &h); err != nil {
 		return // next failure will retry the handshake
 	}
-	c.protoVersion.Store(h.ProtoVersion)
-	c.connMu.Lock()
-	restarted := c.sawIncarnation && h.Incarnation != c.incarnation
-	c.incarnation = h.Incarnation
-	c.sawIncarnation = true
-	c.connMu.Unlock()
+	c.checkShardMap(l, &h)
+	l.version.Store(h.ProtoVersion)
+	c.updateProtoVersion()
+	l.mu.Lock()
+	restarted := l.sawIncarnation && h.Incarnation != l.incarnation
+	l.incarnation = h.Incarnation
+	l.sawIncarnation = true
+	l.mu.Unlock()
 	if restarted {
-		c.reestablish()
+		c.reestablish(l.shard)
 	}
 }
 
@@ -183,13 +178,16 @@ func (c *Client) earlyVisible() bool {
 	return c.cfg.EarlyVisibility && c.protoVersion.Load() >= proto.ProtoV2
 }
 
-// reestablish rolls the client session back to what the recovered MDS still
-// knows. meta.Recover reclaimed this client's delegations and freed its
-// uncommitted allocations, so: the space pool is discarded and rebuilt, and
-// every file drops its uncommitted extents, cached pages, and local size
-// growth. Delayed-commit data that was never fsynced is lost — exactly the
-// window the paper's §III-A contract concedes.
-func (c *Client) reestablish() {
+// reestablish rolls the client session back to what one recovered MDS shard
+// still knows. meta.Recover reclaimed this client's delegations and freed
+// its uncommitted allocations there, so: the space pool is discarded and
+// rebuilt (delegation exists only in the single-shard topology, where every
+// restart is shard 0's), and every file homed on that shard drops its
+// uncommitted extents, cached pages, and local size growth. Files homed on
+// other shards are untouched — their state is still live. Delayed-commit
+// data that was never fsynced is lost — exactly the window the paper's
+// §III-A contract concedes.
+func (c *Client) reestablish(shard int) {
 	if old := c.space.Load(); old != nil {
 		old.Close() // the recovered MDS no longer tracks these spans
 		c.space.Store(c.newSpacePool())
@@ -197,7 +195,9 @@ func (c *Client) reestablish() {
 	c.mu.Lock()
 	files := make([]*fileState, 0, len(c.files))
 	for _, fs := range c.files {
-		files = append(files, fs)
+		if c.shardOf(fs.id) == shard {
+			files = append(files, fs)
+		}
 	}
 	c.mu.Unlock()
 	for _, fs := range files {
@@ -218,17 +218,18 @@ func (c *Client) reestablish() {
 	}
 }
 
-// callIdem issues an idempotent RPC with timeout/backoff retry across
-// reconnects. Must not be used for ops whose re-execution has side effects.
-func (c *Client) callIdem(op uint16, req wire.Marshaler, resp wire.Unmarshaler) error {
+// callIdem issues an idempotent RPC on one shard's link with timeout/backoff
+// retry across reconnects. Must not be used for ops whose re-execution has
+// side effects.
+func (c *Client) callIdem(l *mdsLink, op uint16, req wire.Marshaler, resp wire.Unmarshaler) error {
 	attempts := c.maxAttempts()
 	for attempt := 0; ; attempt++ {
-		mds, gen := c.conn()
+		mds, gen := l.conn()
 		err := mds.Call(op, req, resp)
 		if err == nil || !retriable(err) || attempt >= attempts-1 {
 			return err
 		}
-		if rerr := c.recoverConn(mds, gen, err); rerr != nil {
+		if rerr := c.recoverConn(l, mds, gen, err); rerr != nil {
 			return err
 		}
 		c.sleepBackoff(attempt)
@@ -247,23 +248,25 @@ func (c *Client) sendCommit(fs *fileState, req *proto.CommitReq, resp *proto.Com
 		fs.cond.Wait()
 	}
 	fs.mu.Unlock()
+	l := c.shardFor(fs.id)
 	attempts := c.maxAttempts()
 	for attempt := 0; ; attempt++ {
-		mds, gen := c.conn()
+		mds, gen := l.conn()
 		err := mds.Call(proto.OpCommit, req, resp)
 		if err == nil || !retriable(err) || attempt >= attempts-1 {
 			return err
 		}
-		if rerr := c.recoverConn(mds, gen, err); rerr != nil {
+		if rerr := c.recoverConn(l, mds, gen, err); rerr != nil {
 			return err
 		}
 		c.sleepBackoff(attempt)
 	}
 }
 
-// sendCompound ships a compound frame of commit sub-operations with the
-// same retry rules as sendCommit; every sub-operation carries its own
-// CommitID, so replaying the whole frame is safe.
+// sendCompound ships a compound frame of commit sub-operations — all homed
+// on one shard — with the same retry rules as sendCommit; every
+// sub-operation carries its own CommitID, so replaying the whole frame is
+// safe.
 func (c *Client) sendCompound(states []*fileState, ops []rpc.SubOp) ([]rpc.SubResult, error) {
 	for _, fs := range states {
 		fs.mu.Lock()
@@ -272,14 +275,15 @@ func (c *Client) sendCompound(states []*fileState, ops []rpc.SubOp) ([]rpc.SubRe
 		}
 		fs.mu.Unlock()
 	}
+	l := c.shardFor(states[0].id)
 	attempts := c.maxAttempts()
 	for attempt := 0; ; attempt++ {
-		mds, gen := c.conn()
+		mds, gen := l.conn()
 		results, err := mds.Compound(ops)
 		if err == nil || !retriable(err) || attempt >= attempts-1 {
 			return results, err
 		}
-		if rerr := c.recoverConn(mds, gen, err); rerr != nil {
+		if rerr := c.recoverConn(l, mds, gen, err); rerr != nil {
 			return results, err
 		}
 		c.sleepBackoff(attempt)

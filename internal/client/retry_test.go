@@ -124,7 +124,7 @@ func TestIdempotentCallRetriesAcrossReconnect(t *testing.T) {
 	writeFile(t, c, "/pre", pattern(4096, 1))
 	// Kill the live connection out from under the client: the idempotent
 	// GetAttr behind Stat must redial and succeed.
-	mds, _ := c.conn()
+	mds, _ := c.links[0].conn()
 	mds.Close()
 	info, err := c.Stat("/pre")
 	if err != nil {
@@ -143,7 +143,7 @@ func TestNonIdempotentOpsAreNotRetried(t *testing.T) {
 	c, redials := tc.retryClient(SyncCommit, 0, RetryPolicy{
 		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
 	}, true)
-	mds, _ := c.conn()
+	mds, _ := c.links[0].conn()
 	mds.Close()
 	if _, err := c.Create("/f"); err == nil {
 		t.Fatal("Create on a dead connection succeeded; a duplicate create could have been sent")

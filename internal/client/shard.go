@@ -1,0 +1,199 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"redbud/internal/meta"
+	"redbud/internal/proto"
+	"redbud/internal/rpc"
+)
+
+// mdsLink is the client's connection to one MDS shard, with the reconnect
+// bookkeeping that used to live on the Client when there was only one. Each
+// shard fails, redials, and restarts independently: the incarnation is
+// tracked per link, so one shard's recovery only invalidates the session
+// state homed there.
+type mdsLink struct {
+	shard int
+
+	// mu guards the connection, which redial may replace, plus the
+	// reconnect bookkeeping. gen counts replacements so concurrent failures
+	// reconnect once, not once per caller.
+	mu             sync.Mutex
+	mds            *rpc.Client
+	gen            uint64
+	totalCalls     int64 // RPCs issued on connections already closed
+	incarnation    uint64
+	sawIncarnation bool
+
+	// version is the protocol version negotiated by this shard's last
+	// OpHello (0 until the first handshake succeeds, which reads as v1).
+	version atomic.Uint32
+}
+
+// conn returns the link's current connection and its generation; the
+// generation lets a failed caller detect that another goroutine already
+// replaced the connection.
+func (l *mdsLink) conn() (*rpc.Client, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mds, l.gen
+}
+
+// calls totals RPCs across the link's live connection and any it replaced.
+func (l *mdsLink) calls() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totalCalls + l.mds.Calls()
+}
+
+// shardOf routes an inode to its home shard.
+func (c *Client) shardOf(id meta.FileID) int { return meta.ShardOf(id, len(c.links)) }
+
+// shardFor returns the link to an inode's home shard.
+func (c *Client) shardFor(id meta.FileID) *mdsLink { return c.links[c.shardOf(id)] }
+
+// redialFor resolves the redial function for one shard, or nil when the
+// client cannot replace that connection.
+func (c *Client) redialFor(shard int) func() (*rpc.Client, error) {
+	if c.cfg.RedialShard != nil {
+		return func() (*rpc.Client, error) { return c.cfg.RedialShard(shard) }
+	}
+	if shard == 0 && len(c.links) == 1 {
+		return c.cfg.Redial
+	}
+	return nil
+}
+
+// updateProtoVersion recomputes the session-wide protocol version: the
+// minimum every shard negotiated. Feature gates (early visibility) key off
+// the whole session, so one laggard shard downgrades all of them.
+func (c *Client) updateProtoVersion() {
+	min := ^uint32(0)
+	for _, l := range c.links {
+		if v := l.version.Load(); v < min {
+			min = v
+		}
+	}
+	c.protoVersion.Store(min)
+}
+
+// checkShardMap validates the hello-advertised shard coordinates against the
+// topology the client was mounted with. A mismatch means the caller wired
+// connection i to a server running with a different -shard flag — routing
+// would silently scatter the namespace, so fail loudly instead.
+func (c *Client) checkShardMap(l *mdsLink, h *proto.HelloResp) {
+	if h.ProtoVersion < proto.ProtoV3 {
+		return // pre-sharding server: only valid as the single shard
+	}
+	if int(h.ShardCount) != len(c.links) || int(h.ShardIndex) != l.shard {
+		panic(fmt.Sprintf("client: shard map mismatch: connection %d of %d reached server %d of %d",
+			l.shard, len(c.links), h.ShardIndex, h.ShardCount))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard namespace orchestration
+//
+// The client drives the two-phase protocols; every step below the first is
+// idempotent on the server, so each may be retried across timeouts and
+// reconnects. A crash (of client or server) between steps leaves an intent
+// that ResolveNSIntents rolls forward or back depending on whether the
+// commit point — the dirent mutation on the parent's shard — was reached.
+
+// createCrossShard creates leaf under dir when the placement hash homes the
+// new inode on a different shard than the parent's dirent table:
+//
+//  1. mint a detached inode (+ NSCreate intent) on the target shard;
+//  2. insert the dirent on the parent's shard — the commit point;
+//  3. graduate the intent on the target shard.
+func (c *Client) createCrossShard(dir meta.FileID, leaf string, typ meta.FileType, target int) (proto.AttrResp, error) {
+	tl, pl := c.links[target], c.shardFor(dir)
+	var attr proto.AttrResp
+	// Minting is the one non-idempotent step (a retry would mint a second
+	// inode), so like OpCreate it is not retried; a lost reply leaks an
+	// intent that resolution aborts.
+	mds, _ := tl.conn()
+	if err := mds.Call(proto.OpCreateDetached, &proto.CreateDetachedReq{Parent: dir, Name: leaf, Type: typ}, &attr); err != nil {
+		return attr, mapRemote(err)
+	}
+	if err := c.callIdem(pl, proto.OpLinkRemote, &proto.LinkRemoteReq{Parent: dir, Name: leaf, Child: attr.ID, Type: typ}, nil); err != nil {
+		// The dirent was never (durably) inserted: roll the mint back. Best
+		// effort — an unreachable target shard resolves the intent later.
+		_ = c.callIdem(tl, proto.OpNSAbort, &proto.NSAbortReq{File: attr.ID, Kind: meta.NSCreate}, nil)
+		return attr, mapRemote(err)
+	}
+	// Past the commit point: the create happened. Graduation is best effort;
+	// a leaked NSCreate intent with a live dirent always resolves to commit.
+	_ = c.callIdem(tl, proto.OpNSCommit, &proto.NSCommitReq{File: attr.ID, Kind: meta.NSCreate}, nil)
+	return attr, nil
+}
+
+// removeCrossShard removes leaf (inode id, homed on another shard than the
+// parent's dirent):
+//
+//  1. publish an NSRemove intent on the home shard (validates emptiness
+//     for directories and blocks new entries from appearing under them);
+//  2. delete the dirent on the parent's shard — the commit point;
+//  3. commit on the home shard, freeing the inode and its space.
+func (c *Client) removeCrossShard(dir meta.FileID, leaf string, id meta.FileID) error {
+	hl, pl := c.shardFor(id), c.shardFor(dir)
+	var attr proto.AttrResp
+	if err := c.callIdem(hl, proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
+		return mapRemote(err)
+	}
+	if err := c.callIdem(hl, proto.OpNSPrepare, &proto.NSPrepareReq{
+		File: id, Kind: meta.NSRemove, Type: attr.Type, Parent: dir, Name: leaf,
+	}, nil); err != nil {
+		return mapRemote(err)
+	}
+	if err := c.callIdem(pl, proto.OpUnlinkRemote, &proto.UnlinkRemoteReq{Parent: dir, Name: leaf, Child: id}, nil); err != nil {
+		_ = c.callIdem(hl, proto.OpNSAbort, &proto.NSAbortReq{File: id, Kind: meta.NSRemove}, nil)
+		return mapRemote(err)
+	}
+	_ = c.callIdem(hl, proto.OpNSCommit, &proto.NSCommitReq{File: id, Kind: meta.NSRemove}, nil)
+	return nil
+}
+
+// renameCrossShard moves a dirent between directories whose tables live on
+// different shards. Only files move this way: a directory's subtree hangs
+// off its own home shard, where neither parent shard could run a loop check.
+//
+//  1. publish NSRenameSrc on the source parent's shard (validates the
+//     entry and freezes the inode's namespace state);
+//  2. publish NSRenameDst on the destination parent's shard (reserves the
+//     destination name);
+//  3. commit the source intent — deleting the source dirent is the commit
+//     point (resolution probes it: present → roll back, gone → forward);
+//  4. commit the destination intent, inserting the new dirent.
+func (c *Client) renameCrossShard(srcDir meta.FileID, srcLeaf string, dstDir meta.FileID, dstLeaf string) error {
+	sl, dl := c.shardFor(srcDir), c.shardFor(dstDir)
+	var ent proto.AttrResp
+	if err := c.callIdem(sl, proto.OpLookup, &proto.LookupReq{Parent: srcDir, Name: srcLeaf}, &ent); err != nil {
+		return mapRemote(err)
+	}
+	if ent.Type == meta.TypeDir {
+		return fmt.Errorf("client: cross-shard directory rename not supported: %q", srcLeaf)
+	}
+	if err := c.callIdem(sl, proto.OpNSPrepare, &proto.NSPrepareReq{
+		File: ent.ID, Kind: meta.NSRenameSrc, Type: ent.Type, Parent: srcDir, Name: srcLeaf,
+	}, nil); err != nil {
+		return mapRemote(err)
+	}
+	if err := c.callIdem(dl, proto.OpNSPrepare, &proto.NSPrepareReq{
+		File: ent.ID, Kind: meta.NSRenameDst, Type: ent.Type, Parent: srcDir, Name: srcLeaf,
+		DstParent: dstDir, DstName: dstLeaf,
+	}, nil); err != nil {
+		_ = c.callIdem(sl, proto.OpNSAbort, &proto.NSAbortReq{File: ent.ID, Kind: meta.NSRenameSrc}, nil)
+		return mapRemote(err)
+	}
+	if err := c.callIdem(sl, proto.OpNSCommit, &proto.NSCommitReq{File: ent.ID, Kind: meta.NSRenameSrc}, nil); err != nil {
+		// The commit point was not provably reached; both intents stand and
+		// resolution decides by probing the source dirent.
+		return mapRemote(err)
+	}
+	_ = c.callIdem(dl, proto.OpNSCommit, &proto.NSCommitReq{File: ent.ID, Kind: meta.NSRenameDst}, nil)
+	return nil
+}

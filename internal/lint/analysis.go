@@ -3,9 +3,10 @@
 // here) plus eight project-specific analyzers that mechanically enforce the
 // invariants DESIGN.md states in prose:
 //
-//   - lockorder: the namespace → inode-stripe → delegation → journal lock
-//     hierarchy of the MDS metadata hot path, and "no tracked lock held
-//     across a blocking channel operation or RPC call".
+//   - lockorder: the namespace → inode-stripe → intent → ns-intent →
+//     delegation → journal lock hierarchy of the MDS metadata hot path, and
+//     "no tracked lock held across a blocking channel operation or RPC
+//     call".
 //   - durability: the paper's ordered-write rule — a commit RPC may only be
 //     issued on paths dominated by a durability wait.
 //   - simclock: virtual-time determinism — no wall-clock time or global

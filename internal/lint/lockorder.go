@@ -8,19 +8,21 @@ import (
 
 // Lock classes of the MDS metadata hierarchy, in acquisition order. The
 // levels mirror DESIGN.md "Concurrency model": namespace → inode stripe →
-// intent table → delegation → journal slot reservation.
+// intent table → ns-intent table → delegation → journal slot reservation.
 const (
 	lockNS         = 1 // meta.Store.ns (RWMutex)
 	lockStripe     = 2 // meta.Store.stripes[i] (RWMutex), usually via Store.stripe(id)
 	lockIntent     = 3 // meta.intentTable.mu (Mutex), taken under a stripe lock
-	lockDelegation = 4 // meta.delegation.mu (Mutex)
-	lockJournal    = 5 // meta.Journal.Append / Store.journalAppend (slot reservation)
+	lockNSIntent   = 4 // meta.nsIntentTable.mu (Mutex), the cross-shard intent table
+	lockDelegation = 5 // meta.delegation.mu (Mutex)
+	lockJournal    = 6 // meta.Journal.Append / Store.journalAppend (slot reservation)
 )
 
 var lockClassName = map[int]string{
 	lockNS:         "namespace (Store.ns)",
 	lockStripe:     "inode stripe (Store.stripes)",
 	lockIntent:     "intent table (intentTable.mu)",
+	lockNSIntent:   "ns-intent table (nsIntentTable.mu)",
 	lockDelegation: "delegation (delegation.mu)",
 	lockJournal:    "journal reservation (Journal.Append)",
 }
@@ -369,6 +371,8 @@ func (lo *lockOrderWalker) lockClass(x ast.Expr) (int, bool) {
 			return lockNS, true
 		case e.Sel.Name == "mu" && isNamedType(recv.Recv(), "meta", "intentTable"):
 			return lockIntent, true
+		case e.Sel.Name == "mu" && isNamedType(recv.Recv(), "meta", "nsIntentTable"):
+			return lockNSIntent, true
 		case e.Sel.Name == "mu" && isNamedType(recv.Recv(), "meta", "delegation"):
 			return lockDelegation, true
 		}
@@ -396,7 +400,7 @@ func (lo *lockOrderWalker) apply(held []heldLock, ev lockEvent) []heldLock {
 		for _, h := range held {
 			if h.class > ev.class {
 				lo.pass.Reportf(ev.pos,
-					"acquiring %s while holding %s inverts the lock hierarchy (namespace → stripe → intent → delegation → journal)",
+					"acquiring %s while holding %s inverts the lock hierarchy (namespace → stripe → intent → ns-intent → delegation → journal)",
 					lockClassName[ev.class], lockClassName[h.class])
 				break
 			}

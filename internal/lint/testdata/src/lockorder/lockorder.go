@@ -19,6 +19,12 @@ type intentTable struct {
 	mu sync.Mutex
 }
 
+// nsIntentTable mirrors meta.nsIntentTable: the cross-shard namespace
+// intent lock ranks between the write-intent table and delegation.
+type nsIntentTable struct {
+	mu sync.Mutex
+}
+
 // Journal mirrors meta.Journal; Append is the instantaneous slot
 // reservation at the bottom of the hierarchy.
 type Journal struct{}
@@ -26,11 +32,12 @@ type Journal struct{}
 func (j *Journal) Append(rec []byte) func() error { return nil }
 
 type Store struct {
-	ns      sync.RWMutex
-	stripes [4]sync.RWMutex
-	intents *intentTable
-	deleg   delegation
-	journal *Journal
+	ns        sync.RWMutex
+	stripes   [4]sync.RWMutex
+	intents   *intentTable
+	nsIntents *nsIntentTable
+	deleg     delegation
+	journal   *Journal
 }
 
 func (s *Store) stripe(id uint64) *sync.RWMutex {
@@ -85,6 +92,52 @@ func goodIntentUnderStripe(s *Store, id uint64) {
 	s.deleg.mu.Lock()
 	s.deleg.mu.Unlock()
 	st.Unlock()
+}
+
+// goodNSIntentOrder runs the cross-shard publish path in the documented
+// order: namespace, then the ns-intent table, then the journal reservation.
+func goodNSIntentOrder(s *Store) error {
+	s.ns.Lock()
+	s.nsIntents.mu.Lock()
+	s.nsIntents.mu.Unlock()
+	wait := s.journal.Append(nil)
+	s.ns.Unlock()
+	return wait()
+}
+
+// goodIntentThenNSIntent releases the write-intent lock before taking the
+// ns-intent lock; the ranks are adjacent but never nested in practice.
+func goodIntentThenNSIntent(s *Store) {
+	s.intents.mu.Lock()
+	s.intents.mu.Unlock()
+	s.nsIntents.mu.Lock()
+	s.nsIntents.mu.Unlock()
+}
+
+// badIntentUnderNSIntent acquires the write-intent lock under the ns-intent
+// lock — the write-intent table ranks above it.
+func badIntentUnderNSIntent(s *Store) {
+	s.nsIntents.mu.Lock()
+	s.intents.mu.Lock() // want `inverts the lock hierarchy`
+	s.intents.mu.Unlock()
+	s.nsIntents.mu.Unlock()
+}
+
+// badNSIntentUnderDeleg acquires the ns-intent lock under delegation.
+func badNSIntentUnderDeleg(s *Store) {
+	s.deleg.mu.Lock()
+	s.nsIntents.mu.Lock() // want `inverts the lock hierarchy`
+	s.nsIntents.mu.Unlock()
+	s.deleg.mu.Unlock()
+}
+
+// badRPCUnderNSIntent holds the ns-intent lock across an RPC round trip —
+// the cross-shard protocol must publish intents before calling the peer
+// shard, never while holding the table lock.
+func badRPCUnderNSIntent(s *Store, c *rpc.Client) {
+	s.nsIntents.mu.Lock()
+	c.Call(1, nil, nil) // want `RPC Call while holding`
+	s.nsIntents.mu.Unlock()
 }
 
 // badStripeUnderIntent acquires a stripe while holding the intent lock.

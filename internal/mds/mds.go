@@ -49,6 +49,11 @@ type Config struct {
 	// on every restart. Clients compare the value returned by OpHello
 	// across reconnects to detect that a recovery happened (defaults to 1).
 	Incarnation uint64
+	// ShardIndex/ShardCount place this server in a sharded namespace
+	// (advertised to v3 clients via OpHello). Zero ShardCount means the
+	// single-shard topology {0, 1}. They must match the store's Config.
+	ShardIndex uint32
+	ShardCount uint32
 	// Tracer, if non-nil, records mds.commit spans on track "mds" (plus the
 	// rpc.queue / rpc.process spans of the daemon pool) for every commit.
 	Tracer *obs.Tracer
@@ -61,6 +66,15 @@ const commitWindow = 1024
 // dedupTable remembers recently applied commit IDs per owner, with the
 // encoded response each produced, so a retransmitted commit is answered
 // from memory instead of re-applied.
+//
+// The window is keyed (owner, commit ID) and lives on the server, NOT on the
+// connection: a client that loses its link and is re-routed back to the same
+// shard re-handshakes on a fresh connection, and its retransmission must
+// still hit the window. Each shard keeps its own table — a commit always
+// routes to its inode's home shard, so dedup state is never expected to
+// survive cross-shard re-routing; a retransmission mis-routed to a different
+// shard is refused by that shard's store (which does not own the inode)
+// rather than silently absorbed by a window it was never recorded in.
 type dedupTable struct {
 	mu     sync.Mutex
 	owners map[string]*ownerDedup
@@ -145,6 +159,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Incarnation == 0 {
 		cfg.Incarnation = 1
+	}
+	if cfg.ShardCount == 0 {
+		cfg.ShardCount = 1
 	}
 	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg, commitLat: stats.NewLatencyHistogram()}
 	s.dedup.owners = make(map[string]*ownerDedup)
@@ -434,8 +451,58 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 		if req.Owner != "" {
 			s.sessions.Store(req.Owner, ver)
 		}
-		resp := proto.HelloResp{Incarnation: s.cfg.Incarnation, ProtoVersion: ver}
+		resp := proto.HelloResp{
+			Incarnation: s.cfg.Incarnation, ProtoVersion: ver,
+			ShardIndex: s.cfg.ShardIndex, ShardCount: s.cfg.ShardCount,
+		}
 		return wire.Encode(&resp), nil
+
+	case proto.OpCreateDetached:
+		var req proto.CreateDetachedReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		a, err := s.store.CreateDetached(req.Parent, req.Name, req.Type)
+		if err != nil {
+			return nil, err
+		}
+		resp := proto.FromAttr(a)
+		return wire.Encode(&resp), nil
+
+	case proto.OpNSPrepare:
+		var req proto.NSPrepareReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.store.NSPrepare(req.File, req.Kind, req.Type, req.Parent, req.Name, req.DstParent, req.DstName)
+
+	case proto.OpNSCommit:
+		var req proto.NSCommitReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.store.NSCommit(req.File, req.Kind)
+
+	case proto.OpNSAbort:
+		var req proto.NSAbortReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.store.NSAbort(req.File, req.Kind)
+
+	case proto.OpLinkRemote:
+		var req proto.LinkRemoteReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.store.LinkRemote(req.Parent, req.Name, req.Child, req.Type)
+
+	case proto.OpUnlinkRemote:
+		var req proto.UnlinkRemoteReq
+		if err := wire.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.store.UnlinkRemote(req.Parent, req.Name, req.Child)
 
 	case proto.OpStat:
 		resp := proto.StatResp{

@@ -436,3 +436,124 @@ func TestMalformedBodyRejected(t *testing.T) {
 		t.Fatal("malformed create accepted")
 	}
 }
+
+// TestCommitDedupSurvivesReconnect pins the dedup window's keying: it is
+// per (owner, commit ID) on the server, not per connection. A client whose
+// link dies and is re-routed back to the same shard re-handshakes on a fresh
+// connection; retransmitting the commit there must be answered from the
+// window — applied once, not twice.
+func TestCommitDedupSurvivesReconnect(t *testing.T) {
+	e := newEnv(t, Config{})
+	a := e.create(t, meta.RootID, "f", meta.TypeFile)
+	var lay proto.LayoutResp
+	if err := e.cli.Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: a.ID, Off: 0, Len: 4096, Flags: meta.LayoutWrite}, &lay); err != nil {
+		t.Fatal(err)
+	}
+	req := &proto.CommitReq{Owner: "c1", File: a.ID, Size: 4096, MTime: time.Unix(7, 0).UTC(), CommitID: 77, Extents: lay.Extents}
+	var first proto.CommitResp
+	if err := e.cli.Call(proto.OpCommit, req, &first); err != nil {
+		t.Fatal(err)
+	}
+	e.cli.Close() // the link dies; the server keeps the session
+
+	conn, err := e.net.Dial("c1", "mds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli2 := rpc.NewClient(conn, clock.Real(1))
+	defer cli2.Close()
+	var h proto.HelloResp
+	if err := cli2.Call(proto.OpHello, &proto.HelloReq{Owner: "c1", ProtoVersion: proto.ProtoLatest}, &h); err != nil {
+		t.Fatal(err)
+	}
+	var retry proto.CommitResp
+	if err := cli2.Call(proto.OpCommit, req, &retry); err != nil {
+		t.Fatalf("retransmission after reconnect: %v", err)
+	}
+	if retry.Size != first.Size {
+		t.Fatalf("deduped reply differs: %d vs %d", retry.Size, first.Size)
+	}
+	if hits := e.srv.DedupHits(); hits != 1 {
+		t.Fatalf("dedup hits = %d, want 1: the window did not survive the reconnect", hits)
+	}
+}
+
+// TestCommitDedupWindowIsPerShard documents the other half of the dedup
+// invariant: each shard keeps its own window, and a commit retransmission
+// only ever dedups on the inode's home shard. A mis-routed retransmission to
+// a different shard is refused by its store — which does not own the inode —
+// never silently absorbed.
+func TestCommitDedupWindowIsPerShard(t *testing.T) {
+	clk := clock.Real(1)
+	stores := make([]*meta.Store, 2)
+	for i := range stores {
+		stores[i] = meta.NewStore(meta.Config{
+			AGs:   alloc.NewUniformAGSet(alloc.RoundRobin, i, 64<<20, 4),
+			Clock: clk, Shard: i, ShardCount: 2,
+		})
+	}
+	// A file homed on shard 0 whose dirent lives with the root on shard 1,
+	// built with the cross-shard create protocol.
+	attr, err := stores[0].CreateDetached(meta.RootID, "f", meta.TypeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ShardOf(attr.ID, 2) != 0 {
+		t.Fatalf("minted inode %d not homed on shard 0", attr.ID)
+	}
+	if err := stores[1].LinkRemote(meta.RootID, "f", attr.ID, meta.TypeFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := stores[0].NSCommit(attr.ID, meta.NSCreate); err != nil {
+		t.Fatal(err)
+	}
+
+	n := netsim.NewNetwork(clk)
+	n.AddHost("c1", netsim.Instant())
+	srvs := make([]*Server, 2)
+	clis := make([]*rpc.Client, 2)
+	for i := range srvs {
+		host := "mds" + string(rune('0'+i))
+		n.AddHost(host, netsim.Instant())
+		srvs[i] = New(Config{Store: stores[i], Clock: clk, ShardIndex: uint32(i), ShardCount: 2})
+		l, err := n.Listen(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srvs[i].Serve(l)
+		conn, err := n.Dial("c1", host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clis[i] = rpc.NewClient(conn, clk)
+		srv := srvs[i]
+		t.Cleanup(func() { srv.Close() })
+	}
+
+	var lay proto.LayoutResp
+	if err := clis[0].Call(proto.OpLayoutGet, &proto.LayoutGetReq{Owner: "c1", File: attr.ID, Off: 0, Len: 4096, Flags: meta.LayoutWrite}, &lay); err != nil {
+		t.Fatal(err)
+	}
+	req := &proto.CommitReq{Owner: "c1", File: attr.ID, Size: 4096, MTime: time.Unix(7, 0).UTC(), CommitID: 99, Extents: lay.Extents}
+	var resp proto.CommitResp
+	if err := clis[0].Call(proto.OpCommit, req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := clis[0].Call(proto.OpCommit, req, &resp); err != nil {
+		t.Fatalf("home-shard retransmission: %v", err)
+	}
+	if hits := srvs[0].DedupHits(); hits != 1 {
+		t.Fatalf("home shard dedup hits = %d, want 1", hits)
+	}
+	// The same retransmission aimed at the wrong shard must fail loudly:
+	// shard 1 never recorded the commit and does not own the inode.
+	var wrong proto.CommitResp
+	err = clis[1].Call(proto.OpCommit, req, &wrong)
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("mis-routed retransmission: got err %v, want a remote refusal", err)
+	}
+	if hits := srvs[1].DedupHits(); hits != 0 {
+		t.Fatalf("wrong shard answered from a dedup window it never populated (hits=%d)", hits)
+	}
+}

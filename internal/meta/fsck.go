@@ -45,7 +45,20 @@ func (s *Store) Fsck(totalSpace int64) FsckReport {
 	defer s.ns.Unlock()
 	var r FsckReport
 
-	// 1. Namespace reachability.
+	// 1. Namespace reachability. On a sharded store, a dirent may point at
+	// a remote-homed child (legal iff the edge record agrees), and a local
+	// inode may be referenced from another shard instead of locally —
+	// linkedRemote inodes and detached inodes under a live NSCreate intent
+	// carry one external reference each.
+	external := map[FileID]bool{}
+	for id := range s.linkedRemote {
+		external[id] = true
+	}
+	for _, in := range s.nsIntents.snapshot() {
+		if in.Kind == NSCreate {
+			external[in.File] = true
+		}
+	}
 	reach := map[FileID]int{}
 	for dirID, ents := range s.dirents {
 		if _, ok := s.inodes[dirID]; !ok {
@@ -54,24 +67,46 @@ func (s *Store) Fsck(totalSpace int64) FsckReport {
 		}
 		for name, cid := range ents {
 			if _, ok := s.inodes[cid]; !ok {
-				r.Problems = append(r.Problems, fmt.Sprintf("entry %q points at missing inode %d", name, cid))
+				if _, rem := s.remote[cid]; !rem {
+					r.Problems = append(r.Problems, fmt.Sprintf("entry %q points at missing inode %d", name, cid))
+				}
 				continue
 			}
 			reach[cid]++
+		}
+	}
+	for id := range s.remote {
+		found := false
+		for _, ents := range s.dirents {
+			for _, cid := range ents {
+				if cid == id {
+					found = true
+				}
+			}
+		}
+		if !found {
+			r.Problems = append(r.Problems, fmt.Sprintf("remote-edge record for %d has no dirent", id))
 		}
 	}
 	for id, ino := range s.inodes {
 		if id == RootID {
 			continue
 		}
-		if n := reach[id]; n != ino.nlink {
-			r.Problems = append(r.Problems, fmt.Sprintf("inode %d has %d entries but nlink %d", id, n, ino.nlink))
+		refs := reach[id]
+		if external[id] {
+			refs++
 		}
-		if reach[id] == 0 {
+		if refs != ino.nlink {
+			r.Problems = append(r.Problems, fmt.Sprintf("inode %d has %d references but nlink %d", id, refs, ino.nlink))
+		}
+		if refs == 0 {
 			r.Problems = append(r.Problems, fmt.Sprintf("inode %d unreachable", id))
 		}
 	}
-	r.Files = len(s.inodes) - 1
+	r.Files = len(s.inodes)
+	if _, ok := s.inodes[RootID]; ok {
+		r.Files--
+	}
 
 	// 2 + 3. Extent overlap checks; collect physical spans.
 	type pspan struct {
@@ -138,4 +173,78 @@ func TotalSpace(ags *alloc.AGSet) int64 {
 		total += end - start
 	}
 	return total
+}
+
+// FsckCluster cross-checks the shard-spanning edges of a sharded namespace
+// (stores indexed by shard): every remote-pointing dirent must have a
+// matching edge record, a live home inode marked linkedRemote, and an
+// agreeing type; every linkedRemote inode must be referenced by exactly one
+// dirent cluster-wide; no inode may be referenced from more than one entry.
+// Run it after ResolveNSIntents on a quiesced cluster — live intents are
+// in-flight edges and are reported as problems here.
+func FsckCluster(stores []*Store) []string {
+	var problems []string
+	n := len(stores)
+	refs := map[FileID]int{}
+	for si, s := range stores {
+		s.ns.RLock()
+		for _, in := range s.nsIntents.snapshot() {
+			problems = append(problems, fmt.Sprintf("shard %d: unresolved %s intent on inode %d", si, in.Kind, in.File))
+		}
+		for dirID, ents := range s.dirents {
+			if ShardOf(dirID, n) != si {
+				problems = append(problems, fmt.Sprintf("shard %d: dirent table for foreign directory %d", si, dirID))
+			}
+			for name, cid := range ents {
+				refs[cid]++
+				if ShardOf(cid, n) == si {
+					continue
+				}
+				typ, ok := s.remote[cid]
+				if !ok {
+					problems = append(problems, fmt.Sprintf("shard %d: entry %q → %d has no remote-edge record", si, name, cid))
+					continue
+				}
+				home := stores[ShardOf(cid, n)]
+				home.ns.RLock()
+				ino, live := home.inodes[cid]
+				_, linked := home.linkedRemote[cid]
+				homeTyp := FileType(0)
+				if live {
+					homeTyp = ino.typ
+				}
+				home.ns.RUnlock()
+				switch {
+				case !live:
+					problems = append(problems, fmt.Sprintf("shard %d: entry %q → %d dangles (no home inode)", si, name, cid))
+				case !linked:
+					problems = append(problems, fmt.Sprintf("shard %d: entry %q → %d not marked linkedRemote at home", si, name, cid))
+				case homeTyp != typ:
+					problems = append(problems, fmt.Sprintf("shard %d: entry %q → %d type mismatch (edge %d, home %d)", si, name, cid, typ, homeTyp))
+				}
+			}
+		}
+		s.ns.RUnlock()
+	}
+	for si, s := range stores {
+		s.ns.RLock()
+		for id := range s.linkedRemote {
+			if refs[id] != 1 {
+				problems = append(problems, fmt.Sprintf("shard %d: linkedRemote inode %d has %d dirents cluster-wide, want 1", si, id, refs[id]))
+			}
+		}
+		for id, ino := range s.inodes {
+			if id == RootID {
+				continue
+			}
+			if _, linked := s.linkedRemote[id]; linked {
+				continue
+			}
+			if refs[id] > ino.nlink {
+				problems = append(problems, fmt.Sprintf("shard %d: inode %d referenced by %d dirents, nlink %d", si, id, refs[id], ino.nlink))
+			}
+		}
+		s.ns.RUnlock()
+	}
+	return problems
 }

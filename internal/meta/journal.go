@@ -26,6 +26,15 @@ const (
 	RecDelegReturn // delegation returned; unused space freed
 	RecClientGone  // client lease revoked; its orphan space freed
 	RecRename      // directory entry moved
+	// Cross-shard namespace protocol (see shard.go). RecNSIntent publishes a
+	// namespace intent (and, for NSCreate, materializes the detached inode);
+	// RecNSCommit / RecNSAbort resolve it. RecLinkRemote / RecUnlinkRemote
+	// move a directory entry for an inode homed on another shard.
+	RecNSIntent
+	RecNSCommit
+	RecNSAbort
+	RecLinkRemote
+	RecUnlinkRemote
 )
 
 // Record is one journal entry. A single struct covers all record types; the
@@ -44,9 +53,13 @@ type Record struct {
 	SpanDev uint32
 	SpanOff int64
 	SpanLen int64
-	// Rename destination (RecRename).
+	// Rename destination (RecRename), also the destination entry of an
+	// NSRenameDst intent.
 	DstParent FileID
 	DstName   string
+	// NSKind is the namespace-intent kind (RecNSIntent/RecNSCommit/
+	// RecNSAbort records).
+	NSKind NSIntentKind
 }
 
 // MarshalWire encodes the record payload.
@@ -65,6 +78,7 @@ func (rec *Record) MarshalWire(b *wire.Buffer) {
 	b.PutI64(rec.SpanLen)
 	b.PutU64(uint64(rec.DstParent))
 	b.PutString(rec.DstName)
+	b.PutU8(uint8(rec.NSKind))
 }
 
 // UnmarshalWire decodes the record payload.
@@ -83,6 +97,7 @@ func (rec *Record) UnmarshalWire(r *wire.Reader) error {
 	rec.SpanLen = r.I64()
 	rec.DstParent = FileID(r.U64())
 	rec.DstName = r.String()
+	rec.NSKind = NSIntentKind(r.U8())
 	return r.Err()
 }
 

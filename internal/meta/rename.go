@@ -30,8 +30,30 @@ func (s *Store) Rename(srcParent FileID, srcName string, dstParent FileID, dstNa
 		s.ns.Unlock()
 		return fmt.Errorf("%w: %q", ErrExists, dstName)
 	}
+	if s.nsIntents.has(id) {
+		s.ns.Unlock()
+		return fmt.Errorf("%w: inode %d is under a namespace intent", ErrNSConflict, id)
+	}
+	if s.nsIntents.removePending(dstParent) {
+		s.ns.Unlock()
+		return fmt.Errorf("%w: directory %d has a pending remove", ErrNSConflict, dstParent)
+	}
+	if s.nsIntents.reservedName(dstParent, dstName) {
+		s.ns.Unlock()
+		return fmt.Errorf("%w: %q reserved by a pending rename", ErrNSConflict, dstName)
+	}
+	ino, local := s.inodes[id]
+	if !local {
+		// A remote-homed child's dirent may move between two local
+		// directories, but only for files: a directory's subtree lives on
+		// its home shard, where this store cannot run the loop check.
+		if s.remote[id] == TypeDir {
+			s.ns.Unlock()
+			return fmt.Errorf("%w: directory %d", ErrWrongShard, id)
+		}
+	}
 	// A directory must not become its own ancestor.
-	if s.inodes[id].typ == TypeDir {
+	if local && ino.typ == TypeDir {
 		for cur := dstParent; cur != RootID; {
 			if cur == id {
 				s.ns.Unlock()

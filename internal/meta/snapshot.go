@@ -58,9 +58,59 @@ func (s *Store) CheckpointTo(ls *LogSet) error {
 func (s *Store) snapshotLocked() []*Record {
 	var recs []*Record
 
-	// Namespace, breadth-first with sorted names for determinism.
+	// Extra namespace roots beyond RootID (sharded stores): local inodes
+	// whose dirent lives on another shard, and detached inodes under a live
+	// NSCreate intent. Both rematerialize through the RecNSIntent replay
+	// path — graduated ones followed immediately by their RecNSCommit.
+	intents := s.nsIntents.snapshot()
+	detached := map[FileID]bool{}
+	for _, in := range intents {
+		if in.Kind == NSCreate {
+			detached[in.File] = true
+			ino := s.inodes[in.File]
+			recs = append(recs, &Record{
+				Type: RecNSIntent, NSKind: NSCreate, File: in.File,
+				Parent: in.Parent, Name: in.Name, FType: in.Type, MTime: ino.mtime,
+			})
+		}
+	}
+	linked := make([]FileID, 0, len(s.linkedRemote))
+	for id := range s.linkedRemote {
+		linked = append(linked, id)
+	}
+	sort.Slice(linked, func(i, j int) bool { return linked[i] < linked[j] })
+	for _, id := range linked {
+		ino := s.inodes[id]
+		recs = append(recs,
+			&Record{Type: RecNSIntent, NSKind: NSCreate, File: id, FType: ino.typ, MTime: ino.mtime},
+			&Record{Type: RecNSCommit, NSKind: NSCreate, File: id})
+	}
+
+	// Namespace, breadth-first with sorted names for determinism. Remote-
+	// homed children re-link through RecLinkRemote and are not traversed
+	// (their inodes snapshot on their home shard).
 	var files []FileID
-	queue := []FileID{RootID}
+	var queue []FileID
+	if _, ok := s.inodes[RootID]; ok {
+		queue = append(queue, RootID)
+	}
+	for _, id := range linked {
+		if s.inodes[id].typ == TypeDir {
+			queue = append(queue, id)
+		} else {
+			files = append(files, id)
+		}
+	}
+	for _, in := range intents {
+		if in.Kind != NSCreate {
+			continue
+		}
+		if s.inodes[in.File].typ == TypeDir {
+			queue = append(queue, in.File)
+		} else {
+			files = append(files, in.File)
+		}
+	}
 	for len(queue) > 0 {
 		dir := queue[0]
 		queue = queue[1:]
@@ -71,7 +121,11 @@ func (s *Store) snapshotLocked() []*Record {
 		sort.Strings(names)
 		for _, name := range names {
 			cid := s.dirents[dir][name]
-			ino := s.inodes[cid]
+			ino, local := s.inodes[cid]
+			if !local {
+				recs = append(recs, &Record{Type: RecLinkRemote, File: cid, Parent: dir, Name: name, FType: s.remote[cid]})
+				continue
+			}
 			recs = append(recs, &Record{Type: RecCreate, File: cid, Parent: dir, Name: name, FType: ino.typ, MTime: ino.mtime})
 			if ino.typ == TypeDir {
 				queue = append(queue, cid)
@@ -79,6 +133,18 @@ func (s *Store) snapshotLocked() []*Record {
 				files = append(files, cid)
 			}
 		}
+	}
+
+	// Remaining live namespace intents (remove/rename) re-publish after the
+	// namespace exists, mirroring their original journal order.
+	for _, in := range intents {
+		if in.Kind == NSCreate {
+			continue
+		}
+		recs = append(recs, &Record{
+			Type: RecNSIntent, NSKind: in.Kind, File: in.File, FType: in.Type,
+			Parent: in.Parent, Name: in.Name, DstParent: in.DstParent, DstName: in.DstName,
+		})
 	}
 
 	// Delegations, sorted by owner.

@@ -29,6 +29,15 @@ var (
 	// a live intent held by a different owner — allocator accounting
 	// corruption, since no two clients may ever be handed the same space.
 	ErrIntentConflict = errors.New("meta: conflicting write intent")
+	// ErrNSConflict reports a namespace operation blocked by a live
+	// cross-shard namespace intent (see shard.go): the inode or name is in
+	// the middle of a two-phase create/remove/rename and the operation must
+	// wait for it to resolve.
+	ErrNSConflict = errors.New("meta: conflicting namespace intent")
+	// ErrWrongShard reports an operation addressed to a shard that is not
+	// the inode's home — a client routed by a stale shard map, or a
+	// cross-shard operation sent down the single-shard path.
+	ErrWrongShard = errors.New("meta: inode homed on another shard")
 )
 
 // Config configures a Store.
@@ -43,6 +52,12 @@ type Config struct {
 	// spans for every traced commit on track "mds/store". Spans are
 	// recorded only after all store locks are released.
 	Tracer *obs.Tracer
+	// Shard / ShardCount place this store in a sharded namespace (see
+	// shard.go): the store homes only the inodes ShardOf maps to Shard,
+	// mints only ids it owns, and seeds the root directory only when it owns
+	// RootID. ShardCount <= 1 selects the classic single-store behaviour.
+	Shard      int
+	ShardCount int
 }
 
 // delegation is a chunk of physical space granted to one client, which
@@ -140,7 +155,7 @@ const inodeStripes = 64
 // clients never observe an acknowledgement that a crash can roll back).
 //
 // Concurrency model (lock order: namespace -> inode stripe -> intent table
-// -> delegation -> journal reservation):
+// -> ns-intent table -> delegation -> journal reservation):
 //
 //   - ns guards the map structure (inodes, dirents, nextID, delegations) and
 //     is the operation-ordering lock. Namespace mutations (Create, Remove,
@@ -156,6 +171,8 @@ const inodeStripes = 64
 //     ownership and the early-visibility size index). It may be taken under
 //     a stripe lock (publish/graduate during alloc/commit) and is never
 //     held across a blocking operation.
+//   - nsIntents.mu guards the cross-shard namespace-intent table (see
+//     shard.go); all its mutations run under the exclusive namespace lock.
 //   - delegation.mu guards the delegation's used list against concurrent
 //     commits (see the field comment).
 //
@@ -181,6 +198,15 @@ type Store struct {
 	// owner; see intentTable for the lifecycle and its lock's place in the
 	// hierarchy.
 	intents *intentTable
+
+	// Cross-shard state (see shard.go). remote maps children listed in a
+	// local dirent whose inode is homed on another shard to their type;
+	// linkedRemote marks local inodes whose dirent lives on another shard;
+	// nsIntents holds the shard's live namespace intents. All three are
+	// guarded by ns.
+	remote       map[FileID]FileType
+	linkedRemote map[FileID]struct{}
+	nsIntents    *nsIntentTable
 }
 
 // stripe returns the content lock of inode id.
@@ -188,22 +214,31 @@ func (s *Store) stripe(id FileID) *sync.RWMutex {
 	return &s.stripes[uint64(id)%inodeStripes]
 }
 
-// NewStore returns a fresh store containing only the root directory.
+// NewStore returns a fresh store containing only the root directory (on the
+// shard that owns RootID; other shards of a sharded namespace start empty).
 func NewStore(cfg Config) *Store {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real(1)
 	}
-	s := &Store{
-		cfg:         cfg,
-		clk:         cfg.Clock,
-		inodes:      make(map[FileID]*inode),
-		dirents:     make(map[FileID]map[string]FileID),
-		nextID:      RootID + 1,
-		delegations: make(map[string][]*delegation),
-		intents:     newIntentTable(),
+	if cfg.ShardCount <= 1 {
+		cfg.Shard, cfg.ShardCount = 0, 1
 	}
-	s.inodes[RootID] = &inode{id: RootID, typ: TypeDir, mtime: s.clk.Now(), nlink: 1}
-	s.dirents[RootID] = make(map[string]FileID)
+	s := &Store{
+		cfg:          cfg,
+		clk:          cfg.Clock,
+		inodes:       make(map[FileID]*inode),
+		dirents:      make(map[FileID]map[string]FileID),
+		nextID:       RootID + 1,
+		delegations:  make(map[string][]*delegation),
+		intents:      newIntentTable(),
+		remote:       make(map[FileID]FileType),
+		linkedRemote: make(map[FileID]struct{}),
+		nsIntents:    newNSIntentTable(),
+	}
+	if s.ownsID(RootID) {
+		s.inodes[RootID] = &inode{id: RootID, typ: TypeDir, mtime: s.clk.Now(), nlink: 1}
+		s.dirents[RootID] = make(map[string]FileID)
+	}
 	return s
 }
 
@@ -258,8 +293,15 @@ func (s *Store) Create(parent FileID, name string, typ FileType) (Attr, error) {
 		s.ns.Unlock()
 		return Attr{}, fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	id := s.nextID
-	s.nextID++
+	if s.nsIntents.removePending(parent) {
+		s.ns.Unlock()
+		return Attr{}, fmt.Errorf("%w: directory %d has a pending remove", ErrNSConflict, parent)
+	}
+	if s.nsIntents.reservedName(parent, name) {
+		s.ns.Unlock()
+		return Attr{}, fmt.Errorf("%w: %q reserved by a pending rename", ErrNSConflict, name)
+	}
+	id := s.mintID()
 	s.applyCreate(id, parent, name, typ, s.clk.Now())
 	attr := s.inodes[id].attr()
 	wait := s.journalAppend(&Record{Type: RecCreate, File: id, Parent: parent, Name: name, FType: typ, MTime: attr.MTime})
@@ -293,6 +335,15 @@ func (s *Store) Lookup(parent FileID, name string) (Attr, error) {
 	}
 	id, ok := dir[name]
 	if !ok {
+		return Attr{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if _, local := s.inodes[id]; !local {
+		// A child homed on another shard: serve identity and type from the
+		// edge record; size and mtime live on the home shard (GetAttr
+		// there).
+		if t, ok := s.remote[id]; ok {
+			return Attr{ID: id, Type: t}, nil
+		}
 		return Attr{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	st := s.stripe(id)
@@ -330,7 +381,13 @@ func (s *Store) ReadDir(id FileID) ([]DirEnt, error) {
 	}
 	out := make([]DirEnt, 0, len(s.dirents[id]))
 	for name, cid := range s.dirents[id] {
-		child := s.inodes[cid]
+		child, local := s.inodes[cid]
+		if !local {
+			// Remote-homed child: type from the edge record, size unknown
+			// here (callers that need it stat the home shard).
+			out = append(out, DirEnt{Name: name, ID: cid, Type: s.remote[cid]})
+			continue
+		}
 		st := s.stripe(cid)
 		st.RLock()
 		size := child.size
@@ -354,7 +411,18 @@ func (s *Store) Remove(parent FileID, name string) error {
 		s.ns.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	ino := s.inodes[id]
+	ino, local := s.inodes[id]
+	if !local {
+		// Remote-homed child: the inode (and, for a directory, its
+		// emptiness) lives on its home shard — the client must use the
+		// cross-shard remove protocol instead.
+		s.ns.Unlock()
+		return fmt.Errorf("%w: inode %d", ErrWrongShard, id)
+	}
+	if s.nsIntents.has(id) {
+		s.ns.Unlock()
+		return fmt.Errorf("%w: inode %d is under a namespace intent", ErrNSConflict, id)
+	}
 	if ino.typ == TypeDir && len(s.dirents[id]) > 0 {
 		s.ns.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotEmpty, name)
@@ -377,23 +445,7 @@ func (s *Store) applyRemove(parent FileID, name string, id FileID) []alloc.Span 
 	if ino.nlink > 0 {
 		return nil
 	}
-	s.intents.dropFile(id)
-	var freed []alloc.Span
-	for _, e := range ino.extents {
-		if d := s.findDelegationAny(e); d != nil {
-			// The space stays reserved by the delegation chunk (the
-			// client's pool pointer never reuses carved ranges), but
-			// dropping it from `used` lets the delegation return or
-			// lease GC reclaim it. Without this, removed files inside
-			// delegations leak space forever.
-			d.used = removeIval(d.used, e.VolOff, e.VolOff+e.Len)
-			continue
-		}
-		freed = append(freed, alloc.Span{Dev: int(e.Dev), Off: e.VolOff, Len: e.Len})
-	}
-	delete(s.inodes, id)
-	delete(s.dirents, id)
-	return freed
+	return s.freeInode(id)
 }
 
 // ---------------------------------------------------------------------------
@@ -824,9 +876,7 @@ func Recover(cfg Config) (*Store, RecoveryStats, error) {
 	for o := range ownerSet {
 		st.OrphanBytes += s.ClientGone(o)
 	}
-	s.ns.RLock()
-	st.Files = len(s.inodes) - 1 // exclude root
-	s.ns.RUnlock()
+	st.Files = s.FileCount()
 	return s, st, nil
 }
 
@@ -901,6 +951,40 @@ func (s *Store) applyRecord(rec *Record) error {
 				}
 			}
 		}
+	case RecNSIntent:
+		in := NSIntent{
+			File: rec.File, Kind: rec.NSKind, Type: rec.FType,
+			Parent: rec.Parent, Name: rec.Name,
+			DstParent: rec.DstParent, DstName: rec.DstName,
+		}
+		if _, err := s.nsIntents.publish(in); err != nil {
+			return err
+		}
+		if rec.NSKind == NSCreate {
+			s.applyCreateDetached(rec.File, rec.FType, rec.MTime)
+		}
+	case RecNSCommit:
+		if in, ok := s.nsIntents.get(rec.File); ok && in.Kind == rec.NSKind {
+			for _, sp := range s.applyNSCommit(in) {
+				_ = s.cfg.AGs.FreeSpan(sp)
+			}
+		}
+	case RecNSAbort:
+		if in, ok := s.nsIntents.get(rec.File); ok && in.Kind == rec.NSKind {
+			for _, sp := range s.applyNSAbort(in) {
+				_ = s.cfg.AGs.FreeSpan(sp)
+			}
+		}
+	case RecLinkRemote:
+		if _, ok := s.dirents[rec.Parent]; ok {
+			s.applyLink(rec.Parent, rec.Name, rec.File, rec.FType)
+		}
+	case RecUnlinkRemote:
+		if dir, ok := s.dirents[rec.Parent]; ok {
+			if id, ok := dir[rec.Name]; ok && id == rec.File {
+				s.applyUnlink(rec.Parent, rec.Name)
+			}
+		}
 	default:
 		return fmt.Errorf("%w: unknown record type %d", ErrJournalCorrupt, rec.Type)
 	}
@@ -911,7 +995,11 @@ func (s *Store) applyRecord(rec *Record) error {
 func (s *Store) FileCount() int {
 	s.ns.RLock()
 	defer s.ns.RUnlock()
-	return len(s.inodes) - 1
+	n := len(s.inodes)
+	if _, ok := s.inodes[RootID]; ok {
+		n--
+	}
+	return n
 }
 
 // CheckConsistent verifies the global invariant behind ordered writes, via

@@ -27,6 +27,15 @@ const (
 	OpStat
 	OpRename
 	OpHello
+	// v3 (sharded namespace) operations. The first four drive the two-phase
+	// cross-shard protocols against an inode's home shard; the last two
+	// manipulate the remote-edge dirent on the parent's shard.
+	OpCreateDetached
+	OpNSPrepare
+	OpNSCommit
+	OpNSAbort
+	OpLinkRemote
+	OpUnlinkRemote
 )
 
 // Protocol versions, negotiated via OpHello. A session that never says
@@ -39,8 +48,12 @@ const (
 	// ProtoV2 adds layout flags (early visibility of uncommitted extents)
 	// and hello version negotiation.
 	ProtoV2 uint32 = 2
+	// ProtoV3 adds namespace sharding: the hello reply reports the server's
+	// shard coordinates, and the cross-shard ops (OpCreateDetached through
+	// OpUnlinkRemote) become available.
+	ProtoV3 uint32 = 3
 	// ProtoLatest is the highest version this build speaks.
-	ProtoLatest = ProtoV2
+	ProtoLatest = ProtoV3
 )
 
 // PingReq is an empty liveness probe.
@@ -399,24 +412,42 @@ func (m *HelloReq) UnmarshalWire(r *wire.Reader) error {
 // version is trailing-optional with the same rule as HelloReq, so a v1
 // client — which never offered a version and expects the v1 frame — gets
 // exactly the v1 frame back.
+//
+// ShardIndex/ShardCount (v3) report which shard of a sharded namespace this
+// server carries; a client dials every shard and routes each inode by
+// meta.ShardOf. They extend the *same* trailing-optional group as
+// ProtoVersion — nested, not a second group, so the frame stays a strict
+// prefix chain — and a v2 peer that omits them decodes as the single-shard
+// topology {0, 1}.
 type HelloResp struct {
 	Incarnation  uint64
 	ProtoVersion uint32
+	ShardIndex   uint32
+	ShardCount   uint32
 }
 
 func (m *HelloResp) MarshalWire(b *wire.Buffer) {
 	b.PutU64(m.Incarnation)
 	if m.ProtoVersion >= ProtoV2 {
 		b.PutU32(m.ProtoVersion)
+		if m.ProtoVersion >= ProtoV3 {
+			b.PutU32(m.ShardIndex)
+			b.PutU32(m.ShardCount)
+		}
 	}
 }
 
 func (m *HelloResp) UnmarshalWire(r *wire.Reader) error {
 	m.Incarnation = r.U64()
+	m.ProtoVersion = ProtoV1
+	m.ShardIndex = 0
+	m.ShardCount = 1
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.ProtoVersion = r.U32()
-	} else {
-		m.ProtoVersion = ProtoV1
+		if m.ProtoVersion >= ProtoV3 && r.Err() == nil && r.Remaining() > 0 {
+			m.ShardIndex = r.U32()
+			m.ShardCount = r.U32()
+		}
 	}
 	return r.Err()
 }
@@ -444,5 +475,148 @@ func (m *StatResp) UnmarshalWire(r *wire.Reader) error {
 	m.Processed = r.I64()
 	m.SubOps = r.I64()
 	m.Files = r.I64()
+	return r.Err()
+}
+
+// CreateDetachedReq (v3) mints an inode on its home shard without a local
+// dirent — step one of a cross-shard create. The home shard publishes an
+// NSCreate intent; the inode graduates when the client links it on the
+// parent's shard and sends OpNSCommit here. Replies with AttrResp.
+type CreateDetachedReq struct {
+	Parent meta.FileID
+	Name   string
+	Type   meta.FileType
+}
+
+func (m *CreateDetachedReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.Parent))
+	b.PutString(m.Name)
+	b.PutU8(uint8(m.Type))
+}
+
+func (m *CreateDetachedReq) UnmarshalWire(r *wire.Reader) error {
+	m.Parent = meta.FileID(r.U64())
+	m.Name = r.String()
+	m.Type = meta.FileType(r.U8())
+	return r.Err()
+}
+
+// NSPrepareReq (v3) publishes a namespace intent on an inode's home shard:
+// the prepare phase of cross-shard remove and rename. Kind selects the
+// protocol; DstParent/DstName only carry meaning for rename-dst intents.
+// Re-sending an identical prepare is idempotent.
+type NSPrepareReq struct {
+	File      meta.FileID
+	Kind      meta.NSIntentKind
+	Type      meta.FileType
+	Parent    meta.FileID
+	Name      string
+	DstParent meta.FileID
+	DstName   string
+}
+
+func (m *NSPrepareReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.File))
+	b.PutU8(uint8(m.Kind))
+	b.PutU8(uint8(m.Type))
+	b.PutU64(uint64(m.Parent))
+	b.PutString(m.Name)
+	b.PutU64(uint64(m.DstParent))
+	b.PutString(m.DstName)
+}
+
+func (m *NSPrepareReq) UnmarshalWire(r *wire.Reader) error {
+	m.File = meta.FileID(r.U64())
+	m.Kind = meta.NSIntentKind(r.U8())
+	m.Type = meta.FileType(r.U8())
+	m.Parent = meta.FileID(r.U64())
+	m.Name = r.String()
+	m.DstParent = meta.FileID(r.U64())
+	m.DstName = r.String()
+	return r.Err()
+}
+
+// NSCommitReq (v3) graduates the live intent of the given kind on File's
+// home shard. A commit for an intent that no longer exists is a no-op, so
+// the client may retry freely after a lost reply.
+type NSCommitReq struct {
+	File meta.FileID
+	Kind meta.NSIntentKind
+}
+
+func (m *NSCommitReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.File))
+	b.PutU8(uint8(m.Kind))
+}
+
+func (m *NSCommitReq) UnmarshalWire(r *wire.Reader) error {
+	m.File = meta.FileID(r.U64())
+	m.Kind = meta.NSIntentKind(r.U8())
+	return r.Err()
+}
+
+// NSAbortReq (v3) rolls back the live intent of the given kind on File's
+// home shard. Like NSCommitReq, absent intents make it a no-op.
+type NSAbortReq struct {
+	File meta.FileID
+	Kind meta.NSIntentKind
+}
+
+func (m *NSAbortReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.File))
+	b.PutU8(uint8(m.Kind))
+}
+
+func (m *NSAbortReq) UnmarshalWire(r *wire.Reader) error {
+	m.File = meta.FileID(r.U64())
+	m.Kind = meta.NSIntentKind(r.U8())
+	return r.Err()
+}
+
+// LinkRemoteReq (v3) inserts the dirent for a remote-homed child on the
+// parent's shard — the commit point of a cross-shard create or rename.
+// Linking the same (name, child) again is idempotent.
+type LinkRemoteReq struct {
+	Parent meta.FileID
+	Name   string
+	Child  meta.FileID
+	Type   meta.FileType
+}
+
+func (m *LinkRemoteReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.Parent))
+	b.PutString(m.Name)
+	b.PutU64(uint64(m.Child))
+	b.PutU8(uint8(m.Type))
+}
+
+func (m *LinkRemoteReq) UnmarshalWire(r *wire.Reader) error {
+	m.Parent = meta.FileID(r.U64())
+	m.Name = r.String()
+	m.Child = meta.FileID(r.U64())
+	m.Type = meta.FileType(r.U8())
+	return r.Err()
+}
+
+// UnlinkRemoteReq (v3) deletes the dirent for a remote-homed child on the
+// parent's shard — the commit point of a cross-shard remove. Unlinking an
+// entry that is already gone (or re-pointed at a different inode) is
+// idempotent.
+type UnlinkRemoteReq struct {
+	Parent meta.FileID
+	Name   string
+	Child  meta.FileID
+}
+
+func (m *UnlinkRemoteReq) MarshalWire(b *wire.Buffer) {
+	b.PutU64(uint64(m.Parent))
+	b.PutString(m.Name)
+	b.PutU64(uint64(m.Child))
+}
+
+func (m *UnlinkRemoteReq) UnmarshalWire(r *wire.Reader) error {
+	m.Parent = meta.FileID(r.U64())
+	m.Name = r.String()
+	m.Child = meta.FileID(r.U64())
 	return r.Err()
 }

@@ -123,11 +123,20 @@ func TestHelloRoundTrip(t *testing.T) {
 	if out != *in {
 		t.Fatalf("got %+v", out)
 	}
-	rin := &HelloResp{Incarnation: 7, ProtoVersion: ProtoV2}
+	// A v2 reply carries no shard fields; decoding fills in the
+	// single-shard default {0, 1}.
+	rin := &HelloResp{Incarnation: 7, ProtoVersion: ProtoV2, ShardCount: 1}
 	var rout HelloResp
 	roundTrip(t, rin, &rout)
 	if rout != *rin {
 		t.Fatalf("got %+v", rout)
+	}
+	// A v3 reply round-trips its shard coordinates.
+	sin := &HelloResp{Incarnation: 9, ProtoVersion: ProtoV3, ShardIndex: 2, ShardCount: 4}
+	var sout HelloResp
+	roundTrip(t, sin, &sout)
+	if sout != *sin {
+		t.Fatalf("got %+v", sout)
 	}
 }
 

@@ -62,6 +62,36 @@ func FuzzFrameDecode(f *testing.F) {
 	helloV1.PutBytes(helloV1Body.Bytes())
 	f.Add(helloV1.Bytes())
 
+	// A v3 Hello reply frame: the payload carries the shard map —
+	// incarnation, protocol version, then the nested-optional ShardIndex
+	// and ShardCount a sharded MDS advertises.
+	var shardBody Buffer
+	shardBody.PutU64(9) // incarnation
+	shardBody.PutU32(3) // ProtoV3
+	shardBody.PutU32(2) // ShardIndex
+	shardBody.PutU32(4) // ShardCount
+	var shardMap Buffer
+	shardMap.PutU64(45)
+	shardMap.PutU8(1)
+	shardMap.PutU16(0)
+	shardMap.PutU8(0)
+	shardMap.PutBytes(shardBody.Bytes())
+	f.Add(shardMap.Bytes())
+
+	// The same reply truncated exactly at the nested optional boundary:
+	// the payload stops where ShardIndex would begin — the v2 frame shape
+	// a v3 decoder must read as "single shard", not as an error.
+	var shardV2Body Buffer
+	shardV2Body.PutU64(9)
+	shardV2Body.PutU32(2) // ProtoV2, no shard fields
+	var shardV2 Buffer
+	shardV2.PutU64(46)
+	shardV2.PutU8(1)
+	shardV2.PutU16(0)
+	shardV2.PutU8(0)
+	shardV2.PutBytes(shardV2Body.Bytes())
+	f.Add(shardV2.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(data)
 		id := r.U64()

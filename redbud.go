@@ -120,6 +120,13 @@ type Config struct {
 	// effect with SpaceDelegation off (a delegated writer allocates
 	// locally and discloses extents only at commit).
 	EarlyVisibility bool
+	// Shards partitions the metadata namespace across this many MDS
+	// instances (default 1). Each shard is a complete metadata authority
+	// with its own journal; clients route per inode by the hash partition
+	// and drive cross-shard creates, removes and renames with the
+	// two-phase intent protocol. Incompatible with SpaceDelegation: a
+	// delegated writer's private space pool has no shard affinity.
+	Shards int
 }
 
 // Cluster is a running simulated deployment.
@@ -152,6 +159,12 @@ func New(cfg Config) (*Cluster, error) {
 	opt.CompoundDegree = cfg.CompoundDegree
 	opt.DelegationChunk = cfg.SpaceDelegation
 	opt.EarlyVisibility = cfg.EarlyVisibility
+	if cfg.Shards > 1 {
+		if cfg.SpaceDelegation > 0 {
+			return nil, fmt.Errorf("redbud: Shards %d is incompatible with SpaceDelegation", cfg.Shards)
+		}
+		opt.Shards = cfg.Shards
+	}
 	if cfg.FastDevices {
 		opt.Disk = blockdev.FastHDD()
 		opt.MDSOpCost = 0
@@ -188,19 +201,22 @@ func (c *Cluster) FileLayout(path string, off, n int64, flags LayoutFlags) (Layo
 	if flags&LayoutWrite != 0 {
 		return Layout{}, fmt.Errorf("redbud: FileLayout is read-only; LayoutWrite not allowed")
 	}
-	st := c.inner.Store
+	// Dirents live on the parent's home shard and layouts on the file's, so
+	// every step routes by the hash partition (with one shard both stores
+	// collapse to the single authority).
+	stores := c.inner.Stores
 	id := meta.RootID
 	for _, part := range strings.Split(path, "/") {
 		if part == "" {
 			continue
 		}
-		attr, err := st.Lookup(id, part)
+		attr, err := stores[meta.ShardOf(id, len(stores))].Lookup(id, part)
 		if err != nil {
 			return Layout{}, err
 		}
 		id = attr.ID
 	}
-	return st.GetLayout(id, off, n, flags)
+	return stores[meta.ShardOf(id, len(stores))].GetLayout(id, off, n, flags)
 }
 
 // Stats summarizes cluster-wide activity.

@@ -84,6 +84,69 @@ func TestBadTimeScaleRejected(t *testing.T) {
 	}
 }
 
+// TestShardedClusterFlow drives a 4-shard cluster through the public API:
+// directories and files land on different shards (32 names make that a
+// statistical certainty), cross-shard creates run the two-phase intent
+// protocol under the hood, and a second mount reads every byte back through
+// its own shard routing. FileLayout must route the final lookup to the
+// file's home shard.
+func TestShardedClusterFlow(t *testing.T) {
+	c := fastCluster(t, Config{Clients: 2, Mode: DelayedCommit, Shards: 4})
+	fs := c.Mount(0)
+	msg := []byte("sharded payload")
+	for i := 0; i < 8; i++ {
+		dir := fmt.Sprintf("/d%d", i)
+		if err := fs.Mkdir(dir); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 4; j++ {
+			f, err := fs.Create(fmt.Sprintf("%s/f%d", dir, j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt(msg, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Drain()
+	got := make([]byte, len(msg))
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 4; j++ {
+			path := fmt.Sprintf("/d%d/f%d", i, j)
+			g, err := c.Mount(1).Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n, err := g.ReadAt(got, 0); err != nil || n != len(msg) {
+				t.Fatalf("%s: read = %d, %v", path, n, err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("%s: cross-mount mismatch", path)
+			}
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+			lay, err := c.FileLayout(path, 0, int64(len(msg)), 0)
+			if err != nil {
+				t.Fatalf("%s: layout: %v", path, err)
+			}
+			if len(lay.Extents) == 0 {
+				t.Fatalf("%s: committed file has no extents", path)
+			}
+		}
+	}
+}
+
+func TestShardsRejectDelegation(t *testing.T) {
+	if _, err := New(Config{Shards: 2, SpaceDelegation: 16 << 20}); err == nil {
+		t.Fatal("Shards with SpaceDelegation accepted")
+	}
+}
+
 func TestClientStatsAccessible(t *testing.T) {
 	c := fastCluster(t, Config{Mode: DelayedCommit, SpaceDelegation: 1 << 20})
 	fs := c.Mount(0)
