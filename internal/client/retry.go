@@ -118,6 +118,9 @@ func (c *Client) serverLoad() uint8 {
 // or an error when the fault cannot be recovered (no redial configured and
 // the connection is dead).
 func (c *Client) recoverConn(l *mdsLink, old *rpc.Client, gen uint64, cause error) error {
+	if f := l.dead(); f != nil {
+		return f // shard-map mismatch: redialling cannot fix the wiring
+	}
 	redial := c.redialFor(l.shard)
 	if redial == nil {
 		if errors.Is(cause, rpc.ErrTimeout) {
@@ -159,7 +162,16 @@ func (c *Client) hello(l *mdsLink, mds *rpc.Client) {
 	if err := mds.Call(proto.OpHello, &proto.HelloReq{Owner: c.cfg.Name, ProtoVersion: proto.ProtoLatest}, &h); err != nil {
 		return // next failure will retry the handshake
 	}
-	c.checkShardMap(l, &h)
+	if err := c.checkShardMap(l, &h); err != nil {
+		// The connection reaches the wrong shard: kill the link rather than
+		// route through it. Every subsequent call fails with the mismatch
+		// error instead of scattering the namespace.
+		l.mu.Lock()
+		l.fatal = err
+		l.mu.Unlock()
+		mds.Close()
+		return
+	}
 	l.version.Store(h.ProtoVersion)
 	c.updateProtoVersion()
 	l.mu.Lock()
@@ -222,6 +234,9 @@ func (c *Client) reestablish(shard int) {
 // retry across reconnects. Must not be used for ops whose re-execution has
 // side effects.
 func (c *Client) callIdem(l *mdsLink, op uint16, req wire.Marshaler, resp wire.Unmarshaler) error {
+	if f := l.dead(); f != nil {
+		return f
+	}
 	attempts := c.maxAttempts()
 	for attempt := 0; ; attempt++ {
 		mds, gen := l.conn()
@@ -249,6 +264,9 @@ func (c *Client) sendCommit(fs *fileState, req *proto.CommitReq, resp *proto.Com
 	}
 	fs.mu.Unlock()
 	l := c.shardFor(fs.id)
+	if f := l.dead(); f != nil {
+		return f
+	}
 	attempts := c.maxAttempts()
 	for attempt := 0; ; attempt++ {
 		mds, gen := l.conn()
@@ -276,6 +294,9 @@ func (c *Client) sendCompound(states []*fileState, ops []rpc.SubOp) ([]rpc.SubRe
 		fs.mu.Unlock()
 	}
 	l := c.shardFor(states[0].id)
+	if f := l.dead(); f != nil {
+		return nil, f
+	}
 	attempts := c.maxAttempts()
 	for attempt := 0; ; attempt++ {
 		mds, gen := l.conn()

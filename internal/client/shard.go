@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,18 @@ type mdsLink struct {
 	// version is the protocol version negotiated by this shard's last
 	// OpHello (0 until the first handshake succeeds, which reads as v1).
 	version atomic.Uint32
+
+	// fatal, once set, marks the link permanently unusable — the hello
+	// reply proved the connection reaches the wrong shard, so routing
+	// through it would scatter the namespace. Guarded by mu.
+	fatal error
+}
+
+// dead returns the link's fatal error, if any.
+func (l *mdsLink) dead() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fatal
 }
 
 // conn returns the link's current connection and its generation; the
@@ -69,11 +82,19 @@ func (c *Client) redialFor(shard int) func() (*rpc.Client, error) {
 
 // updateProtoVersion recomputes the session-wide protocol version: the
 // minimum every shard negotiated. Feature gates (early visibility) key off
-// the whole session, so one laggard shard downgrades all of them.
+// the whole session, so one laggard shard downgrades all of them. Links at
+// version 0 have no negotiated version yet (their handshake failed or is
+// pending) and are skipped — they re-handshake on reconnect before serving
+// traffic, and the recomputation then picks their answer up; counting them
+// would pin the whole session at v1 behaviour for the duration.
 func (c *Client) updateProtoVersion() {
-	min := ^uint32(0)
+	min := uint32(0)
 	for _, l := range c.links {
-		if v := l.version.Load(); v < min {
+		v := l.version.Load()
+		if v == 0 {
+			continue
+		}
+		if min == 0 || v < min {
 			min = v
 		}
 	}
@@ -83,15 +104,22 @@ func (c *Client) updateProtoVersion() {
 // checkShardMap validates the hello-advertised shard coordinates against the
 // topology the client was mounted with. A mismatch means the caller wired
 // connection i to a server running with a different -shard flag — routing
-// would silently scatter the namespace, so fail loudly instead.
-func (c *Client) checkShardMap(l *mdsLink, h *proto.HelloResp) {
+// through it would silently scatter the namespace, so the link is marked
+// dead (a server reply, however misconfigured or byzantine, must never crash
+// the client process).
+func (c *Client) checkShardMap(l *mdsLink, h *proto.HelloResp) error {
 	if h.ProtoVersion < proto.ProtoV3 {
-		return // pre-sharding server: only valid as the single shard
+		if len(c.links) > 1 {
+			return fmt.Errorf("client: shard %d: server speaks v%d and carries no shard map, unusable in a %d-shard mount",
+				l.shard, h.ProtoVersion, len(c.links))
+		}
+		return nil // pre-sharding server: valid as the single shard
 	}
 	if int(h.ShardCount) != len(c.links) || int(h.ShardIndex) != l.shard {
-		panic(fmt.Sprintf("client: shard map mismatch: connection %d of %d reached server %d of %d",
-			l.shard, len(c.links), h.ShardIndex, h.ShardCount))
+		return fmt.Errorf("client: shard map mismatch: connection %d of %d reached server %d of %d",
+			l.shard, len(c.links), h.ShardIndex, h.ShardCount)
 	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -102,6 +130,19 @@ func (c *Client) checkShardMap(l *mdsLink, h *proto.HelloResp) {
 // reconnects. A crash (of client or server) between steps leaves an intent
 // that ResolveNSIntents rolls forward or back depending on whether the
 // commit point — the dirent mutation on the parent's shard — was reached.
+
+// definitiveFailure reports whether err proves the server rejected the
+// operation without executing it — an application-level error carried in a
+// reply frame. A transport failure (timeout, dead connection, retries
+// exhausted) proves nothing: the operation may have committed durably with
+// only the reply lost, so a rollback decided on it could contradict a commit
+// point that was in fact reached. Cross-shard orchestration aborts its
+// intents only on definitive failures; after an ambiguous one the intents
+// stay live and quiesced resolution decides by probing the dirents.
+func definitiveFailure(err error) bool {
+	var re *rpc.RemoteError
+	return errors.As(err, &re)
+}
 
 // createCrossShard creates leaf under dir when the placement hash homes the
 // new inode on a different shard than the parent's dirent table:
@@ -120,9 +161,14 @@ func (c *Client) createCrossShard(dir meta.FileID, leaf string, typ meta.FileTyp
 		return attr, mapRemote(err)
 	}
 	if err := c.callIdem(pl, proto.OpLinkRemote, &proto.LinkRemoteReq{Parent: dir, Name: leaf, Child: attr.ID, Type: typ}, nil); err != nil {
-		// The dirent was never (durably) inserted: roll the mint back. Best
-		// effort — an unreachable target shard resolves the intent later.
-		_ = c.callIdem(tl, proto.OpNSAbort, &proto.NSAbortReq{File: attr.ID, Kind: meta.NSCreate}, nil)
+		// Roll the mint back only when the parent shard provably refused the
+		// insert (best effort — an unreachable target shard resolves the
+		// intent later). After an ambiguous transport failure the link may
+		// have committed with the reply lost; aborting would free the inode
+		// under a durable dirent, so leave the intent for resolution.
+		if definitiveFailure(err) {
+			_ = c.callIdem(tl, proto.OpNSAbort, &proto.NSAbortReq{File: attr.ID, Kind: meta.NSCreate}, nil)
+		}
 		return attr, mapRemote(err)
 	}
 	// Past the commit point: the create happened. Graduation is best effort;
@@ -150,7 +196,14 @@ func (c *Client) removeCrossShard(dir meta.FileID, leaf string, id meta.FileID) 
 		return mapRemote(err)
 	}
 	if err := c.callIdem(pl, proto.OpUnlinkRemote, &proto.UnlinkRemoteReq{Parent: dir, Name: leaf, Child: id}, nil); err != nil {
-		_ = c.callIdem(hl, proto.OpNSAbort, &proto.NSAbortReq{File: id, Kind: meta.NSRemove}, nil)
+		// Definitive refusal (entry moved by a rename, intent conflict):
+		// the remove never reached its commit point, so roll it back. An
+		// ambiguous failure may hide a committed unlink — aborting then
+		// would leave the inode alive with no dirent anywhere — so the
+		// intent stays live for resolution to probe.
+		if definitiveFailure(err) {
+			_ = c.callIdem(hl, proto.OpNSAbort, &proto.NSAbortReq{File: id, Kind: meta.NSRemove}, nil)
+		}
 		return mapRemote(err)
 	}
 	_ = c.callIdem(hl, proto.OpNSCommit, &proto.NSCommitReq{File: id, Kind: meta.NSRemove}, nil)
@@ -186,7 +239,14 @@ func (c *Client) renameCrossShard(srcDir meta.FileID, srcLeaf string, dstDir met
 		File: ent.ID, Kind: meta.NSRenameDst, Type: ent.Type, Parent: srcDir, Name: srcLeaf,
 		DstParent: dstDir, DstName: dstLeaf,
 	}, nil); err != nil {
-		_ = c.callIdem(sl, proto.OpNSAbort, &proto.NSAbortReq{File: ent.ID, Kind: meta.NSRenameSrc}, nil)
+		// Same rule as the other sagas: only a definitive refusal of the dst
+		// reservation may unfreeze the source. If the dst intent might have
+		// been published durably, dropping the src intent early would let
+		// another operation move the source entry, after which resolution
+		// would misread the dst probe and roll the insert forward.
+		if definitiveFailure(err) {
+			_ = c.callIdem(sl, proto.OpNSAbort, &proto.NSAbortReq{File: ent.ID, Kind: meta.NSRenameSrc}, nil)
+		}
 		return mapRemote(err)
 	}
 	if err := c.callIdem(sl, proto.OpNSCommit, &proto.NSCommitReq{File: ent.ID, Kind: meta.NSRenameSrc}, nil); err != nil {

@@ -78,7 +78,14 @@ func (rec *Record) MarshalWire(b *wire.Buffer) {
 	b.PutI64(rec.SpanLen)
 	b.PutU64(uint64(rec.DstParent))
 	b.PutString(rec.DstName)
-	b.PutU8(uint8(rec.NSKind))
+	// NSKind is a trailing optional (see the PR 8 wire-evolution rules):
+	// only the cross-shard NS record types carry it, so records written by a
+	// pre-sharding build — which lack the byte entirely — decode unchanged,
+	// and an upgraded MDS replays its old journal instead of treating every
+	// record as a torn tail.
+	if rec.NSKind != 0 {
+		b.PutU8(uint8(rec.NSKind))
+	}
 }
 
 // UnmarshalWire decodes the record payload.
@@ -97,7 +104,9 @@ func (rec *Record) UnmarshalWire(r *wire.Reader) error {
 	rec.SpanLen = r.I64()
 	rec.DstParent = FileID(r.U64())
 	rec.DstName = r.String()
-	rec.NSKind = NSIntentKind(r.U8())
+	if r.Err() == nil && r.Remaining() > 0 {
+		rec.NSKind = NSIntentKind(r.U8())
+	}
 	return r.Err()
 }
 

@@ -2,6 +2,7 @@ package meta
 
 import (
 	"errors"
+	"hash/crc32"
 	"runtime"
 	"sync"
 	"testing"
@@ -347,5 +348,107 @@ func TestJournalGroupCommitBatches(t *testing.T) {
 	}
 	if count != 16 {
 		t.Fatalf("replayed %d records, want 16", count)
+	}
+}
+
+// oldFormatPayload hand-encodes a record the way the pre-sharding build did:
+// every field up to DstName, with no NSKind byte. A journal written by that
+// build must replay record-for-record on the current one.
+func oldFormatPayload(rec *Record) []byte {
+	b := wire.NewBuffer(128)
+	b.PutU8(uint8(rec.Type))
+	b.PutU64(uint64(rec.File))
+	b.PutU64(uint64(rec.Parent))
+	b.PutString(rec.Name)
+	b.PutU8(uint8(rec.FType))
+	b.PutString(rec.Owner)
+	b.PutI64(rec.Size)
+	b.PutTime(rec.MTime)
+	PutExtents(b, rec.Extents)
+	b.PutU32(rec.SpanDev)
+	b.PutI64(rec.SpanOff)
+	b.PutI64(rec.SpanLen)
+	b.PutU64(uint64(rec.DstParent))
+	b.PutString(rec.DstName)
+	return b.Bytes()
+}
+
+// TestJournalReplaysPreShardingRecords pins the upgrade path: the NSKind
+// field is a trailing optional, so records framed without it — the exact
+// bytes a pre-sharding MDS wrote — decode cleanly instead of erroring, which
+// Replay would misread as a torn tail and silently drop the log from there.
+func TestJournalReplaysPreShardingRecords(t *testing.T) {
+	dev := newMetaDev(t)
+	old := []*Record{
+		{Type: RecCreate, File: 2, Parent: RootID, Name: "f", FType: TypeFile, MTime: time.Unix(5, 0).UTC()},
+		{Type: RecCommit, File: 2, Owner: "c1", Size: 4096, MTime: time.Unix(6, 0).UTC(),
+			Extents: []Extent{{FileOff: 0, Len: 4096, Dev: 1, VolOff: 1 << 20, State: StateCommitted}}},
+		{Type: RecDelegate, Owner: "c1", SpanDev: 1, SpanOff: 4096, SpanLen: 1 << 20},
+	}
+	off := int64(0)
+	for _, rec := range old {
+		payload := oldFormatPayload(rec)
+		hdr := wire.NewBuffer(recHeaderSize)
+		hdr.PutU32(journalMagic)
+		hdr.PutU32(0) // generation
+		hdr.PutU32(uint32(len(payload)))
+		hdr.PutU32(crc32.ChecksumIEEE(payload))
+		if err := dev.Write(off, hdr.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Write(off+recHeaderSize, payload); err != nil {
+			t.Fatal(err)
+		}
+		off += recHeaderSize + int64(len(payload))
+	}
+
+	j := NewJournal(dev, 0, 32<<20)
+	var got []*Record
+	torn, err := j.Replay(func(r *Record) error {
+		cp := *r
+		got = append(got, &cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("old-format log read as torn")
+	}
+	if len(got) != len(old) {
+		t.Fatalf("replayed %d of %d records", len(got), len(old))
+	}
+	for i, rec := range got {
+		if rec.Type != old[i].Type || rec.File != old[i].File || rec.NSKind != 0 {
+			t.Fatalf("record %d mismatch: %+v", i, rec)
+		}
+	}
+
+	// The upgraded MDS appends to the same log; NS records (which do carry
+	// the byte) and old records must coexist on a subsequent replay.
+	if err := <-j.Append(&Record{Type: RecNSIntent, NSKind: NSRemove, File: 2, FType: TypeFile, Parent: RootID, Name: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	got = got[:0]
+	torn, err = NewJournal(dev, 0, 32<<20).Replay(func(r *Record) error {
+		cp := *r
+		got = append(got, &cp)
+		return nil
+	})
+	if err != nil || torn {
+		t.Fatalf("mixed-format replay: torn=%v err=%v", torn, err)
+	}
+	if len(got) != len(old)+1 {
+		t.Fatalf("replayed %d of %d records", len(got), len(old)+1)
+	}
+	last := got[len(got)-1]
+	if last.Type != RecNSIntent || last.NSKind != NSRemove {
+		t.Fatalf("appended NS record mismatch: %+v", last)
+	}
+
+	// And a record written today with NSKind 0 is byte-identical to the old
+	// format — the evolution is symmetric, not just tolerant.
+	if enc := wire.Encode(old[0]); string(enc) != string(oldFormatPayload(old[0])) {
+		t.Fatal("NSKind-less record encoding diverged from the pre-sharding layout")
 	}
 }

@@ -31,10 +31,17 @@ import (
 // one publishes a namespace intent (journaled, one live intent per inode per
 // shard — publication conflicts serialize concurrent cross-shard operations
 // on the same inode); the commit point is a single dirent mutation on one
-// shard; remaining steps are idempotent and individually retryable. A client
-// crash at any point leaves live intents that ResolveNSIntents — run on a
-// quiesced cluster — drives to the unique consistent outcome by probing
-// which side of the commit point the surviving dirents are on.
+// shard; remaining steps are idempotent and individually retryable. The
+// create/remove commit points (LinkRemote/UnlinkRemote) are exactly-once,
+// not merely idempotent: the executing shard durably marks the child in
+// linkDone/unlinkDone, because the intent lives on a *different* shard than
+// the dirent, so a rename on the dirent's shard can move the entry between
+// phases — a retry that merely probed the entry would then re-insert a
+// second reference, or claim an unlink it never performed and let the home
+// shard free a still-referenced inode. A client crash at any point leaves
+// live intents that ResolveNSIntents — run on a quiesced cluster — drives to
+// the unique consistent outcome by probing which side of the commit point
+// the surviving dirents are on.
 //
 //	create  f under d (t = ShardOf(f) ≠ p = ShardOf(d)):
 //	  1. CreateDetached on t   — mint inode + nsCreate intent
@@ -368,8 +375,10 @@ func (s *Store) applyCreateDetached(id FileID, typ FileType, mtime time.Time) {
 }
 
 // LinkRemote inserts the dirent (parent, name) → child for an inode homed on
-// another shard — the commit point of the cross-shard create. Idempotent: a
-// retry that finds its own entry already inserted succeeds. An entry held by
+// another shard — the commit point of the cross-shard create. Exactly-once: a
+// retry whose insert already committed succeeds without touching the
+// namespace, even if a concurrent rename has since moved the entry —
+// re-inserting would fork a second reference to the inode. An entry held by
 // a different inode fails with ErrExists; a pending removal of parent or a
 // rename reservation on the name fails with ErrNSConflict.
 func (s *Store) LinkRemote(parent FileID, name string, child FileID, typ FileType) error {
@@ -377,6 +386,10 @@ func (s *Store) LinkRemote(parent FileID, name string, child FileID, typ FileTyp
 		return fmt.Errorf("%w: %q", ErrInvalidName, name)
 	}
 	s.ns.Lock()
+	if _, done := s.linkDone[child]; done {
+		s.ns.Unlock()
+		return nil // retry of a commit point that already executed
+	}
 	dir, ok := s.dirents[parent]
 	if !ok {
 		s.ns.Unlock()
@@ -398,33 +411,42 @@ func (s *Store) LinkRemote(parent FileID, name string, child FileID, typ FileTyp
 		return fmt.Errorf("%w: %q reserved by a pending rename", ErrNSConflict, name)
 	}
 	s.applyLink(parent, name, child, typ)
+	s.linkDone[child] = struct{}{}
 	wait := s.journalAppend(&Record{Type: RecLinkRemote, File: child, Parent: parent, Name: name, FType: typ})
 	s.ns.Unlock()
 	return wait()
 }
 
 // UnlinkRemote deletes the dirent (parent, name) → child — the commit point
-// of the cross-shard remove. Idempotent: an absent entry (or one since taken
-// by a different inode) means a previous attempt already committed, and
-// succeeds. A live intent on the child (a concurrent cross-shard rename
-// routed through this shard) fails with ErrNSConflict, keeping the remove
-// probe unambiguous.
+// of the cross-shard remove. Exactly-once: a retry whose delete already
+// committed succeeds, but an entry this shard never unlinked — never
+// inserted, or moved away by a concurrent rename (the remove intent lives on
+// the child's home shard, which renames on this shard cannot see) — fails
+// with ErrNotFound so the client aborts the remove instead of freeing an
+// inode that still has a live dirent elsewhere. A live intent on the child (a
+// concurrent cross-shard rename routed through this shard) fails with
+// ErrNSConflict, keeping the remove probe unambiguous.
 func (s *Store) UnlinkRemote(parent FileID, name string, child FileID) error {
 	s.ns.Lock()
+	if _, done := s.unlinkDone[child]; done {
+		s.ns.Unlock()
+		return nil // retry of a commit point that already executed
+	}
 	dir, ok := s.dirents[parent]
 	if !ok {
 		s.ns.Unlock()
-		return nil
+		return fmt.Errorf("%w: parent %d", ErrNotFound, parent)
 	}
 	if have, ok := dir[name]; !ok || have != child {
 		s.ns.Unlock()
-		return nil
+		return fmt.Errorf("%w: entry %q → %d", ErrNotFound, name, child)
 	}
 	if s.nsIntents.has(child) {
 		s.ns.Unlock()
 		return fmt.Errorf("%w: inode %d is under a namespace intent", ErrNSConflict, child)
 	}
 	s.applyUnlink(parent, name)
+	s.unlinkDone[child] = struct{}{}
 	wait := s.journalAppend(&Record{Type: RecUnlinkRemote, File: child, Parent: parent, Name: name})
 	s.ns.Unlock()
 	return wait()

@@ -607,3 +607,215 @@ func TestShardedSnapshotRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCrossShardRemoveVsRenameRace pins the fix for the remove/rename race:
+// the NSRemove intent lives on the child's *home* shard, so a classic rename
+// on the parent's shard — which checks only its own intent table — can move
+// the dirent between NSPrepare and UnlinkRemote. The commit point must then
+// refuse (it never unlinked that entry) so the client aborts; treating the
+// absence as "my unlink already committed" would let NSCommit free an inode
+// whose relocated dirent is still live.
+func TestCrossShardRemoveVsRenameRace(t *testing.T) {
+	c := newShardCluster(t, 2)
+	ps := rootShard(c.stores)
+	pi, _ := ps.Shard()
+	ts := c.stores[pickForeignShard(2, pi)]
+
+	f, err := ts.CreateDetached(RootID, "f", TypeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.LinkRemote(RootID, "f", f.ID, TypeFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.NSCommit(f.ID, NSCreate); err != nil {
+		t.Fatal(err)
+	}
+	lay, err := ts.AllocLayout("c1", f.ID, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Commit("c1", f.ID, lay.Extents, 4096, c.clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove prepared on the home shard; the parent shard cannot see it.
+	if err := ts.NSPrepare(f.ID, NSRemove, TypeFile, RootID, "f", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The concurrent rename slips in on the parent shard.
+	if err := ps.Rename(RootID, "f", RootID, "g"); err != nil {
+		t.Fatal(err)
+	}
+	// The remove's commit point finds the entry gone — but it never
+	// executed here, so it must refuse rather than claim success.
+	if err := ps.UnlinkRemote(RootID, "f", f.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("UnlinkRemote after rename: %v, want ErrNotFound", err)
+	}
+	// The client aborts; the file survives under its new name with data.
+	if err := ts.NSAbort(f.ID, NSRemove); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ps.Lookup(RootID, "g")
+	if err != nil || got.ID != f.ID {
+		t.Fatalf("renamed entry lost: %+v, %v", got, err)
+	}
+	if attr, err := ts.GetAttr(f.ID); err != nil || attr.Size != 4096 {
+		t.Fatalf("inode freed under a live dirent: %+v, %v", attr, err)
+	}
+	fsckAll(t, c.stores, "after aborted remove")
+}
+
+// TestUnlinkRemoteExactlyOnce pins the commit-point proof: an entry this
+// shard never held is refused with ErrNotFound, an executed unlink stays
+// acknowledged across retries — including retries landing after a crash and
+// journal recovery of every shard.
+func TestUnlinkRemoteExactlyOnce(t *testing.T) {
+	c := newShardCluster(t, 2)
+	ps := rootShard(c.stores)
+	pi, _ := ps.Shard()
+	ti := pickForeignShard(2, pi)
+	ts := c.stores[ti]
+
+	f, err := ts.CreateDetached(RootID, "f", TypeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.LinkRemote(RootID, "f", f.ID, TypeFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.NSCommit(f.ID, NSCreate); err != nil {
+		t.Fatal(err)
+	}
+	// A remove of an entry that was never present here must refuse.
+	if err := ps.UnlinkRemote(RootID, "ghost", f.ID+64); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unlink of foreign entry: %v, want ErrNotFound", err)
+	}
+	if err := ts.NSPrepare(f.ID, NSRemove, TypeFile, RootID, "f", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.UnlinkRemote(RootID, "f", f.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Crash every shard before the client's retry and commit land: the
+	// journal must rebuild the executed-commit-point marker.
+	rec := c.recoverAll(t)
+	rps, rts := rootShard(rec), rec[ti]
+	if err := rps.UnlinkRemote(RootID, "f", f.ID); err != nil {
+		t.Fatalf("retry after recovery: %v", err)
+	}
+	if err := rts.NSCommit(f.ID, NSRemove); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rts.GetAttr(f.ID); err == nil {
+		t.Fatal("inode survives committed remove")
+	}
+	fsckAll(t, rec, "after recovered remove")
+}
+
+// TestLinkRemoteRetryDoesNotForkEntry pins the create-side mirror of the
+// race: once LinkRemote executed, a delayed retry must not re-insert the
+// dirent after a rename moved it — that would leave two entries referencing
+// one inode.
+func TestLinkRemoteRetryDoesNotForkEntry(t *testing.T) {
+	c := newShardCluster(t, 2)
+	ps := rootShard(c.stores)
+	pi, _ := ps.Shard()
+	ts := c.stores[pickForeignShard(2, pi)]
+
+	f, err := ts.CreateDetached(RootID, "f", TypeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.LinkRemote(RootID, "f", f.ID, TypeFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.NSCommit(f.ID, NSCreate); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Rename(RootID, "f", RootID, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.LinkRemote(RootID, "f", f.ID, TypeFile); err != nil {
+		t.Fatalf("link retry after rename: %v", err)
+	}
+	if _, err := ps.Lookup(RootID, "f"); err == nil {
+		t.Fatal("link retry re-inserted a moved dirent")
+	}
+	fsckAll(t, c.stores, "after link retry")
+
+	// The marker survives recovery too.
+	rec := c.recoverAll(t)
+	rps := rootShard(rec)
+	if err := rps.LinkRemote(RootID, "f", f.ID, TypeFile); err != nil {
+		t.Fatalf("link retry after recovery: %v", err)
+	}
+	if _, err := rps.Lookup(RootID, "f"); err == nil {
+		t.Fatal("recovered link retry re-inserted a moved dirent")
+	}
+	fsckAll(t, rec, "after recovered link retry")
+}
+
+// TestCommitPointMarkersSurviveSnapshot replays a shard's snapshot stream
+// into a fresh store and checks the executed-commit-point markers come along:
+// a checkpoint between a commit point and its retry must not reopen the
+// rename race.
+func TestCommitPointMarkersSurviveSnapshot(t *testing.T) {
+	c := newShardCluster(t, 2)
+	ps := rootShard(c.stores)
+	pi, _ := ps.Shard()
+	ts := c.stores[pickForeignShard(2, pi)]
+
+	// f: linked, then unlinked by a cross-shard remove (intent still live
+	// on the home shard). g: linked, then moved by a rename.
+	f, err := ts.CreateDetached(RootID, "f", TypeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.LinkRemote(RootID, "f", f.ID, TypeFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.NSCommit(f.ID, NSCreate); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.NSPrepare(f.ID, NSRemove, TypeFile, RootID, "f", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.UnlinkRemote(RootID, "f", f.ID); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ts.CreateDetached(RootID, "g", TypeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.LinkRemote(RootID, "g", g.ID, TypeFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.NSCommit(g.ID, NSCreate); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Rename(RootID, "g", RootID, "h"); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewStore(Config{AGs: shardAGs(pi), Clock: c.clk, Shard: pi, ShardCount: 2})
+	for _, rec := range ps.Snapshot() {
+		if err := fresh.applyRecord(rec); err != nil {
+			t.Fatalf("replay %v: %v", rec.Type, err)
+		}
+	}
+	// The executed unlink still reads as executed...
+	if err := fresh.UnlinkRemote(RootID, "f", f.ID); err != nil {
+		t.Fatalf("unlink marker lost in snapshot: %v", err)
+	}
+	// ...and the executed link does not re-insert behind the rename.
+	if err := fresh.LinkRemote(RootID, "g", g.ID, TypeFile); err != nil {
+		t.Fatalf("link marker lost in snapshot: %v", err)
+	}
+	if _, err := fresh.Lookup(RootID, "g"); err == nil {
+		t.Fatal("snapshot-restored link retry re-inserted a moved dirent")
+	}
+	if got, err := fresh.Lookup(RootID, "h"); err != nil || got.ID != g.ID {
+		t.Fatalf("renamed entry lost in snapshot: %+v, %v", got, err)
+	}
+}

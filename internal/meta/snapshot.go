@@ -147,6 +147,31 @@ func (s *Store) snapshotLocked() []*Record {
 		})
 	}
 
+	// Commit-point markers (see linkDone/unlinkDone): children whose
+	// LinkRemote/UnlinkRemote executed here. Live remote children re-enter
+	// linkDone through the traversal's RecLinkRemote records above; members
+	// whose entry has since moved or died need a bare marker (no parent, so
+	// replay only rebuilds the set). Every unlinkDone member is bare — its
+	// entry is gone by definition.
+	markers := make([]FileID, 0, len(s.linkDone))
+	for id := range s.linkDone {
+		if _, live := s.remote[id]; !live {
+			markers = append(markers, id)
+		}
+	}
+	sort.Slice(markers, func(i, j int) bool { return markers[i] < markers[j] })
+	for _, id := range markers {
+		recs = append(recs, &Record{Type: RecLinkRemote, File: id})
+	}
+	markers = markers[:0]
+	for id := range s.unlinkDone {
+		markers = append(markers, id)
+	}
+	sort.Slice(markers, func(i, j int) bool { return markers[i] < markers[j] })
+	for _, id := range markers {
+		recs = append(recs, &Record{Type: RecUnlinkRemote, File: id})
+	}
+
 	// Delegations, sorted by owner.
 	owners := make([]string, 0, len(s.delegations))
 	for o := range s.delegations {

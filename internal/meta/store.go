@@ -202,11 +202,24 @@ type Store struct {
 	// Cross-shard state (see shard.go). remote maps children listed in a
 	// local dirent whose inode is homed on another shard to their type;
 	// linkedRemote marks local inodes whose dirent lives on another shard;
-	// nsIntents holds the shard's live namespace intents. All three are
-	// guarded by ns.
+	// nsIntents holds the shard's live namespace intents. All guarded by ns.
 	remote       map[FileID]FileType
 	linkedRemote map[FileID]struct{}
 	nsIntents    *nsIntentTable
+	// linkDone / unlinkDone record the children whose cross-shard commit
+	// point this shard has executed (LinkRemote insert / UnlinkRemote
+	// delete). They make the commit-point RPCs exactly-once rather than
+	// merely idempotent: after a concurrent rename moves the entry, a retry
+	// must neither re-insert the dirent (forking a second reference) nor
+	// report an unlink it never performed (freeing a live inode), so an
+	// absent entry is answered from these sets — success when the commit
+	// provably happened here, ErrNotFound otherwise. Inode ids are minted
+	// once and never reused, so membership is permanent; the sets grow only
+	// with completed cross-shard operations and persist through the
+	// journaled RecLinkRemote/RecUnlinkRemote records and their snapshot
+	// markers.
+	linkDone   map[FileID]struct{}
+	unlinkDone map[FileID]struct{}
 }
 
 // stripe returns the content lock of inode id.
@@ -234,6 +247,8 @@ func NewStore(cfg Config) *Store {
 		remote:       make(map[FileID]FileType),
 		linkedRemote: make(map[FileID]struct{}),
 		nsIntents:    newNSIntentTable(),
+		linkDone:     make(map[FileID]struct{}),
+		unlinkDone:   make(map[FileID]struct{}),
 	}
 	if s.ownsID(RootID) {
 		s.inodes[RootID] = &inode{id: RootID, typ: TypeDir, mtime: s.clk.Now(), nlink: 1}
@@ -976,10 +991,15 @@ func (s *Store) applyRecord(rec *Record) error {
 			}
 		}
 	case RecLinkRemote:
+		// The commit-point marker is rebuilt even when the dirent apply is
+		// moot (snapshot edge markers carry no parent; a later rename may
+		// have moved the entry) — a post-recovery retry must still see it.
+		s.linkDone[rec.File] = struct{}{}
 		if _, ok := s.dirents[rec.Parent]; ok {
 			s.applyLink(rec.Parent, rec.Name, rec.File, rec.FType)
 		}
 	case RecUnlinkRemote:
+		s.unlinkDone[rec.File] = struct{}{}
 		if dir, ok := s.dirents[rec.Parent]; ok {
 			if id, ok := dir[rec.Name]; ok && id == rec.File {
 				s.applyUnlink(rec.Parent, rec.Name)
