@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strings"
 	"time"
 
 	"redbud/internal/alloc"
@@ -24,6 +25,7 @@ import (
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
 	"redbud/internal/obs"
+	"redbud/internal/obs/agg"
 	"redbud/internal/obs/debughttp"
 )
 
@@ -39,6 +41,7 @@ func main() {
 		debugAddr  = flag.String("debug", "", "debug HTTP listen address (/metrics, /debug/trace, pprof; empty disables)")
 		traceCap   = flag.Int("trace-cap", 0, "commit-span ring capacity with -debug (0 = default)")
 		shard      = flag.String("shard", "", "shard coordinates i/N of a sharded namespace (e.g. 0/4; empty runs the single MDS)")
+		peers      = flag.String("peers", "", "comma-separated debug addresses of every shard (own included, shard order); this daemon then aggregates the cluster view at /cluster/metrics and evaluates the SLO rules")
 	)
 	flag.Parse()
 
@@ -111,7 +114,23 @@ func main() {
 	metaDev.RegisterMetrics(reg)
 
 	if *debugAddr != "" {
-		dbg, err := debughttp.Start(debughttp.Config{Addr: *debugAddr, Registry: reg, Tracer: tracer})
+		dcfg := debughttp.Config{Addr: *debugAddr, Registry: reg, Tracer: tracer}
+		// With -peers this daemon carries the cluster aggregation plane: it
+		// scrapes every listed shard's /metrics.json (its own included — HTTP
+		// keeps one code path), merges, and evaluates the SLO rules on each
+		// /cluster/metrics request. The alert states register into the local
+		// registry so plain /metrics shows them too.
+		if *peers != "" {
+			var sources []agg.Source
+			for i, addr := range strings.Split(*peers, ",") {
+				sources = append(sources, agg.HTTPSource(fmt.Sprintf("mds%d", i), strings.TrimSpace(addr)))
+			}
+			slo := agg.NewEngine(agg.DefaultRules())
+			slo.RegisterMetrics(reg)
+			dcfg.Collector = agg.New(sources...)
+			dcfg.SLO = slo
+		}
+		dbg, err := debughttp.Start(dcfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"redbud/internal/netsim"
 	"redbud/internal/nfs3"
 	"redbud/internal/obs"
+	"redbud/internal/obs/agg"
 	"redbud/internal/pvfs2"
 	"redbud/internal/rpc"
 	"redbud/internal/workload"
@@ -178,6 +180,14 @@ type Cluster struct {
 	// and is always built.
 	Tracer   *obs.Tracer
 	Registry *obs.Registry
+
+	// ShardRegs holds one registry per MDS shard, carrying that shard's
+	// server + store + rpc metrics. Registry exports only shard 0's MDS (the
+	// fixed metric names would collide); the per-shard registries cover the
+	// rest, and Collector aggregates them — plus every client — into the
+	// shard-tagged cluster view (Redbud systems only).
+	ShardRegs []*obs.Registry
+	Collector *agg.Collector
 
 	closers []func()
 }
@@ -446,7 +456,36 @@ func buildRedbud(sys System, opt Options) *Cluster {
 	for _, cl := range c.Redbud {
 		cl.RegisterMetrics(c.Registry)
 	}
+
+	// Per-shard registries feed the cluster collector: each MDS registers
+	// into its own, so the fixed server metric names never collide, and the
+	// aggregation layer tags each source with its shard name. Clients share
+	// one source — their metrics are already labeled per client.
+	var sources []agg.Source
+	for i, srv := range c.MDSs {
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		c.ShardRegs = append(c.ShardRegs, reg)
+		sources = append(sources, agg.RegistrySource(hostOf(i), reg))
+	}
+	clientsReg := obs.NewRegistry()
+	for _, cl := range c.Redbud {
+		cl.RegisterMetrics(clientsReg)
+	}
+	sources = append(sources, agg.RegistrySource("clients", clientsReg))
+	c.Collector = agg.New(sources...)
 	return c
+}
+
+// StitchedTrace writes the cluster's span ring as one multi-process Chrome
+// trace: one trace process per track prefix (each MDS shard, each client
+// role), with the client and server spans of a commit or cross-shard saga
+// linked by flow arrows. Byte-deterministic for a fixed span set.
+func (c *Cluster) StitchedTrace(w io.Writer) error {
+	if c.Tracer == nil {
+		return fmt.Errorf("bench: cluster built without SpanTrace")
+	}
+	return obs.WriteChromeTraceMulti(w, obs.SplitProcesses(c.Tracer.Spans()))
 }
 
 // buildNFS3 assembles the single-server baseline.

@@ -36,6 +36,7 @@ import (
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
 	"redbud/internal/obs"
+	"redbud/internal/obs/agg"
 	"redbud/internal/rpc"
 	"redbud/internal/workload"
 )
@@ -172,6 +173,15 @@ type Report struct {
 	// DedupHits counts commit retransmissions answered from the MDS dedup
 	// table, summed across incarnations.
 	DedupHits int64
+	// Cluster is the final metrics collection round: every shard's (and the
+	// clients') tagged snapshot plus the cluster-wide merge the SLO rules
+	// were last evaluated against.
+	Cluster agg.ClusterSnapshot
+	// Alerts is the SLO engine's per-rule state after the final evaluation
+	// and SLOEvents its full transition log. A fault-free run must end with
+	// every alert inactive and the log empty.
+	Alerts    []agg.Alert
+	SLOEvents []agg.Event
 	// Faults holds the network fault-injection counters.
 	Faults netsim.FaultStats
 	// DiskFaults counts injected data-device write faults.
@@ -308,6 +318,14 @@ func Run(cfg Config) (*Report, error) {
 		net.AddHost(hostOf(i), netsim.Instant())
 	}
 
+	// The observability plane rides along on every run: each MDS incarnation
+	// registers into a fresh per-shard registry (a registry rejects duplicate
+	// names, so a restarted server cannot reuse its predecessor's), the
+	// collector's sources always read whichever registry is live, and the
+	// stock SLO rules are evaluated on the merged cluster view at every
+	// checkpoint — after each completed restart and at end of run.
+	shardRegs := make([]*obs.Registry, shards)
+
 	incarnations := make([]uint64, shards)
 	srvs := make([]*mds.Server, shards)
 	liss := make([]*netsim.Listener, shards)
@@ -329,6 +347,9 @@ func Run(cfg Config) (*Report, error) {
 			return err
 		}
 		go srv.Serve(lis)
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		shardRegs[i] = reg
 		srvs[i], liss[i] = srv, lis
 		return nil
 	}
@@ -399,6 +420,26 @@ func Run(cfg Config) (*Report, error) {
 		clients[i] = client.New(ccfg)
 	}
 
+	// Assemble the cluster metrics plane: one source per shard (reading the
+	// live incarnation's registry through shardRegs) plus one for the
+	// clients, and the stock SLO rule set over the merged view.
+	clientsReg := obs.NewRegistry()
+	for _, c := range clients {
+		c.RegisterMetrics(clientsReg)
+	}
+	sources := make([]agg.Source, 0, shards+1)
+	for i := 0; i < shards; i++ {
+		sources = append(sources, agg.SourceFunc(hostOf(i), func() obs.Snapshot { return shardRegs[i].Snapshot() }))
+	}
+	sources = append(sources, agg.RegistrySource("clients", clientsReg))
+	collector := agg.New(sources...)
+	slo := agg.NewEngine(agg.DefaultRules())
+	checkpoint := func() {
+		rep.Cluster = collector.Collect()
+		rep.Alerts = slo.Evaluate(clk.Now(), rep.Cluster.Merged)
+		rep.SLOEvents = slo.Events()
+	}
+
 	// Fan the workloads out, one namespace subtree per client.
 	rep.Results = make([]workload.Result, cfg.Clients)
 	var wg sync.WaitGroup
@@ -462,6 +503,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 		rep.Restarts++
 		rep.RestartedShards = append(rep.RestartedShards, i)
+		checkpoint()
 	}
 
 	wg.Wait()
@@ -483,6 +525,10 @@ func Run(cfg Config) (*Report, error) {
 	for _, res := range rep.Results {
 		rep.OpErrors += res.Errors
 	}
+	// Final observability checkpoint: the workloads are done and the clients
+	// closed, so the merged snapshot is the run's complete metric history and
+	// the alert states are the run's verdict.
+	checkpoint()
 	if restartErr != nil {
 		return rep, restartErr
 	}

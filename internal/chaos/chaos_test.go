@@ -16,6 +16,7 @@ import (
 	"redbud/internal/mds"
 	"redbud/internal/meta"
 	"redbud/internal/netsim"
+	"redbud/internal/obs/agg"
 	"redbud/internal/proto"
 	"redbud/internal/rpc"
 	"redbud/internal/workload"
@@ -592,6 +593,71 @@ func TestChaosShardedDeterminism(t *testing.T) {
 	if logA != logB {
 		t.Fatalf("same seed and plan produced different event logs:\nrun A:\n%srun B:\n%s", logA, logB)
 	}
+}
+
+// TestChaosFaultFreeSLOSilent is the cluster SLO smoke check: a fault-free
+// sharded run must end with the full default rule set evaluated and every
+// alert inactive — the observability plane may not cry wolf on a healthy
+// cluster. It also pins the aggregation contract the rules evaluate against:
+// every shard (and the client set) contributes a scraped, shard-tagged
+// snapshot, the merge drops nothing, and the merged commit-latency histogram
+// covers the run's commits.
+func TestChaosFaultFreeSLOSilent(t *testing.T) {
+	cfg := shardedConfig(777)
+	cfg.Net = netsim.FaultPlan{}
+	cfg.Disk = DiskFaults{}
+	cfg.Restarts = 0
+	cfg.Think = 0
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, rep)
+	if got, want := len(rep.Alerts), len(agg.DefaultRules()); got != want {
+		t.Fatalf("final evaluation covered %d rules, want the full default set of %d", got, want)
+	}
+	for _, a := range rep.Alerts {
+		if a.State != agg.StateInactive {
+			t.Errorf("alert %q is %s on a fault-free run (value %g, threshold %s %g)",
+				a.Rule.Name, a.State, a.Value, a.Rule.Op, a.Rule.Threshold)
+		}
+	}
+	if len(rep.SLOEvents) != 0 {
+		t.Errorf("fault-free run logged %d alert transitions: %+v", len(rep.SLOEvents), rep.SLOEvents)
+	}
+	if rep.Cluster.Dropped != 0 {
+		t.Errorf("merge dropped %d series in a homogeneous cluster", rep.Cluster.Dropped)
+	}
+	if got, want := len(rep.Cluster.Shards), cfg.Shards+1; got != want {
+		t.Fatalf("collection covered %d sources, want %d (every shard plus the clients)", got, want)
+	}
+	for _, sh := range rep.Cluster.Shards {
+		if sh.Err != "" {
+			t.Errorf("source %s failed to scrape: %s", sh.Shard, sh.Err)
+		}
+		if len(sh.Metrics.Metrics) == 0 {
+			t.Errorf("source %s contributed no series", sh.Shard)
+			continue
+		}
+		wantTag := fmt.Sprintf("shard=%q", sh.Shard)
+		for _, m := range sh.Metrics.Metrics {
+			if !strings.Contains(m.Labels, wantTag) {
+				t.Errorf("source %s: series %s{%s} is missing its %s tag", sh.Shard, m.Name, m.Labels, wantTag)
+				break
+			}
+		}
+	}
+	var commits int64
+	for _, m := range rep.Cluster.Merged.Metrics {
+		if m.Name == "redbud_mds_commit_latency_seconds" && m.Hist != nil {
+			commits += m.Hist.Count
+		}
+	}
+	if commits == 0 {
+		t.Error("merged commit-latency histogram is empty; shard histograms did not aggregate")
+	}
+	t.Logf("sources=%d mergedSeries=%d commits=%d alerts all inactive",
+		len(rep.Cluster.Shards), len(rep.Cluster.Merged.Metrics), commits)
 }
 
 // TestChaosShardedRenameBothShardsCrash drives a cross-shard rename over the

@@ -167,7 +167,11 @@ type Config struct {
 
 	// Tracer, if non-nil, records commit-lifecycle spans (commit.queue,
 	// commit.datawait, commit.rpc on track "<Name>/commit"; write.app on
-	// track "<Name>/app"), CommitID-correlated with the MDS-side spans.
+	// track "<Name>/app") and cross-shard namespace saga spans (ns.create /
+	// ns.remove / ns.rename with per-phase children on track "<Name>/ns").
+	// Against a v4 MDS the client also attaches a trace context to commit and
+	// saga-leg requests, linking the server-side spans under the client span
+	// that issued them — a cross-shard rename renders as one stitched tree.
 	Tracer *obs.Tracer
 }
 
@@ -212,6 +216,7 @@ type Client struct {
 	tracer      *obs.Tracer
 	trackApp    string // span track for application threads, "<Name>/app"
 	trackCommit string // span track for commit daemons, "<Name>/commit"
+	trackNS     string // span track for namespace sagas, "<Name>/ns"
 
 	// commitLat is the client-observed commit latency (enqueue/build →
 	// reply), always collected for redbud-top and the obs bench.
@@ -230,6 +235,7 @@ type clientStats struct {
 	bytesWritten, bytesRead stats.Counter
 	commitsSent             stats.Counter // CommitReq sub-ops sent
 	commitRPCs              stats.Counter // network frames carrying commits
+	retries                 stats.Counter // idempotent RPC retry attempts
 	writeLat, closeLat      stats.DurationSum
 	opLat                   stats.DurationSum
 }
@@ -299,6 +305,7 @@ func New(cfg Config) *Client {
 		tracer:      cfg.Tracer,
 		trackApp:    cfg.Name + "/app",
 		trackCommit: cfg.Name + "/commit",
+		trackNS:     cfg.Name + "/ns",
 		commitLat:   stats.NewLatencyHistogram(),
 	}
 	for i, mc := range conns {
@@ -322,12 +329,13 @@ func New(cfg Config) *Client {
 	if cfg.DelegationChunk > 0 {
 		c.space.Store(c.newSpacePool())
 	}
-	if cfg.Redial != nil || cfg.RedialShard != nil || cfg.EarlyVisibility || len(c.links) > 1 {
+	if cfg.Redial != nil || cfg.RedialShard != nil || cfg.EarlyVisibility || cfg.Tracer != nil || len(c.links) > 1 {
 		// Learn each shard's incarnation — and negotiate the protocol
 		// version — up front so a later reconnect can tell a restart from a
-		// mere connection blip, and so early visibility knows whether the
-		// MDS speaks v2. A sharded mount always handshakes: the hello reply
-		// is also the shard-map verification. Best effort otherwise: a
+		// mere connection blip, so early visibility knows whether the MDS
+		// speaks v2, and so tracing knows whether it may attach v4 trace
+		// contexts. A sharded mount always handshakes: the hello reply is
+		// also the shard-map verification. Best effort otherwise: a
 		// pre-Hello MDS build simply leaves sawIncarnation unset (and the
 		// session at v1).
 		for _, l := range c.links {
@@ -862,7 +870,11 @@ func (c *Client) observeCommitRPC(start time.Time, commitID uint64) {
 	end := c.clk.Now()
 	c.commitLat.ObserveDuration(end.Sub(start))
 	if c.tracer.Enabled() {
-		c.tracer.Record(c.trackCommit, obs.SpanCommitRPC, commitID, start, end)
+		c.tracer.RecordSpan(obs.Span{
+			Track: c.trackCommit, Name: obs.SpanCommitRPC, CommitID: commitID,
+			TraceID: commitID, SpanID: obs.NewSpanID(commitID, obs.SpanCommitRPC),
+			Start: start, End: end,
+		})
 	}
 }
 
@@ -904,10 +916,25 @@ func (c *Client) buildCommit(fs *fileState) *proto.CommitReq {
 	}
 	fs.mu.Unlock()
 	if traced {
-		if !enqAt.IsZero() {
-			c.tracer.Record(c.trackCommit, obs.SpanCommitQueue, req.CommitID, enqAt, waitStart)
+		// The commit's trace reuses the CommitID (globally unique — the name
+		// hash occupies the high bits) as its TraceID, and the commit.rpc
+		// span as the parent the server links under. Only a v4 session may
+		// carry the context: an older server would reject the trailing bytes.
+		if c.protoVersion.Load() >= proto.ProtoV4 {
+			req.Trace = proto.TraceCtx{TraceID: req.CommitID, SpanID: obs.NewSpanID(req.CommitID, obs.SpanCommitRPC)}
 		}
-		c.tracer.Record(c.trackCommit, obs.SpanCommitDataWait, req.CommitID, waitStart, c.clk.Now())
+		if !enqAt.IsZero() {
+			c.tracer.RecordSpan(obs.Span{
+				Track: c.trackCommit, Name: obs.SpanCommitQueue, CommitID: req.CommitID,
+				TraceID: req.CommitID, SpanID: obs.NewSpanID(req.CommitID, obs.SpanCommitQueue),
+				Start: enqAt, End: waitStart,
+			})
+		}
+		c.tracer.RecordSpan(obs.Span{
+			Track: c.trackCommit, Name: obs.SpanCommitDataWait, CommitID: req.CommitID,
+			TraceID: req.CommitID, SpanID: obs.NewSpanID(req.CommitID, obs.SpanCommitDataWait),
+			Start: waitStart, End: c.clk.Now(),
+		})
 	}
 	return req
 }
@@ -1163,6 +1190,7 @@ func (c *Client) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("redbud_client_commits_sent_total", "commit requests sent (compound sub-ops counted)", l, c.st.commitsSent.Load)
 	r.CounterFunc("redbud_client_commit_rpcs_total", "network frames carrying commits", l, c.st.commitRPCs.Load)
 	r.CounterFunc("redbud_client_rpcs_total", "RPCs issued across all MDS connections", l, c.rpcCalls)
+	r.CounterFunc("redbud_client_retries_total", "idempotent RPC retry attempts after transport faults", l, c.st.retries.Load)
 	r.CounterFunc("redbud_client_bad_frames_total", "malformed response frames on the live connection", l, c.badFrames)
 	r.GaugeFunc("redbud_client_commit_queue_len", "commit queue length", l,
 		func() int64 { return int64(c.QueueLen()) })

@@ -247,6 +247,7 @@ func (c *Client) callIdem(l *mdsLink, op uint16, req wire.Marshaler, resp wire.U
 		if rerr := c.recoverConn(l, mds, gen, err); rerr != nil {
 			return err
 		}
+		c.st.retries.Inc()
 		c.sleepBackoff(attempt)
 	}
 }
@@ -277,6 +278,7 @@ func (c *Client) sendCommit(fs *fileState, req *proto.CommitReq, resp *proto.Com
 		if rerr := c.recoverConn(l, mds, gen, err); rerr != nil {
 			return err
 		}
+		c.st.retries.Inc()
 		c.sleepBackoff(attempt)
 	}
 }
@@ -307,6 +309,7 @@ func (c *Client) sendCompound(states []*fileState, ops []rpc.SubOp) ([]rpc.SubRe
 		if rerr := c.recoverConn(l, mds, gen, err); rerr != nil {
 			return results, err
 		}
+		c.st.retries.Inc()
 		c.sleepBackoff(attempt)
 	}
 }

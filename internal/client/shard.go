@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"redbud/internal/meta"
+	"redbud/internal/obs"
 	"redbud/internal/proto"
 	"redbud/internal/rpc"
 )
@@ -144,6 +146,70 @@ func definitiveFailure(err error) bool {
 	return errors.As(err, &re)
 }
 
+// beginSaga mints the trace identity for one cross-shard namespace saga: a
+// fresh TraceID drawn from the commit-ID sequence (globally unique — the
+// client-name hash occupies the high bits), with the root span's ID equal to
+// the TraceID. Returns a zero context when tracing is off; every helper below
+// then no-ops and no trace bytes go on the wire.
+func (c *Client) beginSaga() (obs.SpanContext, time.Time) {
+	if !c.tracer.Enabled() {
+		return obs.SpanContext{}, time.Time{}
+	}
+	id := c.commitSeq.Add(1)
+	return obs.SpanContext{TraceID: id, SpanID: id}, c.clk.Now()
+}
+
+// endSaga records the saga root span (ns.create / ns.remove / ns.rename) on
+// the client's "<Name>/ns" track, spanning the whole orchestration.
+func (c *Client) endSaga(name string, tc obs.SpanContext, start time.Time) {
+	if tc.TraceID == 0 {
+		return
+	}
+	c.tracer.RecordSpan(obs.Span{
+		Track: c.trackNS, Name: name,
+		TraceID: tc.TraceID, SpanID: tc.SpanID,
+		Start: start, End: c.clk.Now(),
+	})
+}
+
+// nsPhase tracks one in-flight saga leg's span identity.
+type nsPhase struct {
+	tc    obs.SpanContext // saga identity; zero when untraced
+	name  string
+	sid   uint64
+	start time.Time
+}
+
+// beginPhase derives the span identity for one saga leg and, when the session
+// negotiated protocol v4, the wire trace context to attach to the leg's
+// request so the server's handler span links under it. Older sessions get a
+// zero wire context — a pre-v4 server would reject the trailing bytes — and
+// keep client-side phase spans only.
+func (c *Client) beginPhase(tc obs.SpanContext, name string) (nsPhase, proto.TraceCtx) {
+	if tc.TraceID == 0 {
+		return nsPhase{}, proto.TraceCtx{}
+	}
+	sid := obs.NewSpanID(tc.SpanID, name)
+	var w proto.TraceCtx
+	if c.protoVersion.Load() >= proto.ProtoV4 {
+		w = proto.TraceCtx{TraceID: tc.TraceID, SpanID: sid}
+	}
+	return nsPhase{tc: tc, name: name, sid: sid, start: c.clk.Now()}, w
+}
+
+// endPhase records the leg's span, on success and failure alike — an aborted
+// saga leg is exactly the kind of latency a stitched trace should show.
+func (c *Client) endPhase(ph nsPhase) {
+	if ph.tc.TraceID == 0 {
+		return
+	}
+	c.tracer.RecordSpan(obs.Span{
+		Track: c.trackNS, Name: ph.name,
+		TraceID: ph.tc.TraceID, SpanID: ph.sid, Parent: ph.tc.SpanID,
+		Start: ph.start, End: c.clk.Now(),
+	})
+}
+
 // createCrossShard creates leaf under dir when the placement hash homes the
 // new inode on a different shard than the parent's dirent table:
 //
@@ -152,28 +218,40 @@ func definitiveFailure(err error) bool {
 //  3. graduate the intent on the target shard.
 func (c *Client) createCrossShard(dir meta.FileID, leaf string, typ meta.FileType, target int) (proto.AttrResp, error) {
 	tl, pl := c.links[target], c.shardFor(dir)
+	saga, sagaStart := c.beginSaga()
+	defer c.endSaga(obs.SpanNSCreate, saga, sagaStart)
 	var attr proto.AttrResp
 	// Minting is the one non-idempotent step (a retry would mint a second
 	// inode), so like OpCreate it is not retried; a lost reply leaks an
 	// intent that resolution aborts.
+	ph, tc := c.beginPhase(saga, obs.SpanNSMint)
 	mds, _ := tl.conn()
-	if err := mds.Call(proto.OpCreateDetached, &proto.CreateDetachedReq{Parent: dir, Name: leaf, Type: typ}, &attr); err != nil {
+	err := mds.Call(proto.OpCreateDetached, &proto.CreateDetachedReq{Parent: dir, Name: leaf, Type: typ, Trace: tc}, &attr)
+	c.endPhase(ph)
+	if err != nil {
 		return attr, mapRemote(err)
 	}
-	if err := c.callIdem(pl, proto.OpLinkRemote, &proto.LinkRemoteReq{Parent: dir, Name: leaf, Child: attr.ID, Type: typ}, nil); err != nil {
+	ph, tc = c.beginPhase(saga, obs.SpanNSLink)
+	err = c.callIdem(pl, proto.OpLinkRemote, &proto.LinkRemoteReq{Parent: dir, Name: leaf, Child: attr.ID, Type: typ, Trace: tc}, nil)
+	c.endPhase(ph)
+	if err != nil {
 		// Roll the mint back only when the parent shard provably refused the
 		// insert (best effort — an unreachable target shard resolves the
 		// intent later). After an ambiguous transport failure the link may
 		// have committed with the reply lost; aborting would free the inode
 		// under a durable dirent, so leave the intent for resolution.
 		if definitiveFailure(err) {
-			_ = c.callIdem(tl, proto.OpNSAbort, &proto.NSAbortReq{File: attr.ID, Kind: meta.NSCreate}, nil)
+			ph, tc = c.beginPhase(saga, obs.SpanNSAbort)
+			_ = c.callIdem(tl, proto.OpNSAbort, &proto.NSAbortReq{File: attr.ID, Kind: meta.NSCreate, Trace: tc}, nil)
+			c.endPhase(ph)
 		}
 		return attr, mapRemote(err)
 	}
 	// Past the commit point: the create happened. Graduation is best effort;
 	// a leaked NSCreate intent with a live dirent always resolves to commit.
-	_ = c.callIdem(tl, proto.OpNSCommit, &proto.NSCommitReq{File: attr.ID, Kind: meta.NSCreate}, nil)
+	ph, tc = c.beginPhase(saga, obs.SpanNSGraduate)
+	_ = c.callIdem(tl, proto.OpNSCommit, &proto.NSCommitReq{File: attr.ID, Kind: meta.NSCreate, Trace: tc}, nil)
+	c.endPhase(ph)
 	return attr, nil
 }
 
@@ -186,27 +264,45 @@ func (c *Client) createCrossShard(dir meta.FileID, leaf string, typ meta.FileTyp
 //  3. commit on the home shard, freeing the inode and its space.
 func (c *Client) removeCrossShard(dir meta.FileID, leaf string, id meta.FileID) error {
 	hl, pl := c.shardFor(id), c.shardFor(dir)
+	saga, sagaStart := c.beginSaga()
+	defer c.endSaga(obs.SpanNSRemove, saga, sagaStart)
 	var attr proto.AttrResp
-	if err := c.callIdem(hl, proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr); err != nil {
+	// The stat leg carries no wire context (GetAttr is a plain read shared
+	// with every other caller); its client-side phase span still shows the
+	// leg in the stitched tree.
+	ph, _ := c.beginPhase(saga, obs.SpanNSStat)
+	err := c.callIdem(hl, proto.OpGetAttr, &proto.GetAttrReq{ID: id}, &attr)
+	c.endPhase(ph)
+	if err != nil {
 		return mapRemote(err)
 	}
-	if err := c.callIdem(hl, proto.OpNSPrepare, &proto.NSPrepareReq{
-		File: id, Kind: meta.NSRemove, Type: attr.Type, Parent: dir, Name: leaf,
-	}, nil); err != nil {
+	ph, tc := c.beginPhase(saga, obs.SpanNSPrepare)
+	err = c.callIdem(hl, proto.OpNSPrepare, &proto.NSPrepareReq{
+		File: id, Kind: meta.NSRemove, Type: attr.Type, Parent: dir, Name: leaf, Trace: tc,
+	}, nil)
+	c.endPhase(ph)
+	if err != nil {
 		return mapRemote(err)
 	}
-	if err := c.callIdem(pl, proto.OpUnlinkRemote, &proto.UnlinkRemoteReq{Parent: dir, Name: leaf, Child: id}, nil); err != nil {
+	ph, tc = c.beginPhase(saga, obs.SpanNSUnlink)
+	err = c.callIdem(pl, proto.OpUnlinkRemote, &proto.UnlinkRemoteReq{Parent: dir, Name: leaf, Child: id, Trace: tc}, nil)
+	c.endPhase(ph)
+	if err != nil {
 		// Definitive refusal (entry moved by a rename, intent conflict):
 		// the remove never reached its commit point, so roll it back. An
 		// ambiguous failure may hide a committed unlink — aborting then
 		// would leave the inode alive with no dirent anywhere — so the
 		// intent stays live for resolution to probe.
 		if definitiveFailure(err) {
-			_ = c.callIdem(hl, proto.OpNSAbort, &proto.NSAbortReq{File: id, Kind: meta.NSRemove}, nil)
+			ph, tc = c.beginPhase(saga, obs.SpanNSAbort)
+			_ = c.callIdem(hl, proto.OpNSAbort, &proto.NSAbortReq{File: id, Kind: meta.NSRemove, Trace: tc}, nil)
+			c.endPhase(ph)
 		}
 		return mapRemote(err)
 	}
-	_ = c.callIdem(hl, proto.OpNSCommit, &proto.NSCommitReq{File: id, Kind: meta.NSRemove}, nil)
+	ph, tc = c.beginPhase(saga, obs.SpanNSGraduate)
+	_ = c.callIdem(hl, proto.OpNSCommit, &proto.NSCommitReq{File: id, Kind: meta.NSRemove, Trace: tc}, nil)
+	c.endPhase(ph)
 	return nil
 }
 
@@ -223,37 +319,57 @@ func (c *Client) removeCrossShard(dir meta.FileID, leaf string, id meta.FileID) 
 //  4. commit the destination intent, inserting the new dirent.
 func (c *Client) renameCrossShard(srcDir meta.FileID, srcLeaf string, dstDir meta.FileID, dstLeaf string) error {
 	sl, dl := c.shardFor(srcDir), c.shardFor(dstDir)
+	saga, sagaStart := c.beginSaga()
+	defer c.endSaga(obs.SpanNSRename, saga, sagaStart)
 	var ent proto.AttrResp
-	if err := c.callIdem(sl, proto.OpLookup, &proto.LookupReq{Parent: srcDir, Name: srcLeaf}, &ent); err != nil {
+	// The lookup leg carries no wire context (a plain read shared with every
+	// other caller); its client-side phase span still shows in the tree.
+	ph, _ := c.beginPhase(saga, obs.SpanNSLookup)
+	err := c.callIdem(sl, proto.OpLookup, &proto.LookupReq{Parent: srcDir, Name: srcLeaf}, &ent)
+	c.endPhase(ph)
+	if err != nil {
 		return mapRemote(err)
 	}
 	if ent.Type == meta.TypeDir {
 		return fmt.Errorf("client: cross-shard directory rename not supported: %q", srcLeaf)
 	}
-	if err := c.callIdem(sl, proto.OpNSPrepare, &proto.NSPrepareReq{
-		File: ent.ID, Kind: meta.NSRenameSrc, Type: ent.Type, Parent: srcDir, Name: srcLeaf,
-	}, nil); err != nil {
+	ph, tc := c.beginPhase(saga, obs.SpanNSPrepareSrc)
+	err = c.callIdem(sl, proto.OpNSPrepare, &proto.NSPrepareReq{
+		File: ent.ID, Kind: meta.NSRenameSrc, Type: ent.Type, Parent: srcDir, Name: srcLeaf, Trace: tc,
+	}, nil)
+	c.endPhase(ph)
+	if err != nil {
 		return mapRemote(err)
 	}
-	if err := c.callIdem(dl, proto.OpNSPrepare, &proto.NSPrepareReq{
+	ph, tc = c.beginPhase(saga, obs.SpanNSPrepareDst)
+	err = c.callIdem(dl, proto.OpNSPrepare, &proto.NSPrepareReq{
 		File: ent.ID, Kind: meta.NSRenameDst, Type: ent.Type, Parent: srcDir, Name: srcLeaf,
-		DstParent: dstDir, DstName: dstLeaf,
-	}, nil); err != nil {
+		DstParent: dstDir, DstName: dstLeaf, Trace: tc,
+	}, nil)
+	c.endPhase(ph)
+	if err != nil {
 		// Same rule as the other sagas: only a definitive refusal of the dst
 		// reservation may unfreeze the source. If the dst intent might have
 		// been published durably, dropping the src intent early would let
 		// another operation move the source entry, after which resolution
 		// would misread the dst probe and roll the insert forward.
 		if definitiveFailure(err) {
-			_ = c.callIdem(sl, proto.OpNSAbort, &proto.NSAbortReq{File: ent.ID, Kind: meta.NSRenameSrc}, nil)
+			ph, tc = c.beginPhase(saga, obs.SpanNSAbort)
+			_ = c.callIdem(sl, proto.OpNSAbort, &proto.NSAbortReq{File: ent.ID, Kind: meta.NSRenameSrc, Trace: tc}, nil)
+			c.endPhase(ph)
 		}
 		return mapRemote(err)
 	}
-	if err := c.callIdem(sl, proto.OpNSCommit, &proto.NSCommitReq{File: ent.ID, Kind: meta.NSRenameSrc}, nil); err != nil {
+	ph, tc = c.beginPhase(saga, obs.SpanNSCommitSrc)
+	err = c.callIdem(sl, proto.OpNSCommit, &proto.NSCommitReq{File: ent.ID, Kind: meta.NSRenameSrc, Trace: tc}, nil)
+	c.endPhase(ph)
+	if err != nil {
 		// The commit point was not provably reached; both intents stand and
 		// resolution decides by probing the source dirent.
 		return mapRemote(err)
 	}
-	_ = c.callIdem(dl, proto.OpNSCommit, &proto.NSCommitReq{File: ent.ID, Kind: meta.NSRenameDst}, nil)
+	ph, tc = c.beginPhase(saga, obs.SpanNSCommitDst)
+	_ = c.callIdem(dl, proto.OpNSCommit, &proto.NSCommitReq{File: ent.ID, Kind: meta.NSRenameDst, Trace: tc}, nil)
+	c.endPhase(ph)
 	return nil
 }

@@ -54,8 +54,11 @@ type Config struct {
 	// single-shard topology {0, 1}. They must match the store's Config.
 	ShardIndex uint32
 	ShardCount uint32
-	// Tracer, if non-nil, records mds.commit spans on track "mds" (plus the
-	// rpc.queue / rpc.process spans of the daemon pool) for every commit.
+	// Tracer, if non-nil, records mds.commit and namespace-op spans on track
+	// "mds" ("mds<i>" when sharded, so every shard exports as its own trace
+	// process), plus the rpc.queue / rpc.process spans of the daemon pool.
+	// Requests carrying a v4 trace context get their handler spans linked
+	// under the client span that issued them.
 	Tracer *obs.Tracer
 }
 
@@ -140,6 +143,10 @@ type Server struct {
 	// the session and drops the entry.
 	sessions sync.Map
 
+	// track is the trace track prefix for handler spans: "mds" single-shard,
+	// "mds<i>" when sharded, so each shard exports as its own trace process.
+	track string
+
 	dedup     dedupTable
 	dedupHits atomic.Int64
 
@@ -163,7 +170,11 @@ func New(cfg Config) *Server {
 	if cfg.ShardCount == 0 {
 		cfg.ShardCount = 1
 	}
-	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg, commitLat: stats.NewLatencyHistogram()}
+	track := "mds"
+	if cfg.ShardCount > 1 {
+		track = fmt.Sprintf("mds%d", cfg.ShardIndex)
+	}
+	s := &Server{store: cfg.Store, clk: cfg.Clock, cfg: cfg, track: track, commitLat: stats.NewLatencyHistogram()}
 	s.dedup.owners = make(map[string]*ownerDedup)
 	s.rpc = rpc.NewServer(rpc.ServerConfig{
 		Handler:             s.handle,
@@ -173,7 +184,7 @@ func New(cfg Config) *Server {
 		ContentionPerDaemon: cfg.ContentionPerDaemon,
 		Clock:               cfg.Clock,
 		Tracer:              cfg.Tracer,
-		TraceTrack:          "mds",
+		TraceTrack:          track,
 	})
 	return s
 }
@@ -264,6 +275,31 @@ func (s *Server) RegisterMetrics(r *obs.Registry) {
 	r.RegisterHistogram("redbud_mds_commit_latency_seconds", "server-side commit handling latency", nil, s.commitLat)
 	s.rpc.RegisterMetrics(r, obs.Labels{"server": "mds"})
 	s.store.RegisterMetrics(r)
+}
+
+// nsStart samples the handler start time for a namespace-op span, or zero
+// when the request carries no trace context (or tracing is off) so nsSpan
+// becomes a no-op and the untraced path stays allocation-free.
+func (s *Server) nsStart(tc proto.TraceCtx) time.Time {
+	if tc.TraceID != 0 && s.cfg.Tracer.Enabled() {
+		return s.clk.Now()
+	}
+	return time.Time{}
+}
+
+// nsSpan records one namespace-op handler span linked under the client phase
+// span that issued the request. Spans are recorded on success and failure
+// alike: an aborted saga leg is exactly the kind of latency a stitched trace
+// should show.
+func (s *Server) nsSpan(name string, tc proto.TraceCtx, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	s.cfg.Tracer.RecordSpan(obs.Span{
+		Track: s.track, Name: name,
+		TraceID: tc.TraceID, SpanID: obs.NewSpanID(tc.SpanID, name), Parent: tc.SpanID,
+		Start: start, End: s.clk.Now(),
+	})
 }
 
 // handle dispatches one decoded RPC operation.
@@ -385,7 +421,13 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 			}
 		}
 		start := s.clk.Now()
-		if err := s.store.CommitTraced(req.Owner, req.File, req.Extents, req.Size, req.MTime, req.CommitID); err != nil {
+		// A v4 trace context links this handler's span (and the store's
+		// lockwait/apply/journal children) under the client's commit span.
+		var tc obs.SpanContext
+		if req.Trace.TraceID != 0 {
+			tc = obs.SpanContext{TraceID: req.Trace.TraceID, SpanID: obs.NewSpanID(req.Trace.SpanID, obs.SpanMDSCommit)}
+		}
+		if err := s.store.CommitTracedCtx(req.Owner, req.File, req.Extents, req.Size, req.MTime, req.CommitID, tc); err != nil {
 			return nil, err
 		}
 		a, err := s.store.GetAttr(req.File)
@@ -397,7 +439,11 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 		end := s.clk.Now()
 		s.commitLat.ObserveDuration(end.Sub(start))
 		if s.cfg.Tracer.Enabled() && req.CommitID != 0 {
-			s.cfg.Tracer.Record("mds", obs.SpanMDSCommit, req.CommitID, start, end)
+			s.cfg.Tracer.RecordSpan(obs.Span{
+				Track: s.track, Name: obs.SpanMDSCommit, CommitID: req.CommitID,
+				TraceID: req.Trace.TraceID, SpanID: tc.SpanID, Parent: req.Trace.SpanID,
+				Start: start, End: end,
+			})
 		}
 		if req.CommitID != 0 {
 			// Only successful commits are remembered: a failed commit may
@@ -462,7 +508,9 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
+		start := s.nsStart(req.Trace)
 		a, err := s.store.CreateDetached(req.Parent, req.Name, req.Type)
+		s.nsSpan(obs.SpanMDSCreateDetached, req.Trace, start)
 		if err != nil {
 			return nil, err
 		}
@@ -474,35 +522,50 @@ func (s *Server) handle(op uint16, body []byte) ([]byte, error) {
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
-		return nil, s.store.NSPrepare(req.File, req.Kind, req.Type, req.Parent, req.Name, req.DstParent, req.DstName)
+		start := s.nsStart(req.Trace)
+		err := s.store.NSPrepare(req.File, req.Kind, req.Type, req.Parent, req.Name, req.DstParent, req.DstName)
+		s.nsSpan(obs.SpanMDSNSPrepare, req.Trace, start)
+		return nil, err
 
 	case proto.OpNSCommit:
 		var req proto.NSCommitReq
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
-		return nil, s.store.NSCommit(req.File, req.Kind)
+		start := s.nsStart(req.Trace)
+		err := s.store.NSCommit(req.File, req.Kind)
+		s.nsSpan(obs.SpanMDSNSCommit, req.Trace, start)
+		return nil, err
 
 	case proto.OpNSAbort:
 		var req proto.NSAbortReq
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
-		return nil, s.store.NSAbort(req.File, req.Kind)
+		start := s.nsStart(req.Trace)
+		err := s.store.NSAbort(req.File, req.Kind)
+		s.nsSpan(obs.SpanMDSNSAbort, req.Trace, start)
+		return nil, err
 
 	case proto.OpLinkRemote:
 		var req proto.LinkRemoteReq
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
-		return nil, s.store.LinkRemote(req.Parent, req.Name, req.Child, req.Type)
+		start := s.nsStart(req.Trace)
+		err := s.store.LinkRemote(req.Parent, req.Name, req.Child, req.Type)
+		s.nsSpan(obs.SpanMDSLinkRemote, req.Trace, start)
+		return nil, err
 
 	case proto.OpUnlinkRemote:
 		var req proto.UnlinkRemoteReq
 		if err := wire.Decode(body, &req); err != nil {
 			return nil, err
 		}
-		return nil, s.store.UnlinkRemote(req.Parent, req.Name, req.Child)
+		start := s.nsStart(req.Trace)
+		err := s.store.UnlinkRemote(req.Parent, req.Name, req.Child)
+		s.nsSpan(obs.SpanMDSUnlinkRemote, req.Trace, start)
+		return nil, err
 
 	case proto.OpStat:
 		resp := proto.StatResp{

@@ -229,6 +229,13 @@ func (t *nsIntentTable) removePending(dir FileID) bool {
 	return ok && in.Kind == NSRemove
 }
 
+// count returns the number of live intents.
+func (t *nsIntentTable) count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(len(t.byFile))
+}
+
 // snapshot returns every live intent, sorted by inode for determinism.
 func (t *nsIntentTable) snapshot() []NSIntent {
 	t.mu.Lock()
@@ -352,6 +359,7 @@ func (s *Store) CreateDetached(parent FileID, name string, typ FileType) (Attr, 
 		s.ns.Unlock()
 		return Attr{}, err
 	}
+	s.nsPrepares.Inc()
 	s.applyCreateDetached(id, typ, now)
 	attr := s.inodes[id].attr()
 	wait := s.journalAppend(&Record{Type: RecNSIntent, NSKind: NSCreate, File: id, Parent: parent, Name: name, FType: typ, MTime: now})
@@ -505,6 +513,7 @@ func (s *Store) NSPrepare(file FileID, kind NSIntentKind, typ FileType, parent F
 		s.ns.Unlock()
 		return err
 	}
+	s.nsPrepares.Inc()
 	wait := s.journalAppend(&Record{
 		Type: RecNSIntent, NSKind: kind, File: file, FType: typ,
 		Parent: parent, Name: name, DstParent: dstParent, DstName: dstName,
@@ -527,6 +536,7 @@ func (s *Store) NSCommit(file FileID, kind NSIntentKind) error {
 		return nil
 	}
 	freed := s.applyNSCommit(in)
+	s.nsCommits.Inc()
 	wait := s.journalAppend(&Record{Type: RecNSCommit, NSKind: kind, File: file})
 	s.ns.Unlock()
 	for _, sp := range freed {
@@ -569,6 +579,7 @@ func (s *Store) NSAbort(file FileID, kind NSIntentKind) error {
 		return nil
 	}
 	freed := s.applyNSAbort(in)
+	s.nsAborts.Inc()
 	wait := s.journalAppend(&Record{Type: RecNSAbort, NSKind: kind, File: file})
 	s.ns.Unlock()
 	for _, sp := range freed {

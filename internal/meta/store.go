@@ -10,6 +10,7 @@ import (
 	"redbud/internal/alloc"
 	"redbud/internal/clock"
 	"redbud/internal/obs"
+	"redbud/internal/stats"
 )
 
 // Store errors.
@@ -49,8 +50,9 @@ type Config struct {
 	// MaxSpan bounds a single allocated extent (0 = unbounded).
 	MaxSpan int64
 	// Tracer, if non-nil, records mds.lockwait / mds.apply / mds.journal
-	// spans for every traced commit on track "mds/store". Spans are
-	// recorded only after all store locks are released.
+	// spans for every traced commit on track "mds/store" ("mds<i>/store"
+	// when sharded, so each shard exports as its own trace process). Spans
+	// are recorded only after all store locks are released.
 	Tracer *obs.Tracer
 	// Shard / ShardCount place this store in a sharded namespace (see
 	// shard.go): the store homes only the inodes ShardOf maps to Shard,
@@ -184,8 +186,15 @@ const inodeStripes = 64
 // namespace lock: the exclusive holder reserves its slot before releasing,
 // and shared holders can only observe its effects afterwards.
 type Store struct {
-	cfg Config
-	clk clock.Clock
+	cfg   Config
+	clk   clock.Clock
+	track string // span track: "mds/store", or "mds<i>/store" when sharded
+
+	// Cross-shard namespace saga counters, exported for the SLO plane: every
+	// intent publish, graduation, and rollback this shard executed.
+	nsPrepares stats.Counter
+	nsCommits  stats.Counter
+	nsAborts   stats.Counter
 
 	ns          sync.RWMutex
 	stripes     [inodeStripes]sync.RWMutex
@@ -236,9 +245,14 @@ func NewStore(cfg Config) *Store {
 	if cfg.ShardCount <= 1 {
 		cfg.Shard, cfg.ShardCount = 0, 1
 	}
+	track := "mds/store"
+	if cfg.ShardCount > 1 {
+		track = fmt.Sprintf("mds%d/store", cfg.Shard)
+	}
 	s := &Store{
 		cfg:          cfg,
 		clk:          cfg.Clock,
+		track:        track,
 		inodes:       make(map[FileID]*inode),
 		dirents:      make(map[FileID]map[string]FileID),
 		nextID:       RootID + 1,
@@ -270,6 +284,14 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 			s.ns.RUnlock()
 			return n
 		})
+	r.CounterFunc("redbud_meta_ns_prepares_total", "cross-shard namespace intents published", nil,
+		s.nsPrepares.Load)
+	r.CounterFunc("redbud_meta_ns_commits_total", "cross-shard namespace intents committed (rolled forward)", nil,
+		s.nsCommits.Load)
+	r.CounterFunc("redbud_meta_ns_aborts_total", "cross-shard namespace intents aborted (rolled back)", nil,
+		s.nsAborts.Load)
+	r.GaugeFunc("redbud_meta_ns_intents", "live cross-shard namespace intents (saga backlog)", nil,
+		s.nsIntents.count)
 	if j := s.cfg.Journal; j != nil {
 		r.CounterFunc("redbud_meta_journal_appends_total", "journal records appended", nil,
 			func() int64 { a, _ := j.GroupCommitStats(); return a })
@@ -613,6 +635,13 @@ func (s *Store) Commit(owner string, id FileID, exts []Extent, size int64, mtime
 // All spans are recorded after the locks are dropped so tracing can never
 // extend a lock hold.
 func (s *Store) CommitTraced(owner string, id FileID, exts []Extent, size int64, mtime time.Time, commitID uint64) error {
+	return s.CommitTracedCtx(owner, id, exts, size, mtime, commitID, obs.SpanContext{})
+}
+
+// CommitTracedCtx is CommitTraced carrying a propagated trace context: when
+// tc is non-zero the three store spans link under tc.SpanID (the MDS commit
+// handler span), stitching the store into the client's distributed trace.
+func (s *Store) CommitTracedCtx(owner string, id FileID, exts []Extent, size int64, mtime time.Time, commitID uint64, tc obs.SpanContext) error {
 	traced := s.cfg.Tracer.Enabled() && commitID != 0
 	var lockStart, applyStart time.Time
 	if traced {
@@ -648,10 +677,25 @@ func (s *Store) CommitTraced(owner string, id FileID, exts []Extent, size int64,
 	jStart := s.clk.Now()
 	err := wait()
 	end := s.clk.Now()
-	s.cfg.Tracer.Record("mds/store", obs.SpanMDSLockWait, commitID, lockStart, applyStart)
-	s.cfg.Tracer.Record("mds/store", obs.SpanMDSApply, commitID, applyStart, jStart)
-	s.cfg.Tracer.Record("mds/store", obs.SpanMDSJournal, commitID, jStart, end)
+	s.cfg.Tracer.RecordSpan(obs.Span{Track: s.track, Name: obs.SpanMDSLockWait, CommitID: commitID,
+		TraceID: tc.TraceID, SpanID: childSpan(tc, obs.SpanMDSLockWait), Parent: tc.SpanID,
+		Start: lockStart, End: applyStart})
+	s.cfg.Tracer.RecordSpan(obs.Span{Track: s.track, Name: obs.SpanMDSApply, CommitID: commitID,
+		TraceID: tc.TraceID, SpanID: childSpan(tc, obs.SpanMDSApply), Parent: tc.SpanID,
+		Start: applyStart, End: jStart})
+	s.cfg.Tracer.RecordSpan(obs.Span{Track: s.track, Name: obs.SpanMDSJournal, CommitID: commitID,
+		TraceID: tc.TraceID, SpanID: childSpan(tc, obs.SpanMDSJournal), Parent: tc.SpanID,
+		Start: jStart, End: end})
 	return err
+}
+
+// childSpan derives the span id of one store-side child, or 0 when the
+// request carried no trace context (untraced spans stay unlinked).
+func childSpan(tc obs.SpanContext, name string) uint64 {
+	if tc.SpanID == 0 {
+		return 0
+	}
+	return obs.NewSpanID(tc.SpanID, name)
 }
 
 // applyCommit flips or inserts committed extents. Caller holds the inode's

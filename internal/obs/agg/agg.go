@@ -1,0 +1,339 @@
+// Package agg aggregates per-shard metrics into one cluster view. Each MDS
+// shard (and each client) owns its own obs.Registry; a Collector pulls every
+// shard's Snapshot — in-process for bench and chaos harnesses, over HTTP for
+// -debug daemons — tags the per-shard series with a shard label, and merges
+// them into a single cluster-wide snapshot: counters and gauges sum,
+// histograms merge bucket-by-bucket. The merged snapshot is what the SLO
+// engine evaluates and what debughttp serves at /cluster/metrics.
+package agg
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"redbud/internal/obs"
+	"redbud/internal/stats"
+)
+
+// Source is one scrape target: a named shard (or client) whose metrics
+// snapshot Fetch returns.
+type Source struct {
+	Name  string
+	Fetch func() (obs.Snapshot, error)
+}
+
+// RegistrySource wraps an in-process registry (bench and chaos harnesses).
+func RegistrySource(name string, r *obs.Registry) Source {
+	return Source{Name: name, Fetch: func() (obs.Snapshot, error) { return r.Snapshot(), nil }}
+}
+
+// SourceFunc wraps a snapshot function — for sources whose registry is
+// replaced over time (a chaos harness restarting an MDS builds a fresh
+// registry per incarnation; the closure always reads the live one).
+func SourceFunc(name string, fn func() obs.Snapshot) Source {
+	return Source{Name: name, Fetch: func() (obs.Snapshot, error) { return fn(), nil }}
+}
+
+// HTTPSource scrapes a debughttp daemon's /metrics.json. base is the
+// daemon's debug address ("host:port" or a full http:// URL).
+func HTTPSource(name, base string) Source {
+	url := base
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/metrics.json"
+	return Source{Name: name, Fetch: func() (obs.Snapshot, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return obs.Snapshot{}, fmt.Errorf("agg: scrape %s: %s", url, resp.Status)
+		}
+		var s obs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			return obs.Snapshot{}, fmt.Errorf("agg: scrape %s: %w", url, err)
+		}
+		return s, nil
+	}}
+}
+
+// Collector pulls a fixed set of sources into cluster snapshots. Safe for
+// concurrent Collect calls; the source list is immutable after New.
+type Collector struct {
+	sources []Source
+}
+
+// New builds a collector over the given sources.
+func New(sources ...Source) *Collector {
+	return &Collector{sources: append([]Source(nil), sources...)}
+}
+
+// Names lists the source names in collection order.
+func (c *Collector) Names() []string {
+	out := make([]string, len(c.sources))
+	for i, s := range c.sources {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ShardSnapshot is one source's reading, its series tagged shard="<name>".
+type ShardSnapshot struct {
+	Shard   string       `json:"shard"`
+	Err     string       `json:"err,omitempty"` // scrape failure; Metrics empty
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// ClusterSnapshot is one collection round: every shard's tagged snapshot plus
+// the cluster-wide merge.
+type ClusterSnapshot struct {
+	Shards []ShardSnapshot `json:"shards"`
+	Merged obs.Snapshot    `json:"merged"`
+	// Dropped counts per-shard series the merge had to skip — histograms
+	// whose bucket layouts disagree across shards (a version skew, never the
+	// homogeneous deployments the harnesses build).
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// Collect scrapes every source and merges. A failing source contributes an
+// empty tagged snapshot with its error recorded; the merge covers whatever
+// answered, so one dead shard degrades the cluster view instead of killing
+// it.
+func (c *Collector) Collect() ClusterSnapshot {
+	out := ClusterSnapshot{Shards: make([]ShardSnapshot, 0, len(c.sources))}
+	var raw []obs.Snapshot
+	for _, src := range c.sources {
+		s, err := src.Fetch()
+		sh := ShardSnapshot{Shard: src.Name}
+		if err != nil {
+			sh.Err = err.Error()
+			s = obs.Snapshot{}
+		}
+		sh.Metrics = tagSnapshot(s, src.Name)
+		out.Shards = append(out.Shards, sh)
+		raw = append(raw, s)
+	}
+	out.Merged, out.Dropped = mergeSnapshots(raw)
+	return out
+}
+
+// Flat combines the merged series and every shard-tagged series into one
+// snapshot sorted by (name, labels) — the /cluster/metrics rendering, where
+// the unlabeled aggregate and its per-shard breakdown sit side by side.
+func (cs ClusterSnapshot) Flat() obs.Snapshot {
+	var all []obs.MetricValue
+	all = append(all, cs.Merged.Metrics...)
+	for _, sh := range cs.Shards {
+		all = append(all, sh.Metrics.Metrics...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Name != all[j].Name {
+			return all[i].Name < all[j].Name
+		}
+		return all[i].Labels < all[j].Labels
+	})
+	return obs.Snapshot{Metrics: all}
+}
+
+// tagSnapshot returns a copy of s with shard="<name>" injected into every
+// series' label set, preserving the canonical sorted rendering.
+func tagSnapshot(s obs.Snapshot, shard string) obs.Snapshot {
+	out := obs.Snapshot{Metrics: make([]obs.MetricValue, len(s.Metrics))}
+	for i, m := range s.Metrics {
+		m.Labels = injectLabel(m.Labels, "shard", shard)
+		out.Metrics[i] = m
+	}
+	return out
+}
+
+// injectLabel inserts key=%q(value) into a canonically rendered label string
+// (`k1="v1",k2="v2"`, keys sorted), keeping the sort; an existing key is
+// replaced.
+func injectLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return pair
+	}
+	parts := splitLabels(labels)
+	out := make([]string, 0, len(parts)+1)
+	inserted := false
+	for _, p := range parts {
+		k := p
+		if i := strings.IndexByte(p, '='); i >= 0 {
+			k = p[:i]
+		}
+		if !inserted && key <= k {
+			out = append(out, pair)
+			inserted = true
+			if key == k {
+				continue // replace the existing pair
+			}
+		}
+		out = append(out, p)
+	}
+	if !inserted {
+		out = append(out, pair)
+	}
+	return strings.Join(out, ",")
+}
+
+// splitLabels splits a rendered label string on top-level commas — commas
+// inside %q-quoted values (which also escapes embedded quotes) don't split.
+func splitLabels(labels string) []string {
+	var parts []string
+	start, inQuote, escaped := 0, false, false
+	for i := 0; i < len(labels); i++ {
+		ch := labels[i]
+		switch {
+		case escaped:
+			escaped = false
+		case ch == '\\' && inQuote:
+			escaped = true
+		case ch == '"':
+			inQuote = !inQuote
+		case ch == ',' && !inQuote:
+			parts = append(parts, labels[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, labels[start:])
+}
+
+// mergeKey groups series for the merge: same name and same (untagged) labels
+// fold together across shards.
+type mergeKey struct{ name, labels string }
+
+// mergedSeries accumulates one cluster-wide series.
+type mergedSeries struct {
+	mv   obs.MetricValue
+	hist *stats.Histogram
+}
+
+// mergeSnapshots folds per-shard snapshots into the cluster aggregate:
+// counters and gauges sum (a summed gauge is the cluster total — queue
+// depths, intent backlogs); histograms merge bucket-by-bucket via
+// stats.Histogram.Merge. Series whose bucket layouts disagree are dropped
+// from the merge and counted.
+func mergeSnapshots(snaps []obs.Snapshot) (obs.Snapshot, int) {
+	acc := make(map[mergeKey]*mergedSeries)
+	var order []mergeKey
+	dropped := 0
+	for _, s := range snaps {
+		for _, m := range s.Metrics {
+			key := mergeKey{m.Name, m.Labels}
+			ms := acc[key]
+			if ms == nil {
+				ms = &mergedSeries{mv: obs.MetricValue{Name: m.Name, Labels: m.Labels, Help: m.Help, Kind: m.Kind}}
+				acc[key] = ms
+				order = append(order, key)
+			}
+			switch m.Kind {
+			case obs.KindHistogram:
+				h := histFromValue(m.Hist)
+				if h == nil {
+					continue // empty or malformed reading: nothing to fold
+				}
+				if ms.hist == nil {
+					ms.hist = h
+					continue
+				}
+				if !sameLayout(ms.hist, h) {
+					dropped++
+					continue
+				}
+				ms.hist.Merge(h)
+			default:
+				ms.mv.Value += m.Value
+			}
+		}
+	}
+	out := obs.Snapshot{Metrics: make([]obs.MetricValue, 0, len(order))}
+	for _, key := range order {
+		ms := acc[key]
+		if ms.mv.Kind == obs.KindHistogram {
+			ms.mv.Hist = valueFromHist(ms.hist)
+		}
+		out.Metrics = append(out.Metrics, ms.mv)
+	}
+	sort.Slice(out.Metrics, func(i, j int) bool {
+		a, b := out.Metrics[i], out.Metrics[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
+	return out, dropped
+}
+
+// sameLayout reports whether two histograms share bucket bounds (Merge
+// panics otherwise).
+func sameLayout(a, b *stats.Histogram) bool {
+	ab, _ := a.Buckets()
+	bb, _ := b.Buckets()
+	if len(ab) != len(bb) {
+		return false
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// histFromValue reconstructs a histogram from an exported reading — the
+// cumulative buckets turn back into per-bucket counts, with the overflow
+// recovered from the total. Returns nil for empty or malformed readings
+// (non-increasing bounds, negative counts) rather than panicking: HTTP
+// sources hand us bytes from another process.
+func histFromValue(hv *obs.HistValue) *stats.Histogram {
+	if hv == nil || len(hv.Buckets) == 0 {
+		return nil
+	}
+	bounds := make([]float64, len(hv.Buckets))
+	counts := make([]int64, len(hv.Buckets)+1)
+	var prev int64
+	for i, b := range hv.Buckets {
+		if i > 0 && b.LE <= bounds[i-1] {
+			return nil
+		}
+		bounds[i] = b.LE
+		counts[i] = b.Count - prev
+		if counts[i] < 0 {
+			return nil
+		}
+		prev = b.Count
+	}
+	overflow := hv.Count - prev
+	if overflow < 0 {
+		return nil
+	}
+	counts[len(bounds)] = overflow
+	return stats.HistogramFromBuckets(bounds, counts, hv.Sum, hv.Min, hv.Max, hv.Count)
+}
+
+// valueFromHist renders a histogram the same way a registry snapshot does
+// (cumulative buckets, overflow excluded). Nil histograms render as an empty
+// reading so merged snapshots keep the series present.
+func valueFromHist(h *stats.Histogram) *obs.HistValue {
+	if h == nil {
+		return &obs.HistValue{}
+	}
+	bounds, counts := h.Buckets()
+	hv := &obs.HistValue{
+		Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(), Mean: h.Mean(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+	var cum int64
+	hv.Buckets = make([]obs.BucketValue, 0, len(bounds))
+	for i, b := range bounds {
+		cum += counts[i]
+		hv.Buckets = append(hv.Buckets, obs.BucketValue{LE: b, Count: cum})
+	}
+	return hv
+}

@@ -1,0 +1,256 @@
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"redbud/internal/obs"
+	"redbud/internal/stats"
+)
+
+// twoShardRegistries builds two registries carrying the same metric names —
+// the homogeneous-deployment shape every merge rule is defined over.
+func twoShardRegistries() (*obs.Registry, *obs.Registry) {
+	r0 := obs.NewRegistry()
+	r0.NewCounter("redbud_ops_total", "ops", nil).Add(3)
+	r0.NewGauge("redbud_queue_len", "queue", obs.Labels{"kind": "commit"}).Set(5)
+	h0 := r0.NewHistogram("redbud_lat_seconds", "latency", nil)
+	h0.Observe(0.001)
+	h0.Observe(0.002)
+
+	r1 := obs.NewRegistry()
+	r1.NewCounter("redbud_ops_total", "ops", nil).Add(4)
+	r1.NewGauge("redbud_queue_len", "queue", obs.Labels{"kind": "commit"}).Set(7)
+	h1 := r1.NewHistogram("redbud_lat_seconds", "latency", nil)
+	h1.Observe(0.004)
+	return r0, r1
+}
+
+func TestCollectTagsAndMerges(t *testing.T) {
+	r0, r1 := twoShardRegistries()
+	c := New(RegistrySource("mds0", r0), RegistrySource("mds1", r1))
+	if got := c.Names(); len(got) != 2 || got[0] != "mds0" || got[1] != "mds1" {
+		t.Fatalf("Names = %v", got)
+	}
+	cs := c.Collect()
+	if len(cs.Shards) != 2 {
+		t.Fatalf("collected %d shards, want 2", len(cs.Shards))
+	}
+	if cs.Dropped != 0 {
+		t.Fatalf("homogeneous merge dropped %d series", cs.Dropped)
+	}
+	// Every tagged series carries its shard label, with pre-existing labels
+	// preserved in canonical sorted order.
+	for _, sh := range cs.Shards {
+		if sh.Err != "" {
+			t.Fatalf("shard %s: unexpected error %q", sh.Shard, sh.Err)
+		}
+		for _, m := range sh.Metrics.Metrics {
+			if !strings.Contains(m.Labels, fmt.Sprintf("shard=%q", sh.Shard)) {
+				t.Errorf("shard %s: series %s{%s} missing its shard tag", sh.Shard, m.Name, m.Labels)
+			}
+			if m.Name == "redbud_queue_len" && m.Labels != fmt.Sprintf(`kind="commit",shard=%q`, sh.Shard) {
+				t.Errorf("gauge labels not canonically sorted after tagging: %q", m.Labels)
+			}
+		}
+	}
+	// Merged: counters and gauges sum, histograms fold bucket-by-bucket, and
+	// the merged series keep their untagged labels.
+	want := map[string]int64{"redbud_ops_total": 7, "redbud_queue_len": 12}
+	for _, m := range cs.Merged.Metrics {
+		switch m.Name {
+		case "redbud_ops_total", "redbud_queue_len":
+			if m.Value != want[m.Name] {
+				t.Errorf("merged %s = %d, want %d", m.Name, m.Value, want[m.Name])
+			}
+			if strings.Contains(m.Labels, "shard=") {
+				t.Errorf("merged series %s carries a shard tag: %q", m.Name, m.Labels)
+			}
+		case "redbud_lat_seconds":
+			if m.Hist == nil || m.Hist.Count != 3 {
+				t.Fatalf("merged histogram = %+v, want 3 observations", m.Hist)
+			}
+			if m.Hist.Sum < 0.0069 || m.Hist.Sum > 0.0071 {
+				t.Errorf("merged histogram sum = %g, want ~0.007", m.Hist.Sum)
+			}
+			if m.Hist.Max < 0.004 {
+				t.Errorf("merged histogram max = %g, want >= 0.004", m.Hist.Max)
+			}
+		}
+	}
+	if len(cs.Merged.Metrics) != 3 {
+		t.Fatalf("merged %d series, want 3: %+v", len(cs.Merged.Metrics), cs.Merged.Metrics)
+	}
+}
+
+func TestCollectSourceFailureDegrades(t *testing.T) {
+	r0, _ := twoShardRegistries()
+	dead := Source{Name: "mds1", Fetch: func() (obs.Snapshot, error) {
+		return obs.Snapshot{}, errors.New("connection refused")
+	}}
+	cs := New(RegistrySource("mds0", r0), dead).Collect()
+	if cs.Shards[1].Err == "" || len(cs.Shards[1].Metrics.Metrics) != 0 {
+		t.Fatalf("dead shard not reported: %+v", cs.Shards[1])
+	}
+	// The healthy shard still merges: one dead scrape degrades the cluster
+	// view instead of killing it.
+	for _, m := range cs.Merged.Metrics {
+		if m.Name == "redbud_ops_total" && m.Value != 3 {
+			t.Fatalf("merged counter = %d, want the healthy shard's 3", m.Value)
+		}
+	}
+	if len(cs.Merged.Metrics) == 0 {
+		t.Fatal("merge is empty despite a healthy source")
+	}
+}
+
+func TestSourceFuncReadsLiveRegistry(t *testing.T) {
+	// The chaos harness swaps registries across MDS incarnations; the source
+	// closure must follow the live one.
+	live := obs.NewRegistry()
+	live.NewCounter("redbud_ops_total", "ops", nil).Add(1)
+	src := SourceFunc("mds0", func() obs.Snapshot { return live.Snapshot() })
+	c := New(src)
+	if cs := c.Collect(); cs.Merged.Metrics[0].Value != 1 {
+		t.Fatalf("first incarnation: %+v", cs.Merged.Metrics)
+	}
+	live = obs.NewRegistry() // restart: fresh registry, fresh counters
+	live.NewCounter("redbud_ops_total", "ops", nil).Add(9)
+	if cs := c.Collect(); cs.Merged.Metrics[0].Value != 9 {
+		t.Fatalf("second incarnation not followed: %+v", cs.Merged.Metrics)
+	}
+}
+
+func TestMergeLayoutMismatchDropped(t *testing.T) {
+	mk := func(nbuckets int) obs.Snapshot {
+		h := stats.NewHistogram(1e-6, 100, nbuckets)
+		h.Observe(0.5)
+		return obs.Snapshot{Metrics: []obs.MetricValue{{
+			Name: "redbud_lat_seconds", Kind: obs.KindHistogram, Hist: valueFromHist(h),
+		}}}
+	}
+	merged, dropped := mergeSnapshots([]obs.Snapshot{mk(64), mk(32)})
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (layout mismatch)", dropped)
+	}
+	if len(merged.Metrics) != 1 || merged.Metrics[0].Hist.Count != 1 {
+		t.Fatalf("first layout did not survive the merge: %+v", merged.Metrics)
+	}
+}
+
+func TestHistValueRoundTrip(t *testing.T) {
+	h := stats.NewHistogram(1e-6, 100, 64)
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.1, 250} { // 250 lands in overflow
+		h.Observe(v)
+	}
+	back := histFromValue(valueFromHist(h))
+	if back == nil {
+		t.Fatal("round trip rejected a healthy histogram")
+	}
+	if back.Count() != h.Count() || back.Sum() != h.Sum() || back.Min() != h.Min() || back.Max() != h.Max() {
+		t.Fatalf("round trip changed the summary: got n=%d sum=%g min=%g max=%g", back.Count(), back.Sum(), back.Min(), back.Max())
+	}
+	ab, ac := h.Buckets()
+	bb, bc := back.Buckets()
+	if len(ab) != len(bb) {
+		t.Fatalf("bucket layout changed: %d vs %d", len(ab), len(bb))
+	}
+	for i := range ab {
+		if ab[i] != bb[i] || ac[i] != bc[i] {
+			t.Fatalf("bucket %d changed: (%g, %d) vs (%g, %d)", i, ab[i], ac[i], bb[i], bc[i])
+		}
+	}
+}
+
+func TestHistFromValueRejectsMalformed(t *testing.T) {
+	cases := map[string]*obs.HistValue{
+		"nil":           nil,
+		"empty":         {},
+		"unsortedLE":    {Count: 2, Buckets: []obs.BucketValue{{LE: 2, Count: 1}, {LE: 1, Count: 2}}},
+		"negativeCount": {Count: 2, Buckets: []obs.BucketValue{{LE: 1, Count: 2}, {LE: 2, Count: 1}}},
+		"overflowLies":  {Count: 1, Buckets: []obs.BucketValue{{LE: 1, Count: 2}}},
+	}
+	for name, hv := range cases {
+		if h := histFromValue(hv); h != nil {
+			t.Errorf("%s: histFromValue accepted %+v", name, hv)
+		}
+	}
+}
+
+func TestInjectLabel(t *testing.T) {
+	cases := []struct{ in, key, val, want string }{
+		{"", "shard", "mds0", `shard="mds0"`},
+		{`client="c0"`, "shard", "m", `client="c0",shard="m"`},
+		{`zone="z"`, "shard", "m", `shard="m",zone="z"`},
+		{`shard="old",zone="z"`, "shard", "new", `shard="new",zone="z"`},
+		{`a="x,y"`, "shard", "m", `a="x,y",shard="m"`},
+		{`a="x\",z",b="y"`, "shard", "m", `a="x\",z",b="y",shard="m"`},
+	}
+	for _, c := range cases {
+		if got := injectLabel(c.in, c.key, c.val); got != c.want {
+			t.Errorf("injectLabel(%q, %q, %q) = %q, want %q", c.in, c.key, c.val, got, c.want)
+		}
+	}
+}
+
+func TestFlatInterleavesMergedAndTagged(t *testing.T) {
+	r0, r1 := twoShardRegistries()
+	cs := New(RegistrySource("mds0", r0), RegistrySource("mds1", r1)).Collect()
+	flat := cs.Flat()
+	if want := len(cs.Merged.Metrics) * 3; len(flat.Metrics) != want {
+		t.Fatalf("flat has %d series, want %d (merged + 2 tagged)", len(flat.Metrics), want)
+	}
+	for i := 1; i < len(flat.Metrics); i++ {
+		a, b := flat.Metrics[i-1], flat.Metrics[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Labels > b.Labels) {
+			t.Fatalf("flat not sorted at %d: %s{%s} then %s{%s}", i, a.Name, a.Labels, b.Name, b.Labels)
+		}
+	}
+	// The untagged aggregate sorts before its shard-tagged breakdown.
+	var names []string
+	for _, m := range flat.Metrics {
+		if m.Name == "redbud_ops_total" {
+			names = append(names, m.Labels)
+		}
+	}
+	if len(names) != 3 || names[0] != "" {
+		t.Fatalf("redbud_ops_total variants = %q, want the aggregate first", names)
+	}
+}
+
+func TestHTTPSource(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.NewCounter("redbud_ops_total", "ops", nil).Add(42)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		reg.WriteJSON(w) //nolint:errcheck
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	s, err := HTTPSource("mds0", ts.URL).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Metrics) != 1 || s.Metrics[0].Value != 42 {
+		t.Fatalf("scraped snapshot: %+v", s)
+	}
+
+	// Bare host:port gets the scheme prepended.
+	s, err = HTTPSource("mds0", strings.TrimPrefix(ts.URL, "http://")).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Metrics) != 1 {
+		t.Fatalf("bare-address scrape: %+v", s)
+	}
+
+	// A non-200 answer is an error, not an empty snapshot mistaken for health.
+	if _, err := HTTPSource("mds0", ts.URL+"/nope").Fetch(); err == nil {
+		t.Fatal("scrape of a 404 endpoint succeeded")
+	}
+}

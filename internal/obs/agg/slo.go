@@ -1,0 +1,330 @@
+package agg
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"redbud/internal/obs"
+	"redbud/internal/stats"
+)
+
+// Field selects which reading of a metric a rule evaluates.
+type Field int
+
+// Rule fields.
+const (
+	// FieldValue reads a counter or gauge directly (summed across every
+	// series carrying the metric name).
+	FieldValue Field = iota
+	// FieldRate is a burn rate: the counter's increase per second over the
+	// rule's Window, summed across series. Zero until the window holds two
+	// samples — a cold engine never fires on its first evaluation.
+	FieldRate
+	// FieldP99 reads a histogram's 99th percentile (the worst across series).
+	FieldP99
+	// FieldMean reads a histogram's mean (the worst across series).
+	FieldMean
+)
+
+func (f Field) String() string {
+	switch f {
+	case FieldRate:
+		return "rate"
+	case FieldP99:
+		return "p99"
+	case FieldMean:
+		return "mean"
+	}
+	return "value"
+}
+
+// Op compares a reading against a rule threshold.
+type Op int
+
+// Comparison operators.
+const (
+	GT Op = iota // reading > threshold breaches
+	LT           // reading < threshold breaches
+)
+
+func (o Op) String() string {
+	if o == LT {
+		return "<"
+	}
+	return ">"
+}
+
+// Rule is one declarative SLO: a metric in the merged cluster snapshot, the
+// reading to take, and the breach condition.
+type Rule struct {
+	// Name identifies the alert ("commit-p99-high").
+	Name string
+	// Metric is the metric name in the merged snapshot.
+	Metric string
+	// Field selects the reading (value, rate over Window, p99, mean).
+	Field Field
+	// Op and Threshold define the breach: reading Op Threshold.
+	Op        Op
+	Threshold float64
+	// Window is the burn-rate horizon for FieldRate (sim-clock time).
+	Window time.Duration
+	// For requires the breach to persist this long before the alert fires;
+	// zero fires on the first breaching evaluation.
+	For time.Duration
+}
+
+// AlertState is one alert's position in the Inactive → Pending → Firing
+// machine.
+type AlertState int
+
+// Alert states. The numeric values are exported as the
+// redbud_slo_alert_state gauge.
+const (
+	StateInactive AlertState = iota
+	StatePending
+	StateFiring
+)
+
+func (s AlertState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateFiring:
+		return "firing"
+	}
+	return "inactive"
+}
+
+// Alert is one rule's live evaluation state.
+type Alert struct {
+	Rule  Rule       `json:"rule"`
+	State AlertState `json:"state"`
+	// Since is when the current breach began (zero while inactive).
+	Since time.Time `json:"since,omitempty"`
+	// Value is the reading of the last evaluation.
+	Value float64 `json:"value"`
+}
+
+// Event records one alert state transition.
+type Event struct {
+	At    time.Time `json:"at"`
+	Rule  string    `json:"rule"`
+	From  string    `json:"from"`
+	To    string    `json:"to"`
+	Value float64   `json:"value"`
+}
+
+// maxEvents bounds the engine's transition log (oldest dropped first).
+const maxEvents = 256
+
+// rateSample is one (time, cumulative value) point of a burn-rate window.
+type rateSample struct {
+	t time.Time
+	v float64
+}
+
+// Engine evaluates SLO rules against merged cluster snapshots. It is
+// clock-free: every Evaluate call carries its own timestamp, so the engine
+// runs identically under the simulator's virtual clock and a daemon's wall
+// clock.
+type Engine struct {
+	mu      sync.Mutex
+	rules   []Rule
+	alerts  []Alert
+	windows [][]rateSample // per-rule burn-rate history
+	events  []Event
+
+	transitions stats.Counter
+}
+
+// NewEngine builds an engine over the given rules.
+func NewEngine(rules []Rule) *Engine {
+	e := &Engine{
+		rules:   append([]Rule(nil), rules...),
+		windows: make([][]rateSample, len(rules)),
+	}
+	e.alerts = make([]Alert, len(e.rules))
+	for i, r := range e.rules {
+		e.alerts[i] = Alert{Rule: r}
+	}
+	return e
+}
+
+// Evaluate runs every rule against the merged snapshot at the given
+// (sim-clock) instant and returns the resulting alert states.
+func (e *Engine) Evaluate(now time.Time, merged obs.Snapshot) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.rules {
+		rule := e.rules[i]
+		value := e.ruleValue(i, rule, now, merged)
+		breach := false
+		if rule.Op == LT {
+			breach = value < rule.Threshold
+		} else {
+			breach = value > rule.Threshold
+		}
+		a := &e.alerts[i]
+		a.Value = value
+		next := a.State
+		switch {
+		case !breach:
+			next = StateInactive
+		case a.State == StateInactive:
+			next = StatePending
+			a.Since = now
+			if rule.For <= 0 {
+				next = StateFiring
+			}
+		case a.State == StatePending && now.Sub(a.Since) >= rule.For:
+			next = StateFiring
+		}
+		if next != a.State {
+			e.transitions.Inc()
+			e.events = append(e.events, Event{At: now, Rule: rule.Name, From: a.State.String(), To: next.String(), Value: value})
+			if len(e.events) > maxEvents {
+				e.events = e.events[len(e.events)-maxEvents:]
+			}
+			a.State = next
+			if next == StateInactive {
+				a.Since = time.Time{}
+			}
+		}
+	}
+	return e.alertsLocked()
+}
+
+// ruleValue computes one rule's reading. Counters and gauges sum across
+// every series carrying the metric name; histogram readings take the worst
+// series — a cluster meets a latency SLO only if every series does.
+func (e *Engine) ruleValue(idx int, rule Rule, now time.Time, merged obs.Snapshot) float64 {
+	var sum, worst float64
+	found := false
+	for _, m := range merged.Metrics {
+		if m.Name != rule.Metric {
+			continue
+		}
+		found = true
+		switch rule.Field {
+		case FieldP99:
+			if m.Hist != nil && m.Hist.P99 > worst {
+				worst = m.Hist.P99
+			}
+		case FieldMean:
+			if m.Hist != nil && m.Hist.Mean > worst {
+				worst = m.Hist.Mean
+			}
+		default:
+			sum += float64(m.Value)
+		}
+	}
+	switch rule.Field {
+	case FieldP99, FieldMean:
+		return worst
+	case FieldRate:
+		if !found {
+			return 0
+		}
+		return e.burnRate(idx, rule, now, sum)
+	}
+	return sum
+}
+
+// burnRate folds one cumulative sample into the rule's window and returns
+// the increase per second across it. The window keeps one sample older than
+// Window so the rate always straddles the full horizon once history exists.
+func (e *Engine) burnRate(idx int, rule Rule, now time.Time, v float64) float64 {
+	w := append(e.windows[idx], rateSample{now, v})
+	cutoff := now.Add(-rule.Window)
+	keep := 0
+	for keep < len(w)-1 && !w[keep+1].t.After(cutoff) {
+		keep++
+	}
+	w = w[keep:]
+	e.windows[idx] = w
+	if len(w) < 2 {
+		return 0
+	}
+	dt := w[len(w)-1].t.Sub(w[0].t).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (w[len(w)-1].v - w[0].v) / dt
+}
+
+// Alerts returns the current state of every rule.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.alertsLocked()
+}
+
+func (e *Engine) alertsLocked() []Alert {
+	return append([]Alert(nil), e.alerts...)
+}
+
+// Firing returns the subset of alerts currently firing, sorted by rule name.
+func (e *Engine) Firing() []Alert {
+	var out []Alert
+	for _, a := range e.Alerts() {
+		if a.State == StateFiring {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.Name < out[j].Rule.Name })
+	return out
+}
+
+// Events returns the transition log, oldest first.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Event(nil), e.events...)
+}
+
+// RegisterMetrics exports the alert states (0 inactive, 1 pending, 2 firing)
+// and the transition counter, so the alert plane is itself observable.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	for i := range e.rules {
+		idx := i
+		r.GaugeFunc("redbud_slo_alert_state", "alert state (0 inactive, 1 pending, 2 firing)",
+			obs.Labels{"rule": e.rules[i].Name}, func() int64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				return int64(e.alerts[idx].State)
+			})
+	}
+	r.CounterFunc("redbud_slo_transitions_total", "alert state transitions", nil, e.transitions.Load)
+}
+
+// DefaultRules is the stock cluster SLO set: thresholds sit far above
+// anything a fault-free run produces, so a healthy cluster is silent and a
+// regression (injected latency, saga churn, retry storms) trips exactly the
+// rule naming its cause.
+func DefaultRules() []Rule {
+	return []Rule{
+		// Server-side commit p99: fault-free sims sit in the microseconds;
+		// tens of milliseconds means the commit path regressed.
+		{Name: "commit-p99-high", Metric: "redbud_mds_commit_latency_seconds",
+			Field: FieldP99, Op: GT, Threshold: 0.050},
+		// Saga aborts burn: cross-shard rollbacks are rare one-offs under
+		// contention; a sustained abort rate means the namespace is thrashing.
+		{Name: "saga-abort-burn", Metric: "redbud_meta_ns_aborts_total",
+			Field: FieldRate, Op: GT, Threshold: 1, Window: time.Second},
+		// Intent backlog: live cross-shard intents should resolve promptly;
+		// a standing backlog means sagas are stalling mid-flight.
+		{Name: "ns-intent-backlog", Metric: "redbud_meta_ns_intents",
+			Field: FieldValue, Op: GT, Threshold: 64},
+		// Dedup hits burn: every hit is a retransmitted commit, so a
+		// sustained rate reveals reply loss or timeout pressure.
+		{Name: "dedup-storm", Metric: "redbud_mds_dedup_hits_total",
+			Field: FieldRate, Op: GT, Threshold: 10, Window: time.Second},
+		// Client retry burn: the transport is dropping frames or timing out.
+		{Name: "retry-storm", Metric: "redbud_client_retries_total",
+			Field: FieldRate, Op: GT, Threshold: 10, Window: time.Second},
+	}
+}

@@ -1,0 +1,204 @@
+package agg
+
+import (
+	"testing"
+	"time"
+
+	"redbud/internal/obs"
+)
+
+var slot0 = time.Unix(1000, 0).UTC()
+
+func gaugeSnap(name string, v int64) obs.Snapshot {
+	return obs.Snapshot{Metrics: []obs.MetricValue{{Name: name, Kind: obs.KindGauge, Value: v}}}
+}
+
+func counterSnap(name string, v int64) obs.Snapshot {
+	return obs.Snapshot{Metrics: []obs.MetricValue{{Name: name, Kind: obs.KindCounter, Value: v}}}
+}
+
+func state(t *testing.T, alerts []Alert, rule string) Alert {
+	t.Helper()
+	for _, a := range alerts {
+		if a.Rule.Name == rule {
+			return a
+		}
+	}
+	t.Fatalf("rule %q not in %+v", rule, alerts)
+	return Alert{}
+}
+
+func TestThresholdFiresImmediately(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "backlog", Metric: "redbud_q", Field: FieldValue, Op: GT, Threshold: 10}})
+	if a := state(t, e.Evaluate(slot0, gaugeSnap("redbud_q", 5)), "backlog"); a.State != StateInactive {
+		t.Fatalf("below threshold: %v", a.State)
+	}
+	a := state(t, e.Evaluate(slot0.Add(time.Second), gaugeSnap("redbud_q", 15)), "backlog")
+	if a.State != StateFiring || a.Value != 15 {
+		t.Fatalf("breach with For=0: state %v value %g, want firing 15", a.State, a.Value)
+	}
+	if a = state(t, e.Evaluate(slot0.Add(2*time.Second), gaugeSnap("redbud_q", 5)), "backlog"); a.State != StateInactive {
+		t.Fatalf("recovery: %v", a.State)
+	}
+	ev := e.Events()
+	if len(ev) != 2 || ev[0].To != "firing" || ev[1].To != "inactive" {
+		t.Fatalf("transition log: %+v", ev)
+	}
+}
+
+func TestForHoldsAlertPending(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "slow", Metric: "redbud_q", Field: FieldValue, Op: GT, Threshold: 10, For: 2 * time.Second}})
+	breach := gaugeSnap("redbud_q", 99)
+	if a := state(t, e.Evaluate(slot0, breach), "slow"); a.State != StatePending {
+		t.Fatalf("first breach: %v, want pending", a.State)
+	}
+	if a := state(t, e.Evaluate(slot0.Add(time.Second), breach), "slow"); a.State != StatePending {
+		t.Fatalf("1s into For: %v, want still pending", a.State)
+	}
+	if a := state(t, e.Evaluate(slot0.Add(2*time.Second), breach), "slow"); a.State != StateFiring {
+		t.Fatalf("For elapsed: %v, want firing", a.State)
+	}
+	// A dip before For elapses resets the machine entirely.
+	e2 := NewEngine([]Rule{{Name: "slow", Metric: "redbud_q", Field: FieldValue, Op: GT, Threshold: 10, For: 2 * time.Second}})
+	e2.Evaluate(slot0, breach)
+	e2.Evaluate(slot0.Add(time.Second), gaugeSnap("redbud_q", 1))
+	if a := state(t, e2.Evaluate(slot0.Add(3*time.Second), breach), "slow"); a.State != StatePending {
+		t.Fatalf("breach after a dip: %v, want pending again (Since reset)", a.State)
+	}
+}
+
+func TestBurnRateWindow(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "burn", Metric: "redbud_errs_total", Field: FieldRate, Op: GT, Threshold: 1, Window: 10 * time.Second}})
+	// A cold engine has one sample and no horizon: rate 0, never firing.
+	if a := state(t, e.Evaluate(slot0, counterSnap("redbud_errs_total", 1000)), "burn"); a.State != StateInactive || a.Value != 0 {
+		t.Fatalf("cold evaluation: state %v value %g, want inactive 0", a.State, a.Value)
+	}
+	// +100 over 5s = 20/s: breach.
+	a := state(t, e.Evaluate(slot0.Add(5*time.Second), counterSnap("redbud_errs_total", 1100)), "burn")
+	if a.State != StateFiring || a.Value != 20 {
+		t.Fatalf("hot window: state %v value %g, want firing 20", a.State, a.Value)
+	}
+	// Flat counter long past the window: the rate decays to 0 and the alert
+	// clears — stale breach samples age out.
+	a = state(t, e.Evaluate(slot0.Add(30*time.Second), counterSnap("redbud_errs_total", 1100)), "burn")
+	a = state(t, e.Evaluate(slot0.Add(45*time.Second), counterSnap("redbud_errs_total", 1100)), "burn")
+	if a.State != StateInactive || a.Value != 0 {
+		t.Fatalf("flat counter: state %v value %g, want inactive 0", a.State, a.Value)
+	}
+}
+
+func TestHistogramFieldsTakeWorstSeries(t *testing.T) {
+	snap := obs.Snapshot{Metrics: []obs.MetricValue{
+		{Name: "redbud_lat", Kind: obs.KindHistogram, Labels: `shard="mds0"`, Hist: &obs.HistValue{Count: 10, P99: 0.01, Mean: 0.002}},
+		{Name: "redbud_lat", Kind: obs.KindHistogram, Labels: `shard="mds1"`, Hist: &obs.HistValue{Count: 10, P99: 0.2, Mean: 0.05}},
+	}}
+	e := NewEngine([]Rule{
+		{Name: "p99", Metric: "redbud_lat", Field: FieldP99, Op: GT, Threshold: 0.1},
+		{Name: "mean", Metric: "redbud_lat", Field: FieldMean, Op: GT, Threshold: 0.1},
+	})
+	alerts := e.Evaluate(slot0, snap)
+	if a := state(t, alerts, "p99"); a.State != StateFiring || a.Value != 0.2 {
+		t.Fatalf("p99 rule: state %v value %g, want firing on the worst series (0.2)", a.State, a.Value)
+	}
+	if a := state(t, alerts, "mean"); a.State != StateInactive || a.Value != 0.05 {
+		t.Fatalf("mean rule: state %v value %g, want inactive at 0.05", a.State, a.Value)
+	}
+}
+
+func TestMissingMetricNeverBreaches(t *testing.T) {
+	e := NewEngine([]Rule{
+		{Name: "v", Metric: "redbud_nope", Field: FieldValue, Op: GT, Threshold: 1},
+		{Name: "r", Metric: "redbud_nope", Field: FieldRate, Op: GT, Threshold: 1, Window: time.Second},
+		{Name: "p", Metric: "redbud_nope", Field: FieldP99, Op: GT, Threshold: 0.001},
+	})
+	e.Evaluate(slot0, obs.Snapshot{})
+	for _, a := range e.Evaluate(slot0.Add(time.Second), obs.Snapshot{}) {
+		if a.State != StateInactive {
+			t.Fatalf("rule %q fired on an absent metric: %v", a.Rule.Name, a.State)
+		}
+	}
+}
+
+func TestLTRule(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "floor", Metric: "redbud_live", Field: FieldValue, Op: LT, Threshold: 2}})
+	if a := state(t, e.Evaluate(slot0, gaugeSnap("redbud_live", 1)), "floor"); a.State != StateFiring {
+		t.Fatalf("LT breach: %v", a.State)
+	}
+}
+
+func TestEngineRegisterMetrics(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "backlog", Metric: "redbud_q", Field: FieldValue, Op: GT, Threshold: 10}})
+	reg := obs.NewRegistry()
+	e.RegisterMetrics(reg)
+	e.Evaluate(slot0, gaugeSnap("redbud_q", 99))
+	var gotState, gotTransitions int64 = -1, -1
+	for _, m := range reg.Snapshot().Metrics {
+		switch m.Name {
+		case "redbud_slo_alert_state":
+			if m.Labels != `rule="backlog"` {
+				t.Fatalf("alert-state labels = %q", m.Labels)
+			}
+			gotState = m.Value
+		case "redbud_slo_transitions_total":
+			gotTransitions = m.Value
+		}
+	}
+	if gotState != int64(StateFiring) || gotTransitions != 1 {
+		t.Fatalf("exported state=%d transitions=%d, want %d and 1", gotState, gotTransitions, StateFiring)
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	e := NewEngine([]Rule{{Name: "flap", Metric: "redbud_q", Field: FieldValue, Op: GT, Threshold: 10}})
+	for i := 0; i < 300; i++ {
+		v := int64(0)
+		if i%2 == 0 {
+			v = 99
+		}
+		e.Evaluate(slot0.Add(time.Duration(i)*time.Second), gaugeSnap("redbud_q", v))
+	}
+	if ev := e.Events(); len(ev) != maxEvents {
+		t.Fatalf("event log holds %d entries, want the %d cap", len(ev), maxEvents)
+	}
+}
+
+func TestFiringSortedSubset(t *testing.T) {
+	e := NewEngine([]Rule{
+		{Name: "zeta", Metric: "redbud_q", Field: FieldValue, Op: GT, Threshold: 10},
+		{Name: "alpha", Metric: "redbud_q", Field: FieldValue, Op: GT, Threshold: 10},
+		{Name: "quiet", Metric: "redbud_q", Field: FieldValue, Op: GT, Threshold: 1000},
+	})
+	e.Evaluate(slot0, gaugeSnap("redbud_q", 99))
+	f := e.Firing()
+	if len(f) != 2 || f[0].Rule.Name != "alpha" || f[1].Rule.Name != "zeta" {
+		t.Fatalf("Firing() = %+v, want [alpha zeta]", f)
+	}
+}
+
+// TestDefaultRulesFireOnRegression drives the stock rule set with synthetic
+// regressions: a commit-latency p99 blowout trips exactly commit-p99-high,
+// and a sustained retry burn trips exactly retry-storm — each rule names its
+// cause, and a healthy snapshot keeps all of them silent.
+func TestDefaultRulesFireOnRegression(t *testing.T) {
+	healthy := obs.Snapshot{Metrics: []obs.MetricValue{
+		{Name: "redbud_mds_commit_latency_seconds", Kind: obs.KindHistogram, Hist: &obs.HistValue{Count: 100, P99: 0.001}},
+		{Name: "redbud_meta_ns_intents", Kind: obs.KindGauge, Value: 2},
+		{Name: "redbud_client_retries_total", Kind: obs.KindCounter, Value: 0},
+	}}
+	e := NewEngine(DefaultRules())
+	e.Evaluate(slot0, healthy)
+	if f := e.Firing(); len(f) != 0 {
+		t.Fatalf("healthy snapshot fired %+v", f)
+	}
+
+	regressed := obs.Snapshot{Metrics: []obs.MetricValue{
+		{Name: "redbud_mds_commit_latency_seconds", Kind: obs.KindHistogram, Hist: &obs.HistValue{Count: 100, P99: 0.5}},
+		{Name: "redbud_meta_ns_intents", Kind: obs.KindGauge, Value: 2},
+		{Name: "redbud_client_retries_total", Kind: obs.KindCounter, Value: 500},
+	}}
+	e.Evaluate(slot0.Add(10*time.Second), regressed)
+	f := e.Firing()
+	if len(f) != 2 || f[0].Rule.Name != "commit-p99-high" || f[1].Rule.Name != "retry-storm" {
+		t.Fatalf("regression fired %+v, want exactly [commit-p99-high retry-storm]", f)
+	}
+}

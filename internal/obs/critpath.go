@@ -30,6 +30,36 @@ const (
 	SpanRPCProcess = "rpc.process" // daemon-thread occupancy per frame
 	// Application thread (CommitID 0).
 	SpanAppWrite = "write.app" // WriteAt entry → return
+
+	// Cross-shard namespace sagas (TraceID-correlated). The root span covers
+	// the whole saga on the client's ns track; the phase children cover each
+	// client-observed RPC leg, and the server-side handler spans below link
+	// under the phase that issued them.
+	SpanNSCreate = "ns.create"
+	SpanNSRemove = "ns.remove"
+	SpanNSRename = "ns.rename"
+
+	SpanNSMint       = "ns.mint"        // create: mint the detached inode on the target shard
+	SpanNSLink       = "ns.link"        // create: dirent insert on the parent shard (commit point)
+	SpanNSStat       = "ns.stat"        // remove: getattr on the home shard
+	SpanNSPrepare    = "ns.prepare"     // remove: intent publish on the home shard
+	SpanNSUnlink     = "ns.unlink"      // remove: dirent delete on the parent shard (commit point)
+	SpanNSLookup     = "ns.lookup"      // rename: source entry lookup
+	SpanNSPrepareSrc = "ns.prepare.src" // rename: source intent publish
+	SpanNSPrepareDst = "ns.prepare.dst" // rename: destination name reservation
+	SpanNSCommitSrc  = "ns.commit.src"  // rename: source dirent delete (commit point)
+	SpanNSCommitDst  = "ns.commit.dst"  // rename: destination dirent insert
+	SpanNSGraduate   = "ns.graduate"    // create/remove: intent graduation on the home shard
+	SpanNSAbort      = "ns.abort"       // any saga: rollback after a definitive refusal
+
+	// MDS namespace-op handling (TraceID-correlated when the request carried
+	// a trace context).
+	SpanMDSCreateDetached = "mds.createdetached"
+	SpanMDSNSPrepare      = "mds.nsprepare"
+	SpanMDSNSCommit       = "mds.nscommit"
+	SpanMDSNSAbort        = "mds.nsabort"
+	SpanMDSLinkRemote     = "mds.linkremote"
+	SpanMDSUnlinkRemote   = "mds.unlinkremote"
 )
 
 // CommitPath is the reconstructed lifecycle of one commit. The four
@@ -62,13 +92,34 @@ type Stage struct {
 	Count int64 // commits contributing a nonzero value
 }
 
-// Breakdown aggregates per-commit critical paths.
+// Breakdown aggregates per-commit critical paths, plus the cross-shard
+// namespace sagas the trace carried (empty when nothing cross-shard ran).
 type Breakdown struct {
 	Commits   int
 	E2E       time.Duration // summed end-to-end latency
 	Stages    []Stage       // top level; totals sum to E2E exactly
 	Sub       []Stage       // nested decomposition of the rpc stage
 	PerCommit []CommitPath  // sorted by CommitID
+	Sagas     []SagaPath    // sorted by TraceID
+}
+
+// SagaPath is the reconstructed lifecycle of one cross-shard namespace saga
+// (create/remove/rename), decomposed into its client-observed RPC legs.
+type SagaPath struct {
+	TraceID uint64
+	Kind    string // root span name: ns.create, ns.remove, or ns.rename
+	Start   time.Time
+	E2E     time.Duration
+	Phases  []SagaPhase // legs in time order
+}
+
+// SagaPhase is one leg of a saga: the client-observed duration plus the
+// server-side handler occupancy that linked under it (0 when the server span
+// was not captured — e.g. it ran on a shard whose ring wrapped).
+type SagaPhase struct {
+	Name     string
+	Duration time.Duration
+	Server   time.Duration
 }
 
 // Analyze reconstructs per-commit critical paths from a span stream.
@@ -164,7 +215,71 @@ func Analyze(spans []Span) *Breakdown {
 	}
 	b.Stages = stages
 	b.Sub = sub
+	b.Sagas = analyzeSagas(spans)
 	return b
+}
+
+// analyzeSagas reconstructs cross-shard namespace sagas from their linked
+// spans: the ns.* root (SpanID == TraceID), its client phase legs (Parent ==
+// TraceID), and the server handler spans that link under each leg.
+func analyzeSagas(spans []Span) []SagaPath {
+	type acc struct {
+		root   *Span
+		phases []Span
+	}
+	sagas := make(map[uint64]*acc)
+	serverByParent := make(map[uint64]time.Duration)
+	for i := range spans {
+		s := spans[i]
+		if s.TraceID == 0 {
+			continue
+		}
+		switch {
+		case s.Name == SpanNSCreate || s.Name == SpanNSRemove || s.Name == SpanNSRename:
+			a := sagas[s.TraceID]
+			if a == nil {
+				a = &acc{}
+				sagas[s.TraceID] = a
+			}
+			a.root = widen(a.root, s)
+		case strings.HasPrefix(s.Name, "ns."):
+			a := sagas[s.TraceID]
+			if a == nil {
+				a = &acc{}
+				sagas[s.TraceID] = a
+			}
+			a.phases = append(a.phases, s)
+		case s.Parent != 0:
+			// Server-side handler occupancy keyed by the phase it links
+			// under. Commit-trace server spans land here too and are simply
+			// never looked up.
+			serverByParent[s.Parent] += s.Duration()
+		}
+	}
+
+	var out []SagaPath
+	for id, a := range sagas {
+		if a.root == nil {
+			continue // root evicted from the ring: the saga cannot be framed
+		}
+		p := SagaPath{TraceID: id, Kind: a.root.Name, Start: a.root.Start, E2E: a.root.Duration()}
+		sort.Slice(a.phases, func(i, j int) bool {
+			if !a.phases[i].Start.Equal(a.phases[j].Start) {
+				return a.phases[i].Start.Before(a.phases[j].Start)
+			}
+			return a.phases[i].Name < a.phases[j].Name
+		})
+		for _, ph := range a.phases {
+			p.Phases = append(p.Phases, SagaPhase{
+				Name:     ph.Name,
+				Duration: ph.Duration(),
+				Server:   serverByParent[ph.SpanID],
+			})
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TraceID < out[j].TraceID })
+	return out
 }
 
 func addStage(s *Stage, d time.Duration) {
@@ -218,6 +333,69 @@ func (b *Breakdown) Table() string {
 	writeRow("", "e2e", Stage{Name: "e2e", Total: b.E2E})
 	for _, s := range b.Sub {
 		writeRow("  ", s.Name, s)
+	}
+	if len(b.Sagas) > 0 {
+		sb.WriteString(b.sagaTable())
+	}
+	return sb.String()
+}
+
+// sagaTable renders the per-phase leg breakdown of cross-shard namespace
+// sagas, aggregated per saga kind. The server column is the portion of each
+// leg spent inside the remote MDS handler; the rest is wire + queueing.
+func (b *Breakdown) sagaTable() string {
+	type agg struct {
+		count  int
+		e2e    time.Duration
+		order  []string
+		legs   map[string]*Stage
+		server map[string]time.Duration
+	}
+	kinds := make(map[string]*agg)
+	var kindOrder []string
+	for _, s := range b.Sagas {
+		a := kinds[s.Kind]
+		if a == nil {
+			a = &agg{legs: make(map[string]*Stage), server: make(map[string]time.Duration)}
+			kinds[s.Kind] = a
+			kindOrder = append(kindOrder, s.Kind)
+		}
+		a.count++
+		a.e2e += s.E2E
+		for _, ph := range s.Phases {
+			st := a.legs[ph.Name]
+			if st == nil {
+				st = &Stage{Name: ph.Name}
+				a.legs[ph.Name] = st
+				a.order = append(a.order, ph.Name)
+			}
+			addStage(st, ph.Duration)
+			a.server[ph.Name] += ph.Server
+		}
+	}
+	sort.Strings(kindOrder)
+
+	var sb strings.Builder
+	for _, kind := range kindOrder {
+		a := kinds[kind]
+		mean := time.Duration(0)
+		if a.count > 0 {
+			mean = (a.e2e / time.Duration(a.count)).Round(time.Nanosecond)
+		}
+		fmt.Fprintf(&sb, "saga %s: %d sagas, total e2e %v, mean %v\n", kind, a.count, a.e2e, mean)
+		fmt.Fprintf(&sb, "  %-16s %14s %14s %14s %8s\n", "leg", "total", "mean", "server", "% e2e")
+		for _, name := range a.order {
+			st := a.legs[name]
+			var m time.Duration
+			if a.count > 0 {
+				m = st.Total / time.Duration(a.count)
+			}
+			pct := 0.0
+			if a.e2e > 0 {
+				pct = 100 * float64(st.Total) / float64(a.e2e)
+			}
+			fmt.Fprintf(&sb, "  %-16s %14v %14v %14v %7.1f%%\n", name, st.Total, m, a.server[name], pct)
+		}
 	}
 	return sb.String()
 }

@@ -2,7 +2,9 @@
 // deployment (cmd/redbud-mds, cmd/redbud-client): /metrics in Prometheus
 // text format, /metrics.json for cmd/redbud-top, /debug/trace for the span
 // ring, /debug/trace/perfetto for a Chrome-trace export, and the standard
-// net/http/pprof handlers.
+// net/http/pprof handlers. When a cluster collector is configured it also
+// serves /cluster/metrics[.json]: every shard scraped, tagged, and merged,
+// with SLO alert states evaluated on the fresh aggregate.
 //
 // This package is the one sanctioned wall-clock user under internal/: it
 // exists only in real deployments, never inside a simulated run, so the
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"redbud/internal/obs"
+	"redbud/internal/obs/agg"
 )
 
 // Config assembles a debug server.
@@ -30,6 +33,14 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer backs /debug/trace and /debug/trace/perfetto (may be nil).
 	Tracer *obs.Tracer
+	// Collector backs /cluster/metrics and /cluster/metrics.json (may be
+	// nil: 404). Usually one daemon of the cluster carries the collector,
+	// scraping every shard's /metrics.json — its own included.
+	Collector *agg.Collector
+	// SLO, if non-nil alongside Collector, is evaluated against each
+	// collection's merged snapshot; /cluster/metrics.json carries the alert
+	// states and transition log.
+	SLO *agg.Engine
 }
 
 // Server is a running debug listener.
@@ -52,6 +63,8 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/cluster/metrics", s.handleCluster)
+	mux.HandleFunc("/cluster/metrics.json", s.handleClusterJSON)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/trace/perfetto", s.handlePerfetto)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -80,6 +93,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `<html><body><h1>redbud debug</h1><ul>
 <li><a href="/metrics">/metrics</a> (Prometheus text)</li>
 <li><a href="/metrics.json">/metrics.json</a></li>
+<li><a href="/cluster/metrics">/cluster/metrics</a> (all shards, tagged + merged)</li>
+<li><a href="/cluster/metrics.json">/cluster/metrics.json</a> (with SLO alerts)</li>
 <li><a href="/debug/trace">/debug/trace</a> (span ring, ?n= to limit)</li>
 <li><a href="/debug/trace/perfetto">/debug/trace/perfetto</a> (load in ui.perfetto.dev)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a></li>
@@ -95,6 +110,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	s.cfg.Registry.WriteJSON(w) //nolint:errcheck // client disconnect
+}
+
+// clusterDump is the /cluster/metrics.json payload: the collection round
+// plus the SLO engine's view of it.
+type clusterDump struct {
+	agg.ClusterSnapshot
+	Alerts []agg.Alert `json:"alerts,omitempty"`
+	Events []agg.Event `json:"events,omitempty"`
+}
+
+func (s *Server) collect() (clusterDump, bool) {
+	if s.cfg.Collector == nil {
+		return clusterDump{}, false
+	}
+	d := clusterDump{ClusterSnapshot: s.cfg.Collector.Collect()}
+	if s.cfg.SLO != nil {
+		d.Alerts = s.cfg.SLO.Evaluate(time.Now(), d.Merged)
+		d.Events = s.cfg.SLO.Events()
+	}
+	return d, true
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	d, ok := s.collect()
+	if !ok {
+		http.Error(w, "no cluster collector configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteSnapshotPrometheus(w, d.Flat()) //nolint:errcheck // client disconnect
+}
+
+func (s *Server) handleClusterJSON(w http.ResponseWriter, _ *http.Request) {
+	d, ok := s.collect()
+	if !ok {
+		http.Error(w, "no cluster collector configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(d) //nolint:errcheck // client disconnect
 }
 
 // traceDump is the /debug/trace payload.

@@ -119,6 +119,228 @@ func tracedRun(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
+// stitchedRun assembles a two-shard cluster on a manual clock — the same
+// single-sleeper shape as tracedRun, with one MDS daemon per shard — and
+// drives the three cross-shard namespace sagas (create, rename, remove)
+// through names the placement hash provably routes across shards. It returns
+// the stitched multi-process Chrome-trace export.
+func stitchedRun(t *testing.T) []byte {
+	t.Helper()
+	const shards = 2
+	clk := clock.NewManual()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if !clk.AdvanceToNext() {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	tracer := obs.NewTracer(1 << 14)
+	net := netsim.NewNetwork(clk)
+	net.SetTracer(tracer)
+	var (
+		devices []*blockdev.Device
+		stores  []*meta.Store
+		srvs    []*mds.Server
+		liss    []*netsim.Listener
+	)
+	devMap := map[uint32]client.BlockDevice{}
+	for i := 0; i < shards; i++ {
+		data := blockdev.New(blockdev.Config{ID: i, Size: 1 << 30, Model: blockdev.ZeroLatency(), Clock: clk, Tracer: tracer})
+		metaDev := blockdev.New(blockdev.Config{ID: 1000 + i, Size: 64 << 20, Model: blockdev.ZeroLatency(), Clock: clk})
+		devices = append(devices, data, metaDev)
+		devMap[uint32(i)] = data
+		store := meta.NewStore(meta.Config{
+			AGs:     alloc.NewUniformAGSet(alloc.RoundRobin, i, 1<<30, 4),
+			Journal: meta.NewJournal(metaDev, 0, 32<<20),
+			Clock:   clk,
+			Tracer:  tracer,
+			Shard:   i, ShardCount: shards,
+		})
+		stores = append(stores, store)
+		srv := mds.New(mds.Config{
+			Store: store, Clock: clk, Daemons: 1, OpCost: 40 * time.Microsecond,
+			ShardIndex: uint32(i), ShardCount: shards, Tracer: tracer,
+		})
+		srvs = append(srvs, srv)
+		host := fmt.Sprintf("mds%d", i)
+		net.AddHost(host, netsim.Instant())
+		lis, err := net.Listen(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liss = append(liss, lis)
+		go srv.Serve(lis)
+	}
+
+	net.AddHost("c0", netsim.Instant())
+	conns := make([]*rpc.Client, shards)
+	for i := range conns {
+		conn, err := net.Dial("c0", fmt.Sprintf("mds%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = rpc.NewClient(conn, clk)
+	}
+	cl := client.New(client.Config{
+		Name:    "c0",
+		Shards:  conns,
+		Devices: devMap,
+		Clock:   clk,
+		Mode:    client.SyncCommit,
+		Tracer:  tracer,
+	})
+
+	// Two directories provably homed on different shards, found by the same
+	// placement hash the client routes by — deterministic across runs.
+	rootStore := stores[meta.ShardOf(meta.RootID, shards)]
+	var srcID, dstID meta.FileID
+	var srcName, dstName string
+	for i := 0; i < 32 && (srcID == 0 || dstID == 0); i++ {
+		name := fmt.Sprintf("d%d", i)
+		if err := cl.Mkdir("/" + name); err != nil {
+			t.Fatal(err)
+		}
+		attr, err := rootStore.Lookup(meta.RootID, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch meta.ShardOf(attr.ID, shards) {
+		case 0:
+			if srcID == 0 {
+				srcID, srcName = attr.ID, name
+			}
+		default:
+			if dstID == 0 {
+				dstID, dstName = attr.ID, name
+			}
+		}
+	}
+	if srcID == 0 || dstID == 0 {
+		t.Fatal("placement hash never separated two directories; fixture broken")
+	}
+	// A file name the hash places away from its parent's shard: its create
+	// is the two-phase mint/link saga, not a local insert.
+	var fname string
+	for i := 0; i < 64; i++ {
+		n := fmt.Sprintf("f%d", i)
+		if meta.PlaceShard(srcID, n, shards) != meta.ShardOf(srcID, shards) {
+			fname = n
+			break
+		}
+	}
+	if fname == "" {
+		t.Fatal("placement hash never crossed shards for a child name")
+	}
+
+	payload := make([]byte, 4<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	f, err := cl.Create("/" + srcName + "/" + fname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-shard rename: different parent shards drive the four-phase
+	// prepare/commit protocol.
+	if err := cl.Rename("/"+srcName+"/"+fname, "/"+dstName+"/g"); err != nil {
+		t.Fatal(err)
+	}
+	// A second cross-placed file, then its removal: a file homed away from
+	// its parent runs the prepare/unlink/graduate saga on delete.
+	var rname string
+	for i := 64; i < 128; i++ {
+		n := fmt.Sprintf("f%d", i)
+		if meta.PlaceShard(srcID, n, shards) != meta.ShardOf(srcID, shards) {
+			rname = n
+			break
+		}
+	}
+	if rname == "" {
+		t.Fatal("placement hash never crossed shards for the remove fixture")
+	}
+	rf, err := cl.Create("/" + srcName + "/" + rname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove("/" + srcName + "/" + rname); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		liss[i].Close()
+		srvs[i].Close()
+	}
+	for _, d := range devices {
+		d.Close()
+	}
+	close(stop)
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTraceMulti(&buf, obs.SplitProcesses(tracer.Spans())); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Dropped() != 0 {
+		t.Fatalf("ring overflowed (%d dropped): grow the cap so runs compare fully", tracer.Dropped())
+	}
+	return buf.Bytes()
+}
+
+// TestStitchedTraceRunTwiceByteIdentical is the cross-shard determinism
+// acceptance test: two runs of the two-shard saga fixture export
+// byte-identical stitched multi-process traces, and the export carries every
+// layer of each saga — the client-side roots and phases and the per-shard
+// server handler spans they link to.
+func TestStitchedTraceRunTwiceByteIdentical(t *testing.T) {
+	a := stitchedRun(t)
+	b := stitchedRun(t)
+	for _, want := range []string{
+		obs.SpanNSCreate, obs.SpanNSMint, obs.SpanNSLink, // create saga
+		obs.SpanNSRename, obs.SpanNSPrepareSrc, obs.SpanNSCommitDst, // rename saga
+		obs.SpanNSRemove, obs.SpanNSUnlink, obs.SpanNSGraduate, // remove saga
+		obs.SpanMDSCreateDetached, obs.SpanMDSNSPrepare, obs.SpanMDSNSCommit, // server handlers
+		`"mds0"`, `"mds1"`, `"c0"`, // one trace process per node
+	} {
+		if !bytes.Contains(a, []byte(want)) {
+			t.Errorf("stitched trace missing %q", want)
+		}
+	}
+	if !bytes.Equal(a, b) {
+		la, lb := bytes.Split(a, []byte(",")), bytes.Split(b, []byte(","))
+		n := min(len(la), len(lb))
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("stitched exports differ (first divergence at field %d):\n  run1: %s\n  run2: %s", i, la[i], lb[i])
+			}
+		}
+		t.Fatalf("stitched exports differ in length: %d vs %d fields", len(la), len(lb))
+	}
+}
+
 // TestTraceRunTwiceByteIdentical is the determinism acceptance test: two
 // runs of the same seeded cluster export byte-identical trace JSON.
 func TestTraceRunTwiceByteIdentical(t *testing.T) {

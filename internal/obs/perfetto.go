@@ -19,12 +19,17 @@ type chromeEvent struct {
 	Dur  float64     `json:"dur"`
 	PID  int         `json:"pid"`
 	TID  int         `json:"tid"`
+	ID   uint64      `json:"id,omitempty"` // flow-event binding id
+	BP   string      `json:"bp,omitempty"` // flow binding point ("e" on "f" events)
 	Args *chromeArgs `json:"args,omitempty"`
 }
 
 type chromeArgs struct {
 	Commit uint64 `json:"commit,omitempty"`
-	Name   string `json:"name,omitempty"` // thread_name payload
+	Trace  uint64 `json:"trace,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name,omitempty"` // thread_name / process_name payload
 }
 
 type chromeTrace struct {
@@ -43,22 +48,7 @@ type chromeTrace struct {
 func WriteChromeTrace(w io.Writer, spans []Span) error {
 	sorted := make([]Span, len(spans))
 	copy(sorted, spans)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if !a.Start.Equal(b.Start) {
-			return a.Start.Before(b.Start)
-		}
-		if !a.End.Equal(b.End) {
-			return a.End.Before(b.End)
-		}
-		if a.Track != b.Track {
-			return a.Track < b.Track
-		}
-		if a.Name != b.Name {
-			return a.Name < b.Name
-		}
-		return a.CommitID < b.CommitID
-	})
+	sort.Slice(sorted, func(i, j int) bool { return spanLess(sorted[i], sorted[j]) })
 
 	var base time.Time
 	if len(sorted) > 0 {
@@ -90,10 +80,180 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 			PID:  1,
 			TID:  tids[s.Track],
 		}
-		if s.CommitID != 0 {
-			ev.Args = &chromeArgs{Commit: s.CommitID}
+		if s.CommitID != 0 || s.TraceID != 0 {
+			ev.Args = &chromeArgs{Commit: s.CommitID, Trace: s.TraceID, Span: s.SpanID, Parent: s.Parent}
 		}
 		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+// spanLess is the canonical export ordering: (Start, End, Track, Name,
+// CommitID, SpanID). Sorting before any id assignment keeps the output a
+// pure function of the span multiset, independent of recording interleave.
+func spanLess(a, b Span) bool {
+	if !a.Start.Equal(b.Start) {
+		return a.Start.Before(b.Start)
+	}
+	if !a.End.Equal(b.End) {
+		return a.End.Before(b.End)
+	}
+	if a.Track != b.Track {
+		return a.Track < b.Track
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.CommitID != b.CommitID {
+		return a.CommitID < b.CommitID
+	}
+	return a.SpanID < b.SpanID
+}
+
+// ProcessSpans is one process's span stream for the stitched multi-process
+// export: Process names the trace process row (a client, one MDS shard).
+type ProcessSpans struct {
+	Process string
+	Spans   []Span
+}
+
+// SplitProcesses partitions one shared span stream into per-process streams
+// by the track prefix before the first '/' ("mds1/store" → process "mds1",
+// "c0/commit" → "c0"); a track with no '/' is its own process. Processes are
+// returned sorted by name, so the result is deterministic for a
+// deterministic span multiset.
+func SplitProcesses(spans []Span) []ProcessSpans {
+	byProc := make(map[string][]Span)
+	for _, s := range spans {
+		proc := s.Track
+		if i := strings.IndexByte(proc, '/'); i > 0 {
+			proc = proc[:i]
+		}
+		byProc[proc] = append(byProc[proc], s)
+	}
+	names := make([]string, 0, len(byProc))
+	for n := range byProc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ProcessSpans, 0, len(names))
+	for _, n := range names {
+		out = append(out, ProcessSpans{Process: n, Spans: byProc[n]})
+	}
+	return out
+}
+
+// WriteChromeTraceMulti merges per-process span streams into one stitched
+// Chrome trace: each ProcessSpans becomes a trace process (stable pid from
+// the sorted process order), tracks become its threads, and spans whose
+// Parent resolves to a span in any process get flow arrows ("s"/"f" events
+// bound by the child SpanID) — a cross-shard saga renders as one tree
+// spanning client and shards. Byte-deterministic for deterministic inputs.
+func WriteChromeTraceMulti(w io.Writer, procs []ProcessSpans) error {
+	sorted := make([]ProcessSpans, len(procs))
+	copy(sorted, procs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Process < sorted[j].Process })
+
+	type loc struct {
+		pid, tid int
+		ts       float64
+		set      bool
+	}
+	// Globally sorted spans drive the base timestamp, the per-process thread
+	// id assignment, and the event emission order.
+	type procSpan struct {
+		Span
+		pid int
+	}
+	var all []procSpan
+	for i, p := range sorted {
+		for _, s := range p.Spans {
+			all = append(all, procSpan{Span: s, pid: i + 1})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !spanLess(all[i].Span, all[j].Span) && !spanLess(all[j].Span, all[i].Span) {
+			return all[i].pid < all[j].pid
+		}
+		return spanLess(all[i].Span, all[j].Span)
+	})
+
+	var base time.Time
+	if len(all) > 0 {
+		base = all[0].Start
+	}
+	us := func(t time.Time) float64 { return float64(t.Sub(base)) / float64(time.Microsecond) }
+
+	// Thread ids: first-seen order of (pid, track) over the sorted stream.
+	type thread struct{ pid, tid int }
+	tids := make(map[string]thread)
+	type threadMeta struct {
+		pid, tid int
+		track    string
+	}
+	var threads []threadMeta
+	perProcNext := make(map[int]int)
+	for _, s := range all {
+		key := s.Track
+		if _, ok := tids[key]; !ok {
+			perProcNext[s.pid]++
+			tids[key] = thread{pid: s.pid, tid: perProcNext[s.pid]}
+			threads = append(threads, threadMeta{pid: s.pid, tid: perProcNext[s.pid], track: s.Track})
+		}
+	}
+
+	// Parent resolution: the first-seen location of every SpanID.
+	locs := make(map[uint64]loc)
+	for _, s := range all {
+		if s.SpanID == 0 {
+			continue
+		}
+		if _, ok := locs[s.SpanID]; !ok {
+			th := tids[s.Track]
+			locs[s.SpanID] = loc{pid: th.pid, tid: th.tid, ts: us(s.Start), set: true}
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(all)+2*len(sorted)+len(threads))
+	for i, p := range sorted {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: i + 1,
+			Args: &chromeArgs{Name: p.Process},
+		})
+	}
+	for _, th := range threads {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: th.pid, TID: th.tid,
+			Args: &chromeArgs{Name: th.track},
+		})
+	}
+	for _, s := range all {
+		th := tids[s.Track]
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  spanCategory(s.Name),
+			Ph:   "X",
+			TS:   us(s.Start),
+			Dur:  float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
+			PID:  th.pid,
+			TID:  th.tid,
+		}
+		if s.CommitID != 0 || s.TraceID != 0 {
+			ev.Args = &chromeArgs{Commit: s.CommitID, Trace: s.TraceID, Span: s.SpanID, Parent: s.Parent}
+		}
+		events = append(events, ev)
+		if s.Parent != 0 && s.SpanID != 0 {
+			if pl, ok := locs[s.Parent]; ok && pl.set {
+				events = append(events,
+					chromeEvent{Name: spanCategory(s.Name), Cat: "flow", Ph: "s", TS: pl.ts,
+						PID: pl.pid, TID: pl.tid, ID: s.SpanID},
+					chromeEvent{Name: spanCategory(s.Name), Cat: "flow", Ph: "f", BP: "e", TS: ev.TS,
+						PID: th.pid, TID: th.tid, ID: s.SpanID},
+				)
+			}
+		}
 	}
 
 	enc := json.NewEncoder(w)

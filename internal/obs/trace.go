@@ -30,6 +30,49 @@ type Span struct {
 	CommitID uint64
 	Start    time.Time
 	End      time.Time
+
+	// TraceID links the spans of one distributed operation across process
+	// boundaries (0 = unlinked). Data commits reuse the CommitID as the
+	// TraceID; namespace sagas mint one from the same per-client sequence,
+	// so trace IDs are globally unique and fully deterministic.
+	TraceID uint64
+	// SpanID identifies this span within its trace; Parent is the SpanID
+	// this span hangs under (0 = root or unlinked). Both sides of an RPC
+	// derive child IDs with NewSpanID, so client and server compute
+	// consistent linkage from the 16 bytes of context on the wire.
+	SpanID uint64
+	Parent uint64
+}
+
+// SpanContext is the propagated slice of a trace: the trace identity plus
+// the SpanID of the enclosing parent. The zero value means "untraced".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// NewSpanID derives a child span ID from its parent ID and a role string
+// (typically the span name), FNV-1a style. The derivation is deterministic
+// — no clock, no randomness — so any process holding the parent ID computes
+// the same child ID, and never returns 0 (the "unlinked" sentinel).
+func NewSpanID(parent uint64, role string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (parent >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(role); i++ {
+		h ^= uint64(role[i])
+		h *= prime64
+	}
+	if h == 0 {
+		h = offset64
+	}
+	return h
 }
 
 // Duration returns the span length.
@@ -71,17 +114,24 @@ func (t *Tracer) Enabled() bool { return t != nil }
 // race between two clock samples) is clamped to zero length rather than
 // exported with negative duration.
 func (t *Tracer) Record(track, name string, commitID uint64, start, end time.Time) {
+	t.RecordSpan(Span{Track: track, Name: name, CommitID: commitID, Start: start, End: end})
+}
+
+// RecordSpan appends one fully-populated span — the linked-trace variant of
+// Record, carrying TraceID/SpanID/Parent. Safe on a nil receiver (no-op, no
+// allocation) and for concurrent use; negative durations are clamped.
+func (t *Tracer) RecordSpan(s Span) {
 	if t == nil {
 		return
 	}
-	if end.Before(start) {
-		end = start
+	if s.End.Before(s.Start) {
+		s.End = s.Start
 	}
 	t.mu.Lock()
 	if len(t.buf) < cap(t.buf) {
-		t.buf = append(t.buf, Span{Track: track, Name: name, CommitID: commitID, Start: start, End: end})
+		t.buf = append(t.buf, s)
 	} else {
-		t.buf[t.next] = Span{Track: track, Name: name, CommitID: commitID, Start: start, End: end}
+		t.buf[t.next] = s
 		t.next++
 		if t.next == cap(t.buf) {
 			t.next = 0

@@ -86,6 +86,57 @@ func TestTraceDisabledZeroAllocs(t *testing.T) {
 	}
 }
 
+func TestNewSpanID(t *testing.T) {
+	a := NewSpanID(42, SpanCommitRPC)
+	if a == 0 {
+		t.Fatal("NewSpanID returned the reserved zero ID")
+	}
+	if a != NewSpanID(42, SpanCommitRPC) {
+		t.Fatal("NewSpanID is not deterministic for a fixed (parent, role)")
+	}
+	if a == NewSpanID(43, SpanCommitRPC) {
+		t.Fatal("NewSpanID ignores the parent ID")
+	}
+	if a == NewSpanID(42, SpanMDSCommit) {
+		t.Fatal("NewSpanID ignores the role")
+	}
+	// The commit chain must stay collision-free per trace: the same role
+	// under distinct parents yields distinct IDs across a realistic range.
+	seen := make(map[uint64]uint64, 4096)
+	for p := uint64(1); p <= 4096; p++ {
+		id := NewSpanID(p, SpanMDSCommit)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("NewSpanID collision: parents %d and %d both map to %#x", prev, p, id)
+		}
+		seen[id] = p
+	}
+}
+
+func TestNewSpanIDZeroAlloc(t *testing.T) {
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = NewSpanID(42, SpanMDSCommit)
+	}); allocs != 0 {
+		t.Fatalf("NewSpanID allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestRecordSpanDisabledZeroAllocs pins the linked variant of the acceptance
+// criterion: building and recording a fully-linked span against a nil tracer
+// must not allocate — the trace-context fields ride in registers.
+func TestRecordSpanDisabledZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.RecordSpan(Span{
+			Track: "mds", Name: SpanMDSCommit, CommitID: 42,
+			TraceID: 42, SpanID: NewSpanID(42, SpanMDSCommit), Parent: 7,
+			Start: t0, End: t0,
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled RecordSpan allocates %v per op, want 0", allocs)
+	}
+}
+
 // BenchmarkTraceDisabled measures the cost instrumented code pays with
 // tracing off: one nil check. Must report 0 allocs/op.
 func BenchmarkTraceDisabled(b *testing.B) {
@@ -93,6 +144,23 @@ func BenchmarkTraceDisabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.Record("client-0/commit", SpanCommitRPC, uint64(i), t0, t0)
+	}
+}
+
+// BenchmarkTraceDisabledLinked is the trace-context-enabled-but-off hot
+// path: deriving the deterministic span ID and recording a fully-linked span
+// against a nil tracer. Must report 0 allocs/op — commit instrumentation
+// pays this on every request when -debug is absent.
+func BenchmarkTraceDisabledLinked(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i) | 1
+		tr.RecordSpan(Span{
+			Track: "mds", Name: SpanMDSCommit, CommitID: id,
+			TraceID: id, SpanID: NewSpanID(id, SpanMDSCommit), Parent: id,
+			Start: t0, End: t0,
+		})
 	}
 }
 

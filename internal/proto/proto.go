@@ -52,9 +52,35 @@ const (
 	// shard coordinates, and the cross-shard ops (OpCreateDetached through
 	// OpUnlinkRemote) become available.
 	ProtoV3 uint32 = 3
+	// ProtoV4 adds distributed trace propagation: commit and namespace-op
+	// requests may carry a trailing-optional TraceCtx linking the server-side
+	// spans to their client parent. Sessions below v4 never see the field.
+	ProtoV4 uint32 = 4
 	// ProtoLatest is the highest version this build speaks.
-	ProtoLatest = ProtoV3
+	ProtoLatest = ProtoV4
 )
+
+// TraceCtx is the propagated trace context: the trace identity plus the
+// SpanID of the client span the server-side handler span should hang under.
+// It rides as a trailing-optional group on request frames — the encoders
+// only append it when TraceID is non-zero (tracing on and the session
+// negotiated v4), and the decoders treat absence as "untraced" — so v3 and
+// older peers exchange byte-identical frames.
+type TraceCtx struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+func (m *TraceCtx) MarshalWire(b *wire.Buffer) {
+	b.PutU64(m.TraceID)
+	b.PutU64(m.SpanID)
+}
+
+func (m *TraceCtx) UnmarshalWire(r *wire.Reader) error {
+	m.TraceID = r.U64()
+	m.SpanID = r.U64()
+	return r.Err()
+}
 
 // PingReq is an empty liveness probe.
 type PingReq struct{}
@@ -290,6 +316,9 @@ type CommitReq struct {
 	// retry after a lost reply idempotent.
 	CommitID uint64
 	Extents  []meta.Extent
+	// Trace (v4) links the MDS-side commit spans to the client span that
+	// issued this request; the zero value means untraced.
+	Trace TraceCtx
 }
 
 func (m *CommitReq) MarshalWire(b *wire.Buffer) {
@@ -299,6 +328,9 @@ func (m *CommitReq) MarshalWire(b *wire.Buffer) {
 	b.PutTime(m.MTime)
 	b.PutU64(m.CommitID)
 	meta.PutExtents(b, m.Extents)
+	if m.Trace.TraceID != 0 {
+		m.Trace.MarshalWire(b)
+	}
 }
 
 func (m *CommitReq) UnmarshalWire(r *wire.Reader) error {
@@ -308,6 +340,10 @@ func (m *CommitReq) UnmarshalWire(r *wire.Reader) error {
 	m.MTime = r.Time()
 	m.CommitID = r.U64()
 	m.Extents = meta.GetExtents(r)
+	m.Trace = TraceCtx{}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace.UnmarshalWire(r)
+	}
 	return r.Err()
 }
 
@@ -486,18 +522,26 @@ type CreateDetachedReq struct {
 	Parent meta.FileID
 	Name   string
 	Type   meta.FileType
+	Trace  TraceCtx // v4 trailing-optional trace context
 }
 
 func (m *CreateDetachedReq) MarshalWire(b *wire.Buffer) {
 	b.PutU64(uint64(m.Parent))
 	b.PutString(m.Name)
 	b.PutU8(uint8(m.Type))
+	if m.Trace.TraceID != 0 {
+		m.Trace.MarshalWire(b)
+	}
 }
 
 func (m *CreateDetachedReq) UnmarshalWire(r *wire.Reader) error {
 	m.Parent = meta.FileID(r.U64())
 	m.Name = r.String()
 	m.Type = meta.FileType(r.U8())
+	m.Trace = TraceCtx{}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace.UnmarshalWire(r)
+	}
 	return r.Err()
 }
 
@@ -513,6 +557,7 @@ type NSPrepareReq struct {
 	Name      string
 	DstParent meta.FileID
 	DstName   string
+	Trace     TraceCtx // v4 trailing-optional trace context
 }
 
 func (m *NSPrepareReq) MarshalWire(b *wire.Buffer) {
@@ -523,6 +568,9 @@ func (m *NSPrepareReq) MarshalWire(b *wire.Buffer) {
 	b.PutString(m.Name)
 	b.PutU64(uint64(m.DstParent))
 	b.PutString(m.DstName)
+	if m.Trace.TraceID != 0 {
+		m.Trace.MarshalWire(b)
+	}
 }
 
 func (m *NSPrepareReq) UnmarshalWire(r *wire.Reader) error {
@@ -533,6 +581,10 @@ func (m *NSPrepareReq) UnmarshalWire(r *wire.Reader) error {
 	m.Name = r.String()
 	m.DstParent = meta.FileID(r.U64())
 	m.DstName = r.String()
+	m.Trace = TraceCtx{}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace.UnmarshalWire(r)
+	}
 	return r.Err()
 }
 
@@ -540,36 +592,52 @@ func (m *NSPrepareReq) UnmarshalWire(r *wire.Reader) error {
 // home shard. A commit for an intent that no longer exists is a no-op, so
 // the client may retry freely after a lost reply.
 type NSCommitReq struct {
-	File meta.FileID
-	Kind meta.NSIntentKind
+	File  meta.FileID
+	Kind  meta.NSIntentKind
+	Trace TraceCtx // v4 trailing-optional trace context
 }
 
 func (m *NSCommitReq) MarshalWire(b *wire.Buffer) {
 	b.PutU64(uint64(m.File))
 	b.PutU8(uint8(m.Kind))
+	if m.Trace.TraceID != 0 {
+		m.Trace.MarshalWire(b)
+	}
 }
 
 func (m *NSCommitReq) UnmarshalWire(r *wire.Reader) error {
 	m.File = meta.FileID(r.U64())
 	m.Kind = meta.NSIntentKind(r.U8())
+	m.Trace = TraceCtx{}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace.UnmarshalWire(r)
+	}
 	return r.Err()
 }
 
 // NSAbortReq (v3) rolls back the live intent of the given kind on File's
 // home shard. Like NSCommitReq, absent intents make it a no-op.
 type NSAbortReq struct {
-	File meta.FileID
-	Kind meta.NSIntentKind
+	File  meta.FileID
+	Kind  meta.NSIntentKind
+	Trace TraceCtx // v4 trailing-optional trace context
 }
 
 func (m *NSAbortReq) MarshalWire(b *wire.Buffer) {
 	b.PutU64(uint64(m.File))
 	b.PutU8(uint8(m.Kind))
+	if m.Trace.TraceID != 0 {
+		m.Trace.MarshalWire(b)
+	}
 }
 
 func (m *NSAbortReq) UnmarshalWire(r *wire.Reader) error {
 	m.File = meta.FileID(r.U64())
 	m.Kind = meta.NSIntentKind(r.U8())
+	m.Trace = TraceCtx{}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace.UnmarshalWire(r)
+	}
 	return r.Err()
 }
 
@@ -581,6 +649,7 @@ type LinkRemoteReq struct {
 	Name   string
 	Child  meta.FileID
 	Type   meta.FileType
+	Trace  TraceCtx // v4 trailing-optional trace context
 }
 
 func (m *LinkRemoteReq) MarshalWire(b *wire.Buffer) {
@@ -588,6 +657,9 @@ func (m *LinkRemoteReq) MarshalWire(b *wire.Buffer) {
 	b.PutString(m.Name)
 	b.PutU64(uint64(m.Child))
 	b.PutU8(uint8(m.Type))
+	if m.Trace.TraceID != 0 {
+		m.Trace.MarshalWire(b)
+	}
 }
 
 func (m *LinkRemoteReq) UnmarshalWire(r *wire.Reader) error {
@@ -595,6 +667,10 @@ func (m *LinkRemoteReq) UnmarshalWire(r *wire.Reader) error {
 	m.Name = r.String()
 	m.Child = meta.FileID(r.U64())
 	m.Type = meta.FileType(r.U8())
+	m.Trace = TraceCtx{}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace.UnmarshalWire(r)
+	}
 	return r.Err()
 }
 
@@ -606,17 +682,25 @@ type UnlinkRemoteReq struct {
 	Parent meta.FileID
 	Name   string
 	Child  meta.FileID
+	Trace  TraceCtx // v4 trailing-optional trace context
 }
 
 func (m *UnlinkRemoteReq) MarshalWire(b *wire.Buffer) {
 	b.PutU64(uint64(m.Parent))
 	b.PutString(m.Name)
 	b.PutU64(uint64(m.Child))
+	if m.Trace.TraceID != 0 {
+		m.Trace.MarshalWire(b)
+	}
 }
 
 func (m *UnlinkRemoteReq) UnmarshalWire(r *wire.Reader) error {
 	m.Parent = meta.FileID(r.U64())
 	m.Name = r.String()
 	m.Child = meta.FileID(r.U64())
+	m.Trace = TraceCtx{}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Trace.UnmarshalWire(r)
+	}
 	return r.Err()
 }

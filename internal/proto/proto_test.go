@@ -261,3 +261,67 @@ func TestQuickDecodersNeverPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTraceCtxTrailingOptional pins the v4 trace-context contract on every
+// traced request: a zero Trace encodes byte-identically to the pre-v4 frame
+// (old peers never see the field), a non-zero Trace appends exactly the
+// 16-byte (trace ID, span ID) pair after the v3 fields, and both shapes
+// decode back losslessly.
+func TestTraceCtxTrailingOptional(t *testing.T) {
+	tc := TraceCtx{TraceID: 0xdeadbeef, SpanID: 0xcafe}
+	check := func(name string, traced, untraced wire.Marshaler, decode func([]byte) (TraceCtx, error)) {
+		t.Helper()
+		tb, ub := wire.Encode(traced), wire.Encode(untraced)
+		if len(tb) != len(ub)+16 {
+			t.Fatalf("%s: traced frame is %d bytes, untraced %d; want exactly +16", name, len(tb), len(ub))
+		}
+		if string(tb[:len(ub)]) != string(ub) {
+			t.Fatalf("%s: trace context not trailing — the v3 prefix changed", name)
+		}
+		if got, err := decode(tb); err != nil || got != tc {
+			t.Fatalf("%s: traced decode = %+v, %v", name, got, err)
+		}
+		if got, err := decode(ub); err != nil || got != (TraceCtx{}) {
+			t.Fatalf("%s: v3-shaped decode = %+v, %v; want untraced", name, got, err)
+		}
+	}
+
+	check("commit",
+		&CommitReq{Owner: "c", File: 5, Size: 9, MTime: time.Unix(1, 0).UTC(), CommitID: 3,
+			Extents: []meta.Extent{{Len: 9, VolOff: 4096}}, Trace: tc},
+		&CommitReq{Owner: "c", File: 5, Size: 9, MTime: time.Unix(1, 0).UTC(), CommitID: 3,
+			Extents: []meta.Extent{{Len: 9, VolOff: 4096}}},
+		func(p []byte) (TraceCtx, error) { var m CommitReq; err := wire.Decode(p, &m); return m.Trace, err })
+	check("create-detached",
+		&CreateDetachedReq{Parent: 1, Name: "f", Trace: tc},
+		&CreateDetachedReq{Parent: 1, Name: "f"},
+		func(p []byte) (TraceCtx, error) {
+			var m CreateDetachedReq
+			err := wire.Decode(p, &m)
+			return m.Trace, err
+		})
+	check("ns-prepare",
+		&NSPrepareReq{File: 2, Kind: meta.NSRenameSrc, Parent: 1, Name: "a", DstParent: 3, DstName: "b", Trace: tc},
+		&NSPrepareReq{File: 2, Kind: meta.NSRenameSrc, Parent: 1, Name: "a", DstParent: 3, DstName: "b"},
+		func(p []byte) (TraceCtx, error) { var m NSPrepareReq; err := wire.Decode(p, &m); return m.Trace, err })
+	check("ns-commit",
+		&NSCommitReq{File: 2, Kind: meta.NSRemove, Trace: tc},
+		&NSCommitReq{File: 2, Kind: meta.NSRemove},
+		func(p []byte) (TraceCtx, error) { var m NSCommitReq; err := wire.Decode(p, &m); return m.Trace, err })
+	check("ns-abort",
+		&NSAbortReq{File: 2, Kind: meta.NSCreate, Trace: tc},
+		&NSAbortReq{File: 2, Kind: meta.NSCreate},
+		func(p []byte) (TraceCtx, error) { var m NSAbortReq; err := wire.Decode(p, &m); return m.Trace, err })
+	check("link-remote",
+		&LinkRemoteReq{Parent: 1, Name: "f", Child: 7, Trace: tc},
+		&LinkRemoteReq{Parent: 1, Name: "f", Child: 7},
+		func(p []byte) (TraceCtx, error) { var m LinkRemoteReq; err := wire.Decode(p, &m); return m.Trace, err })
+	check("unlink-remote",
+		&UnlinkRemoteReq{Parent: 1, Name: "f", Child: 7, Trace: tc},
+		&UnlinkRemoteReq{Parent: 1, Name: "f", Child: 7},
+		func(p []byte) (TraceCtx, error) {
+			var m UnlinkRemoteReq
+			err := wire.Decode(p, &m)
+			return m.Trace, err
+		})
+}

@@ -98,6 +98,35 @@ func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
 // 1 µs .. 100 s over 64 buckets. Observations are in seconds.
 func NewLatencyHistogram() *Histogram { return NewHistogram(1e-6, 100, 64) }
 
+// HistogramFromBuckets reconstructs a histogram from exported bucket state —
+// the inverse of Buckets(), for aggregators that scraped a histogram's
+// rendering and want to fold it into a merge. bounds are the upper bounds
+// (strictly increasing); counts has len(bounds)+1 entries with the overflow
+// last. sum/min/max/n carry the scalar moments (min/max are ignored when
+// n == 0). Panics on mismatched or empty layouts, like NewHistogram.
+func HistogramFromBuckets(bounds []float64, counts []int64, sum, min, max float64, n int64) *Histogram {
+	if len(bounds) < 1 || len(counts) != len(bounds)+1 {
+		panic("stats: invalid bucket layout")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: bucket bounds not increasing")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: append([]int64(nil), counts...),
+		sum:    sum,
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+		n:      n,
+	}
+	if n > 0 {
+		h.min, h.max = min, max
+	}
+	return h
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)

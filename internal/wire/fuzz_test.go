@@ -92,6 +92,47 @@ func FuzzFrameDecode(f *testing.F) {
 	shardV2.PutBytes(shardV2Body.Bytes())
 	f.Add(shardV2.Bytes())
 
+	// A v4 traced commit frame: the payload is proto.CommitReq's v4 encoding
+	// — owner, file, size, mtime, commit ID, one extent, then the
+	// trailing-optional TraceCtx pair (trace ID, parent span ID).
+	commitBody := func(traced bool) []byte {
+		var b Buffer
+		b.PutString("owner-1") // owner
+		b.PutU64(7)            // file ID
+		b.PutI64(4096)         // size
+		b.PutI64(1_000_000)    // mtime (unix nanos)
+		b.PutU64(99)           // commit ID
+		b.PutU32(1)            // one extent
+		b.PutI64(0)            // extent: file offset
+		b.PutI64(4096)         // extent: length
+		b.PutU32(0)            // extent: device
+		b.PutI64(8192)         // extent: volume offset
+		b.PutU8(0)             // extent: state
+		if traced {
+			b.PutU64(0xdeadbeef) // TraceCtx.TraceID
+			b.PutU64(0xcafe)     // TraceCtx.SpanID
+		}
+		return b.Bytes()
+	}
+	var traced Buffer
+	traced.PutU64(47)
+	traced.PutU8(1)
+	traced.PutU16(0)
+	traced.PutU8(0)
+	traced.PutBytes(commitBody(true))
+	f.Add(traced.Bytes())
+
+	// The same commit truncated exactly at the trace boundary: the payload
+	// stops where TraceCtx would begin — the pre-v4 frame shape a v4 decoder
+	// must read as "untraced", not as an error.
+	var untraced Buffer
+	untraced.PutU64(48)
+	untraced.PutU8(1)
+	untraced.PutU16(0)
+	untraced.PutU8(0)
+	untraced.PutBytes(commitBody(false))
+	f.Add(untraced.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(data)
 		id := r.U64()
